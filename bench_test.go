@@ -1,0 +1,153 @@
+// Package-level benchmarks: one testing.B entry per figure in the paper's
+// evaluation (§6). Each benchmark iteration executes the complete experiment
+// at a shortened measurement window and reports its headline numbers as
+// custom metrics, so `go test -bench=. -benchmem` regenerates every figure.
+//
+// cmd/preemptbench runs the same experiments at full duration with printed
+// tables; EXPERIMENTS.md records paper-vs-measured for each.
+package preemptdb_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"preemptdb/internal/bench"
+)
+
+// benchOptions shortens the measurement window so the full suite completes
+// in minutes; shapes are stable well below the paper's 30 s windows.
+func benchOptions(b *testing.B) bench.Options {
+	return bench.Options{
+		Duration: 1200 * time.Millisecond,
+		Out:      io.Discard,
+	}
+}
+
+// BenchmarkUintrDeliveryLatency reproduces §6.1's measurement that user
+// interrupt delivery is sub-microsecond between two threads.
+func BenchmarkUintrDeliveryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.UintrLatency(benchOptions(b), 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanNanos, "delivery-ns")
+	}
+}
+
+// BenchmarkContextSwitch measures §4.2's lightweight transaction context
+// switch (one SwapContext round trip = two switches).
+func BenchmarkContextSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.ContextSwitch(benchOptions(b), 200000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MeanRoundTrip.Nanoseconds()), "roundtrip-ns")
+	}
+}
+
+// BenchmarkFig1SchedulingLatency reproduces Figure 1 (right): scheduling
+// latency of high-priority transactions under Wait/Yield/Preempt.
+func BenchmarkFig1SchedulingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig1(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rs[0].NewOrderSched.P99), "wait-p99-ns")
+		b.ReportMetric(float64(rs[1].NewOrderSched.P99), "coop-p99-ns")
+		b.ReportMetric(float64(rs[2].NewOrderSched.P99), "preempt-p99-ns")
+	}
+}
+
+// BenchmarkFig8Overhead reproduces Figure 8: standard TPC-C throughput with
+// and without the user-interrupt machinery (paper: ~1.7% slowdown).
+func BenchmarkFig8Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig8(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaselineTPS, "baseline-tps")
+		b.ReportMetric(res.WithUintrTPS, "uintr-tps")
+		b.ReportMetric(res.OverheadPct, "overhead-%")
+	}
+}
+
+// BenchmarkFig9Scalability reproduces Figure 9: mixed-workload throughput
+// across worker counts and policies.
+func BenchmarkFig9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig9(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1].Result // largest worker count, PreemptDB
+		b.ReportMetric(last.NewOrderTPS, "preempt-neworder-tps")
+		b.ReportMetric(last.Q2TPS, "preempt-q2-tps")
+	}
+}
+
+// BenchmarkFig10Latency reproduces Figure 10: end-to-end latency of NewOrder
+// (top) and Q2 (bottom); PreemptDB cuts NewOrder tails 88–96% vs Wait while
+// preserving Q2.
+func BenchmarkFig10Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig10(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rs[0].NewOrder.P99), "wait-neworder-p99-ns")
+		b.ReportMetric(float64(rs[2].NewOrder.P99), "preempt-neworder-p99-ns")
+		b.ReportMetric(float64(rs[0].Q2.P99), "wait-q2-p99-ns")
+		b.ReportMetric(float64(rs[2].Q2.P99), "preempt-q2-p99-ns")
+	}
+}
+
+// BenchmarkFig11YieldInterval reproduces Figure 11: the cooperative yield
+// interval sweep plus handcrafted cooperative and PreemptDB references.
+func BenchmarkFig11YieldInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig11(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		finest, coarsest := pts[0].Result, pts[len(pts)-3].Result
+		preempt := pts[len(pts)-1].Result
+		b.ReportMetric(float64(finest.NewOrder.P99), "coop-finest-neworder-p99-ns")
+		b.ReportMetric(float64(coarsest.NewOrder.P99), "coop-coarsest-neworder-p99-ns")
+		b.ReportMetric(float64(preempt.NewOrder.P99), "preempt-neworder-p99-ns")
+	}
+}
+
+// BenchmarkFig12Starvation reproduces Figure 12: Q2 throughput and NewOrder
+// p99 across starvation thresholds under overload.
+func BenchmarkFig12Starvation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig12(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].Result.Q2TPS, "wait-q2-tps")
+		b.ReportMetric(pts[1].Result.Q2TPS, "thr0-q2-tps")
+		b.ReportMetric(pts[len(pts)-1].Result.Q2TPS, "throff-q2-tps")
+	}
+}
+
+// BenchmarkFig13ArrivalInterval reproduces Figure 13: geomean latency vs
+// arrival interval for all policies.
+func BenchmarkFig13ArrivalInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := bench.Fig13(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait := m["Wait"]
+		preempt := m["PreemptDB"]
+		// Lightest load = largest interval (last point).
+		b.ReportMetric(wait[len(wait)-1].Result.NewOrder.Geomean, "wait-light-geomean-ns")
+		b.ReportMetric(preempt[len(preempt)-1].Result.NewOrder.Geomean, "preempt-light-geomean-ns")
+	}
+}

@@ -1,0 +1,83 @@
+// Command preemptbench regenerates the figures from the paper's evaluation
+// (§6) on the simulated-UINTR substrate. Each experiment prints the same
+// data series the corresponding figure plots.
+//
+// Usage:
+//
+//	preemptbench -experiment fig10 -duration 3s -workers 2
+//	preemptbench -experiment all
+//
+// Experiments: fig1, uintr, switch, fig8, fig9, fig10, fig11, fig12, fig13, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"preemptdb/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (fig1|uintr|switch|trace|fig8|fig9|fig10|fig11|fig12|fig13|all)")
+		duration   = flag.Duration("duration", 3*time.Second, "measurement window per data point")
+		workers    = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
+		arrival    = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Workers:         *workers,
+		Duration:        *duration,
+		ArrivalInterval: *arrival,
+		Out:             os.Stdout,
+	}
+
+	run := func(id string) error {
+		fmt.Printf("\n=== %s ===\n", id)
+		start := time.Now()
+		var err error
+		switch id {
+		case "fig1":
+			_, err = bench.Fig1(opt)
+		case "uintr":
+			_, err = bench.UintrLatency(opt, 0)
+		case "switch":
+			_, err = bench.ContextSwitch(opt, 0)
+		case "trace":
+			_, err = bench.Trace(opt)
+		case "fig8":
+			_, err = bench.Fig8(opt)
+		case "fig9":
+			_, err = bench.Fig9(opt)
+		case "fig10":
+			_, err = bench.Fig10(opt)
+		case "fig11":
+			_, err = bench.Fig11(opt)
+		case "fig12":
+			_, err = bench.Fig12(opt)
+		case "fig13":
+			_, err = bench.Fig13(opt)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("(%s took %v)\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = []string{"uintr", "switch", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintln(os.Stderr, "preemptbench:", err)
+			os.Exit(1)
+		}
+	}
+}

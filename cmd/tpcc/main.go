@@ -1,0 +1,107 @@
+// Command tpcc loads and runs the standard TPC-C mix against the PreemptDB
+// storage engine on N worker goroutines, printing per-type throughput and a
+// latency summary. It exercises the engine without the scheduling layer —
+// useful for profiling storage-path changes in isolation.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/engine"
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/rng"
+	"preemptdb/internal/tpcc"
+)
+
+func main() {
+	var (
+		warehouses = flag.Int("warehouses", 2, "number of warehouses")
+		customers  = flag.Int("customers", 256, "customers per district")
+		items      = flag.Int("items", 5000, "catalog size")
+		threads    = flag.Int("threads", 2, "worker goroutines")
+		duration   = flag.Duration("duration", 5*time.Second, "run duration")
+		check      = flag.Bool("check", true, "verify TPC-C consistency conditions after the run")
+	)
+	flag.Parse()
+
+	e := engine.New(engine.Config{})
+	tpcc.CreateSchema(e)
+	fmt.Printf("loading %d warehouses (%d customers/district, %d items)...\n",
+		*warehouses, *customers, *items)
+	loadStart := time.Now()
+	cfg, err := tpcc.Load(e, tpcc.ScaleConfig{
+		Warehouses: *warehouses, Customers: *customers, Items: *items,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(loadStart).Round(time.Millisecond))
+	client := tpcc.NewClient(e, cfg)
+
+	type shard struct {
+		counts [5]uint64
+		hist   metrics.Histogram
+	}
+	shards := make([]shard, *threads)
+	var wg sync.WaitGroup
+	stopAt := clock.Nanos() + int64(*duration)
+	for t := 0; t < *threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rng.New(uint64(t + 1))
+			sh := &shards[t]
+			for clock.Nanos() < stopAt {
+				kind := tpcc.PickMix(r)
+				w := uint32(r.IntRange(1, cfg.Warehouses))
+				start := clock.Nanos()
+				err := client.Run(kind, nil, r, w)
+				if err != nil && !errors.Is(err, tpcc.ErrUserAbort) {
+					fmt.Fprintln(os.Stderr, "txn:", err)
+					os.Exit(1)
+				}
+				sh.hist.Record(clock.Nanos() - start)
+				sh.counts[kind]++
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	var total uint64
+	var counts [5]uint64
+	var hist metrics.Histogram
+	for i := range shards {
+		for k, c := range shards[i].counts {
+			counts[k] += c
+			total += c
+		}
+		hist.Merge(&shards[i].hist)
+	}
+	secs := duration.Seconds()
+	fmt.Printf("\n%.0f txn/s total over %v (%d committed, %d aborted)\n",
+		float64(total)/secs, *duration, e.Commits(), e.Aborts())
+	tbl := metrics.NewTable("type", "count", "tps", "share")
+	for k := tpcc.TxNewOrder; k <= tpcc.TxStockLevel; k++ {
+		tbl.AddRow(k.String(), counts[k],
+			fmt.Sprintf("%.0f", float64(counts[k])/secs),
+			fmt.Sprintf("%.1f%%", float64(counts[k])/float64(total)*100))
+	}
+	fmt.Print(tbl.String())
+	s := hist.Summarize()
+	fmt.Printf("latency: %s\n", s)
+
+	if *check {
+		if err := client.CheckConsistency(); err != nil {
+			fmt.Fprintln(os.Stderr, "CONSISTENCY VIOLATION:", err)
+			os.Exit(1)
+		}
+		fmt.Println("consistency conditions 1-4: OK")
+	}
+}

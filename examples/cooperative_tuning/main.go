@@ -1,0 +1,116 @@
+// Command cooperative_tuning reproduces the paper's core argument against
+// cooperative scheduling (§6.3, Figure 11) on the public API: the yield
+// interval must be tuned per workload. Too coarse and high-priority latency
+// explodes; too fine and the low-priority transactions pay for yields they
+// do not need. PreemptDB needs no such knob.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"preemptdb"
+)
+
+const rows = 40000
+
+func key(i uint64) []byte { return binary.BigEndian.AppendUint64(nil, i) }
+
+type outcome struct {
+	label    string
+	hiP50    time.Duration
+	hiP99    time.Duration
+	loPerSec float64
+}
+
+func run(policy preemptdb.Policy, yieldInterval uint64) outcome {
+	db, err := preemptdb.Open(preemptdb.Config{
+		Workers:       1,
+		Policy:        policy,
+		YieldInterval: yieldInterval,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.CreateTable("data")
+	if err := db.Run(func(tx *preemptdb.Txn) error {
+		val := make([]byte, 32)
+		for i := uint64(0); i < rows; i++ {
+			if err := tx.Insert("data", key(i), val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	lowDone := make(chan struct{})
+	var scans int
+	scan := func(tx *preemptdb.Txn) error {
+		return tx.Scan("data", nil, nil, func(k, v []byte) bool { return true })
+	}
+	var resubmit func(error)
+	resubmit = func(error) {
+		scans++
+		select {
+		case <-stop:
+			close(lowDone)
+		default:
+			db.Submit(preemptdb.Low, scan, resubmit)
+		}
+	}
+	db.Submit(preemptdb.Low, scan, resubmit)
+	time.Sleep(10 * time.Millisecond)
+
+	var lats []time.Duration
+	start := time.Now()
+	for i := 0; i < 300; i++ {
+		timing, err := db.ExecTimed(preemptdb.High, func(tx *preemptdb.Txn) error {
+			_, err := tx.Get("data", key(uint64(i)%rows))
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lats = append(lats, timing.Total)
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	<-lowDone
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	label := policy.String()
+	if policy == preemptdb.PolicyCooperative {
+		label = fmt.Sprintf("Cooperative/%d", yieldInterval)
+	}
+	return outcome{
+		label:    label,
+		hiP50:    lats[len(lats)/2],
+		hiP99:    lats[len(lats)*99/100],
+		loPerSec: float64(scans) / elapsed,
+	}
+}
+
+func main() {
+	fmt.Println("Cooperative yield-interval tuning vs preemption (one worker)")
+	fmt.Printf("%-20s %12s %12s %12s\n", "variant", "order p50", "order p99", "scans/s")
+	var results []outcome
+	for _, yi := range []uint64{100, 10000, 1000000} {
+		results = append(results, run(preemptdb.PolicyCooperative, yi))
+	}
+	results = append(results, run(preemptdb.PolicyPreempt, 0))
+	for _, r := range results {
+		fmt.Printf("%-20s %12v %12v %12.1f\n", r.label,
+			r.hiP50.Round(time.Microsecond), r.hiP99.Round(time.Microsecond), r.loPerSec)
+	}
+	fmt.Println("\nCoarse yields delay orders; fine yields tax every scan. PreemptDB")
+	fmt.Println("gets low order latency at full scan throughput with no tuning knob.")
+}

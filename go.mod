@@ -1,0 +1,3 @@
+module preemptdb
+
+go 1.23

@@ -1,0 +1,104 @@
+// Package admission implements the admission-control component that feeds
+// PreemptDB's scheduling thread (paper §4.1 mentions the scheduler obtaining
+// transactions "from an admission control component"). It combines a
+// token-bucket arrival-rate limit with an in-flight concurrency cap, so an
+// open-loop client flood is shaped into the bounded stream the scheduler's
+// queues are sized for.
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"preemptdb/internal/clock"
+)
+
+// Controller shapes an incoming request stream. The zero value admits
+// nothing; construct with New. Safe for concurrent use.
+type Controller struct {
+	mu     sync.Mutex
+	tokens float64
+	last   int64 // clock.Nanos of the previous refill
+
+	rate  float64 // tokens per second; <= 0 means unlimited rate
+	burst float64
+
+	maxInFlight int64 // <= 0 means unlimited concurrency
+	inFlight    atomic.Int64
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// New returns a controller admitting up to rate requests/second with the
+// given burst, and at most maxInFlight admitted-but-unreleased requests.
+// Pass rate <= 0 for no rate limit and maxInFlight <= 0 for no concurrency
+// cap.
+func New(rate float64, burst int, maxInFlight int) *Controller {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Controller{
+		tokens:      float64(burst),
+		last:        clock.Nanos(),
+		rate:        rate,
+		burst:       float64(burst),
+		maxInFlight: int64(maxInFlight),
+	}
+}
+
+// Admit reports whether one request may enter the system. Every admitted
+// request must eventually call Release.
+func (c *Controller) Admit() bool {
+	if c.maxInFlight > 0 {
+		if c.inFlight.Add(1) > c.maxInFlight {
+			c.inFlight.Add(-1)
+			c.rejected.Add(1)
+			return false
+		}
+	}
+	if c.rate > 0 && !c.takeToken() {
+		if c.maxInFlight > 0 {
+			c.inFlight.Add(-1)
+		}
+		c.rejected.Add(1)
+		return false
+	}
+	c.admitted.Add(1)
+	return true
+}
+
+func (c *Controller) takeToken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := clock.Nanos()
+	elapsed := float64(now-c.last) / 1e9
+	c.last = now
+	c.tokens += elapsed * c.rate
+	if c.tokens > c.burst {
+		c.tokens = c.burst
+	}
+	if c.tokens < 1 {
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// Release returns an in-flight slot; call once per admitted request when it
+// completes (or is dropped downstream).
+func (c *Controller) Release() {
+	if c.maxInFlight > 0 {
+		if n := c.inFlight.Add(-1); n < 0 {
+			panic("admission: Release without matching Admit")
+		}
+	}
+}
+
+// InFlight returns the number of admitted, unreleased requests.
+func (c *Controller) InFlight() int64 { return c.inFlight.Load() }
+
+// Stats returns the cumulative admitted and rejected counts.
+func (c *Controller) Stats() (admitted, rejected uint64) {
+	return c.admitted.Load(), c.rejected.Load()
+}

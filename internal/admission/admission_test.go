@@ -1,0 +1,116 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnlimited(t *testing.T) {
+	c := New(0, 1, 0)
+	for i := 0; i < 1000; i++ {
+		if !c.Admit() {
+			t.Fatal("unlimited controller rejected")
+		}
+	}
+	a, r := c.Stats()
+	if a != 1000 || r != 0 {
+		t.Fatalf("stats = %d/%d", a, r)
+	}
+}
+
+func TestBurstThenRateLimit(t *testing.T) {
+	c := New(10, 5, 0) // 10/s, burst 5
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if c.Admit() {
+			admitted++
+		}
+	}
+	if admitted < 5 || admitted > 7 {
+		t.Fatalf("instant burst admitted %d, want ~5", admitted)
+	}
+	// After 300ms, ~3 more tokens accrue.
+	time.Sleep(300 * time.Millisecond)
+	more := 0
+	for i := 0; i < 20; i++ {
+		if c.Admit() {
+			more++
+		}
+	}
+	if more < 1 || more > 6 {
+		t.Fatalf("refill admitted %d, want ~3", more)
+	}
+}
+
+func TestInFlightCap(t *testing.T) {
+	c := New(0, 1, 3)
+	for i := 0; i < 3; i++ {
+		if !c.Admit() {
+			t.Fatalf("admit %d failed", i)
+		}
+	}
+	if c.Admit() {
+		t.Fatal("admitted above cap")
+	}
+	if c.InFlight() != 3 {
+		t.Fatalf("inflight = %d", c.InFlight())
+	}
+	c.Release()
+	if !c.Admit() {
+		t.Fatal("admit after release failed")
+	}
+	_, rejected := c.Stats()
+	if rejected != 1 {
+		t.Fatalf("rejected = %d", rejected)
+	}
+}
+
+func TestReleaseWithoutAdmitPanics(t *testing.T) {
+	c := New(0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestConcurrentAdmitRelease(t *testing.T) {
+	c := New(0, 1, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				if c.Admit() {
+					if n := c.InFlight(); n < 1 || n > 8 {
+						t.Errorf("inflight out of bounds: %d", n)
+						return
+					}
+					c.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.InFlight() != 0 {
+		t.Fatalf("leaked inflight: %d", c.InFlight())
+	}
+}
+
+func TestRateAccuracy(t *testing.T) {
+	c := New(1000, 1, 0) // 1000/s
+	start := time.Now()
+	admitted := 0
+	for time.Since(start) < 300*time.Millisecond {
+		if c.Admit() {
+			admitted++
+		}
+	}
+	// Expect ~300 admitted over 300ms at 1000/s; allow wide CI noise.
+	if admitted < 100 || admitted > 600 {
+		t.Fatalf("admitted %d in 300ms at 1000/s", admitted)
+	}
+}

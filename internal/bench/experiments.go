@@ -1,0 +1,508 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/sched"
+	"preemptdb/internal/tpcc"
+	"preemptdb/internal/tpch"
+	"preemptdb/internal/uintr"
+)
+
+// threePolicies are the paper's competing methods for the latency figures.
+var threePolicies = []sched.Policy{sched.PolicyWait, sched.PolicyCooperative, sched.PolicyPreempt}
+
+func fmtNs(v int64) string { return metrics.FormatNanos(float64(v)) }
+
+// Fig1 reproduces Figure 1 (right): the scheduling-latency distribution of
+// high-priority short transactions under Wait, Yield (cooperative) and
+// Preempt, in a workload mixed with long-running transactions.
+func Fig1(opt Options) ([]MixedResult, error) {
+	opt = opt.withDefaults()
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	var results []MixedResult
+	tbl := metrics.NewTable("policy", "p50", "p90", "p99", "p99.9", "max")
+	for _, p := range threePolicies {
+		r := f.RunMixed(MixedConfig{Policy: p})
+		results = append(results, r)
+		s := r.NewOrderSched
+		tbl.AddRow(r.Policy, fmtNs(s.P50), fmtNs(s.P90), fmtNs(s.P99), fmtNs(s.P999), fmtNs(s.Max))
+	}
+	fmt.Fprintln(opt.Out, "Figure 1 (right): scheduling latency of high-priority NewOrder")
+	fmt.Fprint(opt.Out, tbl.String())
+	return results, nil
+}
+
+// UintrResult reports the §6.1 delivery-latency microbenchmark.
+type UintrResult struct {
+	Deliveries uint64
+	MeanNanos  float64
+}
+
+// UintrLatency measures user-interrupt delivery latency between the
+// scheduling thread and a polling worker context (§6.1 reports < 1µs on
+// real hardware; the simulated substrate should be the same order). The
+// sender spins on an acknowledgment counter rather than parking on a
+// channel, so the measurement captures post→recognition time, not Go
+// scheduler wake-up quanta.
+func UintrLatency(opt Options, rounds int) (UintrResult, error) {
+	opt = opt.withDefaults()
+	if rounds == 0 {
+		rounds = 20000
+	}
+	core := pcontext.NewCore(0, 2)
+	var acked atomic.Uint64
+	core.SetHandler(func(cur *pcontext.Context, vectors uint64) {
+		if uintr.Has(vectors, uintr.VecPing) {
+			acked.Add(1)
+		}
+	})
+	core.Start([]func(*pcontext.Context){
+		func(ctx *pcontext.Context) {
+			for !core.Done() {
+				for i := 0; i < 512; i++ {
+					ctx.Poll()
+				}
+				// Yield so the sender goroutine can run on a single-CPU
+				// host; on real hardware sender and receiver own cores.
+				runtime.Gosched()
+			}
+		},
+		nil,
+	})
+	upid := core.Receiver().UPID()
+	deadline := time.Now().Add(2 * time.Minute)
+	for i := uint64(1); i <= uint64(rounds); i++ {
+		uintr.SendUIPI(upid, uintr.VecPing)
+		for acked.Load() < i {
+			runtime.Gosched() // hand the CPU to the polling worker
+			if time.Now().After(deadline) {
+				core.Shutdown()
+				return UintrResult{}, fmt.Errorf("bench: delivery timed out at round %d", i)
+			}
+		}
+	}
+	core.Shutdown()
+	n, mean := core.DeliveryStats()
+	res := UintrResult{Deliveries: n, MeanNanos: mean}
+	fmt.Fprintf(opt.Out, "uintr delivery latency: %d deliveries, mean %s (paper: <1µs)\n",
+		res.Deliveries, metrics.FormatNanos(res.MeanNanos))
+	return res, nil
+}
+
+// SwitchResult reports the context-switch microbenchmark.
+type SwitchResult struct {
+	RoundTrips    int
+	MeanRoundTrip time.Duration
+}
+
+// ContextSwitch measures the voluntary SwapContext round trip between two
+// contexts on one core — the §4.2 "lightweight transaction context switch".
+func ContextSwitch(opt Options, rounds int) (SwitchResult, error) {
+	opt = opt.withDefaults()
+	if rounds == 0 {
+		rounds = 200000
+	}
+	core := pcontext.NewCore(0, 2)
+	done := make(chan time.Duration, 1)
+	core.Start([]func(*pcontext.Context){
+		func(ctx *pcontext.Context) {
+			other := core.Context(1)
+			start := clock.Nanos()
+			for i := 0; i < rounds; i++ {
+				ctx.SwapContext(other)
+			}
+			done <- time.Duration(clock.Nanos() - start)
+		},
+		func(ctx *pcontext.Context) {
+			other := core.Context(0)
+			for !core.Done() {
+				ctx.SwapContext(other)
+			}
+		},
+	})
+	total := <-done
+	core.Shutdown()
+	res := SwitchResult{RoundTrips: rounds, MeanRoundTrip: total / time.Duration(rounds)}
+	fmt.Fprintf(opt.Out, "context switch: %d round trips, mean %v per round trip (two switches)\n",
+		res.RoundTrips, res.MeanRoundTrip)
+	return res, nil
+}
+
+// Fig8Result reports the uintr overhead experiment.
+type Fig8Result struct {
+	BaselineTPS float64 // no uintr machinery
+	WithUintrTPS float64 // scheduler pings every interval, no hi work
+	OverheadPct float64
+}
+
+// Fig8 reproduces Figure 8: standard TPC-C (all transactions low-priority)
+// with and without the user-interrupt machinery; the paper measures ~1.7%
+// slowdown. The workload is closed-loop — every completed transaction
+// resubmits itself from its completion callback, which runs on the worker —
+// so throughput measures the engine + scheduling machinery, not the
+// generator goroutine's share of the CPU. Each variant gets a warm-up
+// window before measurement.
+func Fig8(opt Options) (Fig8Result, error) {
+	opt = opt.withDefaults()
+	run := func(policy sched.Policy, ping bool) (float64, error) {
+		f, err := NewFixture(opt)
+		if err != nil {
+			return 0, err
+		}
+		s := sched.New(sched.Config{
+			Policy:      policy,
+			Workers:     opt.Workers,
+			HiQueueSize: opt.HiQueueSize,
+			LoQueueSize: 64,
+		})
+		var stop atomic.Bool
+		mixWork := func(ctx *pcontext.Context) error {
+			r := ctxRand(ctx)
+			w := uint32(r.IntRange(1, f.TPCC.Scale().Warehouses))
+			err := f.TPCC.Run(tpcc.PickMix(r), ctx, r, w)
+			if err == tpcc.ErrUserAbort {
+				return nil
+			}
+			return err
+		}
+		// Self-perpetuating chains: OnDone runs on the worker's context and
+		// requeues into the same worker's queue, keeping it saturated.
+		var newReq func(wid int) *sched.Request
+		newReq = func(wid int) *sched.Request {
+			return &sched.Request{
+				Work: mixWork,
+				OnDone: func(*sched.Request) {
+					if !stop.Load() {
+						s.SubmitLow(wid, newReq(wid))
+					}
+				},
+			}
+		}
+		// Prime before Start: four chains per worker.
+		for wid := 0; wid < opt.Workers; wid++ {
+			for c := 0; c < 4; c++ {
+				s.SubmitLow(wid, newReq(wid))
+			}
+		}
+		s.Start()
+
+		warmup := opt.Duration / 3
+		pinger := time.NewTicker(opt.ArrivalInterval)
+		defer pinger.Stop()
+		spin := func(d time.Duration) uint64 {
+			deadline := clock.Nanos() + int64(d)
+			for clock.Nanos() < deadline {
+				if ping {
+					s.PingAll()
+				}
+				<-pinger.C
+			}
+			var n uint64
+			for _, w := range s.Workers() {
+				n += w.ExecutedLow()
+			}
+			return n
+		}
+		before := spin(warmup)
+		startNanos := clock.Nanos()
+		after := spin(opt.Duration)
+		elapsed := time.Duration(clock.Nanos() - startNanos)
+		stop.Store(true)
+		s.Stop()
+		return float64(after-before) / elapsed.Seconds(), nil
+	}
+
+	// Heap/allocator state carries across in-process runs (the first run
+	// pays heap growth the second inherits), so discard one run of each
+	// variant first and force a collection before every measurement.
+	runtime.GC()
+	if _, err := run(sched.PolicyWait, false); err != nil {
+		return Fig8Result{}, err
+	}
+	runtime.GC()
+	if _, err := run(sched.PolicyPreempt, true); err != nil {
+		return Fig8Result{}, err
+	}
+	runtime.GC()
+	base, err := run(sched.PolicyWait, false)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	runtime.GC()
+	with, err := run(sched.PolicyPreempt, true)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res := Fig8Result{BaselineTPS: base, WithUintrTPS: with}
+	if base > 0 {
+		res.OverheadPct = (base - with) / base * 100
+	}
+	fmt.Fprintf(opt.Out, "Figure 8: standard TPC-C throughput\n")
+	tbl := metrics.NewTable("variant", "kTPS")
+	tbl.AddRow("no uintr (Wait)", fmt.Sprintf("%.1f", base/1000))
+	tbl.AddRow("with uintr (empty interrupts)", fmt.Sprintf("%.1f", with/1000))
+	fmt.Fprint(opt.Out, tbl.String())
+	fmt.Fprintf(opt.Out, "overhead: %.1f%% (paper: ~1.7%%)\n", res.OverheadPct)
+	return res, nil
+}
+
+// Fig9Point is one (workers, policy) scalability measurement.
+type Fig9Point struct {
+	Workers int
+	Result  MixedResult
+}
+
+// Fig9 reproduces Figure 9: mixed-workload throughput under varying worker
+// counts for all policies. Worker counts sweep powers of two up to at least
+// 4 (oversubscribing physical CPUs if needed: the reproduction target is the
+// paper's "all policies perform alike at each scale", since absolute scaling
+// on an oversubscribed host measures the Go scheduler, not PreemptDB).
+func Fig9(opt Options) ([]Fig9Point, error) {
+	opt = opt.withDefaults()
+	maxWorkers := opt.Workers
+	if maxWorkers < 4 {
+		maxWorkers = 4
+	}
+	var counts []int
+	for n := 1; n <= maxWorkers; n *= 2 {
+		counts = append(counts, n)
+	}
+	// The fixture's warehouse count must cover the largest sweep point.
+	if opt.TPCC.Warehouses < maxWorkers {
+		opt.TPCC.Warehouses = maxWorkers
+	}
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig9Point
+	tbl := metrics.NewTable("workers", "policy", "Q2/s", "NewOrder/s", "Payment/s")
+	for _, n := range counts {
+		for _, p := range threePolicies {
+			r := f.RunMixed(MixedConfig{Policy: p, Workers: n,
+				HiBatchPerInterval: n * opt.HiQueueSize})
+			points = append(points, Fig9Point{Workers: n, Result: r})
+			tbl.AddRow(n, r.Policy,
+				fmt.Sprintf("%.1f", r.Q2TPS),
+				fmt.Sprintf("%.0f", r.NewOrderTPS),
+				fmt.Sprintf("%.0f", r.PaymentTPS))
+		}
+	}
+	fmt.Fprintln(opt.Out, "Figure 9: mixed-workload scalability")
+	fmt.Fprint(opt.Out, tbl.String())
+	return points, nil
+}
+
+// Fig10 reproduces Figure 10: end-to-end latency percentiles of NewOrder
+// (top) and Q2 (bottom) under the three policies.
+func Fig10(opt Options) ([]MixedResult, error) {
+	opt = opt.withDefaults()
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	var results []MixedResult
+	no := metrics.NewTable("policy", "p50", "p90", "p99", "p99.9")
+	q2 := metrics.NewTable("policy", "p50", "p90", "p99", "p99.9")
+	for _, p := range threePolicies {
+		r := f.RunMixed(MixedConfig{Policy: p})
+		results = append(results, r)
+		no.AddRow(r.Policy, fmtNs(r.NewOrder.P50), fmtNs(r.NewOrder.P90), fmtNs(r.NewOrder.P99), fmtNs(r.NewOrder.P999))
+		q2.AddRow(r.Policy, fmtNs(r.Q2.P50), fmtNs(r.Q2.P90), fmtNs(r.Q2.P99), fmtNs(r.Q2.P999))
+	}
+	fmt.Fprintln(opt.Out, "Figure 10 (top): NewOrder end-to-end latency")
+	fmt.Fprint(opt.Out, no.String())
+	fmt.Fprintln(opt.Out, "Figure 10 (bottom): Q2 end-to-end latency")
+	fmt.Fprint(opt.Out, q2.String())
+	return results, nil
+}
+
+// Fig11Point is one yield-interval measurement.
+type Fig11Point struct {
+	Label         string
+	YieldInterval uint64
+	Result        MixedResult
+}
+
+// Fig11 reproduces Figure 11: cooperative yield-interval sweep (throughput
+// and latency of both transaction classes), plus the handcrafted variant and
+// the PreemptDB reference.
+func Fig11(opt Options) ([]Fig11Point, error) {
+	opt = opt.withDefaults()
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig11Point
+	tbl := metrics.NewTable("variant", "NewOrder/s", "Q2/s", "NewOrder p99", "Q2 p99")
+	add := func(label string, yi uint64, r MixedResult) {
+		points = append(points, Fig11Point{Label: label, YieldInterval: yi, Result: r})
+		tbl.AddRow(label,
+			fmt.Sprintf("%.0f", r.NewOrderTPS),
+			fmt.Sprintf("%.1f", r.Q2TPS),
+			fmtNs(r.NewOrder.P99), fmtNs(r.Q2.P99))
+	}
+	for _, yi := range []uint64{1, 10, 100, 1000, 10000, 100000} {
+		r := f.RunMixed(MixedConfig{Policy: sched.PolicyCooperative, YieldInterval: yi})
+		add(fmt.Sprintf("Cooperative/%d", yi), yi, r)
+	}
+	// Handcrafted: yields placed right outside Q2's nested query block
+	// (§6.3). The paper yields every 1000 blocks at TPC-H scale; our scaled
+	// Q2 executes ~250 nested blocks per run, so yielding every 4 blocks
+	// preserves the paper's ~sub-millisecond gap between handcrafted yields.
+	rh := f.RunMixed(MixedConfig{Policy: sched.PolicyCooperativeHandcrafted, HandcraftedYieldEvery: 4})
+	add("Cooperative (Handcrafted)", 0, rh)
+	rp := f.RunMixed(MixedConfig{Policy: sched.PolicyPreempt})
+	add("PreemptDB", 0, rp)
+
+	fmt.Fprintln(opt.Out, "Figure 11: yield interval vs throughput and latency")
+	fmt.Fprint(opt.Out, tbl.String())
+	return points, nil
+}
+
+// Fig12Point is one starvation-threshold measurement.
+type Fig12Point struct {
+	Label     string
+	Threshold float64
+	Result    MixedResult
+}
+
+// Fig12 reproduces Figure 12: the starvation-prevention sweep under a
+// high-priority overload (large queues, large batches). Wait is the
+// reference collapse point.
+func Fig12(opt Options) ([]Fig12Point, error) {
+	opt = opt.withDefaults()
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	// Overload the system: deep queues and a large per-interval batch
+	// (paper: queue 100, 1600 txns/ms across 16 workers).
+	hiQ := 100
+	batch := opt.Workers * hiQ
+	var points []Fig12Point
+	tbl := metrics.NewTable("variant", "Q2/s", "Q2 p99", "NewOrder/s", "NewOrder p99")
+	add := func(label string, thr float64, r MixedResult) {
+		points = append(points, Fig12Point{Label: label, Threshold: thr, Result: r})
+		tbl.AddRow(label, fmt.Sprintf("%.2f", r.Q2TPS), fmtNs(r.Q2.P99),
+			fmt.Sprintf("%.0f", r.NewOrderTPS), fmtNs(r.NewOrder.P99))
+	}
+	rw := f.RunMixed(MixedConfig{Policy: sched.PolicyWait, HiQueueSize: hiQ, HiBatchPerInterval: batch})
+	add("Wait", 0, rw)
+	for _, thr := range []float64{0.000001, 0.25, 0.5, 0.75, 100} {
+		label := fmt.Sprintf("PreemptDB thr=%.2f", thr)
+		if thr >= 1 {
+			label = "PreemptDB thr=off"
+		}
+		r := f.RunMixed(MixedConfig{Policy: sched.PolicyPreempt, HiQueueSize: hiQ,
+			HiBatchPerInterval: batch, StarvationThreshold: thr})
+		add(label, thr, r)
+	}
+	fmt.Fprintln(opt.Out, "Figure 12: starvation thresholds under overload")
+	fmt.Fprint(opt.Out, tbl.String())
+	return points, nil
+}
+
+// Fig13Point is one arrival-interval measurement.
+type Fig13Point struct {
+	Interval time.Duration
+	Result   MixedResult
+}
+
+// Fig13 reproduces Figure 13: geometric-mean end-to-end latency of NewOrder
+// and Q2 across arrival intervals from 50µs to 50ms for all policies.
+func Fig13(opt Options) (map[string][]Fig13Point, error) {
+	opt = opt.withDefaults()
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	intervals := []time.Duration{50 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 5 * time.Millisecond, 50 * time.Millisecond}
+	out := make(map[string][]Fig13Point)
+	tbl := metrics.NewTable("interval", "policy", "NewOrder geomean", "Q2 geomean")
+	for _, iv := range intervals {
+		for _, p := range threePolicies {
+			r := f.RunMixed(MixedConfig{Policy: p, ArrivalInterval: iv})
+			out[p.String()] = append(out[p.String()], Fig13Point{Interval: iv, Result: r})
+			tbl.AddRow(iv, r.Policy,
+				metrics.FormatNanos(r.NewOrder.Geomean),
+				metrics.FormatNanos(r.Q2.Geomean))
+		}
+	}
+	fmt.Fprintln(opt.Out, "Figure 13: geomean latency vs arrival interval")
+	fmt.Fprint(opt.Out, tbl.String())
+	return out, nil
+}
+
+// Trace runs a short preemptive mixed workload with an execution tracer on
+// worker 0 and prints the resulting scheduling timeline — a concrete
+// rendering of the paper's Figure 2/5 flow: interrupt recognition, passive
+// switch to the preemptive context, and the active switch back.
+func Trace(opt Options) ([]pcontext.Event, error) {
+	opt = opt.withDefaults()
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	s := sched.New(sched.Config{
+		Policy:      sched.PolicyPreempt,
+		Workers:     1,
+		HiQueueSize: opt.HiQueueSize,
+		LoQueueSize: 1,
+	})
+	tracer := pcontext.NewTracer(256)
+	s.Workers()[0].Core().SetTracer(tracer)
+	s.Start()
+	defer s.Stop()
+
+	done := make(chan struct{})
+	s.SubmitLow(0, &sched.Request{Work: func(ctx *pcontext.Context) error {
+		_, err := f.TPCH.Q2(ctx, tpch.Q2Params{Size: 10, TypeSuffix: "TIN", Region: "ASIA"}, 0)
+		close(done)
+		return err
+	}})
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		hiDone := make(chan struct{})
+		s.SubmitHighBatch([]*sched.Request{{
+			Work: func(ctx *pcontext.Context) error {
+				return f.TPCC.Payment(ctx, ctxRand(ctx), 1)
+			},
+			OnDone: func(*sched.Request) { close(hiDone) },
+		}})
+		select {
+		case <-hiDone:
+		case <-time.After(10 * time.Second):
+			return nil, fmt.Errorf("bench: traced high-priority txn never ran")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-done
+	events := tracer.Snapshot()
+	fmt.Fprintln(opt.Out, "Preemption timeline (worker 0, Q2 preempted by three Payments):")
+	fmt.Fprint(opt.Out, pcontext.Timeline(events))
+	return events, nil
+}
+
+// SortedPolicies returns the policy names in canonical order, for stable
+// report generation from Fig13's map.
+func SortedPolicies(m map[string][]Fig13Point) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"preemptdb/internal/sched"
+)
+
+// TestConsistencyUnderEveryPolicy is the end-to-end correctness oracle for
+// the scheduling machinery: after a mixed run with preemption, context
+// switches, paused transactions and conflict aborts, the TPC-C consistency
+// conditions must hold exactly. A lost update, a torn commit, or CLS/WAL
+// cross-contamination between contexts would surface here.
+func TestConsistencyUnderEveryPolicy(t *testing.T) {
+	for _, policy := range []sched.Policy{
+		sched.PolicyWait,
+		sched.PolicyCooperative,
+		sched.PolicyCooperativeHandcrafted,
+		sched.PolicyPreempt,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			opt := tinyOptions()
+			opt.Duration = 700 * time.Millisecond
+			f, err := NewFixture(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.TPCC.CheckConsistency(); err != nil {
+				t.Fatalf("inconsistent after load: %v", err)
+			}
+			cfg := MixedConfig{Policy: policy}
+			if policy == sched.PolicyCooperativeHandcrafted {
+				cfg.HandcraftedYieldEvery = 4
+			}
+			r := f.RunMixed(cfg)
+			if r.NewOrder.Count+r.Payment.Count == 0 {
+				t.Fatal("no high-priority work executed")
+			}
+			if err := f.TPCC.CheckConsistency(); err != nil {
+				t.Fatalf("inconsistent after %s run: %v", policy, err)
+			}
+		})
+	}
+}
+
+// TestConsistencyUnderStarvationOverload repeats the oracle under the
+// fig12-style overload where the preemptive context and starvation
+// prevention are exercised hardest.
+func TestConsistencyUnderStarvationOverload(t *testing.T) {
+	opt := tinyOptions()
+	opt.Duration = 700 * time.Millisecond
+	f, err := NewFixture(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.RunMixed(MixedConfig{
+		Policy:              sched.PolicyPreempt,
+		HiQueueSize:         100,
+		HiBatchPerInterval:  100,
+		StarvationThreshold: 0.5,
+	})
+	_ = r
+	if err := f.TPCC.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent after overload: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestSmokeFig1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long smoke test")
+	}
+	opt := Options{
+		Workers:  0,
+		Duration: 2 * time.Second,
+		Out:      os.Stderr,
+	}
+	rs, err := Fig1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		t.Logf("%s: NO n=%d schedP50=%v Q2 n=%d noTPS=%.0f q2TPS=%.1f intr=%d drop=%d",
+			r.Policy, r.NewOrderSched.Count, time.Duration(r.NewOrderSched.P50), r.Q2.Count, r.NewOrderTPS, r.Q2TPS, r.InterruptsSent, r.DroppedHi)
+	}
+}

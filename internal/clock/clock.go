@@ -1,0 +1,17 @@
+// Package clock provides a process-monotonic nanosecond clock.
+//
+// It plays the role of rdtscp in the paper: a cheap, monotonically increasing
+// cycle source used for starvation accounting and latency measurement. All
+// quantities derived from it are ratios or differences, so the unit
+// (nanoseconds here, cycles in the paper) cancels out.
+package clock
+
+import "time"
+
+var base = time.Now()
+
+// Nanos returns monotonic nanoseconds since process start.
+func Nanos() int64 { return int64(time.Since(base)) }
+
+// Since returns the nanoseconds elapsed since an earlier Nanos reading.
+func Since(start int64) int64 { return Nanos() - start }

@@ -1,0 +1,47 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonotonic(t *testing.T) {
+	prev := Nanos()
+	for i := 0; i < 10000; i++ {
+		now := Nanos()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d < %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestSince(t *testing.T) {
+	start := Nanos()
+	time.Sleep(2 * time.Millisecond)
+	d := Since(start)
+	if d < int64(time.Millisecond) || d > int64(5*time.Second) {
+		t.Fatalf("Since = %v", time.Duration(d))
+	}
+}
+
+func TestTracksWallClock(t *testing.T) {
+	a := Nanos()
+	wall := time.Now()
+	time.Sleep(5 * time.Millisecond)
+	elapsedClock := Nanos() - a
+	elapsedWall := time.Since(wall)
+	diff := elapsedClock - int64(elapsedWall)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int64(2*time.Millisecond) {
+		t.Fatalf("clock drift %v over 5ms", time.Duration(diff))
+	}
+}
+
+func BenchmarkNanos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Nanos()
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"testing"
+
+	"preemptdb/internal/keys"
+)
+
+func loadedTable(b *testing.B, n int) (*Engine, *Table) {
+	b.Helper()
+	e := newEngine()
+	tab := e.CreateTable("bench")
+	tx := e.Begin(nil)
+	val := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		if err := tx.Insert(tab, keys.Uint32(nil, uint32(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return e, tab
+}
+
+func BenchmarkTxnGet(b *testing.B) {
+	e, tab := loadedTable(b, 100000)
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Get(tab, keys.Uint32(nil, uint32(i%100000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTxnUpdateCommit(b *testing.B) {
+	e, tab := loadedTable(b, 1000)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := e.Begin(nil)
+		if err := tx.Update(tab, keys.Uint32(nil, uint32(i%1000)), val); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	e.Vacuum(nil)
+}
+
+func BenchmarkTxnInsertCommit(b *testing.B) {
+	e := newEngine()
+	tab := e.CreateTable("bench")
+	val := make([]byte, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := e.Begin(nil)
+		if err := tx.Insert(tab, keys.Uint32(nil, uint32(i)), val); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTxnScan1000(b *testing.B) {
+	e, tab := loadedTable(b, 100000)
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := uint32((i * 977) % 99000)
+		n := 0
+		tx.Scan(tab, keys.Uint32(nil, start), keys.Uint32(nil, start+1000),
+			func(k, v []byte) bool { n++; return true })
+		if n != 1000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkTxnScanDesc1000(b *testing.B) {
+	e, tab := loadedTable(b, 100000)
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := uint32((i * 977) % 99000)
+		n := 0
+		tx.ScanDesc(tab, keys.Uint32(nil, start), keys.Uint32(nil, start+1000),
+			func(k, v []byte) bool { n++; return true })
+		if n != 1000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}

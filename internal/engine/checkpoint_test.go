@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"preemptdb/internal/keys"
+)
+
+func TestCheckpointRestoreRoundtrip(t *testing.T) {
+	e := newEngine()
+	users := e.CreateTable("users")
+	users.CreateIndex("mirror", func(pk, row []byte) []byte { return append([]byte(nil), pk...) })
+	items := e.CreateTable("items")
+
+	tx := e.Begin(nil)
+	for i := 0; i < 500; i++ {
+		tx.Insert(users, keys.Uint32(nil, uint32(i)), []byte(fmt.Sprintf("user-%d", i)))
+	}
+	for i := 0; i < 300; i++ {
+		tx.Insert(items, keys.Uint32(nil, uint32(i)), []byte(fmt.Sprintf("item-%d", i)))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete some rows so tombstones are exercised (deleted rows must not
+	// appear in the checkpoint).
+	tx2 := e.Begin(nil)
+	for i := 0; i < 100; i++ {
+		tx2.Delete(users, keys.Uint32(nil, uint32(i)))
+	}
+	tx2.Commit()
+
+	var ckpt bytes.Buffer
+	if err := e.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh engine with the same schema.
+	e2 := newEngine()
+	users2 := e2.CreateTable("users")
+	users2.CreateIndex("mirror", func(pk, row []byte) []byte { return append([]byte(nil), pk...) })
+	e2.CreateTable("items")
+	if err := e2.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	r := e2.Begin(nil)
+	defer r.Abort()
+	n := 0
+	r.Scan(users2, nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 400 {
+		t.Fatalf("restored users = %d, want 400", n)
+	}
+	if _, err := r.Get(users2, keys.Uint32(nil, 50)); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted row restored")
+	}
+	if v, err := r.Get(users2, keys.Uint32(nil, 200)); err != nil || string(v) != "user-200" {
+		t.Fatalf("row 200: %q %v", v, err)
+	}
+	// Secondary index rebuilt.
+	n = 0
+	r.ScanIndex(users2, "mirror", nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 400 {
+		t.Fatalf("restored index rows = %d", n)
+	}
+	// New writes get timestamps above the checkpoint snapshot.
+	w := e2.Begin(nil)
+	if err := w.Insert(e2.MustTable("items"), keys.Uint32(nil, 999), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := e2.Begin(nil)
+	if v, err := r2.Get(e2.MustTable("items"), keys.Uint32(nil, 999)); err != nil || string(v) != "new" {
+		t.Fatalf("post-restore write: %q %v", v, err)
+	}
+}
+
+func TestCheckpointPlusLogTailRecovery(t *testing.T) {
+	// The rotation pattern: checkpoint, switch to a fresh log, keep writing;
+	// recovery = restore checkpoint + replay the fresh log only.
+	var log1, log2 bytes.Buffer
+	e := New(Config{LogSink: &log1})
+	tab := e.CreateTable("t")
+	tx := e.Begin(nil)
+	tx.Insert(tab, []byte("a"), []byte("1"))
+	tx.Insert(tab, []byte("b"), []byte("2"))
+	tx.Commit()
+
+	var ckpt bytes.Buffer
+	if err := e.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// "Rotate": further commits go to log2 (simulated with a second engine
+	// restored from the checkpoint, since Manager sinks are fixed at New).
+	e2 := New(Config{LogSink: &log2})
+	e2.CreateTable("t")
+	if err := e2.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := e2.Begin(nil)
+	tx2.Update(e2.MustTable("t"), []byte("a"), []byte("1b"))
+	tx2.Insert(e2.MustTable("t"), []byte("c"), []byte("3"))
+	tx2.Commit()
+	e2.Log().Flush()
+
+	// Crash-recover a third engine from checkpoint + log tail.
+	e3 := New(Config{})
+	e3.CreateTable("t")
+	if err := e3.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Recover(bytes.NewReader(log2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	r := e3.Begin(nil)
+	defer r.Abort()
+	for key, want := range map[string]string{"a": "1b", "b": "2", "c": "3"} {
+		v, err := r.Get(e3.MustTable("t"), []byte(key))
+		if err != nil || string(v) != want {
+			t.Fatalf("%s = %q %v, want %q", key, v, err, want)
+		}
+	}
+}
+
+func TestCheckpointConsistentUnderConcurrentWrites(t *testing.T) {
+	// The checkpoint is one snapshot: a counter pair updated atomically must
+	// never appear torn in the restored image.
+	e := newEngine()
+	tab := e.CreateTable("pair")
+	setup := e.Begin(nil)
+	setup.Insert(tab, []byte("x"), []byte{0})
+	setup.Insert(tab, []byte("y"), []byte{0})
+	setup.Commit()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := byte(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := e.Begin(nil)
+			if tx.Update(tab, []byte("x"), []byte{i}) != nil ||
+				tx.Update(tab, []byte("y"), []byte{i}) != nil {
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+		}
+	}()
+
+	for round := 0; round < 5; round++ {
+		var ckpt bytes.Buffer
+		if err := e.Checkpoint(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		e2 := newEngine()
+		e2.CreateTable("pair")
+		if err := e2.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		r := e2.Begin(nil)
+		x, _ := r.Get(e2.MustTable("pair"), []byte("x"))
+		y, _ := r.Get(e2.MustTable("pair"), []byte("y"))
+		r.Abort()
+		if x[0] != y[0] {
+			t.Fatalf("torn checkpoint: x=%d y=%d", x[0], y[0])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRestoreCheckpointErrors(t *testing.T) {
+	e := newEngine()
+	if err := e.RestoreCheckpoint(bytes.NewReader([]byte("garbage data here"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Schema mismatch: checkpoint of table the target lacks.
+	src := newEngine()
+	src.CreateTable("present")
+	tx := src.Begin(nil)
+	tx.Insert(src.MustTable("present"), []byte("k"), []byte("v"))
+	tx.Commit()
+	var ckpt bytes.Buffer
+	if err := src.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	empty := newEngine()
+	if err := empty.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	// Corrupted row data: flip a byte in the row region.
+	data := append([]byte(nil), ckpt.Bytes()...)
+	data[len(data)-1] ^= 0xff
+	tgt := newEngine()
+	tgt.CreateTable("present")
+	if err := tgt.RestoreCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("corruption accepted")
+	}
+}
+
+func TestCheckpointEmptyEngine(t *testing.T) {
+	e := newEngine()
+	e.CreateTable("empty")
+	var ckpt bytes.Buffer
+	if err := e.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine()
+	e2.CreateTable("empty")
+	if err := e2.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package engine is PreemptDB's storage engine: an ERMIA-style (paper §2.2)
+// memory-optimized key-value engine with named tables, B+tree primary and
+// secondary indexes, multi-versioned records, redo logging, and recovery.
+//
+// The engine is schema-less: rows are []byte payloads keyed by []byte primary
+// keys, with per-workload codecs layered above (internal/tpcc, internal/tpch).
+// Every operation takes the transaction whose context makes the work
+// preemptible: index traversals and version-chain walks poll the context at
+// each step, and commit/abort critical sections run inside non-preemptible
+// regions (paper §4.4).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"preemptdb/internal/index"
+	"preemptdb/internal/mvcc"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/wal"
+)
+
+// Engine-level errors.
+var (
+	// ErrNotFound reports that no visible row exists for the key.
+	ErrNotFound = errors.New("engine: not found")
+	// ErrDuplicateKey reports an insert over a visible live row.
+	ErrDuplicateKey = errors.New("engine: duplicate key")
+	// ErrNoTable reports an unknown table name.
+	ErrNoTable = errors.New("engine: no such table")
+	// ErrNoIndex reports an unknown secondary index name.
+	ErrNoIndex = errors.New("engine: no such index")
+)
+
+// Config controls engine construction.
+type Config struct {
+	// Isolation is the isolation level for all transactions. Default:
+	// snapshot isolation, the paper's baseline.
+	Isolation mvcc.IsolationLevel
+	// LogSink receives the redo log; nil discards it (pure in-memory mode,
+	// the paper's evaluation configuration).
+	LogSink io.Writer
+	// SyncEachCommit forces a flush+sync per commit when the sink supports it.
+	SyncEachCommit bool
+}
+
+// Engine is the storage engine. Create with New; it is safe for concurrent
+// use by many transaction contexts.
+type Engine struct {
+	cfg    Config
+	oracle *mvcc.Oracle
+	log    *wal.Manager
+
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	tableIDs map[uint32]*Table
+	nextID   uint32
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	sink := cfg.LogSink
+	if sink == nil {
+		sink = io.Discard
+	}
+	return &Engine{
+		cfg:      cfg,
+		oracle:   mvcc.NewOracle(),
+		log:      wal.NewManager(sink, cfg.SyncEachCommit),
+		tables:   make(map[string]*Table),
+		tableIDs: make(map[uint32]*Table),
+	}
+}
+
+// Oracle exposes the timestamp oracle (for GC and observability).
+func (e *Engine) Oracle() *mvcc.Oracle { return e.oracle }
+
+// Log exposes the WAL manager.
+func (e *Engine) Log() *wal.Manager { return e.log }
+
+// Commits returns the number of committed transactions.
+func (e *Engine) Commits() uint64 { return e.commits.Load() }
+
+// Aborts returns the number of aborted transactions.
+func (e *Engine) Aborts() uint64 { return e.aborts.Load() }
+
+// KeyExtractor derives a secondary-index key from a row. Secondary indexes
+// are non-unique: the engine appends the primary key to the extracted key as
+// a uniquifier, so several rows may share an extracted key and scans stay in
+// (extracted key, primary key) order. Secondary keys must be immutable for
+// the lifetime of the row: updates that change the derived key add a new
+// index entry but do not remove the old one (readers re-check row visibility
+// through the primary record, so a stale entry can surface a stale key but
+// never stale data — callers with mutable indexed columns must re-verify the
+// predicate against the returned row).
+type KeyExtractor func(primaryKey, row []byte) []byte
+
+// secondaryKey builds the stored index key: extracted key + primary key.
+func secondaryKey(extracted, pk []byte) []byte {
+	k := make([]byte, 0, len(extracted)+len(pk))
+	k = append(k, extracted...)
+	return append(k, pk...)
+}
+
+// Table is one named table: a primary B+tree from key to record, plus
+// optional secondary indexes.
+type Table struct {
+	id      uint32
+	name    string
+	primary *index.Tree[*mvcc.Record]
+
+	mu          sync.RWMutex
+	secondaries map[string]*secondaryIndex
+}
+
+type secondaryIndex struct {
+	name    string
+	extract KeyExtractor
+	tree    *index.Tree[*mvcc.Record]
+}
+
+// ID returns the table's numeric id (stable, used in the log).
+func (t *Table) ID() uint32 { return t.id }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of primary-index entries (including records whose
+// visible version may be a tombstone).
+func (t *Table) Len() int { return t.primary.Len() }
+
+// CreateTable creates (or returns the existing) table with the given name.
+func (e *Engine) CreateTable(name string) *Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tables[name]; ok {
+		return t
+	}
+	e.nextID++
+	t := &Table{
+		id:          e.nextID,
+		name:        name,
+		primary:     index.New[*mvcc.Record](),
+		secondaries: make(map[string]*secondaryIndex),
+	}
+	e.tables[name] = t
+	e.tableIDs[t.id] = t
+	return t
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// MustTable returns the named table, panicking if absent; for workload code
+// whose schema is created at startup.
+func (e *Engine) MustTable(name string) *Table {
+	t, err := e.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CreateIndex adds a secondary index to the table. Existing rows are NOT
+// back-filled; create indexes before loading. The extractor may return nil
+// to exclude a row from the index.
+func (t *Table) CreateIndex(name string, extract KeyExtractor) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.secondaries[name]; ok {
+		panic(fmt.Sprintf("engine: index %q already exists on %q", name, t.name))
+	}
+	t.secondaries[name] = &secondaryIndex{name: name, extract: extract, tree: index.New[*mvcc.Record]()}
+}
+
+func (t *Table) secondary(name string) (*secondaryIndex, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	si, ok := t.secondaries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on table %q", ErrNoIndex, name, t.name)
+	}
+	return si, nil
+}
+
+// forEachSecondary iterates the table's secondary indexes.
+func (t *Table) forEachSecondary(fn func(*secondaryIndex)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, si := range t.secondaries {
+		fn(si)
+	}
+}
+
+// AttachContext prepares a transaction context for running transactions on
+// this engine: a private WAL buffer and a snapshot-tracking slot are placed
+// in its CLS. Idempotent; called implicitly by Begin when needed.
+func (e *Engine) AttachContext(ctx *pcontext.Context) {
+	if ctx == nil {
+		return
+	}
+	cls := ctx.CLS()
+	if cls.Get(pcontext.SlotLog) == nil {
+		cls.Set(pcontext.SlotLog, wal.NewBuffer())
+	}
+	if cls.Get(pcontext.SlotSnapshot) == nil {
+		cls.Set(pcontext.SlotSnapshot, e.oracle.RegisterSlot())
+	}
+}
+
+// Vacuum trims version chains across all tables down to what the oldest
+// active snapshot can still reach, returning the number of versions
+// reclaimed. Run it periodically from a maintenance goroutine or between
+// benchmark phases.
+func (e *Engine) Vacuum(ctx *pcontext.Context) int {
+	m := e.oracle.MinActiveBegin()
+	total := 0
+	e.mu.RLock()
+	tabs := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tabs = append(tabs, t)
+	}
+	e.mu.RUnlock()
+	for _, t := range tabs {
+		t.primary.Scan(ctx, nil, nil, func(_ []byte, rec *mvcc.Record) bool {
+			total += mvcc.Trim(rec, m)
+			return true
+		})
+	}
+	return total
+}
+
+// Recover replays a redo log stream into the engine, rebuilding table
+// contents and advancing the timestamp oracle past the highest recovered
+// commit. Tables and indexes must be created (empty) before calling.
+func (e *Engine) Recover(r io.Reader) error {
+	ctx := pcontext.Detached()
+	return wal.Replay(r, func(tx wal.CommittedTxn) error {
+		for _, rec := range tx.Records {
+			e.mu.RLock()
+			table, ok := e.tableIDs[rec.Table]
+			e.mu.RUnlock()
+			if !ok {
+				return fmt.Errorf("engine: recovery references unknown table id %d", rec.Table)
+			}
+			mrec, _ := table.primary.GetOrInsert(ctx, rec.Key, mvcc.NewRecord())
+			switch rec.Type {
+			case wal.RecDelete:
+				mvcc.InstallCommitted(mrec, nil, tx.CTS)
+			default:
+				mvcc.InstallCommitted(mrec, rec.Value, tx.CTS)
+				if rec.Type == wal.RecInsert {
+					table.forEachSecondary(func(si *secondaryIndex) {
+						if sk := si.extract(rec.Key, rec.Value); sk != nil {
+							si.tree.Insert(ctx, secondaryKey(sk, rec.Key), mrec)
+						}
+					})
+				}
+			}
+		}
+		e.oracle.AdvanceTo(tx.CTS)
+		return nil
+	})
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"preemptdb/internal/index"
+	"preemptdb/internal/mvcc"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/wal"
+)
+
+// Txn is an engine-level transaction: the MVCC transaction plus redo logging
+// and index maintenance. Confined to one transaction context.
+type Txn struct {
+	inner  *mvcc.Txn
+	eng    *Engine
+	ctx    *pcontext.Context
+	logBuf *wal.Buffer
+	done   bool
+}
+
+// Begin starts a transaction on ctx at the engine's configured isolation
+// level. ctx may be nil (tests, loaders), in which case logging still works
+// through a throwaway buffer but preemption polling is disabled.
+func (e *Engine) Begin(ctx *pcontext.Context) *Txn {
+	return e.BeginIso(ctx, e.cfg.Isolation)
+}
+
+// BeginIso starts a transaction with an explicit isolation level.
+func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
+	var buf *wal.Buffer
+	var slot *mvcc.ActiveSlot
+	if ctx != nil {
+		e.AttachContext(ctx)
+		cls := ctx.CLS()
+		buf = cls.Get(pcontext.SlotLog).(*wal.Buffer)
+		slot = cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot)
+	} else {
+		buf = wal.NewBuffer()
+	}
+	buf.Reset()
+	return &Txn{
+		inner:  e.oracle.Begin(ctx, iso, slot),
+		eng:    e,
+		ctx:    ctx,
+		logBuf: buf,
+	}
+}
+
+// Context returns the transaction's context.
+func (t *Txn) Context() *pcontext.Context { return t.ctx }
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.inner.ID() }
+
+// Snapshot returns the begin timestamp.
+func (t *Txn) Snapshot() uint64 { return t.inner.Begin() }
+
+// Get returns the row visible to this transaction under key.
+func (t *Txn) Get(table *Table, key []byte) ([]byte, error) {
+	rec, ok := table.primary.Get(t.ctx, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	data, ok := t.inner.Read(rec)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// Insert creates a new row. It fails with ErrDuplicateKey when a row visible
+// to this transaction already exists, and with ErrWriteConflict when an
+// in-flight or snapshot-invisible newer row contends.
+func (t *Txn) Insert(table *Table, key, value []byte) error {
+	rec, _ := table.primary.GetOrInsert(t.ctx, key, mvcc.NewRecord())
+	if _, ok := t.inner.Read(rec); ok {
+		return fmt.Errorf("%w: table %q", ErrDuplicateKey, table.name)
+	}
+	if err := t.inner.Update(rec, value); err != nil {
+		return err
+	}
+	t.logBuf.Append(wal.RecInsert, table.id, key, value)
+	table.forEachSecondary(func(si *secondaryIndex) {
+		if sk := si.extract(key, value); sk != nil {
+			si.tree.Insert(t.ctx, secondaryKey(sk, key), rec)
+		}
+	})
+	return nil
+}
+
+// Update overwrites an existing visible row.
+func (t *Txn) Update(table *Table, key, value []byte) error {
+	rec, ok := table.primary.Get(t.ctx, key)
+	if !ok {
+		return ErrNotFound
+	}
+	if _, ok := t.inner.Read(rec); !ok {
+		return ErrNotFound
+	}
+	if err := t.inner.Update(rec, value); err != nil {
+		return err
+	}
+	t.logBuf.Append(wal.RecUpdate, table.id, key, value)
+	return nil
+}
+
+// Put inserts or overwrites the row (upsert).
+func (t *Txn) Put(table *Table, key, value []byte) error {
+	rec, _ := table.primary.GetOrInsert(t.ctx, key, mvcc.NewRecord())
+	_, existed := t.inner.Read(rec)
+	if err := t.inner.Update(rec, value); err != nil {
+		return err
+	}
+	if existed {
+		t.logBuf.Append(wal.RecUpdate, table.id, key, value)
+	} else {
+		t.logBuf.Append(wal.RecInsert, table.id, key, value)
+		table.forEachSecondary(func(si *secondaryIndex) {
+			if sk := si.extract(key, value); sk != nil {
+				si.tree.Insert(t.ctx, secondaryKey(sk, key), rec)
+			}
+		})
+	}
+	return nil
+}
+
+// Delete tombstones a visible row.
+func (t *Txn) Delete(table *Table, key []byte) error {
+	rec, ok := table.primary.Get(t.ctx, key)
+	if !ok {
+		return ErrNotFound
+	}
+	if _, ok := t.inner.Read(rec); !ok {
+		return ErrNotFound
+	}
+	if err := t.inner.Delete(rec); err != nil {
+		return err
+	}
+	t.logBuf.Append(wal.RecDelete, table.id, key, nil)
+	return nil
+}
+
+// ScanFunc receives rows in key order; return false to stop. key and value
+// must not be retained or modified across calls.
+type ScanFunc func(key, value []byte) bool
+
+// Scan visits rows visible to this transaction with from <= key < to in
+// ascending primary-key order (nil bounds are open). Tombstones and
+// snapshot-invisible rows are skipped. The scan polls the context at every
+// record, so long scans — the paper's Q2 — are preemptible throughout.
+func (t *Txn) Scan(table *Table, from, to []byte, fn ScanFunc) error {
+	t.scanTree(table.primary, from, to, fn)
+	return nil
+}
+
+// ScanDesc is Scan in descending key order.
+func (t *Txn) ScanDesc(table *Table, from, to []byte, fn ScanFunc) error {
+	t.scanTreeDesc(table.primary, from, to, fn)
+	return nil
+}
+
+// ScanIndex is Scan over a secondary index; fn receives the *index* key and
+// the visible row payload.
+func (t *Txn) ScanIndex(table *Table, indexName string, from, to []byte, fn ScanFunc) error {
+	si, err := table.secondary(indexName)
+	if err != nil {
+		return err
+	}
+	t.scanTree(si.tree, from, to, fn)
+	return nil
+}
+
+// ScanIndexDesc is ScanIndex in descending index-key order, the natural
+// access path for "newest first" lookups over a (prefix, sequence) index.
+func (t *Txn) ScanIndexDesc(table *Table, indexName string, from, to []byte, fn ScanFunc) error {
+	si, err := table.secondary(indexName)
+	if err != nil {
+		return err
+	}
+	t.scanTreeDesc(si.tree, from, to, fn)
+	return nil
+}
+
+func (t *Txn) scanTree(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanFunc) {
+	tree.Scan(t.ctx, from, to, func(key []byte, rec *mvcc.Record) bool {
+		data, ok := t.inner.Read(rec)
+		if !ok {
+			return true // invisible or tombstone
+		}
+		return fn(key, data)
+	})
+}
+
+func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanFunc) {
+	tree.ScanDesc(t.ctx, from, to, func(key []byte, rec *mvcc.Record) bool {
+		data, ok := t.inner.Read(rec)
+		if !ok {
+			return true
+		}
+		return fn(key, data)
+	})
+}
+
+// Commit finishes the transaction: serializable validation (if configured),
+// redo-log flush, and atomic publication, all inside a non-preemptible
+// region because the log latch and the commit critical section must not be
+// held across a preemption (paper §4.4).
+func (t *Txn) Commit() error {
+	if t.done {
+		return mvcc.ErrTxnDone
+	}
+	t.done = true
+	var err error
+	pcontext.NonPreemptible(t.ctx, func() {
+		_, err = t.inner.Commit(func(cts uint64) error {
+			if t.logBuf.Len() == 0 {
+				return nil // read-only: nothing to log
+			}
+			_, lerr := t.eng.log.Commit(t.inner.ID(), cts, t.logBuf)
+			return lerr
+		})
+	})
+	t.logBuf.Reset()
+	if err != nil {
+		t.eng.aborts.Add(1)
+		return err
+	}
+	t.eng.commits.Add(1)
+	return nil
+}
+
+// Abort rolls the transaction back. Abort after Commit (or a second Abort)
+// is a harmless no-op so callers can `defer tx.Abort()`.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	pcontext.NonPreemptible(t.ctx, func() {
+		t.inner.Abort()
+	})
+	t.logBuf.Reset()
+	t.eng.aborts.Add(1)
+}
+
+// IsConflict reports whether err is a concurrency conflict the caller should
+// retry (write-write conflict or serializable validation failure).
+func IsConflict(err error) bool {
+	return errors.Is(err, mvcc.ErrWriteConflict) || errors.Is(err, mvcc.ErrReadValidation)
+}

@@ -1,0 +1,849 @@
+// Package index implements the concurrent ordered index PreemptDB tables are
+// built on: a B+tree synchronized with optimistic lock coupling (OLC).
+//
+// Readers traverse without taking latches, validating per-node version
+// counters and restarting on conflict, so lookups and scans never block —
+// the property (together with MVCC) that makes pausing a preempted
+// transaction safe in PreemptDB. Writers latch at most two nodes at a time.
+//
+// Because database latches have no deadlock detection (paper §4.4), every
+// structure-modifying operation that holds more than one latch runs inside a
+// non-preemptible region: if a context were preempted while holding a node
+// latch, the high-priority transaction running on the *same core* could block
+// on that latch forever — a self-deadlock that cannot be resolved by waiting.
+// Traversals additionally poll the context at every node visit, giving the
+// sub-microsecond preemption granularity the engine relies on.
+package index
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"preemptdb/internal/pcontext"
+)
+
+const (
+	// maxKeys is the node fanout. 64 keeps nodes around a few cache lines of
+	// key headers while bounding restart work.
+	maxKeys = 64
+	minKeys = maxKeys / 2
+)
+
+// version-word layout: bit0 = locked, bit1 = obsolete, bits 2.. = counter.
+const (
+	lockedBit   = 1 << 0
+	obsoleteBit = 1 << 1
+	versionInc  = 1 << 2
+)
+
+type node[V any] struct {
+	version atomic.Uint64
+	numKeys int
+	keys    [maxKeys][]byte
+	// Exactly one of the following is used depending on leaf.
+	children [maxKeys + 1]*node[V] // inner: child i covers keys < keys[i]
+	values   [maxKeys]V           // leaf
+	next     *node[V]             // leaf: right sibling (guarded by version)
+	leaf     bool
+}
+
+// readLock samples the version for optimistic validation; ok is false when
+// the node is locked or obsolete and the caller must restart.
+func (n *node[V]) readLock() (uint64, bool) {
+	v := n.version.Load()
+	if v&(lockedBit|obsoleteBit) != 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// readUnlock validates that the node did not change since readLock.
+func (n *node[V]) readUnlock(v uint64) bool { return n.version.Load() == v }
+
+// upgradeLock atomically converts a read "lock" into a write latch.
+func (n *node[V]) upgradeLock(v uint64) bool {
+	return n.version.CompareAndSwap(v, v|lockedBit)
+}
+
+// writeLock acquires the latch, spinning; fails only on obsolete nodes.
+func (n *node[V]) writeLock() bool {
+	for {
+		v := n.version.Load()
+		if v&obsoleteBit != 0 {
+			return false
+		}
+		if v&lockedBit != 0 {
+			continue // spin: latches are held for nanoseconds
+		}
+		if n.version.CompareAndSwap(v, v|lockedBit) {
+			return true
+		}
+	}
+}
+
+// writeUnlock releases the latch and bumps the version counter.
+func (n *node[V]) writeUnlock() {
+	n.version.Add(versionInc - lockedBit)
+}
+
+// markObsolete flags a node replaced by an SMO and releases its latch.
+func (n *node[V]) markObsolete() {
+	n.version.Add(versionInc + obsoleteBit - lockedBit)
+}
+
+// search returns the index of the first key >= k, and whether it equals k.
+func (n *node[V]) search(k []byte) (int, bool) {
+	lo, hi := 0, n.numKeys
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.keys[mid], k) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns which child pointer to follow for key k in an inner
+// node: child i holds keys k with keys[i-1] <= k < keys[i].
+func (n *node[V]) childIndex(k []byte) int {
+	idx, eq := n.search(k)
+	if eq {
+		return idx + 1
+	}
+	return idx
+}
+
+// Tree is a concurrent B+tree from []byte keys to values of type V.
+// The zero value is not usable; call New.
+type Tree[V any] struct {
+	root     atomic.Pointer[node[V]]
+	size     atomic.Int64
+	restarts atomic.Uint64
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	t := &Tree[V]{}
+	t.root.Store(&node[V]{leaf: true})
+	return t
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[V]) Len() int { return int(t.size.Load()) }
+
+// Restarts returns the cumulative number of optimistic restarts, an
+// observability hook for contention experiments.
+func (t *Tree[V]) Restarts() uint64 { return t.restarts.Load() }
+
+// Get returns the value stored under key. ctx may be nil; when set, the
+// traversal polls it at every node, making lookups preemptible.
+func (t *Tree[V]) Get(ctx *pcontext.Context, key []byte) (V, bool) {
+	var zero V
+	for {
+		v, ok := t.get(ctx, key)
+		if ok {
+			return v, true
+		}
+		if !t.retryNeeded() {
+			return zero, false
+		}
+	}
+}
+
+// lockRoot samples the current root for optimistic descent. It re-checks the
+// root pointer after sampling the version: a concurrent root growth replaces
+// the pointer before bumping the old root's version, so a version sampled
+// while the pointer is still current is guaranteed to be invalidated by any
+// later split of that node.
+func (t *Tree[V]) lockRoot() (*node[V], uint64, bool) {
+	n := t.root.Load()
+	ver, ok := n.readLock()
+	if !ok || t.root.Load() != n {
+		return nil, 0, false
+	}
+	return n, ver, true
+}
+
+// get performs one optimistic attempt; on validation failure it records a
+// restart and returns ok=false with retryNeeded()==true.
+func (t *Tree[V]) get(ctx *pcontext.Context, key []byte) (V, bool) {
+	var zero V
+restart:
+	t.clearRetry()
+	n, ver, ok := t.lockRoot()
+	if !ok {
+		t.noteRestart()
+		goto restart
+	}
+	for !n.leaf {
+		ctx.Poll()
+		child := n.children[n.childIndex(key)]
+		if !n.readUnlock(ver) {
+			t.noteRestart()
+			goto restart
+		}
+		n = child
+		if ver, ok = n.readLock(); !ok {
+			t.noteRestart()
+			goto restart
+		}
+	}
+	ctx.Poll()
+	idx, eq := n.search(key)
+	var val V
+	if eq {
+		val = n.values[idx]
+	}
+	if !n.readUnlock(ver) {
+		t.noteRestart()
+		goto restart
+	}
+	if !eq {
+		return zero, false
+	}
+	return val, true
+}
+
+// retry bookkeeping: get/insert signal restart via a goroutine-local-ish
+// pattern; since Go lacks cheap TLS we simply loop inside the exported
+// methods and use sentinel returns. The two methods below keep the restart
+// counter honest without extra state.
+func (t *Tree[V]) retryNeeded() bool { return false }
+func (t *Tree[V]) clearRetry()       {}
+func (t *Tree[V]) noteRestart()      { t.restarts.Add(1) }
+
+// Insert stores value under key, replacing any existing value. It reports
+// whether the key was newly inserted (false = replaced). The key is copied.
+func (t *Tree[V]) Insert(ctx *pcontext.Context, key []byte, value V) bool {
+	for {
+		inserted, ok := t.insertOnce(ctx, key, value)
+		if ok {
+			if inserted {
+				t.size.Add(1)
+			}
+			return inserted
+		}
+		t.noteRestart()
+	}
+}
+
+// insertOnce attempts one optimistic descent with leaf latching; ok=false
+// requests a restart.
+func (t *Tree[V]) insertOnce(ctx *pcontext.Context, key []byte, value V) (inserted, ok bool) {
+	n, ver, rok := t.lockRoot()
+	if !rok {
+		return false, false
+	}
+	var parent *node[V]
+	var parentVer uint64
+	for !n.leaf {
+		ctx.Poll()
+		if parent != nil && !parent.readUnlock(parentVer) {
+			return false, false
+		}
+		parent, parentVer = n, ver
+		n = n.children[n.childIndex(key)]
+		if ver, rok = n.readLock(); !rok {
+			return false, false
+		}
+		if !parent.readUnlock(parentVer) {
+			return false, false
+		}
+	}
+	ctx.Poll()
+	// Fast path: leaf has room (or key exists). Upgrade leaf latch only.
+	idx, eq := n.search(key)
+	if eq || n.numKeys < maxKeys {
+		// Latching is a critical section: once we hold it, a preemption of
+		// this context could deadlock a same-core transaction that needs
+		// this leaf, so the update runs non-preemptibly (paper §4.4).
+		var done, ins bool
+		pcontext.NonPreemptible(ctx, func() {
+			if !n.upgradeLock(ver) {
+				return
+			}
+			// Re-search under the latch: the optimistic read above is only a
+			// hint and the node may have changed between load and upgrade.
+			idx, eq = n.search(key)
+			if eq {
+				n.values[idx] = value
+			} else if n.numKeys < maxKeys {
+				copy(n.keys[idx+1:n.numKeys+1], n.keys[idx:n.numKeys])
+				copy(n.values[idx+1:n.numKeys+1], n.values[idx:n.numKeys])
+				n.keys[idx] = append([]byte(nil), key...)
+				n.values[idx] = value
+				n.numKeys++
+				ins = true
+			} else {
+				// Filled up between read and latch: fall back to split path.
+				n.writeUnlock()
+				return
+			}
+			n.writeUnlock()
+			done = true
+		})
+		if done {
+			return ins, true
+		}
+		return false, false
+	}
+	// Leaf is full: pessimistic descent with latch crabbing and preemptive
+	// splits so we never hold more than two latches.
+	return t.insertPessimistic(ctx, key, value)
+}
+
+// insertPessimistic descends from the root taking write latches, splitting
+// every full node on the way down (preemptive splits guarantee the parent
+// always has room for the separator). The whole descent is one
+// non-preemptible region because latches are held across it.
+func (t *Tree[V]) insertPessimistic(ctx *pcontext.Context, key []byte, value V) (inserted, ok bool) {
+	pcontext.NonPreemptible(ctx, func() {
+		root := t.root.Load()
+		if !root.writeLock() {
+			return
+		}
+		if t.root.Load() != root {
+			// Lost a race with a concurrent root growth; retry from the top.
+			root.writeUnlock()
+			return
+		}
+		// Grow the tree if the root itself is full. The new root is latched
+		// *before* it is published so no other writer can slip between the
+		// publication and the split.
+		if root.numKeys == maxKeys {
+			newRoot := &node[V]{}
+			newRoot.children[0] = root
+			newRoot.version.Store(lockedBit)
+			if !t.root.CompareAndSwap(root, newRoot) {
+				root.writeUnlock()
+				return
+			}
+			t.splitChild(newRoot, 0)
+			root.writeUnlock()
+			root = newRoot
+		}
+		n := root
+		for !n.leaf {
+			idx := n.childIndex(key)
+			child := n.children[idx]
+			if !child.writeLock() {
+				n.writeUnlock()
+				return
+			}
+			if child.numKeys == maxKeys {
+				t.splitChild(n, idx)
+				// The separator moved up; re-decide which half to enter.
+				idx = n.childIndex(key)
+				other := n.children[idx]
+				if other != child {
+					if !other.writeLock() {
+						child.writeUnlock()
+						n.writeUnlock()
+						return
+					}
+					child.writeUnlock()
+					child = other
+				}
+			}
+			n.writeUnlock()
+			n = child
+		}
+		idx, eq := n.search(key)
+		if eq {
+			n.values[idx] = value
+		} else {
+			copy(n.keys[idx+1:n.numKeys+1], n.keys[idx:n.numKeys])
+			copy(n.values[idx+1:n.numKeys+1], n.values[idx:n.numKeys])
+			n.keys[idx] = append([]byte(nil), key...)
+			n.values[idx] = value
+			n.numKeys++
+			inserted = true
+		}
+		n.writeUnlock()
+		ok = true
+	})
+	return inserted, ok
+}
+
+// splitChild splits parent.children[i] (latched by caller along with parent)
+// into two, hoisting the separator into parent. The child's latch state is
+// preserved; the new right sibling is created unlatched.
+func (t *Tree[V]) splitChild(parent *node[V], i int) {
+	child := parent.children[i]
+	mid := child.numKeys / 2
+	right := &node[V]{leaf: child.leaf}
+
+	var sep []byte
+	if child.leaf {
+		// Leaf split: right keeps keys[mid:], separator is right's first key.
+		copy(right.keys[:], child.keys[mid:child.numKeys])
+		copy(right.values[:], child.values[mid:child.numKeys])
+		right.numKeys = child.numKeys - mid
+		right.next = child.next
+		child.next = right
+		child.numKeys = mid
+		sep = right.keys[0]
+	} else {
+		// Inner split: separator keys[mid] moves up, right keeps keys[mid+1:].
+		sep = child.keys[mid]
+		copy(right.keys[:], child.keys[mid+1:child.numKeys])
+		copy(right.children[:], child.children[mid+1:child.numKeys+1])
+		right.numKeys = child.numKeys - mid - 1
+		child.numKeys = mid
+	}
+	// Clear abandoned slots so stale references do not pin memory.
+	for j := child.numKeys; j < maxKeys; j++ {
+		child.keys[j] = nil
+		if child.leaf {
+			var zero V
+			child.values[j] = zero
+		} else if j+1 <= maxKeys {
+			child.children[j+1] = nil
+		}
+	}
+
+	// Make room in the parent.
+	copy(parent.keys[i+1:parent.numKeys+1], parent.keys[i:parent.numKeys])
+	copy(parent.children[i+2:parent.numKeys+2], parent.children[i+1:parent.numKeys+1])
+	parent.keys[i] = sep
+	parent.children[i+1] = right
+	parent.numKeys++
+	// Bump the child's version so concurrent optimistic readers restart.
+	child.version.Add(versionInc)
+}
+
+// GetOrInsert returns the value stored under key, inserting value and
+// returning it when the key is absent. inserted reports which happened.
+// The operation is atomic with respect to concurrent GetOrInsert/Insert on
+// the same key: exactly one caller inserts.
+func (t *Tree[V]) GetOrInsert(ctx *pcontext.Context, key []byte, value V) (actual V, inserted bool) {
+	for {
+		if v, ok := t.Get(ctx, key); ok {
+			return v, false
+		}
+		ins, ok := t.insertAbsentOnce(ctx, key, value)
+		if ok {
+			if ins {
+				t.size.Add(1)
+				return value, true
+			}
+			// Someone else inserted between our Get and latch; loop to read it.
+			continue
+		}
+		t.noteRestart()
+	}
+}
+
+// insertAbsentOnce is insertOnce with if-absent semantics: an existing key is
+// left untouched and reported as not-inserted.
+func (t *Tree[V]) insertAbsentOnce(ctx *pcontext.Context, key []byte, value V) (inserted, ok bool) {
+	n, ver, rok := t.lockRoot()
+	if !rok {
+		return false, false
+	}
+	for !n.leaf {
+		ctx.Poll()
+		child := n.children[n.childIndex(key)]
+		if !n.readUnlock(ver) {
+			return false, false
+		}
+		n = child
+		if ver, rok = n.readLock(); !rok {
+			return false, false
+		}
+	}
+	ctx.Poll()
+	idx, eq := n.search(key)
+	if eq {
+		// Validate the observation before trusting it.
+		if !n.readUnlock(ver) {
+			return false, false
+		}
+		return false, true
+	}
+	if n.numKeys < maxKeys {
+		var done, ins bool
+		pcontext.NonPreemptible(ctx, func() {
+			if !n.upgradeLock(ver) {
+				return
+			}
+			idx, eq = n.search(key)
+			switch {
+			case eq:
+				// Inserted concurrently; leave it.
+			case n.numKeys < maxKeys:
+				copy(n.keys[idx+1:n.numKeys+1], n.keys[idx:n.numKeys])
+				copy(n.values[idx+1:n.numKeys+1], n.values[idx:n.numKeys])
+				n.keys[idx] = append([]byte(nil), key...)
+				n.values[idx] = value
+				n.numKeys++
+				ins = true
+			default:
+				n.writeUnlock()
+				return
+			}
+			n.writeUnlock()
+			done = true
+		})
+		if done {
+			return ins, true
+		}
+		return false, false
+	}
+	// Full leaf: the pessimistic path re-checks existence under latches.
+	return t.insertAbsentPessimistic(ctx, key, value)
+}
+
+// insertAbsentPessimistic mirrors insertPessimistic with if-absent semantics.
+func (t *Tree[V]) insertAbsentPessimistic(ctx *pcontext.Context, key []byte, value V) (inserted, ok bool) {
+	pcontext.NonPreemptible(ctx, func() {
+		root := t.root.Load()
+		if !root.writeLock() {
+			return
+		}
+		if t.root.Load() != root {
+			root.writeUnlock()
+			return
+		}
+		if root.numKeys == maxKeys {
+			newRoot := &node[V]{}
+			newRoot.children[0] = root
+			newRoot.version.Store(lockedBit)
+			if !t.root.CompareAndSwap(root, newRoot) {
+				root.writeUnlock()
+				return
+			}
+			t.splitChild(newRoot, 0)
+			root.writeUnlock()
+			root = newRoot
+		}
+		n := root
+		for !n.leaf {
+			idx := n.childIndex(key)
+			child := n.children[idx]
+			if !child.writeLock() {
+				n.writeUnlock()
+				return
+			}
+			if child.numKeys == maxKeys {
+				t.splitChild(n, idx)
+				idx = n.childIndex(key)
+				other := n.children[idx]
+				if other != child {
+					if !other.writeLock() {
+						child.writeUnlock()
+						n.writeUnlock()
+						return
+					}
+					child.writeUnlock()
+					child = other
+				}
+			}
+			n.writeUnlock()
+			n = child
+		}
+		idx, eq := n.search(key)
+		if !eq {
+			copy(n.keys[idx+1:n.numKeys+1], n.keys[idx:n.numKeys])
+			copy(n.values[idx+1:n.numKeys+1], n.values[idx:n.numKeys])
+			n.keys[idx] = append([]byte(nil), key...)
+			n.values[idx] = value
+			n.numKeys++
+			inserted = true
+		}
+		n.writeUnlock()
+		ok = true
+	})
+	return inserted, ok
+}
+
+// Delete removes key, reporting whether it was present. Leaves are allowed
+// to underflow (no rebalancing): deletion marks are cheap and the MVCC layer
+// above already retires most data via version GC, so classic merge logic
+// buys little and costs latch complexity.
+func (t *Tree[V]) Delete(ctx *pcontext.Context, key []byte) bool {
+	for {
+		deleted, ok := t.deleteOnce(ctx, key)
+		if ok {
+			if deleted {
+				t.size.Add(-1)
+			}
+			return deleted
+		}
+		t.noteRestart()
+	}
+}
+
+func (t *Tree[V]) deleteOnce(ctx *pcontext.Context, key []byte) (deleted, ok bool) {
+	n, ver, rok := t.lockRoot()
+	if !rok {
+		return false, false
+	}
+	for !n.leaf {
+		ctx.Poll()
+		child := n.children[n.childIndex(key)]
+		if !n.readUnlock(ver) {
+			return false, false
+		}
+		n = child
+		if ver, rok = n.readLock(); !rok {
+			return false, false
+		}
+	}
+	var done bool
+	pcontext.NonPreemptible(ctx, func() {
+		if !n.upgradeLock(ver) {
+			return
+		}
+		idx, eq := n.search(key)
+		if eq {
+			copy(n.keys[idx:n.numKeys-1], n.keys[idx+1:n.numKeys])
+			copy(n.values[idx:n.numKeys-1], n.values[idx+1:n.numKeys])
+			n.numKeys--
+			n.keys[n.numKeys] = nil
+			var zero V
+			n.values[n.numKeys] = zero
+			deleted = true
+		}
+		n.writeUnlock()
+		done = true
+	})
+	return deleted, done
+}
+
+// ScanFunc receives each key/value in order; returning false stops the scan.
+// The callback runs with no latches held and may itself poll, yield or be
+// preempted — keys passed to it are owned by the tree and must not be
+// modified or retained across calls.
+type ScanFunc[V any] func(key []byte, value V) bool
+
+// Scan visits all entries with from <= key < to in ascending order (nil `to`
+// means unbounded). The snapshot is per-leaf: each leaf's entries are copied
+// out under version validation, then emitted latch-free, so a scan observes
+// every key that existed for the whole scan and may or may not observe
+// concurrent insertions — the standard guarantee for latch-free range scans
+// under snapshot-isolated MVCC (version visibility is resolved above us).
+func (t *Tree[V]) Scan(ctx *pcontext.Context, from, to []byte, fn ScanFunc[V]) {
+	var bufK [maxKeys][]byte
+	var bufV [maxKeys]V
+	start := from
+	for {
+		leaf, ok := t.findLeaf(ctx, start)
+		if !ok {
+			t.noteRestart()
+			continue
+		}
+		n := leaf
+		restart := false
+		for n != nil {
+			ctx.Poll()
+			ver, rok := n.readLock()
+			if !rok {
+				restart = true
+				break
+			}
+			cnt, lo := 0, 0
+			if start != nil {
+				lo, _ = n.search(start)
+			}
+			hitTo := false
+			for i := lo; i < n.numKeys; i++ {
+				if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+					hitTo = true
+					break
+				}
+				bufK[cnt] = n.keys[i]
+				bufV[cnt] = n.values[i]
+				cnt++
+			}
+			next := n.next
+			if !n.readUnlock(ver) {
+				restart = true
+				break
+			}
+			// Emit latch-free: the callback may poll, yield or be preempted.
+			for i := 0; i < cnt; i++ {
+				if !fn(bufK[i], bufV[i]) {
+					return
+				}
+			}
+			if cnt > 0 {
+				// Exclusive resume point should a later leaf force a restart.
+				start = nextKeyAfter(bufK[cnt-1])
+			}
+			if hitTo || next == nil {
+				return
+			}
+			n = next
+		}
+		if !restart {
+			return
+		}
+		t.noteRestart()
+	}
+}
+
+// nextKeyAfter returns the immediate successor of k in bytewise order
+// (k with a zero byte appended), used as an exclusive resume point.
+func nextKeyAfter(k []byte) []byte {
+	s := make([]byte, len(k)+1)
+	copy(s, k)
+	return s
+}
+
+// findLeaf descends optimistically to the leaf that would contain key
+// (nil key = leftmost leaf).
+func (t *Tree[V]) findLeaf(ctx *pcontext.Context, key []byte) (*node[V], bool) {
+	n, ver, ok := t.lockRoot()
+	if !ok {
+		return nil, false
+	}
+	for !n.leaf {
+		ctx.Poll()
+		var child *node[V]
+		if key == nil {
+			child = n.children[0]
+		} else {
+			child = n.children[n.childIndex(key)]
+		}
+		if !n.readUnlock(ver) {
+			return nil, false
+		}
+		n = child
+		if ver, ok = n.readLock(); !ok {
+			return nil, false
+		}
+	}
+	if !n.readUnlock(ver) {
+		return nil, false
+	}
+	return n, true
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[V]) Min(ctx *pcontext.Context) (key []byte, value V, ok bool) {
+	t.Scan(ctx, nil, nil, func(k []byte, v V) bool {
+		key, value, ok = append([]byte(nil), k...), v, true
+		return false
+	})
+	return
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[V]) Max(ctx *pcontext.Context) (key []byte, value V, ok bool) {
+	t.ScanDesc(ctx, nil, nil, func(k []byte, v V) bool {
+		key, value, ok = append([]byte(nil), k...), v, true
+		return false
+	})
+	return
+}
+
+// ScanDesc visits all entries with from <= key < to in DESCENDING key order
+// (nil bounds are open). Leaves are singly linked, so each leaf transition
+// costs one root-to-leaf descent; point "newest first" lookups (e.g. the
+// latest order for a customer) touch one or two leaves. Snapshot semantics
+// match Scan: per-leaf copies under version validation, emitted latch-free.
+func (t *Tree[V]) ScanDesc(ctx *pcontext.Context, from, to []byte, fn ScanFunc[V]) {
+	var bufK [maxKeys][]byte
+	var bufV [maxKeys]V
+	upper := to // exclusive moving bound; nil = +∞
+	for {
+		ctx.Poll()
+		leaf, fence, leftmost, ok := t.findLeafLess(ctx, upper)
+		if !ok {
+			t.noteRestart()
+			continue
+		}
+		ver, rok := leaf.readLock()
+		if !rok {
+			t.noteRestart()
+			continue
+		}
+		// Collect entries in [from, upper) from this leaf.
+		hi := leaf.numKeys
+		if upper != nil {
+			hi, _ = leaf.search(upper)
+		}
+		cnt, hitFrom := 0, false
+		for i := hi - 1; i >= 0; i-- {
+			if from != nil && bytes.Compare(leaf.keys[i], from) < 0 {
+				hitFrom = true
+				break
+			}
+			bufK[cnt] = leaf.keys[i]
+			bufV[cnt] = leaf.values[i]
+			cnt++
+		}
+		if !leaf.readUnlock(ver) {
+			t.noteRestart()
+			continue
+		}
+		for i := 0; i < cnt; i++ {
+			if !fn(bufK[i], bufV[i]) {
+				return
+			}
+		}
+		if hitFrom {
+			return
+		}
+		switch {
+		case cnt > 0:
+			// Continue strictly below the smallest key just emitted.
+			upper = append([]byte(nil), bufK[cnt-1]...)
+		case fence != nil:
+			// Leaf had nothing below the bound; continue left of the
+			// separator that guarded it.
+			upper = fence
+		default:
+			leftmost = true
+		}
+		if leftmost {
+			// The leftmost leaf's candidates are exhausted; nothing remains.
+			return
+		}
+	}
+}
+
+// findLeafLess descends to the leaf that may contain keys strictly below
+// upper (nil = +∞): at each inner node it takes the child left of the first
+// separator ≥ upper. fence is the rightmost separator passed on the way
+// down (an exclusive upper bound for everything left of this leaf) and
+// leftmost reports that the descent took child 0 at every level.
+func (t *Tree[V]) findLeafLess(ctx *pcontext.Context, upper []byte) (leaf *node[V], fence []byte, leftmost bool, ok bool) {
+	n, ver, rok := t.lockRoot()
+	if !rok {
+		return nil, nil, false, false
+	}
+	leftmost = true
+	for !n.leaf {
+		ctx.Poll()
+		var idx int
+		if upper == nil {
+			idx = n.numKeys // rightmost child
+		} else {
+			// First separator >= upper bounds the keys < upper to child idx.
+			idx, _ = n.search(upper)
+		}
+		if idx > 0 {
+			leftmost = false
+			fence = n.keys[idx-1]
+		}
+		child := n.children[idx]
+		if !n.readUnlock(ver) {
+			return nil, nil, false, false
+		}
+		n = child
+		if ver, rok = n.readLock(); !rok {
+			return nil, nil, false, false
+		}
+	}
+	if !n.readUnlock(ver) {
+		return nil, nil, false, false
+	}
+	return n, fence, leftmost, true
+}

@@ -1,0 +1,85 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrInsertBasic(t *testing.T) {
+	tr := New[*int]()
+	a, b := new(int), new(int)
+	got, inserted := tr.GetOrInsert(nil, key(1), a)
+	if !inserted || got != a {
+		t.Fatal("first GetOrInsert must insert")
+	}
+	got, inserted = tr.GetOrInsert(nil, key(1), b)
+	if inserted || got != a {
+		t.Fatal("second GetOrInsert must return the existing value")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestGetOrInsertExactlyOneWinnerPerKey(t *testing.T) {
+	// The engine's row-creation path depends on this: under concurrent
+	// inserts of the same key, exactly one caller's record must win and
+	// every caller must observe that same record.
+	tr := New[*int]()
+	const goroutines, keys = 8, 2000
+	winners := make([]atomic.Pointer[int], keys)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				candidate := new(int)
+				*candidate = k
+				got, _ := tr.GetOrInsert(nil, key(k), candidate)
+				if *got != k {
+					t.Errorf("key %d resolved to value %d", k, *got)
+					return
+				}
+				prev := winners[k].Swap(got)
+				if prev != nil && prev != got {
+					t.Errorf("key %d has two distinct winners", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != keys {
+		t.Fatalf("len = %d, want %d", tr.Len(), keys)
+	}
+	// The stored value must match the recorded winner.
+	for k := 0; k < keys; k++ {
+		v, ok := tr.Get(nil, key(k))
+		if !ok || v != winners[k].Load() {
+			t.Fatalf("key %d: stored %p winner %p", k, v, winners[k].Load())
+		}
+	}
+}
+
+func TestGetOrInsertIntoFullLeaves(t *testing.T) {
+	// Force the pessimistic (split) path of the if-absent insert.
+	tr := New[int]()
+	for i := 0; i < 10000; i += 2 {
+		tr.Insert(nil, key(i), i)
+	}
+	for i := 1; i < 10000; i += 2 {
+		if _, inserted := tr.GetOrInsert(nil, key(i), i); !inserted {
+			t.Fatalf("key %d claimed existing", i)
+		}
+	}
+	for i := 0; i < 10000; i += 2 {
+		if _, inserted := tr.GetOrInsert(nil, key(i), -1); inserted {
+			t.Fatalf("key %d re-inserted", i)
+		}
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,212 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanDescEmpty(t *testing.T) {
+	tr := New[int]()
+	n := 0
+	tr.ScanDesc(nil, nil, nil, func(k []byte, v int) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("empty tree emitted entries")
+	}
+	if _, _, ok := tr.Max(nil); ok {
+		t.Fatal("max on empty tree")
+	}
+}
+
+func TestScanDescFullOrder(t *testing.T) {
+	tr := New[int]()
+	const n = 5000
+	for _, i := range rand.New(rand.NewSource(3)).Perm(n) {
+		tr.Insert(nil, key(i), i)
+	}
+	var got []int
+	tr.ScanDesc(nil, nil, nil, func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("emitted %d of %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != n-1-i {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], n-1-i)
+		}
+	}
+}
+
+func TestScanDescBounds(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(nil, key(i), i)
+	}
+	var got []int
+	tr.ScanDesc(nil, key(100), key(200), func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 100 || got[0] != 199 || got[99] != 100 {
+		t.Fatalf("len=%d first=%d last=%d", len(got), got[0], got[len(got)-1])
+	}
+	// Early stop: newest-first point lookup.
+	var newest int
+	tr.ScanDesc(nil, nil, key(500), func(k []byte, v int) bool {
+		newest = v
+		return false
+	})
+	if newest != 499 {
+		t.Fatalf("newest below 500 = %d", newest)
+	}
+}
+
+func TestScanDescSparse(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i += 7 {
+		tr.Insert(nil, key(i), i)
+	}
+	var got []int
+	tr.ScanDesc(nil, key(10), key(50), func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []int{49, 42, 35, 28, 21, 14}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestScanDescWithDeletedRanges(t *testing.T) {
+	// Deletions leave underflowing (possibly empty) leaves; the descending
+	// scan's fence logic must step across them.
+	tr := New[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(nil, key(i), i)
+	}
+	// Carve out large holes.
+	for i := 1000; i < 9000; i++ {
+		tr.Delete(nil, key(i))
+	}
+	var got []int
+	tr.ScanDesc(nil, nil, nil, func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2000 {
+		t.Fatalf("emitted %d, want 2000", len(got))
+	}
+	if got[0] != n-1 || got[len(got)-1] != 0 {
+		t.Fatalf("ends: %d .. %d", got[0], got[len(got)-1])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] > got[j] }) {
+		t.Fatal("not descending")
+	}
+}
+
+func TestMax(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Insert(nil, key(i), i)
+	}
+	k, v, ok := tr.Max(nil)
+	if !ok || v != 99 || !bytes.Equal(k, key(99)) {
+		t.Fatalf("max = (%x,%d,%v)", k, v, ok)
+	}
+}
+
+func TestQuickScanDescMatchesReverseScan(t *testing.T) {
+	err := quick.Check(func(ks []uint16, lo, hi uint16) bool {
+		tr := New[uint16]()
+		for _, k := range ks {
+			tr.Insert(nil, key(int(k)), k)
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var asc, desc []uint16
+		tr.Scan(nil, key(int(lo)), key(int(hi)), func(k []byte, v uint16) bool {
+			asc = append(asc, v)
+			return true
+		})
+		tr.ScanDesc(nil, key(int(lo)), key(int(hi)), func(k []byte, v uint16) bool {
+			desc = append(desc, v)
+			return true
+		})
+		if len(asc) != len(desc) {
+			return false
+		}
+		for i := range asc {
+			if asc[i] != desc[len(desc)-1-i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanDescUnderConcurrentInserts(t *testing.T) {
+	tr := New[uint64]()
+	const n = 20000
+	for i := 0; i < n; i += 2 {
+		tr.Insert(nil, key(i), uint64(i))
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < n; i += 2 {
+			tr.Insert(nil, key(i), uint64(i))
+		}
+	}()
+	for round := 0; round < 10; round++ {
+		var prev []byte
+		seenEven := 0
+		tr.ScanDesc(nil, nil, nil, func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) <= 0 {
+				t.Error("descending order violated under concurrency")
+				return false
+			}
+			prev = append(prev[:0], k...)
+			if v%2 == 0 {
+				seenEven++
+			}
+			return true
+		})
+		if seenEven != n/2 {
+			t.Fatalf("missed preloaded keys: %d of %d", seenEven, n/2)
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkScanDesc100(b *testing.B) {
+	tr := New[int]()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(nil, key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i*97)%(n-200) + 100
+		cnt := 0
+		tr.ScanDesc(nil, key(start), key(start+100), func(k []byte, v int) bool {
+			cnt++
+			return true
+		})
+	}
+}

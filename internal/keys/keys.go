@@ -1,0 +1,87 @@
+// Package keys builds order-preserving composite []byte keys for B+tree
+// indexes: bytewise comparison of encoded keys matches the natural ordering
+// of the original tuples. Workload schemas (TPC-C, TPC-H) encode their
+// primary and secondary keys with it.
+//
+// Encoding rules:
+//   - unsigned integers: fixed-width big-endian
+//   - signed integers: big-endian with the sign bit flipped
+//   - strings: NUL-terminated, with embedded 0x00 escaped as 0x00 0xFF, so
+//     prefixes sort before extensions and components cannot bleed together
+package keys
+
+import "encoding/binary"
+
+// Uint32 appends a fixed-width big-endian uint32.
+func Uint32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+// Uint64 appends a fixed-width big-endian uint64.
+func Uint64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// Int64 appends a signed 64-bit value so negative numbers sort first.
+func Int64(b []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(v)^(1<<63))
+}
+
+// String appends an escaped, NUL-terminated string component.
+func String(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		b = append(b, c)
+		if c == 0x00 {
+			b = append(b, 0xFF)
+		}
+	}
+	return append(b, 0x00)
+}
+
+// DecodeUint32 reads a Uint32 component, returning the value and the rest.
+func DecodeUint32(b []byte) (uint32, []byte) {
+	return binary.BigEndian.Uint32(b), b[4:]
+}
+
+// DecodeUint64 reads a Uint64 component, returning the value and the rest.
+func DecodeUint64(b []byte) (uint64, []byte) {
+	return binary.BigEndian.Uint64(b), b[8:]
+}
+
+// DecodeInt64 reads an Int64 component, returning the value and the rest.
+func DecodeInt64(b []byte) (int64, []byte) {
+	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63)), b[8:]
+}
+
+// DecodeString reads a String component, returning the value and the rest.
+func DecodeString(b []byte) (string, []byte) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c == 0x00 {
+			if i+1 < len(b) && b[i+1] == 0xFF {
+				out = append(out, 0x00)
+				i++
+				continue
+			}
+			return string(out), b[i+1:]
+		}
+		out = append(out, c)
+	}
+	return string(out), nil
+}
+
+// PrefixEnd returns the smallest key strictly greater than every key with
+// the given prefix, for use as an exclusive scan upper bound. It returns nil
+// (unbounded) when the prefix is all 0xFF.
+func PrefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

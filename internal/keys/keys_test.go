@@ -1,0 +1,129 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundtripAndOrder(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		ka := Uint64(nil, a)
+		kb := Uint64(nil, b)
+		va, _ := DecodeUint64(ka)
+		vb, _ := DecodeUint64(kb)
+		if va != a || vb != b {
+			return false
+		}
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Order(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		cmp := bytes.Compare(Int64(nil, a), Int64(nil, b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := DecodeInt64(Int64(nil, -42))
+	if va != -42 {
+		t.Fatalf("roundtrip = %d", va)
+	}
+}
+
+func TestStringRoundtripAndOrder(t *testing.T) {
+	err := quick.Check(func(a, b string) bool {
+		ka, kb := String(nil, a), String(nil, b)
+		va, _ := DecodeString(ka)
+		vb, _ := DecodeString(kb)
+		if va != a || vb != b {
+			return false
+		}
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringWithNULs(t *testing.T) {
+	s := "a\x00b\x00\x00c"
+	k := String(nil, s)
+	got, rest := DecodeString(k)
+	if got != s || len(rest) != 0 {
+		t.Fatalf("got %q rest %v", got, rest)
+	}
+	// "a\x00" must sort before "a\x01" despite escaping.
+	if bytes.Compare(String(nil, "a\x00"), String(nil, "a\x01")) >= 0 {
+		t.Fatal("NUL escaping broke ordering")
+	}
+	// Prefix sorts before extension.
+	if bytes.Compare(String(nil, "ab"), String(nil, "abc")) >= 0 {
+		t.Fatal("prefix must sort first")
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	k1 := String(Uint32(nil, 1), "smith")
+	k2 := String(Uint32(nil, 1), "smithe")
+	k3 := String(Uint32(nil, 2), "a")
+	if !(bytes.Compare(k1, k2) < 0 && bytes.Compare(k2, k3) < 0) {
+		t.Fatal("composite ordering broken")
+	}
+	w, rest := DecodeUint32(k1)
+	name, rest := DecodeString(rest)
+	if w != 1 || name != "smith" || len(rest) != 0 {
+		t.Fatalf("decode: %d %q %v", w, name, rest)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	p := []byte{1, 2, 3}
+	end := PrefixEnd(p)
+	if !bytes.Equal(end, []byte{1, 2, 4}) {
+		t.Fatalf("end = %v", end)
+	}
+	if !bytes.Equal(PrefixEnd([]byte{1, 0xFF}), []byte{2}) {
+		t.Fatal("carry failed")
+	}
+	if PrefixEnd([]byte{0xFF, 0xFF}) != nil {
+		t.Fatal("all-FF prefix must be unbounded")
+	}
+	// PrefixEnd must not mutate its argument.
+	if p[2] != 3 {
+		t.Fatal("argument mutated")
+	}
+	// Every key with the prefix is < end; the next prefix is >= end.
+	key := append(append([]byte(nil), p...), 0xFF, 0xFF)
+	if bytes.Compare(key, end) >= 0 {
+		t.Fatal("key with prefix not below end")
+	}
+}

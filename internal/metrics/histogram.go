@@ -1,0 +1,294 @@
+// Package metrics provides the measurement primitives used by the benchmark
+// harness: log-bucketed latency histograms with percentile queries, geometric
+// means, and monotonic throughput counters.
+//
+// The histogram follows the HDR-histogram idea in miniature: values are
+// bucketed by order of magnitude with a fixed number of linear sub-buckets per
+// magnitude, giving a bounded relative error (~1/subBuckets) over an arbitrary
+// dynamic range while recording in O(1) with no allocation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+)
+
+const (
+	// subBucketBits controls resolution: 2^subBucketBits linear sub-buckets
+	// per power of two, i.e. ~1.5% worst-case relative error.
+	subBucketBits  = 6
+	subBucketCount = 1 << subBucketBits
+	// maxExponent covers values up to 2^(maxExponent+subBucketBits), far more
+	// than any latency we record in nanoseconds (2^58 ns ≈ 9 years).
+	maxExponent = 52
+	numBuckets  = maxExponent * subBucketCount
+)
+
+// Histogram records non-negative int64 samples (typically nanoseconds) and
+// answers percentile queries. The zero value is ready to use. It is not safe
+// for concurrent use; each worker records into its own histogram and the
+// harness merges them.
+type Histogram struct {
+	counts   [numBuckets]uint64
+	total    uint64
+	sum      float64
+	logSum   float64 // sum of ln(v) for geomean; zero samples contribute ln(1)
+	min, max int64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBucketCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - subBucketBits // ≥ 1 here
+	idx := exp*subBucketCount + int(u>>uint(exp))
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// value reconstructs a representative (midpoint) value for bucket i.
+func value(i int) int64 {
+	if i < subBucketCount {
+		return int64(i)
+	}
+	exp := i / subBucketCount
+	sub := i % subBucketCount
+	lo := int64(sub) << uint(exp)
+	width := int64(1) << uint(exp)
+	return lo + width/2
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v > 0 {
+		h.logSum += math.Log(float64(v))
+	}
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Geomean returns the geometric mean of the samples, treating zero samples as
+// one. The paper's Figure 13 reports geometric means across latencies.
+func (h *Histogram) Geomean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return math.Exp(h.logSum / float64(h.total))
+}
+
+// Percentile returns the value at percentile p in [0, 100]. Within a bucket
+// the midpoint is reported; the true min and max are reported exactly.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := value(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+	h.logSum += o.logSum
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary is a fixed set of latency statistics extracted from a histogram.
+type Summary struct {
+	Count                  uint64
+	Mean, Geomean          float64
+	Min, P50, P90, P99, P999, Max int64
+}
+
+// Summarize extracts the standard statistics the paper reports (50/90/99/99.9
+// percentiles plus mean and geomean).
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:   h.total,
+		Mean:    h.Mean(),
+		Geomean: h.Geomean(),
+		Min:     h.Min(),
+		P50:     h.Percentile(50),
+		P90:     h.Percentile(90),
+		P99:     h.Percentile(99),
+		P999:    h.Percentile(99.9),
+		Max:     h.Max(),
+	}
+}
+
+// String formats the summary with human-readable durations.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v",
+		s.Count, time.Duration(s.Mean), time.Duration(s.P50), time.Duration(s.P90),
+		time.Duration(s.P99), time.Duration(s.P999), time.Duration(s.Max))
+}
+
+// FormatNanos renders a nanosecond quantity compactly (µs/ms/s) for tables.
+func FormatNanos(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}
+
+// Table is a tiny column-aligned text table builder used by the experiment
+// runners to print figure data series.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, hdr := range t.header {
+		widths[i] = len(hdr)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsBy sorts data rows by the numeric value of column i, ascending.
+func (t *Table) SortRowsBy(i int) {
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		var x, y float64
+		fmt.Sscan(t.rows[a][i], &x)
+		fmt.Sscan(t.rows[b][i], &y)
+		return x < y
+	})
+}

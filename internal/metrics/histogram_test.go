@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Geomean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(1234)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 1234 {
+			t.Errorf("p%.0f = %d, want 1234", p, got)
+		}
+	}
+	if h.Mean() != 1234 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("negative values must clamp to 0")
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	// Percentiles must be within the bucket relative error (~3%) of exact.
+	var h Histogram
+	var exact []int64
+	r := uint64(12345)
+	for i := 0; i < 100000; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		v := int64(r % 10_000_000) // up to 10ms in ns
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := exact[int(math.Ceil(p/100*float64(len(exact))))-1]
+		got := h.Percentile(p)
+		relErr := math.Abs(float64(got-want)) / float64(want)
+		if relErr > 0.05 {
+			t.Errorf("p%v: got %d want %d (rel err %.3f)", p, got, want, relErr)
+		}
+	}
+}
+
+func TestMinMaxExact(t *testing.T) {
+	var h Histogram
+	vals := []int64{999, 3, 777777, 42}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Min() != 3 || h.Max() != 777777 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if h.Percentile(0) != 3 || h.Percentile(100) != 777777 {
+		t.Fatal("p0/p100 must be exact min/max")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		whole.Record(i)
+	}
+	for i := int64(1000); i < 2000; i++ {
+		b.Record(i * 7)
+		whole.Record(i * 7)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("count %d vs %d", a.Count(), whole.Count())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("min/max mismatch after merge")
+	}
+	for _, p := range []float64{50, 99} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%v mismatch: %d vs %d", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+	// Merging nil or empty is a no-op.
+	before := a.Summarize()
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Summarize() != before {
+		t.Fatal("merging nil/empty changed the histogram")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Record(1000)
+	want := math.Sqrt(10 * 1000)
+	if g := h.Geomean(); math.Abs(g-want)/want > 0.01 {
+		t.Fatalf("geomean = %v, want %v", g, want)
+	}
+}
+
+func TestMonotonicBuckets(t *testing.T) {
+	// value(bucketIndex(v)) must be within the bucket's relative error of v,
+	// and bucketIndex must be monotonic non-decreasing.
+	err := quick.Check(func(raw uint32) bool {
+		v := int64(raw)
+		i := bucketIndex(v)
+		rep := value(i)
+		if v < subBucketCount {
+			return rep == v
+		}
+		relErr := math.Abs(float64(rep-v)) / float64(v)
+		return relErr <= 1.0/subBucketCount
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 97 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d", v)
+		}
+		prev = i
+	}
+}
+
+func TestHugeValueClamped(t *testing.T) {
+	var h Histogram
+	h.Record(math.MaxInt64)
+	if h.Count() != 1 {
+		t.Fatal("huge value must be recorded")
+	}
+	if h.Percentile(50) <= 0 {
+		t.Fatal("huge value percentile must be positive")
+	}
+}
+
+func TestRecordDuration(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(3 * time.Millisecond)
+	if h.Max() != int64(3*time.Millisecond) {
+		t.Fatal("duration not recorded in nanos")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	s := h.Summarize()
+	if s.Count != 1 || s.P50 != 1000 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestFormatNanos(t *testing.T) {
+	cases := map[float64]string{
+		500:     "500ns",
+		1500:    "1.5µs",
+		2500000: "2.50ms",
+		3e9:     "3.00s",
+	}
+	for in, want := range cases {
+		if got := FormatNanos(in); got != want {
+			t.Errorf("FormatNanos(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("a", "bbbb")
+	tb.AddRow(10, "x")
+	tb.AddRow(2, "yy")
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty table")
+	}
+	tb.SortRowsBy(0)
+	out2 := tb.String()
+	if out2 == out {
+		t.Log("sort produced same order (ok if already sorted)")
+	}
+}

@@ -1,0 +1,325 @@
+// Package mlsched generalizes PreemptDB's two-level preemptive scheduler to
+// N priority levels — the extension the paper sketches in its §5 discussion:
+// "one may easily extend PreemptDB to support more fine-grained priority
+// levels by using multiple contexts/TCBs. A high-priority transaction that
+// has already interrupted a previous lower-priority transaction could then
+// be interrupted again."
+//
+// Each worker core hosts one transaction context per level; context k serves
+// only level-k requests. The scheduler posts the request's level as the
+// interrupt vector, and the handler preempts whenever the incoming level is
+// strictly higher than the running context's level — so preemptions nest.
+// Paused contexts form a per-worker LIFO stack: when level k's queue drains,
+// the core is actively switched back to the most recently paused context,
+// unwinding the preemption nesting exactly like a hardware interrupt stack.
+//
+// Dynamic priority promotion (§5's Polaris-style discussion) is supported
+// through Scheduler.ResubmitPromoted: a transaction that keeps losing
+// conflicts can be resubmitted one level higher.
+package mlsched
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/queue"
+	"preemptdb/internal/uintr"
+)
+
+// MaxLevels bounds the number of priority levels (one interrupt vector and
+// one transaction context per level).
+const MaxLevels = 16
+
+// vecBase offsets level vectors above the reserved ones (VecPreempt, VecPing,
+// VecShutdown), so a shutdown ping can never masquerade as a level interrupt.
+const vecBase = 32
+
+// Request is one leveled transaction request.
+type Request struct {
+	// Level is the priority level, 0 (lowest) .. Levels-1 (highest).
+	Level int
+	// Work runs the transaction body on the executing context.
+	Work func(ctx *pcontext.Context) error
+
+	EnqueuedAt int64
+	StartedAt  int64
+	FinishedAt int64
+	Err        error
+	// Promotions counts how many times the request was resubmitted at a
+	// higher level.
+	Promotions int
+
+	OnDone func(*Request)
+}
+
+// SchedulingLatency returns StartedAt-EnqueuedAt in nanoseconds.
+func (r *Request) SchedulingLatency() int64 { return r.StartedAt - r.EnqueuedAt }
+
+// Latency returns FinishedAt-EnqueuedAt in nanoseconds.
+func (r *Request) Latency() int64 { return r.FinishedAt - r.EnqueuedAt }
+
+// Config sizes the multi-level scheduler.
+type Config struct {
+	// Levels is the number of priority levels (default 3).
+	Levels int
+	// Workers is the number of simulated cores (default 2).
+	Workers int
+	// QueueSize is the per-worker per-level queue capacity (default 16;
+	// level 0 gets 4x as the baseload queue).
+	QueueSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Levels == 0 {
+		c.Levels = 3
+	}
+	if c.Levels > MaxLevels {
+		c.Levels = MaxLevels
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 16
+	}
+	return c
+}
+
+// Scheduler dispatches leveled requests to its workers.
+type Scheduler struct {
+	cfg     Config
+	workers []*Worker
+	rr      []int // per-level round-robin cursors
+
+	interrupts atomic.Uint64
+	started    bool
+}
+
+// Worker is one simulated core with Levels contexts and queues.
+type Worker struct {
+	id     int
+	s      *Scheduler
+	core   *pcontext.Core
+	queues []*queue.MPMC[*Request]
+
+	// paused is the LIFO stack of preempted contexts; only the running
+	// context manipulates it, so no synchronization is needed.
+	paused []*pcontext.Context
+
+	// running[i] is the level of the request context i is currently
+	// executing, or -1 when idle. The base context can execute *elevated*
+	// leftovers (regular path), so preemption decisions compare request
+	// levels, not context ids.
+	running []atomic.Int32
+
+	executed []atomic.Uint64 // per level
+}
+
+// ID returns the worker index.
+func (w *Worker) ID() int { return w.id }
+
+// Core exposes the worker's simulated core.
+func (w *Worker) Core() *pcontext.Core { return w.core }
+
+// Executed returns the number of completed requests at the given level.
+func (w *Worker) Executed(level int) uint64 { return w.executed[level].Load() }
+
+// New builds a scheduler; Start launches the workers.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, rr: make([]int, cfg.Levels)}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &Worker{
+			id:       i,
+			s:        s,
+			core:     pcontext.NewCore(i, cfg.Levels),
+			running:  make([]atomic.Int32, cfg.Levels),
+			executed: make([]atomic.Uint64, cfg.Levels),
+		}
+		for l := range w.running {
+			w.running[l].Store(-1)
+		}
+		for l := 0; l < cfg.Levels; l++ {
+			size := cfg.QueueSize
+			if l == 0 {
+				size *= 4
+			}
+			w.queues = append(w.queues, queue.NewMPMC[*Request](size))
+		}
+		w.core.SetUserData(w)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Config returns the effective configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Workers returns the worker set.
+func (s *Scheduler) Workers() []*Worker { return s.workers }
+
+// InterruptsSent returns the number of user interrupts issued.
+func (s *Scheduler) InterruptsSent() uint64 { return s.interrupts.Load() }
+
+// Start launches every worker.
+func (s *Scheduler) Start() {
+	if s.started {
+		panic("mlsched: Start called twice")
+	}
+	s.started = true
+	for _, w := range s.workers {
+		w.install()
+		entries := make([]func(*pcontext.Context), s.cfg.Levels)
+		entries[0] = w.baseLoop
+		for l := 1; l < s.cfg.Levels; l++ {
+			entries[l] = w.levelLoop
+		}
+		w.core.Start(entries)
+	}
+}
+
+// Stop shuts all workers down; queued requests are dropped.
+func (s *Scheduler) Stop() {
+	for _, w := range s.workers {
+		uintr.SendUIPI(w.core.Receiver().UPID(), uintr.VecShutdown)
+	}
+	for _, w := range s.workers {
+		w.core.Shutdown()
+	}
+}
+
+// install wires the nested-preemption interrupt handler.
+func (w *Worker) install() {
+	w.core.SetHandler(func(cur *pcontext.Context, vectors uint64) {
+		if w.core.Done() {
+			return
+		}
+		// Highest posted level with work actually queued, strictly above the
+		// level of the request the interrupted context is running.
+		curLevel := int(w.running[cur.ID()].Load())
+		for l := w.s.cfg.Levels - 1; l > curLevel && l > 0; l-- {
+			if !uintr.Has(vectors, uintr.Vector(vecBase+l)) {
+				continue
+			}
+			if w.queues[l].Empty() {
+				continue
+			}
+			// Nested preemption: push the interrupted context and hand the
+			// core to the higher level. Lower posted vectors stay consumed —
+			// their work is picked up when their level's context resumes or
+			// the base loop drains them (the paper's regular path ②).
+			w.paused = append(w.paused, cur)
+			cur.SwitchTo(w.core.Context(l))
+			return
+		}
+	})
+}
+
+// baseLoop is context 0's body: the regular scheduling path. It drains
+// queues from the highest level down, so leftover elevated requests (whose
+// interrupts were dropped) still run ahead of base work.
+func (w *Worker) baseLoop(ctx *pcontext.Context) {
+	idle := 0
+	for !w.core.Done() {
+		ran := false
+		for l := w.s.cfg.Levels - 1; l >= 0; l-- {
+			if req, ok := w.queues[l].Pop(); ok {
+				w.execute(ctx, req)
+				ran = true
+				break
+			}
+		}
+		if ran {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// levelLoop is the body of every context above the base: wake when switched
+// to, drain the level's queue, then unwind to the most recently paused
+// context.
+func (w *Worker) levelLoop(ctx *pcontext.Context) {
+	level := ctx.ID()
+	for !w.core.Done() {
+		for {
+			req, ok := w.queues[level].Pop()
+			if !ok {
+				break
+			}
+			w.execute(ctx, req)
+		}
+		w.unwind(ctx)
+	}
+}
+
+// unwind actively switches back to the most recently paused context
+// (or the base context if the stack is somehow empty).
+func (w *Worker) unwind(ctx *pcontext.Context) {
+	target := w.core.Context(0)
+	if n := len(w.paused); n > 0 {
+		target = w.paused[n-1]
+		w.paused = w.paused[:n-1]
+	}
+	ctx.SwapContext(target)
+}
+
+func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
+	prev := w.running[ctx.ID()].Swap(int32(req.Level))
+	req.StartedAt = clock.Nanos()
+	req.Err = req.Work(ctx)
+	req.FinishedAt = clock.Nanos()
+	w.running[ctx.ID()].Store(prev)
+	w.executed[req.Level].Add(1)
+	if req.OnDone != nil {
+		req.OnDone(req)
+	}
+}
+
+// Submit offers a request at its level, round-robin across workers, posting
+// a user interrupt for levels above the base. It reports false when every
+// worker's queue for that level is full.
+func (s *Scheduler) Submit(req *Request) bool {
+	l := req.Level
+	if l < 0 || l >= s.cfg.Levels {
+		panic(fmt.Sprintf("mlsched: level %d out of range [0,%d)", l, s.cfg.Levels))
+	}
+	if req.EnqueuedAt == 0 {
+		req.EnqueuedAt = clock.Nanos()
+	}
+	for attempts := 0; attempts < len(s.workers); attempts++ {
+		w := s.workers[s.rr[l]]
+		s.rr[l] = (s.rr[l] + 1) % len(s.workers)
+		if w.queues[l].Push(req) {
+			if l > 0 {
+				uintr.SendUIPI(w.core.Receiver().UPID(), uintr.Vector(vecBase+l))
+				s.interrupts.Add(1)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// ResubmitPromoted resubmits a finished request one level higher (capped at
+// the top level), implementing dynamic priority adjustment for transactions
+// that keep aborting (§5's discussion, after Polaris). The request's
+// latency clock keeps its original EnqueuedAt so end-to-end latency spans
+// all attempts.
+func (s *Scheduler) ResubmitPromoted(req *Request) bool {
+	if req.Level < s.cfg.Levels-1 {
+		req.Level++
+		req.Promotions++
+	}
+	return s.Submit(req)
+}

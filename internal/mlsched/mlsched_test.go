@@ -1,0 +1,327 @@
+package mlsched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"preemptdb/internal/pcontext"
+)
+
+func spinFor(ctx *pcontext.Context, d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			ctx.Poll()
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Levels != 3 || c.Workers != 2 || c.QueueSize != 16 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if (Config{Levels: 99}).withDefaults().Levels != MaxLevels {
+		t.Fatal("levels not capped")
+	}
+}
+
+func TestBasicExecutionAllLevels(t *testing.T) {
+	s := New(Config{Levels: 4, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	var done sync.WaitGroup
+	var counts [4]atomic.Int64
+	for l := 0; l < 4; l++ {
+		done.Add(1)
+		l := l
+		if !s.Submit(&Request{Level: l, Work: func(ctx *pcontext.Context) error {
+			counts[l].Add(1)
+			return nil
+		}, OnDone: func(*Request) { done.Done() }}) {
+			t.Fatalf("submit level %d failed", l)
+		}
+	}
+	waitDone(t, &done)
+	for l := 0; l < 4; l++ {
+		if counts[l].Load() != 1 {
+			t.Fatalf("level %d ran %d times", l, counts[l].Load())
+		}
+	}
+	if s.Workers()[0].Executed(3) != 1 {
+		t.Fatal("per-level counter wrong")
+	}
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup) {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("requests never completed")
+	}
+}
+
+func TestLevelOutOfRangePanics(t *testing.T) {
+	s := New(Config{Levels: 2, Workers: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Submit(&Request{Level: 7, Work: func(*pcontext.Context) error { return nil }})
+}
+
+func TestNestedPreemption(t *testing.T) {
+	// A level-0 job is preempted by level 1, which is preempted by level 2.
+	// Completion order must be 2, 1, 0 and the paused stack must unwind.
+	s := New(Config{Levels: 3, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	var mu sync.Mutex
+	var order []int
+	record := func(level int) {
+		mu.Lock()
+		order = append(order, level)
+		mu.Unlock()
+	}
+
+	l0Started := make(chan struct{})
+	l0Done := make(chan struct{})
+	s.Submit(&Request{Level: 0, Work: func(ctx *pcontext.Context) error {
+		close(l0Started)
+		spinFor(ctx, 120*time.Millisecond)
+		record(0)
+		return nil
+	}, OnDone: func(*Request) { close(l0Done) }})
+	<-l0Started
+	time.Sleep(5 * time.Millisecond)
+
+	l1Started := make(chan struct{})
+	l1Done := make(chan struct{})
+	s.Submit(&Request{Level: 1, Work: func(ctx *pcontext.Context) error {
+		close(l1Started)
+		spinFor(ctx, 60*time.Millisecond)
+		record(1)
+		return nil
+	}, OnDone: func(*Request) { close(l1Done) }})
+	<-l1Started // level 1 preempted level 0
+	time.Sleep(5 * time.Millisecond)
+
+	l2Done := make(chan struct{})
+	s.Submit(&Request{Level: 2, Work: func(ctx *pcontext.Context) error {
+		record(2)
+		return nil
+	}, OnDone: func(*Request) { close(l2Done) }})
+
+	for _, ch := range []chan struct{}{l2Done, l1Done, l0Done} {
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Fatal("nested preemption wedged")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{2, 1, 0}
+	for i, l := range want {
+		if order[i] != l {
+			t.Fatalf("completion order %v, want %v", order, want)
+		}
+	}
+	// The level-2 transaction must have finished while both lower levels
+	// were still paused — i.e. it truly nested.
+	w := s.Workers()[0]
+	if w.Core().Context(0).TCB().PassiveSwitches() == 0 ||
+		w.Core().Context(1).TCB().PassiveSwitches() == 0 {
+		t.Fatal("expected passive switches on both lower contexts")
+	}
+	if len(w.paused) != 0 {
+		t.Fatalf("paused stack not unwound: %d", len(w.paused))
+	}
+}
+
+func TestSameLevelDoesNotPreempt(t *testing.T) {
+	s := New(Config{Levels: 2, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	firstDone := make(chan struct{})
+	var firstFinished atomic.Bool
+	s.Submit(&Request{Level: 1, Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, 50*time.Millisecond)
+		firstFinished.Store(true)
+		return nil
+	}, OnDone: func(*Request) { close(firstDone) }})
+	time.Sleep(5 * time.Millisecond)
+
+	secondDone := make(chan *Request, 1)
+	s.Submit(&Request{Level: 1, Work: func(ctx *pcontext.Context) error {
+		if !firstFinished.Load() {
+			t.Error("same-level request preempted a running peer")
+		}
+		return nil
+	}, OnDone: func(r *Request) { secondDone <- r }})
+
+	select {
+	case <-secondDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("second request starved")
+	}
+	<-firstDone
+}
+
+func TestPromotion(t *testing.T) {
+	s := New(Config{Levels: 3, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	done := make(chan *Request, 1)
+	req := &Request{Level: 0, Work: func(ctx *pcontext.Context) error { return nil }}
+	req.OnDone = func(r *Request) { done <- r }
+	if !s.ResubmitPromoted(req) {
+		t.Fatal("promotion submit failed")
+	}
+	select {
+	case r := <-done:
+		if r.Level != 1 || r.Promotions != 1 {
+			t.Fatalf("level=%d promotions=%d", r.Level, r.Promotions)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("promoted request never ran")
+	}
+	// Promotion is capped at the top level.
+	req2 := &Request{Level: 2, Work: func(ctx *pcontext.Context) error { return nil }}
+	ch := make(chan *Request, 1)
+	req2.OnDone = func(r *Request) { ch <- r }
+	s.ResubmitPromoted(req2)
+	select {
+	case r := <-ch:
+		if r.Level != 2 || r.Promotions != 0 {
+			t.Fatalf("cap violated: level=%d promotions=%d", r.Level, r.Promotions)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("capped request never ran")
+	}
+}
+
+func TestSubmitFullQueues(t *testing.T) {
+	s := New(Config{Levels: 2, Workers: 1, QueueSize: 2})
+	// Not started: queues only fill.
+	nop := func(ctx *pcontext.Context) error { return nil }
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if s.Submit(&Request{Level: 1, Work: nop}) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d, want 2", accepted)
+	}
+}
+
+func TestHighLevelLatencyUnderBaseLoad(t *testing.T) {
+	// The top level must see microsecond-scale scheduling latency even while
+	// every worker grinds a long base job.
+	s := New(Config{Levels: 3, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	baseDone := make(chan struct{})
+	s.Submit(&Request{Level: 0, Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, 150*time.Millisecond)
+		return nil
+	}, OnDone: func(*Request) { close(baseDone) }})
+	time.Sleep(5 * time.Millisecond)
+
+	for i := 0; i < 5; i++ {
+		done := make(chan *Request, 1)
+		s.Submit(&Request{Level: 2, Work: func(ctx *pcontext.Context) error { return nil },
+			OnDone: func(r *Request) { done <- r }})
+		select {
+		case r := <-done:
+			if lat := time.Duration(r.SchedulingLatency()); lat > 50*time.Millisecond {
+				t.Fatalf("round %d: top-level latency %v", i, lat)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("top-level request starved")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-baseDone
+}
+
+func TestManyWorkersManyLevelsStress(t *testing.T) {
+	s := New(Config{Levels: 4, Workers: 2, QueueSize: 32})
+	s.Start()
+	defer s.Stop()
+
+	const total = 400
+	var done sync.WaitGroup
+	var executed atomic.Int64
+	for i := 0; i < total; i++ {
+		done.Add(1)
+		level := i % 4
+		req := &Request{Level: level, Work: func(ctx *pcontext.Context) error {
+			for j := 0; j < 100; j++ {
+				ctx.Poll()
+			}
+			executed.Add(1)
+			return nil
+		}, OnDone: func(*Request) { done.Done() }}
+		for !s.Submit(req) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitDone(t, &done)
+	if executed.Load() != total {
+		t.Fatalf("executed %d of %d", executed.Load(), total)
+	}
+	// Work spread across workers.
+	for _, w := range s.Workers() {
+		sum := uint64(0)
+		for l := 0; l < 4; l++ {
+			sum += w.Executed(l)
+		}
+		if sum == 0 {
+			t.Fatalf("worker %d executed nothing", w.ID())
+		}
+	}
+}
+
+func TestStopWithPausedStack(t *testing.T) {
+	// Shutdown must reap a worker whose contexts are mid-nest.
+	s := New(Config{Levels: 3, Workers: 1})
+	s.Start()
+
+	started := make(chan struct{})
+	s.Submit(&Request{Level: 0, Work: func(ctx *pcontext.Context) error {
+		close(started)
+		spinFor(ctx, 30*time.Millisecond)
+		return nil
+	}})
+	<-started
+	time.Sleep(2 * time.Millisecond)
+	s.Submit(&Request{Level: 1, Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, 30*time.Millisecond)
+		return nil
+	}})
+	time.Sleep(5 * time.Millisecond)
+
+	finished := make(chan struct{})
+	go func() {
+		s.Stop()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop hung with nested contexts")
+	}
+}

@@ -1,0 +1,57 @@
+package mvcc
+
+// Version garbage collection. Memory-optimized multi-version engines must
+// trim version chains or long-running readers make every update leak: once
+// no active snapshot can reach a version's predecessors, the tail of the
+// chain is unlinked and becomes ordinary garbage for the Go collector.
+//
+// The rule: let m = Oracle.MinActiveBegin(). Walking new-to-old, the first
+// committed version with cts <= m is the oldest version any current or
+// future snapshot can read; everything strictly older is unreachable.
+// Aborted versions are skipped and dropped along the way.
+
+// Trim prunes rec's chain given the oldest active snapshot m. It returns the
+// number of versions unlinked. Safe to run concurrently with readers and
+// writers: unlinking is an atomic prev-pointer store on a version that stays
+// reachable, so an in-flight reader either sees the old tail (still intact,
+// merely unlinked) or the trimmed chain.
+func Trim(rec *Record, m uint64) int {
+	v := rec.head.Load()
+	if v == nil {
+		return 0
+	}
+	// Find the cut point: the newest version visible at m (or the last
+	// resolvable version). In-flight and too-new versions are kept.
+	var cut *Version
+	for v != nil {
+		cts, committed, owner := v.resolve()
+		if owner == nil && committed && cts <= m {
+			cut = v
+			break
+		}
+		v = v.prev.Load()
+	}
+	if cut == nil {
+		return 0
+	}
+	// Everything older than the cut point is unreachable by any snapshot
+	// ≥ m. Count and unlink.
+	n := 0
+	for p := cut.prev.Load(); p != nil; p = p.prev.Load() {
+		n++
+	}
+	if n > 0 {
+		cut.prev.Store(nil)
+	}
+	return n
+}
+
+// ChainLength returns the number of versions in rec's chain (for tests and
+// observability).
+func ChainLength(rec *Record) int {
+	n := 0
+	for v := rec.head.Load(); v != nil; v = v.prev.Load() {
+		n++
+	}
+	return n
+}

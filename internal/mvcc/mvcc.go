@@ -1,0 +1,473 @@
+// Package mvcc implements the multi-versioned concurrency control engine
+// PreemptDB runs on: an ERMIA-style memory-optimized design (paper §2.2)
+// where every record is an ordered new-to-old chain of versions tagged with
+// commit timestamps drawn from a centralized counter.
+//
+// The properties PreemptDB's preemption story depends on are provided here:
+//
+//   - Reads never take locks. A reader resolves visibility by walking the
+//     version chain, so interrupting a long read-mostly transaction wastes no
+//     work and blocks nobody.
+//   - Commits are atomic through *indirect* commit stamps: an in-flight
+//     version points to its writer transaction, and the writer's single
+//     atomic state word (status + commit timestamp) is the only publication
+//     point. Readers can never observe half a transaction, no matter where a
+//     preemption lands.
+//   - Write-write conflicts follow first-updater-wins: encountering another
+//     transaction's in-flight or too-new version aborts the updater
+//     immediately rather than blocking, so a paused (preempted) writer can
+//     never make another context wait on it.
+//
+// Snapshot isolation is the default; read committed and a serializable mode
+// (backward OCC validation under a commit critical section, the procedure
+// the paper wraps in a non-preemptible region in §4.4) are also provided.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"preemptdb/internal/pcontext"
+)
+
+// IsolationLevel selects the read rule and commit-time validation.
+type IsolationLevel uint8
+
+const (
+	// SnapshotIsolation reads the newest version committed before the
+	// transaction began; write-write conflicts abort (first-updater-wins).
+	SnapshotIsolation IsolationLevel = iota
+	// ReadCommitted reads the newest committed version at each access.
+	ReadCommitted
+	// Serializable is snapshot isolation plus backward OCC read-set
+	// validation under the commit critical section. Predicate (phantom)
+	// protection is not implemented, matching classic record-level OCC.
+	Serializable
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case SnapshotIsolation:
+		return "snapshot"
+	case ReadCommitted:
+		return "read-committed"
+	case Serializable:
+		return "serializable"
+	default:
+		return fmt.Sprintf("IsolationLevel(%d)", uint8(l))
+	}
+}
+
+// Transaction outcome errors.
+var (
+	// ErrWriteConflict reports a write-write conflict; the transaction must
+	// abort (first-updater-wins, no waiting).
+	ErrWriteConflict = errors.New("mvcc: write-write conflict")
+	// ErrReadValidation reports serializable read-set validation failure.
+	ErrReadValidation = errors.New("mvcc: serializable read validation failed")
+	// ErrTxnDone reports use of a committed or aborted transaction.
+	ErrTxnDone = errors.New("mvcc: transaction already finished")
+)
+
+// Transaction status values packed into Txn.state.
+const (
+	statusActive uint64 = iota
+	statusCommitted
+	statusAborted
+	statusBits = 2
+	statusMask = 1<<statusBits - 1
+)
+
+// Txn is one transaction. Create with Oracle.Begin; finish with exactly one
+// of Commit or Abort. A Txn is confined to one context/goroutine.
+type Txn struct {
+	id    uint64
+	begin uint64
+	iso   IsolationLevel
+	ctx   *pcontext.Context
+	// state packs status (low 2 bits) and the commit timestamp (high bits).
+	// Storing statusCommitted|cts<<2 is the transaction's atomic commit
+	// point; every version it wrote becomes visible at that instant.
+	state  atomic.Uint64
+	oracle *Oracle
+	slot   *ActiveSlot
+
+	writes []writeEntry
+	reads  []readEntry
+}
+
+type writeEntry struct {
+	rec *Record
+	ver *Version
+}
+
+type readEntry struct {
+	rec *Record
+	ver *Version // nil when the read observed "no visible version"
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Begin returns the snapshot timestamp.
+func (t *Txn) Begin() uint64 { return t.begin }
+
+// Isolation returns the transaction's isolation level.
+func (t *Txn) Isolation() IsolationLevel { return t.iso }
+
+// Context returns the transaction context the transaction runs on.
+func (t *Txn) Context() *pcontext.Context { return t.ctx }
+
+// NumWrites returns the number of versions this transaction has installed.
+func (t *Txn) NumWrites() int { return len(t.writes) }
+
+// status decodes the state word.
+func (t *Txn) status() (st, cts uint64) {
+	s := t.state.Load()
+	return s & statusMask, s >> statusBits
+}
+
+// Active reports whether the transaction is still in flight.
+func (t *Txn) Active() bool {
+	st, _ := t.status()
+	return st == statusActive
+}
+
+// Version is one entry in a record's new-to-old chain. Immutable after its
+// writer finishes, except for lazy commit-stamp propagation.
+type Version struct {
+	// cts is the commit timestamp; 0 means "consult writer" (in-flight or
+	// not yet stamped), ctsAborted marks a version whose writer aborted.
+	cts atomic.Uint64
+	// writer is the creating transaction, cleared once cts is stamped.
+	writer atomic.Pointer[Txn]
+	// prev is the next-older version; atomic so GC can trim chains while
+	// readers traverse.
+	prev atomic.Pointer[Version]
+	// data is the payload; nil marks a tombstone (deleted row).
+	data []byte
+}
+
+const ctsAborted = ^uint64(0)
+
+// Data returns the version payload (nil for tombstones).
+func (v *Version) Data() []byte { return v.data }
+
+// resolve returns the version's commitment state: committed (with its
+// timestamp), aborted, or in-flight owned by `owner`.
+func (v *Version) resolve() (cts uint64, committed bool, owner *Txn) {
+	c := v.cts.Load()
+	if c == ctsAborted {
+		return 0, false, nil
+	}
+	if c != 0 {
+		return c, true, nil
+	}
+	w := v.writer.Load()
+	if w == nil {
+		// Stamped between the two loads; re-read.
+		c = v.cts.Load()
+		if c == ctsAborted {
+			return 0, false, nil
+		}
+		return c, c != 0, nil
+	}
+	switch st, wcts := w.status(); st {
+	case statusCommitted:
+		// Help stamp so later readers take the fast path.
+		v.cts.CompareAndSwap(0, wcts)
+		return wcts, true, nil
+	case statusAborted:
+		v.cts.CompareAndSwap(0, ctsAborted)
+		return 0, false, nil
+	default:
+		return 0, false, w
+	}
+}
+
+// Record is one logical row: the head of its version chain. Records are
+// created once per key (via the table's index) and never freed while indexed.
+type Record struct {
+	head atomic.Pointer[Version]
+}
+
+// NewRecord returns an empty record (no versions).
+func NewRecord() *Record { return &Record{} }
+
+// visible reports whether a resolved version should be read at snapshot b.
+func visible(cts uint64, committed bool, owner, self *Txn, b uint64, iso IsolationLevel) bool {
+	if owner != nil {
+		return owner == self // own in-flight writes are visible
+	}
+	if !committed {
+		return false // aborted
+	}
+	if iso == ReadCommitted {
+		return true // newest committed wins
+	}
+	return cts <= b
+}
+
+// Read returns the payload visible to t, walking the version chain from the
+// head. ok is false when no visible version exists or the visible version is
+// a tombstone. Reads never block; each hop polls the transaction context so
+// long chain walks remain preemptible.
+func (t *Txn) Read(rec *Record) (data []byte, ok bool) {
+	v := t.readVersion(rec)
+	if v == nil || v.data == nil {
+		return nil, false
+	}
+	return v.data, true
+}
+
+// readVersion finds the visible version (nil if none) and records it in the
+// read set under Serializable.
+func (t *Txn) readVersion(rec *Record) *Version {
+	var found *Version
+	for v := rec.head.Load(); v != nil; v = v.prev.Load() {
+		t.ctx.Poll()
+		cts, committed, owner := v.resolve()
+		if visible(cts, committed, owner, t, t.begin, t.iso) {
+			found = v
+			break
+		}
+	}
+	if t.iso == Serializable {
+		t.reads = append(t.reads, readEntry{rec: rec, ver: found})
+	}
+	return found
+}
+
+// Update installs a new version of rec carrying data (nil = tombstone,
+// i.e. delete). It returns ErrWriteConflict when another transaction's
+// in-flight or too-new committed version heads the chain.
+func (t *Txn) Update(rec *Record, data []byte) error {
+	if !t.Active() {
+		return ErrTxnDone
+	}
+	for {
+		t.ctx.Poll()
+		h := rec.head.Load()
+		if h != nil {
+			cts, committed, owner := h.resolve()
+			switch {
+			case owner == t:
+				// Second write to the same record: fold into our in-flight
+				// version. It is invisible to every other transaction, so
+				// in-place replacement is safe.
+				h.data = data
+				return nil
+			case owner != nil:
+				return ErrWriteConflict // in-flight foreign writer
+			case committed && cts > t.begin:
+				return ErrWriteConflict // first-updater-wins
+			}
+			// Committed-visible or aborted head: supersede it.
+		}
+		nv := &Version{data: data}
+		nv.writer.Store(t)
+		nv.prev.Store(h)
+		if rec.head.CompareAndSwap(h, nv) {
+			t.writes = append(t.writes, writeEntry{rec: rec, ver: nv})
+			return nil
+		}
+		// Lost the install race; re-examine the new head.
+	}
+}
+
+// Delete writes a tombstone version.
+func (t *Txn) Delete(rec *Record) error { return t.Update(rec, nil) }
+
+// Oracle issues begin/commit timestamps from a centralized counter (§2.2)
+// and tracks active snapshots for version garbage collection.
+type Oracle struct {
+	clock  atomic.Uint64
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	slots []*ActiveSlot
+
+	// commitMu serializes Serializable validation+publication (backward
+	// OCC). Snapshot-isolation commits never touch it.
+	commitMu sync.Mutex
+}
+
+// ActiveSlot advertises one context's active snapshot to the GC.
+type ActiveSlot struct {
+	begin atomic.Uint64 // 0 = idle
+}
+
+// NewOracle returns an oracle with the clock at 0 (first commit gets ts 1).
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Clock returns the current value of the commit-timestamp counter.
+func (o *Oracle) Clock() uint64 { return o.clock.Load() }
+
+// Begin starts a transaction at the current snapshot on ctx. The slot, if
+// non-nil, marks the snapshot active for GC purposes; obtain one per worker
+// context with RegisterSlot and pass it to every Begin on that context.
+func (o *Oracle) Begin(ctx *pcontext.Context, iso IsolationLevel, slot *ActiveSlot) *Txn {
+	t := &Txn{
+		id:     o.nextID.Add(1),
+		begin:  o.clock.Load(),
+		iso:    iso,
+		ctx:    ctx,
+		oracle: o,
+		slot:   slot,
+	}
+	if slot != nil {
+		slot.begin.Store(t.begin + 1) // +1 so a begin of 0 is distinguishable
+	}
+	return t
+}
+
+// RegisterSlot returns a new snapshot-tracking slot for a worker context.
+func (o *Oracle) RegisterSlot() *ActiveSlot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := &ActiveSlot{}
+	o.slots = append(o.slots, s)
+	return s
+}
+
+// MinActiveBegin returns the smallest active snapshot timestamp, or the
+// current clock when no transaction is active. Versions strictly older than
+// the version visible at this timestamp are unreachable and may be reclaimed.
+func (o *Oracle) MinActiveBegin() uint64 {
+	min := o.clock.Load()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.slots {
+		if b := s.begin.Load(); b != 0 && b-1 < min {
+			min = b - 1
+		}
+	}
+	return min
+}
+
+// Commit finishes the transaction. Under Serializable it first validates the
+// read set; the validation+publication pair runs inside the oracle's commit
+// critical section, which the caller's engine wraps in a non-preemptible
+// region. logFn, when non-nil, is invoked with the commit timestamp after
+// validation and before publication — the hook the storage engine uses to
+// flush its CLS redo buffer so the log never contains an unpublishable
+// transaction.
+func (t *Txn) Commit(logFn func(cts uint64) error) (uint64, error) {
+	if !t.Active() {
+		return 0, ErrTxnDone
+	}
+	release := func() {
+		if t.slot != nil {
+			t.slot.begin.Store(0)
+		}
+	}
+	finish := func() (uint64, error) {
+		cts := t.oracle.clock.Add(1)
+		if logFn != nil {
+			if err := logFn(cts); err != nil {
+				t.abortLocked()
+				release()
+				return 0, err
+			}
+		}
+		// The atomic commit point: all our versions become visible at once.
+		t.state.Store(statusCommitted | cts<<statusBits)
+		// Eagerly stamp versions so readers take the fast path, then drop
+		// the writer references to unpin the Txn.
+		for i := range t.writes {
+			v := t.writes[i].ver
+			v.cts.CompareAndSwap(0, cts)
+			v.writer.Store(nil)
+		}
+		release()
+		return cts, nil
+	}
+
+	// Commit/validation is a latch-holding critical section: the engine
+	// layer additionally wraps Commit in a non-preemptible region (§4.4).
+	if t.iso != Serializable {
+		return finish()
+	}
+	t.oracle.commitMu.Lock()
+	defer t.oracle.commitMu.Unlock()
+	if err := t.validateReads(); err != nil {
+		t.abortLocked()
+		release()
+		return 0, err
+	}
+	return finish()
+}
+
+// validateReads implements backward OCC: every record read must still expose
+// the same version as the newest committed one. Runs under commitMu, so no
+// concurrent serializable transaction can publish in between.
+func (t *Txn) validateReads() error {
+	for _, re := range t.reads {
+		if re.ver != nil && re.ver.writer.Load() == t {
+			// Read-own-write: covered by write-write conflict detection.
+			continue
+		}
+		if newestCommitted(re.rec) != re.ver {
+			return ErrReadValidation
+		}
+	}
+	return nil
+}
+
+// newestCommitted returns the newest committed version of rec (nil if none).
+func newestCommitted(rec *Record) *Version {
+	for v := rec.head.Load(); v != nil; v = v.prev.Load() {
+		if _, committed, _ := v.resolve(); committed {
+			return v
+		}
+	}
+	return nil
+}
+
+// InstallCommitted prepends an already-committed version with the given
+// commit timestamp. Recovery-only: it bypasses conflict detection and assumes
+// versions are installed in non-decreasing timestamp order per record.
+func InstallCommitted(rec *Record, data []byte, cts uint64) {
+	v := &Version{data: data}
+	v.cts.Store(cts)
+	v.prev.Store(rec.head.Load())
+	rec.head.Store(v)
+}
+
+// AdvanceTo raises the commit clock to at least ts (recovery-only).
+func (o *Oracle) AdvanceTo(ts uint64) {
+	for {
+		cur := o.clock.Load()
+		if cur >= ts || o.clock.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// Abort rolls the transaction back: its versions become permanently
+// invisible and are unlinked from chain heads where possible.
+func (t *Txn) Abort() error {
+	if !t.Active() {
+		return ErrTxnDone
+	}
+	t.abortLocked()
+	if t.slot != nil {
+		t.slot.begin.Store(0)
+	}
+	return nil
+}
+
+func (t *Txn) abortLocked() {
+	t.state.Store(statusAborted)
+	for i := range t.writes {
+		w := t.writes[i]
+		w.ver.cts.CompareAndSwap(0, ctsAborted)
+		w.ver.writer.Store(nil)
+		// Best-effort unlink: if our version still heads the chain, pop it.
+		// Failure means a later writer superseded it; readers skip aborted
+		// versions regardless, and GC trims them eventually.
+		w.rec.head.CompareAndSwap(w.ver, w.ver.prev.Load())
+	}
+}

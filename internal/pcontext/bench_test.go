@@ -1,0 +1,153 @@
+package pcontext
+
+import (
+	"testing"
+
+	"preemptdb/internal/uintr"
+)
+
+// Ablation: the poll is PreemptDB's per-record overhead — the price of
+// instruction-granularity preemption. fig8's "~1.7% slowdown" claim reduces
+// to these numbers times the engine's poll density.
+
+// BenchmarkPollNil measures the nil-context fast path (un-scheduled code).
+func BenchmarkPollNil(b *testing.B) {
+	var ctx *Context
+	for i := 0; i < b.N; i++ {
+		ctx.Poll()
+	}
+}
+
+// BenchmarkPollDetached measures a detached context (loader/test paths).
+func BenchmarkPollDetached(b *testing.B) {
+	ctx := Detached()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Poll()
+	}
+}
+
+// BenchmarkPollUnhooked measures a core context before any policy installs
+// hooks (the Wait policy configuration).
+func BenchmarkPollUnhooked(b *testing.B) {
+	core := NewCore(0, 1)
+	done := make(chan struct{})
+	core.Start([]func(*Context){func(ctx *Context) {
+		for i := 0; i < b.N; i++ {
+			ctx.Poll()
+		}
+		close(done)
+	}})
+	<-done
+	core.Shutdown()
+}
+
+// BenchmarkPollArmed measures the PolicyPreempt configuration: a handler is
+// installed and recognition is checked (nothing pending) on every poll.
+func BenchmarkPollArmed(b *testing.B) {
+	core := NewCore(0, 2)
+	core.SetHandler(func(cur *Context, vectors uint64) {})
+	done := make(chan struct{})
+	core.Start([]func(*Context){func(ctx *Context) {
+		for i := 0; i < b.N; i++ {
+			ctx.Poll()
+		}
+		close(done)
+	}, nil})
+	<-done
+	core.Shutdown()
+}
+
+// BenchmarkPollInNPR measures polling inside a non-preemptible region.
+func BenchmarkPollInNPR(b *testing.B) {
+	core := NewCore(0, 2)
+	core.SetHandler(func(cur *Context, vectors uint64) {})
+	done := make(chan struct{})
+	core.Start([]func(*Context){func(ctx *Context) {
+		ctx.TCB().Lock()
+		for i := 0; i < b.N; i++ {
+			ctx.Poll()
+		}
+		ctx.TCB().Unlock()
+		close(done)
+	}, nil})
+	<-done
+	core.Shutdown()
+}
+
+// BenchmarkNonPreemptibleEnterExit measures TCB.Lock+Unlock (the §4.4
+// critical-section bracket placed around commits, SMOs and WAL flushes).
+func BenchmarkNonPreemptibleEnterExit(b *testing.B) {
+	ctx := Detached()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NonPreemptible(ctx, func() {})
+	}
+}
+
+// BenchmarkSwapContextRoundTrip measures the voluntary switch pair (§4.2).
+func BenchmarkSwapContextRoundTrip(b *testing.B) {
+	core := NewCore(0, 2)
+	done := make(chan struct{})
+	core.Start([]func(*Context){
+		func(ctx *Context) {
+			other := core.Context(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.SwapContext(other)
+			}
+			close(done)
+		},
+		func(ctx *Context) {
+			other := core.Context(0)
+			for !core.Done() {
+				ctx.SwapContext(other)
+			}
+		},
+	})
+	<-done
+	core.Shutdown()
+}
+
+// BenchmarkPreemptionRoundTrip measures the full passive cycle: senduipi →
+// recognition → handler switch → preemptive context → active switch back.
+func BenchmarkPreemptionRoundTrip(b *testing.B) {
+	core := NewCore(0, 2)
+	core.SetHandler(func(cur *Context, vectors uint64) {
+		cur.SwitchTo(core.Context(1))
+	})
+	done := make(chan struct{})
+	core.Start([]func(*Context){
+		func(ctx *Context) {
+			upid := core.Receiver().UPID()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				uintr.SendUIPI(upid, uintr.VecPreempt)
+				before := ctx.TCB().PassiveSwitches()
+				for ctx.TCB().PassiveSwitches() == before {
+					ctx.Poll()
+				}
+			}
+			close(done)
+		},
+		func(ctx *Context) {
+			for !core.Done() {
+				ctx.SwapContext(core.Context(0))
+			}
+		},
+	})
+	<-done
+	core.Shutdown()
+}
+
+// BenchmarkCLSAccess measures context-local storage slot access (§4.3).
+func BenchmarkCLSAccess(b *testing.B) {
+	ctx := Detached()
+	ctx.CLS().Set(SlotUser, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ctx.CLS().Get(SlotUser).(int) != 42 {
+			b.Fatal("bad slot")
+		}
+	}
+}

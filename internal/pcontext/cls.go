@@ -1,0 +1,52 @@
+package pcontext
+
+// CLS is context-local storage: the PreemptDB replacement for thread-local
+// storage (paper §4.3). A database engine keeps per-thread state — log
+// buffers, RNG streams, scratch arenas — in TLS; once a thread hosts several
+// transaction contexts that state must move to the context, or two contexts
+// would corrupt each other's buffers. The paper swaps the fs/gs TLS area on
+// every context switch so unmodified library code keeps working; in Go the
+// equivalent is that engine code reaches this state only through the Context
+// it is running on, which changes identity at exactly the same points the
+// paper's TLS swap happens.
+//
+// Slots hold arbitrary per-context objects registered by higher layers
+// (the WAL buffer, the workload RNG, …) without creating an import cycle;
+// the hot counters are direct fields.
+type CLS struct {
+	// Accesses counts simulated instruction boundaries (Poll calls). The
+	// cooperative policy derives its yield interval from it, mirroring the
+	// paper's "yield after accessing every N records" instrumentation.
+	Accesses uint64
+
+	// LastYield records the Accesses value at the previous cooperative
+	// yield, so the policy yields every (Accesses - LastYield) ≥ interval.
+	LastYield uint64
+
+	// Slots carries typed per-context objects owned by higher layers.
+	Slots [NumSlots]any
+}
+
+// Well-known CLS slot indexes. Higher layers assert the concrete types.
+const (
+	// SlotLog holds the context's *wal.Buffer redo buffer.
+	SlotLog = iota
+	// SlotRand holds the context's *rng.Rand stream.
+	SlotRand
+	// SlotSnapshot holds the context's *mvcc.ActiveSlot for version GC.
+	SlotSnapshot
+	// SlotScratch holds a reusable scratch allocation area.
+	SlotScratch
+	// SlotUser is free for applications embedding the engine.
+	SlotUser
+	// NumSlots is the CLS slot count.
+	NumSlots
+)
+
+func newCLS() CLS { return CLS{} }
+
+// Get returns the object in slot i (nil if unset).
+func (c *CLS) Get(i int) any { return c.Slots[i] }
+
+// Set stores v in slot i.
+func (c *CLS) Set(i int, v any) { c.Slots[i] = v }

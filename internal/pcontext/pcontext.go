@@ -1,0 +1,458 @@
+// Package pcontext implements PreemptDB's userspace transaction contexts:
+// the mechanism that lets one worker (a simulated hardware thread, Core)
+// time-share several transaction contexts and switch between them either
+// passively — when a user interrupt is recognized — or actively, via
+// SwapContext after a high-priority batch completes (paper §4.2).
+//
+// Mapping from the paper's x86 machinery to this package:
+//
+//   - A worker thread pinned to a CPU core        → Core
+//   - A transaction context with its own stack    → Context (a goroutine)
+//   - The transaction control block (TCB) holding
+//     saved registers                             → TCB; the "registers" are
+//     the goroutine stack, captured/restored by
+//     parking/unparking on a per-context channel
+//   - uintr frame push + uiret                    → Core.poll → handler →
+//     SwitchTo/park
+//   - clui/stui and the swap_context RIP check    → Receiver UIF masking in
+//     SwapContext
+//   - fs/gs-swapped context-local storage (CLS)   → CLS struct reached only
+//     through the running Context
+//   - CLS lock counter for non-preemptible
+//     regions                                     → TCB.Lock/Unlock nesting
+//
+// Exactly one context per core is runnable at a time: a context runs until it
+// parks, and parking/unparking is a binary-semaphore channel handoff, so the
+// invariant a single hardware thread provides is preserved (with a benign
+// nanosecond-scale overlap during the handoff itself, which only touches
+// atomic core state).
+package pcontext
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/uintr"
+)
+
+// Handler is the user-interrupt handler a scheduler installs on a core. It
+// runs on the interrupted context's goroutine with interrupts disabled
+// (UIF clear), like a hardware handler. It typically inspects queues and
+// calls cur.SwitchTo(other); returning without switching "drops" the
+// interrupt, the behaviour the paper prescribes for non-preemptible regions.
+type Handler func(cur *Context, vectors uint64)
+
+// PollHook is invoked on every Poll when installed; scheduling policies use
+// it for cooperative yield checks. It runs before interrupt recognition.
+type PollHook func(cur *Context)
+
+// Core models one hardware thread time-sharing multiple transaction contexts.
+type Core struct {
+	id   int
+	recv *uintr.Receiver
+
+	contexts []*Context
+	// active is the context currently entitled to run. Mutated only by the
+	// running context during a switch; read concurrently by the scheduler.
+	active atomic.Pointer[Context]
+
+	handler  Handler
+	pollHook PollHook
+	// hooked is 1 when either a handler or poll hook is installed; lets
+	// Poll's fast path skip everything with one non-atomic read after the
+	// nil-context check.
+	hooked atomic.Bool
+
+	done atomic.Bool
+	wg   sync.WaitGroup
+
+	// Starvation accounting (paper §5): t0 is the start timestamp of the
+	// low-priority transaction currently paused or running on this core, th
+	// the nanoseconds spent on high-priority transactions since t0. Shared
+	// across both contexts, hence atomic. Between low-priority transactions
+	// the level is frozen at its final value (frozenL, float64 bits), so
+	// scheduler-side admission decisions keep seeing how much this worker
+	// ceded during its previous transaction instead of a decayed-to-zero
+	// reading.
+	t0      atomic.Int64
+	th      atomic.Int64
+	frozenL atomic.Uint64
+
+	// deliveryLatency accumulates recognition latency (nanos between post
+	// and handler entry) for the §6.1 microbenchmark; guarded by being
+	// updated only from the core's running context.
+	deliveryCount atomic.Uint64
+	deliverySum   atomic.Int64
+
+	// userData lets the embedding scheduler attach its per-worker state
+	// (set once before Start; read-only afterwards).
+	userData any
+
+	// tracer, when attached, records scheduling events (see trace.go).
+	tracer *Tracer
+}
+
+// SetUserData attaches scheduler-owned state to the core. Call before Start.
+func (c *Core) SetUserData(v any) { c.userData = v }
+
+// UserData returns the state attached with SetUserData.
+func (c *Core) UserData() any { return c.userData }
+
+// NewCore creates a core with n transaction contexts (the paper uses two: the
+// regular context and the preemptive context). Contexts are created parked;
+// call Start to launch them.
+func NewCore(id, n int) *Core {
+	if n < 1 {
+		panic("pcontext: core needs at least one context")
+	}
+	c := &Core{id: id, recv: uintr.NewReceiver()}
+	for i := 0; i < n; i++ {
+		c.contexts = append(c.contexts, newContext(i, c))
+	}
+	return c
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() int { return c.id }
+
+// Receiver exposes the core's interrupt state so schedulers can SendUIPI to
+// Receiver().UPID() and toggle UIF.
+func (c *Core) Receiver() *uintr.Receiver { return c.recv }
+
+// Context returns context i (0 = regular, 1 = preemptive in PreemptDB).
+func (c *Core) Context(i int) *Context { return c.contexts[i] }
+
+// NumContexts returns the number of contexts on this core.
+func (c *Core) NumContexts() int { return len(c.contexts) }
+
+// Active returns the context currently entitled to run.
+func (c *Core) Active() *Context { return c.active.Load() }
+
+// SetHandler installs the user-interrupt handler. Install before Start.
+func (c *Core) SetHandler(h Handler) {
+	c.handler = h
+	c.hooked.Store(h != nil || c.pollHook != nil)
+}
+
+// SetPollHook installs a hook run on every Poll (cooperative policies).
+func (c *Core) SetPollHook(h PollHook) {
+	c.pollHook = h
+	c.hooked.Store(h != nil || c.handler != nil)
+}
+
+// Start launches one goroutine per context. entries[i] is the body for
+// context i; bodies typically loop until Core.Done, parking between turns.
+// Context 0 starts runnable; all others start parked.
+func (c *Core) Start(entries []func(*Context)) {
+	if len(entries) != len(c.contexts) {
+		panic("pcontext: entry count must match context count")
+	}
+	c.active.Store(c.contexts[0])
+	for i, ctx := range c.contexts {
+		c.wg.Add(1)
+		go func(ctx *Context, body func(*Context)) {
+			defer c.wg.Done()
+			ctx.park() // every context waits for its first token
+			if body != nil && !c.done.Load() {
+				body(ctx)
+			}
+		}(ctx, entries[i])
+	}
+	c.contexts[0].unpark()
+}
+
+// Done reports whether Shutdown has been requested.
+func (c *Core) Done() bool { return c.done.Load() }
+
+// Shutdown requests termination, wakes every context so its body can observe
+// Done, and waits for all context goroutines to exit. Bodies must return
+// promptly once Done is true.
+func (c *Core) Shutdown() {
+	c.done.Store(true)
+	for _, ctx := range c.contexts {
+		ctx.unpark()
+	}
+	c.wg.Wait()
+}
+
+// BeginLowPrio records the start of a low-priority transaction for
+// starvation accounting, resetting the high-priority accumulator (paper §5:
+// "when each low-priority transaction starts execution, we record T0 and
+// reset Th").
+func (c *Core) BeginLowPrio() {
+	c.th.Store(0)
+	c.t0.Store(clock.Nanos())
+}
+
+// EndLowPrio marks that no low-priority transaction is in progress,
+// freezing the starvation level at its final value until the next
+// BeginLowPrio.
+func (c *Core) EndLowPrio() {
+	c.frozenL.Store(math.Float64bits(c.liveStarvation()))
+	c.t0.Store(0)
+}
+
+// AddHighPrioNanos accumulates time spent executing high-priority
+// transactions while a low-priority transaction is paused on this core.
+func (c *Core) AddHighPrioNanos(d int64) { c.th.Add(d) }
+
+// LowPrioActive reports whether a low-priority transaction is currently
+// running or paused on this core.
+func (c *Core) LowPrioActive() bool { return c.t0.Load() != 0 }
+
+// StarvationLevel returns L = Th / (T1 - T0): the fraction of the paused
+// low-priority transaction's wall-clock lifetime consumed by high-priority
+// work. Between low-priority transactions it returns the frozen final level
+// of the previous one (0 before any ran).
+func (c *Core) StarvationLevel() float64 {
+	if c.t0.Load() == 0 {
+		return math.Float64frombits(c.frozenL.Load())
+	}
+	return c.liveStarvation()
+}
+
+func (c *Core) liveStarvation() float64 {
+	t0 := c.t0.Load()
+	if t0 == 0 {
+		return 0
+	}
+	elapsed := clock.Nanos() - t0
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.th.Load()) / float64(elapsed)
+}
+
+// DeliveryStats returns the number of recognized interrupts whose latency was
+// sampled and their mean post-to-handler latency in nanoseconds.
+func (c *Core) DeliveryStats() (count uint64, meanNanos float64) {
+	n := c.deliveryCount.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	return n, float64(c.deliverySum.Load()) / float64(n)
+}
+
+// poll is the slow path of Context.Poll: run the cooperative hook, then
+// recognize pending interrupts and invoke the handler.
+func (c *Core) poll(cur *Context) {
+	if h := c.pollHook; h != nil {
+		h(cur)
+	}
+	if c.handler == nil {
+		return
+	}
+	bitmap, ok := c.recv.Recognize()
+	if !ok {
+		return
+	}
+	// Latency sample: time from senduipi to handler entry.
+	if post := c.recv.UPID().LastPostNanos(); post != 0 {
+		c.deliverySum.Add(clock.Nanos() - post)
+		c.deliveryCount.Add(1)
+	}
+	cur.tcb.passiveSwitchEligible++
+	c.tracer.record(EvRecognized, int8(cur.id), -1)
+	c.handler(cur, bitmap)
+	c.recv.UIRET()
+}
+
+// Context is one transaction context: a goroutine plus its TCB and CLS.
+type Context struct {
+	id     int
+	core   *Core
+	resume chan struct{} // binary semaphore: park/unpark token
+	tcb    TCB
+	cls    CLS
+}
+
+func newContext(id int, core *Core) *Context {
+	return &Context{id: id, core: core, resume: make(chan struct{}, 1), cls: newCLS()}
+}
+
+// Detached returns a context not bound to any core. Poll is a no-op on it;
+// CLS and non-preemptible nesting still work. Use it to run engine code
+// outside the scheduler (tests, loaders, single-shot tools).
+func Detached() *Context {
+	return &Context{id: -1, resume: make(chan struct{}, 1), cls: newCLS()}
+}
+
+// ID returns the context's index on its core (-1 for detached contexts).
+func (x *Context) ID() int { return x.id }
+
+// Core returns the owning core, or nil for detached contexts.
+func (x *Context) Core() *Core { return x.core }
+
+// TCB returns the context's transaction control block.
+func (x *Context) TCB() *TCB { return &x.tcb }
+
+// CLS returns the context-local storage area.
+func (x *Context) CLS() *CLS { return &x.cls }
+
+// String implements fmt.Stringer for diagnostics.
+func (x *Context) String() string {
+	if x.core == nil {
+		return "ctx(detached)"
+	}
+	return fmt.Sprintf("ctx(core=%d,id=%d)", x.core.id, x.id)
+}
+
+// Poll is the simulated instruction boundary. Engine code calls it at every
+// record/version/node access; when nothing is pending it costs a few loads.
+// A nil receiver is allowed so un-instrumented callers can pass nil contexts.
+func (x *Context) Poll() {
+	if x == nil {
+		return
+	}
+	x.cls.Accesses++
+	core := x.core
+	if core == nil || !core.hooked.Load() {
+		return
+	}
+	if x.tcb.npr > 0 {
+		// Non-preemptible region: the interrupt stays pending in the UPID
+		// and will be recognized at the first poll after the outermost
+		// Unlock. Cooperative hooks are also suppressed here.
+		x.tcb.suppressedPolls++
+		if core.recv.UIF() && core.recv.UPID().Pending() {
+			core.tracer.record(EvSuppressed, int8(x.id), -1)
+		}
+		return
+	}
+	core.poll(x)
+}
+
+// park blocks until another context (or Shutdown) hands this context the
+// core. The goroutine stack is the saved register state.
+func (x *Context) park() { <-x.resume }
+
+// unpark makes the context runnable. The buffered channel guarantees at most
+// one token is outstanding, so unpark never blocks.
+func (x *Context) unpark() {
+	select {
+	case x.resume <- struct{}{}:
+	default:
+		// Token already pending: double unpark (only Shutdown can race here).
+	}
+}
+
+// SwitchTo performs a passive context switch from x (the interrupted
+// context) to target: it transfers the core and parks x. It must only be
+// called from x's own goroutine, normally inside a user-interrupt handler.
+// When another context later switches back, SwitchTo returns and x resumes
+// exactly where it was interrupted — the uiret analogue.
+//
+// The target context resumes with interrupts enabled: on hardware, entering
+// the switched-to context restores that context's saved RFLAGS whose UIF is
+// set. This is what allows nested preemption across more than two priority
+// levels; a two-level scheduler that must not re-interrupt its preemptive
+// context simply drops same-context interrupts in its handler.
+func (x *Context) SwitchTo(target *Context) {
+	if x.core == nil || target.core != x.core {
+		panic("pcontext: SwitchTo across cores or on detached context")
+	}
+	if target == x {
+		return
+	}
+	x.tcb.passiveSwitches++
+	x.core.tracer.record(EvPassiveSwitch, int8(x.id), int8(target.id))
+	x.core.active.Store(target)
+	x.core.recv.STUI()
+	target.unpark()
+	x.park()
+}
+
+// SwapContext is the voluntary (active) switch used when a context concludes
+// its work and hands the core back — e.g. the preemptive context resuming the
+// paused low-priority transaction (paper §4.2, Algorithm 2). The user
+// interrupt flag is cleared for the duration of the bookkeeping so the switch
+// is atomic with respect to arriving interrupts, then restored so the target
+// context resumes with interrupts enabled; an interrupt posted inside the
+// window stays pending and is recognized at the target's next poll — the
+// behaviour the paper obtains with its instruction-pointer range check.
+func (x *Context) SwapContext(target *Context) {
+	if x.core == nil || target.core != x.core {
+		panic("pcontext: SwapContext across cores or on detached context")
+	}
+	if target == x {
+		return
+	}
+	recv := x.core.recv
+	recv.CLUI() // .swap_context_start
+	x.tcb.activeSwitches++
+	x.core.tracer.record(EvActiveSwitch, int8(x.id), int8(target.id))
+	x.core.active.Store(target)
+	recv.STUI() // re-enable before the indirect jump, as in Algorithm 2
+	target.unpark()
+	x.park()
+	// Resumed: we hold the core again; UIF was re-enabled by whoever
+	// switched back to us.
+}
+
+// Yield re-checks for pending work by delivering any recognized interrupt on
+// the spot; cooperative policies call it at yield points. It is equivalent to
+// Poll but ignores the cooperative hook, forcing only interrupt recognition.
+func (x *Context) Yield() {
+	if x == nil || x.core == nil {
+		return
+	}
+	if x.tcb.npr > 0 {
+		return
+	}
+	x.core.poll(x)
+}
+
+// TCB is the transaction control block: per-context scheduling state. In the
+// paper it stores saved registers; here the goroutine holds those, and the
+// TCB keeps the non-preemptible nesting counter and switch statistics.
+type TCB struct {
+	// npr is the non-preemptible region nesting depth. Only the owning
+	// context touches it, so no synchronization is needed — the same
+	// argument the paper makes for its CLS lock counter.
+	npr int32
+
+	passiveSwitches       uint64
+	activeSwitches        uint64
+	passiveSwitchEligible uint64
+	suppressedPolls       uint64
+}
+
+// Lock enters a non-preemptible region (paper §4.4). Regions nest; interrupt
+// recognition is suppressed until the outermost Unlock.
+func (t *TCB) Lock() { t.npr++ }
+
+// Unlock exits a non-preemptible region.
+func (t *TCB) Unlock() {
+	if t.npr == 0 {
+		panic("pcontext: TCB.Unlock without matching Lock")
+	}
+	t.npr--
+}
+
+// InNonPreemptible reports whether the context is inside any NPR.
+func (t *TCB) InNonPreemptible() bool { return t.npr > 0 }
+
+// PassiveSwitches returns the number of interrupt-triggered switches.
+func (t *TCB) PassiveSwitches() uint64 { return t.passiveSwitches }
+
+// ActiveSwitches returns the number of voluntary SwapContext switches.
+func (t *TCB) ActiveSwitches() uint64 { return t.activeSwitches }
+
+// SuppressedPolls returns how many polls fell inside non-preemptible regions.
+func (t *TCB) SuppressedPolls() uint64 { return t.suppressedPolls }
+
+// NonPreemptible runs fn inside a non-preemptible region on ctx. It is the
+// convenience wrapper used around OCC validation, index SMOs, allocator and
+// WAL flush paths. Safe on nil and detached contexts (fn just runs).
+func NonPreemptible(ctx *Context, fn func()) {
+	if ctx == nil {
+		fn()
+		return
+	}
+	ctx.tcb.Lock()
+	defer ctx.tcb.Unlock()
+	fn()
+}

@@ -1,0 +1,130 @@
+package pcontext
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"preemptdb/internal/clock"
+)
+
+// Execution tracing. A Tracer records scheduling events (context switches,
+// interrupt recognitions, non-preemptible suppressions) into a fixed-size
+// ring per core, cheaply enough to stay on during benchmarks. Snapshots
+// render timelines like the paper's Figure 2 — who held the core when, and
+// where preemptions landed.
+
+// EventKind tags a trace event.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvPassiveSwitch EventKind = iota + 1 // interrupt-driven switch (from → to)
+	EvActiveSwitch                       // voluntary SwapContext (from → to)
+	EvRecognized                         // interrupt recognized (handler entry)
+	EvSuppressed                         // recognition deferred by an NPR
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPassiveSwitch:
+		return "preempt"
+	case EvActiveSwitch:
+		return "swap"
+	case EvRecognized:
+		return "uintr"
+	case EvSuppressed:
+		return "npr-defer"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At       int64 // clock.Nanos
+	Kind     EventKind
+	From, To int8 // context ids (-1 when not applicable)
+}
+
+// Tracer is a fixed-capacity ring of events. Writers are the core's
+// contexts (serialized by the core); readers may snapshot concurrently.
+type Tracer struct {
+	buf  []Event
+	mask uint64
+	next atomic.Uint64
+}
+
+// NewTracer returns a tracer holding the most recent `capacity` events
+// (rounded up to a power of two).
+func NewTracer(capacity int) *Tracer {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{buf: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// record appends one event.
+func (t *Tracer) record(kind EventKind, from, to int8) {
+	if t == nil {
+		return
+	}
+	i := t.next.Add(1) - 1
+	t.buf[i&t.mask] = Event{At: clock.Nanos(), Kind: kind, From: from, To: to}
+}
+
+// Len returns the number of events recorded (cumulative, may exceed
+// capacity).
+func (t *Tracer) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Snapshot returns the retained events in chronological order.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	n := t.next.Load()
+	size := uint64(len(t.buf))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		out = append(out, t.buf[i&t.mask])
+	}
+	return out
+}
+
+// Timeline renders a snapshot as human-readable lines with timestamps
+// relative to the first event.
+func Timeline(events []Event) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	base := events[0].At
+	var b strings.Builder
+	for _, e := range events {
+		rel := time.Duration(e.At - base)
+		switch e.Kind {
+		case EvPassiveSwitch, EvActiveSwitch:
+			fmt.Fprintf(&b, "%12v  %-9s ctx%d -> ctx%d\n", rel, e.Kind, e.From, e.To)
+		default:
+			fmt.Fprintf(&b, "%12v  %-9s ctx%d\n", rel, e.Kind, e.From)
+		}
+	}
+	return b.String()
+}
+
+// SetTracer attaches a tracer to the core (nil detaches). Install before
+// Start, or accept missing events around the installation instant.
+func (c *Core) SetTracer(t *Tracer) { c.tracer = t }
+
+// Tracer returns the attached tracer (nil if none).
+func (c *Core) Tracer() *Tracer { return c.tracer }

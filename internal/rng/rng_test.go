@@ -1,0 +1,233 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestZeroSeedEscapes(t *testing.T) {
+	r := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 2 {
+		t.Fatalf("zero seed produced %d zeros", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d/100 equal", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, samples = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := samples / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d: got %d, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("IntRange(10,20) = %d", v)
+		}
+	}
+	// Degenerate range.
+	if v := r.IntRange(7, 7); v != 7 {
+		t.Fatalf("IntRange(7,7) = %d", v)
+	}
+}
+
+func TestIntRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	New(1).IntRange(5, 4)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestNURandBounds(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.NURand(255, 0, 999)
+		if v < 0 || v > 999 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+		v = r.NURand(1023, 1, 3000)
+		if v < 1 || v > 3000 {
+			t.Fatalf("NURand(1023,1,3000) out of range: %d", v)
+		}
+	}
+}
+
+func TestNURandSkew(t *testing.T) {
+	// NURand must be non-uniform: the most popular value should appear far
+	// more often than the mean frequency.
+	r := New(17)
+	counts := map[int]int{}
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		counts[r.NURand(255, 0, 999)]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// NURand's bitwise-OR construction is moderately skewed (unlike Zipf):
+	// the hottest value should clearly exceed the uniform expectation.
+	if maxC < samples/1000*13/10 {
+		t.Fatalf("NURand looks uniform: max bucket %d", maxC)
+	}
+}
+
+func TestAString(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		s := r.AString(5, 10)
+		if len(s) < 5 || len(s) > 10 {
+			t.Fatalf("AString length %d", len(s))
+		}
+	}
+}
+
+func TestNString(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		s := r.NString(4, 4)
+		if len(s) != 4 {
+			t.Fatalf("NString length %d", len(s))
+		}
+		for _, ch := range s {
+			if ch < '0' || ch > '9' {
+				t.Fatalf("NString non-digit %q", s)
+			}
+		}
+	}
+}
+
+func TestLastName(t *testing.T) {
+	cases := map[int]string{
+		0:   "BARBARBAR",
+		371: "PRICALLYOUGHT",
+		999: "EINGEINGEING",
+	}
+	for num, want := range cases {
+		if got := LastName(num); got != want {
+			t.Errorf("LastName(%d) = %q, want %q", num, got, want)
+		}
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := New(29)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] < counts[500]*10 {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(New(1), 0, 0.5)
+}
+
+func TestMul64(t *testing.T) {
+	err := quick.Check(func(x, y uint32) bool {
+		hi, lo := mul64(uint64(x), uint64(y))
+		return hi == 0 && lo == uint64(x)*uint64(y)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A case with a known high word.
+	hi, _ := mul64(math.MaxUint64, 2)
+	if hi != 1 {
+		t.Fatalf("mul64(MaxUint64,2) hi = %d, want 1", hi)
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/pcontext"
+)
+
+func TestRepeatedPreemptionEngineScan(t *testing.T) {
+	e := engine.New(engine.Config{})
+	tab := e.CreateTable("data")
+	load := e.Begin(nil)
+	v := make([]byte, 32)
+	var k [8]byte
+	for i := 0; i < 60000; i++ {
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		load.Insert(tab, k[:], v)
+	}
+	load.Commit()
+
+	s := New(Config{Policy: PolicyPreempt, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	loDone := make(chan struct{})
+	s.SubmitLow(0, &Request{Work: func(ctx *pcontext.Context) error {
+		tx := e.Begin(ctx)
+		defer tx.Abort()
+		for r := 0; r < 40; r++ {
+			tx.Scan(tab, nil, nil, func(k, v []byte) bool { return true })
+		}
+		err := tx.Commit()
+		close(loDone)
+		return err
+	}})
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		hiDone := make(chan *Request, 1)
+		req := &Request{Work: func(ctx *pcontext.Context) error {
+			tx := e.Begin(ctx)
+			defer tx.Abort()
+			var kk [8]byte
+			binary.BigEndian.PutUint64(kk[:], 5)
+			tx.Get(tab, kk[:])
+			return tx.Commit()
+		}, OnDone: func(r *Request) { hiDone <- r }}
+		if s.SubmitHighBatch([]*Request{req}) != 1 {
+			t.Fatalf("round %d: not accepted", i)
+		}
+		select {
+		case r := <-hiDone:
+			if lat := time.Duration(r.SchedulingLatency()); lat > 50*time.Millisecond {
+				t.Fatalf("round %d: scheduling latency %v through the engine scan", i, lat)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("stuck")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-loDone
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"preemptdb/internal/pcontext"
+)
+
+func TestRepeatedPreemption(t *testing.T) {
+	s := New(Config{Policy: PolicyPreempt, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	loDone := make(chan struct{})
+	s.SubmitLow(0, &Request{Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, 300*time.Millisecond)
+		close(loDone)
+		return nil
+	}})
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		hiDone := make(chan *Request, 1)
+		req := &Request{Work: func(ctx *pcontext.Context) error { return nil },
+			OnDone: func(r *Request) { hiDone <- r }}
+		if s.SubmitHighBatch([]*Request{req}) != 1 {
+			t.Fatalf("round %d: not accepted", i)
+		}
+		select {
+		case r := <-hiDone:
+			lat := time.Duration(r.SchedulingLatency())
+			// Every round must preempt promptly; a regression that loses
+			// interrupts after the first switch shows up as ~spin duration.
+			if lat > 50*time.Millisecond {
+				w := s.Workers()[0]
+				t.Fatalf("round %d: latency %v; passive=%d suppressed=%d/%d uif=%v pending=%v",
+					i, lat,
+					w.Core().Context(0).TCB().PassiveSwitches(),
+					w.Core().Context(0).TCB().SuppressedPolls(),
+					w.Core().Context(1).TCB().SuppressedPolls(),
+					w.Core().Receiver().UIF(),
+					w.Core().Receiver().UPID().Pending())
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("stuck")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-loDone
+}

@@ -1,0 +1,457 @@
+// Package sched implements PreemptDB's transaction scheduling layer
+// (paper §4.1, §5): a scheduling thread dispatches priority-tagged
+// transaction requests into per-worker high- and low-priority queues, and
+// each worker — a simulated core hosting two transaction contexts — executes
+// them under one of the competing policies the paper evaluates:
+//
+//   - Wait: non-preemptive. A worker runs a transaction to completion, then
+//     exhausts the high-priority queue before taking the next low-priority
+//     transaction.
+//   - Cooperative: Wait plus engine-level yield points — after every
+//     YieldInterval record accesses the worker checks the high-priority
+//     queue and voluntarily swaps to the preemptive context.
+//   - CooperativeHandcrafted: Wait plus workload-placed yield points
+//     (the workload calls Yield at hand-chosen locations).
+//   - Preempt: PreemptDB. The scheduler sends a user interrupt after
+//     enqueueing a high-priority batch; the worker's interrupt handler
+//     switches to the preemptive context at the next instruction boundary.
+//
+// Batched on-demand preemption and starvation prevention follow §5: a batch
+// is pushed round-robin with one interrupt per touched worker, the scheduler
+// skips workers whose starvation level exceeds the threshold, and the
+// preemptive context returns the core early when the threshold is crossed
+// mid-batch.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/queue"
+	"preemptdb/internal/uintr"
+)
+
+// Policy selects the scheduling discipline.
+type Policy uint8
+
+// The scheduling policies the paper compares (§6.1 "Competing Methods").
+const (
+	PolicyWait Policy = iota
+	PolicyCooperative
+	PolicyCooperativeHandcrafted
+	PolicyPreempt
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyWait:
+		return "Wait"
+	case PolicyCooperative:
+		return "Cooperative"
+	case PolicyCooperativeHandcrafted:
+		return "Cooperative (Handcrafted)"
+	case PolicyPreempt:
+		return "PreemptDB"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Request is one transaction request flowing through the scheduler.
+type Request struct {
+	// HighPriority marks the short, latency-sensitive class.
+	HighPriority bool
+	// Work runs the transaction body on the executing context. Conflict
+	// retries are the body's responsibility; the returned error is recorded.
+	Work func(ctx *pcontext.Context) error
+
+	// EnqueuedAt is stamped by the submitter (clock.Nanos); StartedAt and
+	// FinishedAt by the executing worker. Scheduling latency is
+	// StartedAt-EnqueuedAt; end-to-end latency FinishedAt-EnqueuedAt.
+	EnqueuedAt int64
+	StartedAt  int64
+	FinishedAt int64
+	Err        error
+
+	// OnDone, when set, is called after FinishedAt is stamped.
+	OnDone func(*Request)
+}
+
+// SchedulingLatency returns StartedAt-EnqueuedAt in nanoseconds.
+func (r *Request) SchedulingLatency() int64 { return r.StartedAt - r.EnqueuedAt }
+
+// Latency returns the end-to-end FinishedAt-EnqueuedAt in nanoseconds.
+func (r *Request) Latency() int64 { return r.FinishedAt - r.EnqueuedAt }
+
+// Config sizes and parameterizes a Scheduler. Zero values take the paper's
+// defaults (§6.1).
+type Config struct {
+	// Policy is the scheduling discipline. Default PolicyWait.
+	Policy Policy
+	// Workers is the number of simulated cores. Default 4.
+	Workers int
+	// HiQueueSize is the per-worker high-priority queue capacity. Default 4.
+	HiQueueSize int
+	// LoQueueSize is the per-worker low-priority queue capacity. Default 1.
+	LoQueueSize int
+	// YieldInterval is the record-access count between cooperative yield
+	// checks. Default 10000.
+	YieldInterval uint64
+	// StarvationThreshold is the maximum starvation level L (fraction of a
+	// paused low-priority transaction's lifetime spent on high-priority
+	// work). Values >= 1 effectively disable prevention; the paper's default
+	// is 100. Default 100.
+	StarvationThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.HiQueueSize == 0 {
+		c.HiQueueSize = 4
+	}
+	if c.LoQueueSize == 0 {
+		c.LoQueueSize = 1
+	}
+	if c.YieldInterval == 0 {
+		c.YieldInterval = 10000
+	}
+	if c.StarvationThreshold == 0 {
+		c.StarvationThreshold = 100
+	}
+	return c
+}
+
+// Scheduler owns the workers and implements the dispatch side of the
+// policies. One goroutine (the "scheduling thread") should perform all
+// Submit calls; workers consume concurrently.
+type Scheduler struct {
+	cfg     Config
+	workers []*Worker
+	rr      int // round-robin cursor for high-priority dispatch
+
+	interruptsSent  atomic.Uint64
+	starvationSkips atomic.Uint64
+	started         bool
+}
+
+// Worker is one simulated core with its two transaction contexts and queues.
+type Worker struct {
+	id   int
+	s    *Scheduler
+	core *pcontext.Core
+	// hiQ is multi-consumer: both the regular and the preemptive context pop
+	// from it (never truly concurrently, but across the park/unpark handoff).
+	hiQ *queue.MPMC[*Request]
+	loQ *queue.SPSC[*Request]
+
+	executedHi atomic.Uint64
+	executedLo atomic.Uint64
+}
+
+// ID returns the worker index.
+func (w *Worker) ID() int { return w.id }
+
+// Core exposes the worker's simulated core.
+func (w *Worker) Core() *pcontext.Core { return w.core }
+
+// ExecutedHigh returns the number of completed high-priority requests.
+func (w *Worker) ExecutedHigh() uint64 { return w.executedHi.Load() }
+
+// ExecutedLow returns the number of completed low-priority requests.
+func (w *Worker) ExecutedLow() uint64 { return w.executedLo.Load() }
+
+// New builds a scheduler; call Start to launch the workers.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &Worker{
+			id:   i,
+			s:    s,
+			core: pcontext.NewCore(i, 2),
+			hiQ:  queue.NewMPMC[*Request](cfg.HiQueueSize),
+			loQ:  queue.NewSPSC[*Request](cfg.LoQueueSize),
+		}
+		w.core.SetUserData(w)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Config returns the effective configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Workers returns the worker set.
+func (s *Scheduler) Workers() []*Worker { return s.workers }
+
+// InterruptsSent returns the number of user interrupts issued.
+func (s *Scheduler) InterruptsSent() uint64 { return s.interruptsSent.Load() }
+
+// StarvationSkips returns how many scheduler-side dispatches were withheld
+// because a worker's starvation level exceeded the threshold.
+func (s *Scheduler) StarvationSkips() uint64 { return s.starvationSkips.Load() }
+
+// Start launches every worker's contexts and installs the policy hooks.
+func (s *Scheduler) Start() {
+	if s.started {
+		panic("sched: Start called twice")
+	}
+	s.started = true
+	for _, w := range s.workers {
+		w.install()
+		w.core.Start([]func(*pcontext.Context){w.regularLoop, w.preemptiveLoop})
+	}
+}
+
+// Stop shuts every worker down and waits for their contexts to exit.
+// Requests still queued are dropped.
+func (s *Scheduler) Stop() {
+	for _, w := range s.workers {
+		// Wake the core via a shutdown vector in case it sits in a long
+		// transaction polling only for interrupts.
+		uintr.SendUIPI(w.core.Receiver().UPID(), uintr.VecShutdown)
+	}
+	for _, w := range s.workers {
+		w.core.Shutdown()
+	}
+}
+
+// install wires the policy-specific handler/hook on the worker's core.
+func (w *Worker) install() {
+	switch w.s.cfg.Policy {
+	case PolicyPreempt:
+		w.core.SetHandler(func(cur *pcontext.Context, vectors uint64) {
+			if !uintr.Has(vectors, uintr.VecPreempt) {
+				return // e.g. shutdown ping
+			}
+			w.handlePreempt(cur)
+		})
+	case PolicyCooperative:
+		interval := w.s.cfg.YieldInterval
+		w.core.SetPollHook(func(cur *pcontext.Context) {
+			cls := cur.CLS()
+			if cls.Accesses-cls.LastYield < interval {
+				return
+			}
+			cls.LastYield = cls.Accesses
+			w.yieldPoint(cur)
+		})
+	default:
+		// Wait and CooperativeHandcrafted install nothing; the latter's
+		// yields come from workload calls to Yield.
+	}
+}
+
+// handlePreempt is the user-interrupt handler body: switch the regular
+// context to the preemptive one if there is work and no reason to hold back.
+// It runs with interrupts disabled (UIF clear), like a hardware handler.
+func (w *Worker) handlePreempt(cur *pcontext.Context) {
+	if w.core.Done() {
+		return
+	}
+	hp := w.core.Context(1)
+	if cur == hp {
+		// The paper does not interrupt an in-progress high-priority
+		// transaction; drop the interrupt (the queue will be drained by the
+		// already-running preemptive loop).
+		return
+	}
+	if w.hiQ.Empty() {
+		return // spurious or raced: nothing to do (fig8's overhead path)
+	}
+	cur.SwitchTo(hp)
+}
+
+// yieldPoint implements the cooperative check: if high-priority work is
+// queued, voluntarily swap to the preemptive context (which drains the queue
+// and swaps back).
+func (w *Worker) yieldPoint(cur *pcontext.Context) {
+	if w.core.Done() || cur != w.core.Context(0) {
+		return
+	}
+	if w.hiQ.Empty() {
+		return
+	}
+	cur.SwapContext(w.core.Context(1))
+}
+
+// Yield is the workload-visible yield point for handcrafted cooperative
+// scheduling (paper §6.3's Cooperative (Handcrafted)): the workload calls it
+// at hand-chosen locations, e.g. every N nested query blocks of Q2. It is a
+// no-op for contexts not owned by a scheduler worker.
+func Yield(ctx *pcontext.Context) {
+	if ctx == nil || ctx.Core() == nil {
+		return
+	}
+	w, ok := ctx.Core().UserData().(*Worker)
+	if !ok {
+		return
+	}
+	w.yieldPoint(ctx)
+}
+
+// regularLoop is context 0's body: the regular scheduling path. It prefers
+// the high-priority queue between transactions (all policies do, per §6.1's
+// Wait definition), then runs low-priority transactions with starvation
+// accounting armed.
+func (w *Worker) regularLoop(ctx *pcontext.Context) {
+	idle := 0
+	ranLow := false
+	for !w.core.Done() {
+		// §6.1: "Each worker thread starts with the low-priority transaction
+		// queue to run Q2" and only then prefers the high-priority queue
+		// between transactions. Starting low also arms the starvation meter
+		// before any admission decision is taken against this worker.
+		if !ranLow {
+			if req, ok := w.loQ.Pop(); ok {
+				w.runLow(ctx, req)
+				ranLow = true
+				idle = 0
+				continue
+			}
+		}
+		if req, ok := w.hiQ.Pop(); ok {
+			w.execute(ctx, req)
+			idle = 0
+			continue
+		}
+		if req, ok := w.loQ.Pop(); ok {
+			w.runLow(ctx, req)
+			ranLow = true
+			idle = 0
+			continue
+		}
+		// Idle: back off so other simulated cores get real CPU time.
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// preemptiveLoop is context 1's body: it wakes when switched to, drains the
+// high-priority queue (stopping early if the starvation threshold is
+// crossed, §5), and actively swaps the core back to the paused context.
+func (w *Worker) preemptiveLoop(ctx *pcontext.Context) {
+	thr := w.s.cfg.StarvationThreshold
+	for !w.core.Done() {
+		for {
+			// >= so a threshold of 0 admits nothing on the preemptive
+			// context (fig12's extreme point: those requests drain through
+			// the regular path instead).
+			if thr < 1 && w.core.StarvationLevel() >= thr {
+				break // return the core to the starved low-priority txn
+			}
+			req, ok := w.hiQ.Pop()
+			if !ok {
+				break
+			}
+			start := clock.Nanos()
+			w.execute(ctx, req)
+			w.core.AddHighPrioNanos(clock.Nanos() - start)
+		}
+		ctx.SwapContext(w.core.Context(0))
+	}
+}
+
+// runLow executes a low-priority request with starvation accounting armed:
+// the meter resets at transaction start and freezes its final level at the
+// end (paper §5).
+func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
+	w.core.BeginLowPrio()
+	w.execute(ctx, req)
+	w.core.EndLowPrio()
+}
+
+// execute runs one request, stamping its latency fields.
+func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
+	req.StartedAt = clock.Nanos()
+	req.Err = req.Work(ctx)
+	req.FinishedAt = clock.Nanos()
+	if req.HighPriority {
+		w.executedHi.Add(1)
+	} else {
+		w.executedLo.Add(1)
+	}
+	if req.OnDone != nil {
+		req.OnDone(req)
+	}
+}
+
+// SubmitLow offers a low-priority request to worker wid's queue, stamping
+// EnqueuedAt unless the caller already did. It reports false when the queue
+// is full.
+func (s *Scheduler) SubmitLow(wid int, req *Request) bool {
+	req.HighPriority = false
+	if req.EnqueuedAt == 0 {
+		req.EnqueuedAt = clock.Nanos()
+	}
+	return s.workers[wid].loQ.Push(req)
+}
+
+// SubmitHighBatch implements batched on-demand preemption (§5): requests are
+// distributed round-robin, filling each selected worker's high-priority
+// queue as far as possible and sending that worker a single user interrupt
+// (under PolicyPreempt). Workers above the starvation threshold are skipped.
+// It returns the number of requests accepted; the rest should be retried at
+// the next arrival interval.
+func (s *Scheduler) SubmitHighBatch(reqs []*Request) int {
+	now := clock.Nanos()
+	accepted := 0
+	thr := s.cfg.StarvationThreshold
+	remaining := reqs
+	for attempts := 0; attempts < len(s.workers) && len(remaining) > 0; attempts++ {
+		w := s.workers[s.rr]
+		s.rr = (s.rr + 1) % len(s.workers)
+		// Decision point 1 (§5): when the worker's starvation level has
+		// reached the threshold, push nothing and send no interrupt. The
+		// level stays defined between low-priority transactions (T0 is only
+		// reset at the next low-priority start), so at threshold 0 a worker
+		// that has ever ceded cycles keeps refusing dispatch — the paper's
+		// extreme where Q2 reaches maximum throughput and high-priority
+		// requests trickle through the regular path only.
+		if thr < 1 && w.core.StarvationLevel() >= thr {
+			s.starvationSkips.Add(1)
+			continue
+		}
+		pushed := 0
+		for len(remaining) > 0 {
+			req := remaining[0]
+			req.HighPriority = true
+			if req.EnqueuedAt == 0 {
+				req.EnqueuedAt = now
+			}
+			if !w.hiQ.Push(req) {
+				break // queue full; move to the next worker
+			}
+			remaining = remaining[1:]
+			pushed++
+		}
+		if pushed > 0 {
+			accepted += pushed
+			if s.cfg.Policy == PolicyPreempt {
+				uintr.SendUIPI(w.core.Receiver().UPID(), uintr.VecPreempt)
+				s.interruptsSent.Add(1)
+			}
+		}
+	}
+	return accepted
+}
+
+// PingAll sends an empty (no enqueued work) preemption interrupt to every
+// worker — the fig8 overhead experiment, which measures the cost of the
+// interrupt machinery when there is never high-priority work.
+func (s *Scheduler) PingAll() {
+	for _, w := range s.workers {
+		uintr.SendUIPI(w.core.Receiver().UPID(), uintr.VecPreempt)
+		s.interruptsSent.Add(1)
+	}
+}

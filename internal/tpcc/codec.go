@@ -1,0 +1,59 @@
+// Package tpcc implements the TPC-C workload (spec rev 5.11) over the
+// PreemptDB storage engine: schema, deterministic loader, and the five
+// transaction profiles. NewOrder and Payment serve as the paper's short,
+// high-priority transactions (§6.1); the full mix drives the overhead and
+// scalability experiments (fig8, fig9).
+//
+// Monetary amounts are int64 cents throughout so consistency invariants
+// (e.g. W_YTD = ΣD_YTD) hold exactly.
+package tpcc
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// enc appends fixed-layout fields to a row buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.b = binary.AppendUvarint(e.b, uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec reads fields written by enc, in the same order.
+type dec struct{ b []byte }
+
+func (d *dec) u8() uint8 {
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+func (d *dec) u64() uint64 {
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+func (d *dec) i64() int64 { return int64(d.u64()) }
+func (d *dec) f64() float64 {
+	return math.Float64frombits(d.u64())
+}
+func (d *dec) str() string {
+	n, w := binary.Uvarint(d.b)
+	d.b = d.b[w:]
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

@@ -1,0 +1,237 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/rng"
+)
+
+// ScaleConfig controls database population. The TPC-C specification values
+// are the defaults; tests and single-core benchmarks shrink Customers and
+// Items to keep load times reasonable without changing transaction logic.
+type ScaleConfig struct {
+	Warehouses int // default 1
+	Districts  int // per warehouse; default (and spec) 10
+	Customers  int // per district; spec 3000
+	Items      int // catalog size; spec 100000
+	Seed       uint64
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Warehouses == 0 {
+		c.Warehouses = 1
+	}
+	if c.Districts == 0 {
+		c.Districts = 10
+	}
+	if c.Customers == 0 {
+		c.Customers = 3000
+	}
+	if c.Items == 0 {
+		c.Items = 100000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x7065_7264 // "perd"
+	}
+	return c
+}
+
+// Load populates a freshly-created TPC-C schema per the specification's
+// initial database state (one committed transaction per warehouse plus one
+// for the item catalog, so loading interleaves cleanly with nothing).
+func Load(e *engine.Engine, cfg ScaleConfig) (ScaleConfig, error) {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+
+	items := e.MustTable(TabItem)
+	tx := e.Begin(nil)
+	for i := 1; i <= cfg.Items; i++ {
+		it := Item{
+			ID:    uint32(i),
+			ImID:  uint32(r.IntRange(1, 10000)),
+			Name:  r.AString(14, 24),
+			Price: int64(r.IntRange(100, 10000)),
+			Data:  itemData(r),
+		}
+		if err := tx.Insert(items, ItemKey(it.ID), it.Encode()); err != nil {
+			return cfg, fmt.Errorf("load item %d: %w", i, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return cfg, err
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := loadWarehouse(e, cfg, r.Split(), uint32(w)); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// itemData is an a-string with ~10% chance of containing "ORIGINAL".
+func itemData(r *rng.Rand) string {
+	s := r.AString(26, 50)
+	if r.Intn(10) == 0 {
+		pos := r.Intn(len(s) - 8)
+		s = s[:pos] + "ORIGINAL" + s[pos+8:]
+	}
+	return s
+}
+
+func loadWarehouse(e *engine.Engine, cfg ScaleConfig, r *rng.Rand, w uint32) error {
+	warehouses := e.MustTable(TabWarehouse)
+	districts := e.MustTable(TabDistrict)
+	customers := e.MustTable(TabCustomer)
+	history := e.MustTable(TabHistory)
+	orders := e.MustTable(TabOrders)
+	neworder := e.MustTable(TabNewOrder)
+	orderline := e.MustTable(TabOrderLine)
+	stock := e.MustTable(TabStock)
+
+	tx := e.Begin(nil)
+	wh := Warehouse{
+		ID: w, Name: r.AString(6, 10),
+		Street1: r.AString(10, 20), Street2: r.AString(10, 20),
+		City: r.AString(10, 20), State: r.AString(2, 2), Zip: r.NString(4, 4) + "11111",
+		Tax: float64(r.IntRange(0, 2000)) / 10000,
+		// Spec value 300,000.00 assumes 10 districts at 30,000.00 each; keep
+		// the W_YTD = ΣD_YTD consistency condition under scaled-down loads.
+		YTD: int64(cfg.Districts) * 30_000_00,
+	}
+	if err := tx.Insert(warehouses, WarehouseKey(w), wh.Encode()); err != nil {
+		return err
+	}
+
+	for i := 1; i <= cfg.Items; i++ {
+		st := Stock{
+			IID: uint32(i), WID: w,
+			Quantity: int32(r.IntRange(10, 100)),
+			YTD:      0, OrderCnt: 0, RemoteCnt: 0,
+			Data: itemData(r),
+		}
+		for d := range st.Dists {
+			st.Dists[d] = r.AString(24, 24)
+		}
+		if err := tx.Insert(stock, StockKey(w, uint32(i)), st.Encode()); err != nil {
+			return err
+		}
+	}
+
+	var hseq uint64
+	for d := 1; d <= cfg.Districts; d++ {
+		dist := District{
+			ID: uint32(d), WID: w, Name: r.AString(6, 10),
+			Street1: r.AString(10, 20), Street2: r.AString(10, 20),
+			City: r.AString(10, 20), State: r.AString(2, 2), Zip: r.NString(4, 4) + "11111",
+			Tax: float64(r.IntRange(0, 2000)) / 10000,
+			YTD: 30_000_00,
+			// Initial orders are pre-loaded below; NextOID continues after.
+			NextOID: uint32(cfg.Customers) + 1,
+		}
+		if err := tx.Insert(districts, DistrictKey(w, uint32(d)), dist.Encode()); err != nil {
+			return err
+		}
+
+		for c := 1; c <= cfg.Customers; c++ {
+			last := rng.LastName(lastNameNumber(r, c, cfg.Customers))
+			cust := Customer{
+				ID: uint32(c), DID: uint32(d), WID: w,
+				First: r.AString(8, 16), Middle: "OE", Last: last,
+				Street1: r.AString(10, 20), Street2: r.AString(10, 20),
+				City: r.AString(10, 20), State: r.AString(2, 2), Zip: r.NString(4, 4) + "11111",
+				Phone: r.NString(16, 16), Since: 0,
+				Credit:    pick(r, 10, "BC", "GC"),
+				CreditLim: 50_000_00,
+				Discount:  float64(r.IntRange(0, 5000)) / 10000,
+				Balance:   -10_00, YTDPayment: 10_00, PaymentCnt: 1,
+				Data: r.AString(300, 500),
+			}
+			if err := tx.Insert(customers, CustomerKey(w, uint32(d), uint32(c)), cust.Encode()); err != nil {
+				return err
+			}
+			hseq++
+			h := History{
+				CID: uint32(c), CDID: uint32(d), CWID: w, DID: uint32(d), WID: w,
+				Amount: 10_00, Data: r.AString(12, 24),
+			}
+			if err := tx.Insert(history, HistoryKey(w, uint32(d), uint32(c), hseq), h.Encode()); err != nil {
+				return err
+			}
+		}
+
+		// Initial orders: one per customer in a random permutation; the most
+		// recent third are undelivered (rows in new_order).
+		perm := r.Split()
+		cids := permutation(perm, cfg.Customers)
+		for o := 1; o <= cfg.Customers; o++ {
+			olCnt := uint32(r.IntRange(5, 15))
+			ord := Order{
+				ID: uint32(o), DID: uint32(d), WID: w, CID: uint32(cids[o-1]),
+				OLCnt: olCnt, AllLocal: 1,
+			}
+			delivered := o <= cfg.Customers*2/3
+			if delivered {
+				ord.CarrierID = uint32(r.IntRange(1, 10))
+			}
+			if err := tx.Insert(orders, OrderKey(w, uint32(d), uint32(o)), ord.Encode()); err != nil {
+				return err
+			}
+			if !delivered {
+				no := NewOrderRow{OID: uint32(o), DID: uint32(d), WID: w}
+				if err := tx.Insert(neworder, NewOrderKey(w, uint32(d), uint32(o)), no.Encode()); err != nil {
+					return err
+				}
+			}
+			for n := uint32(1); n <= olCnt; n++ {
+				ol := OrderLine{
+					OID: uint32(o), DID: uint32(d), WID: w, Number: n,
+					IID: uint32(r.IntRange(1, cfg.Items)), SupplyWID: w,
+					Quantity: 5, DistInfo: r.AString(24, 24),
+				}
+				if delivered {
+					ol.DeliveryD = 1
+				} else {
+					ol.Amount = int64(r.IntRange(1, 999999))
+				}
+				if err := tx.Insert(orderline, OrderLineKey(w, uint32(d), uint32(o), n), ol.Encode()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+// lastNameNumber picks the spec's last-name number: NURand(255,0,999) for
+// large districts, or a cycling assignment for scaled-down ones so by-name
+// lookups still find rows.
+func lastNameNumber(r *rng.Rand, c, customersPerDistrict int) int {
+	if customersPerDistrict >= 1000 {
+		if c <= 1000 {
+			return c - 1
+		}
+		return r.NURand(255, 0, 999)
+	}
+	return (c - 1) % 1000
+}
+
+func pick(r *rng.Rand, pctFirst int, first, second string) string {
+	if r.IntRange(1, 100) <= pctFirst {
+		return first
+	}
+	return second
+}
+
+func permutation(r *rng.Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i + 1
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,420 @@
+package tpcc
+
+import (
+	"preemptdb/internal/engine"
+	"preemptdb/internal/keys"
+)
+
+// Table names.
+const (
+	TabWarehouse = "tpcc.warehouse"
+	TabDistrict  = "tpcc.district"
+	TabCustomer  = "tpcc.customer"
+	TabHistory   = "tpcc.history"
+	TabNewOrder  = "tpcc.new_order"
+	TabOrders    = "tpcc.orders"
+	TabOrderLine = "tpcc.order_line"
+	TabItem      = "tpcc.item"
+	TabStock     = "tpcc.stock"
+
+	// IdxCustomerByName supports the 60%-by-last-name Payment/OrderStatus
+	// path: (w, d, last, first) → customer row.
+	IdxCustomerByName = "byname"
+	// IdxOrdersByCustomer supports OrderStatus's newest-order lookup:
+	// (w, d, c, o) → order row.
+	IdxOrdersByCustomer = "bycustomer"
+)
+
+// Warehouse is one TPC-C warehouse row.
+type Warehouse struct {
+	ID                        uint32
+	Name                      string
+	Street1, Street2          string
+	City, State, Zip          string
+	Tax                       float64
+	YTD                       int64 // cents
+}
+
+// District is one district row.
+type District struct {
+	ID, WID          uint32
+	Name             string
+	Street1, Street2 string
+	City, State, Zip string
+	Tax              float64
+	YTD              int64 // cents
+	NextOID          uint32
+}
+
+// Customer is one customer row.
+type Customer struct {
+	ID, DID, WID       uint32
+	First, Middle, Last string
+	Street1, Street2   string
+	City, State, Zip   string
+	Phone              string
+	Since              int64
+	Credit             string // "GC" or "BC"
+	CreditLim          int64  // cents
+	Discount           float64
+	Balance            int64 // cents
+	YTDPayment         int64 // cents
+	PaymentCnt         uint32
+	DeliveryCnt        uint32
+	Data               string
+}
+
+// History is one payment-history row.
+type History struct {
+	CID, CDID, CWID uint32
+	DID, WID        uint32
+	Date            int64
+	Amount          int64 // cents
+	Data            string
+}
+
+// NewOrderRow marks an undelivered order.
+type NewOrderRow struct {
+	OID, DID, WID uint32
+}
+
+// Order is one order header row.
+type Order struct {
+	ID, DID, WID uint32
+	CID          uint32
+	EntryD       int64
+	CarrierID    uint32 // 0 = not delivered
+	OLCnt        uint32
+	AllLocal     uint32
+}
+
+// OrderLine is one order line row.
+type OrderLine struct {
+	OID, DID, WID uint32
+	Number        uint32
+	IID           uint32
+	SupplyWID     uint32
+	DeliveryD     int64
+	Quantity      uint32
+	Amount        int64 // cents
+	DistInfo      string
+}
+
+// Item is one catalog item row.
+type Item struct {
+	ID    uint32
+	ImID  uint32
+	Name  string
+	Price int64 // cents
+	Data  string
+}
+
+// Stock is one stock row.
+type Stock struct {
+	IID, WID   uint32
+	Quantity   int32
+	Dists      [10]string
+	YTD        uint64
+	OrderCnt   uint32
+	RemoteCnt  uint32
+	Data       string
+}
+
+// Key builders (order-preserving composite keys).
+
+// WarehouseKey returns the warehouse primary key.
+func WarehouseKey(w uint32) []byte { return keys.Uint32(nil, w) }
+
+// DistrictKey returns the district primary key.
+func DistrictKey(w, d uint32) []byte { return keys.Uint32(keys.Uint32(nil, w), d) }
+
+// CustomerKey returns the customer primary key.
+func CustomerKey(w, d, c uint32) []byte {
+	return keys.Uint32(keys.Uint32(keys.Uint32(nil, w), d), c)
+}
+
+// CustomerNameKey returns the by-name secondary key prefix (without the
+// engine's primary-key uniquifier).
+func CustomerNameKey(w, d uint32, last, first string) []byte {
+	k := keys.Uint32(keys.Uint32(nil, w), d)
+	k = keys.String(k, last)
+	return keys.String(k, first)
+}
+
+// OrderKey returns the orders primary key.
+func OrderKey(w, d, o uint32) []byte {
+	return keys.Uint32(keys.Uint32(keys.Uint32(nil, w), d), o)
+}
+
+// OrderCustomerKey returns the by-customer secondary key prefix.
+func OrderCustomerKey(w, d, c, o uint32) []byte {
+	return keys.Uint32(keys.Uint32(keys.Uint32(keys.Uint32(nil, w), d), c), o)
+}
+
+// NewOrderKey returns the new_order primary key.
+func NewOrderKey(w, d, o uint32) []byte { return OrderKey(w, d, o) }
+
+// OrderLineKey returns the order_line primary key.
+func OrderLineKey(w, d, o, n uint32) []byte {
+	return keys.Uint32(OrderKey(w, d, o), n)
+}
+
+// ItemKey returns the item primary key.
+func ItemKey(i uint32) []byte { return keys.Uint32(nil, i) }
+
+// StockKey returns the stock primary key.
+func StockKey(w, i uint32) []byte { return keys.Uint32(keys.Uint32(nil, w), i) }
+
+// HistoryKey returns the history primary key (seq uniquifies).
+func HistoryKey(w, d, c uint32, seq uint64) []byte {
+	return keys.Uint64(CustomerKey(w, d, c), seq)
+}
+
+// Row codecs.
+
+// Encode serializes the warehouse row.
+func (r *Warehouse) Encode() []byte {
+	var e enc
+	e.u32(r.ID)
+	e.str(r.Name)
+	e.str(r.Street1)
+	e.str(r.Street2)
+	e.str(r.City)
+	e.str(r.State)
+	e.str(r.Zip)
+	e.f64(r.Tax)
+	e.i64(r.YTD)
+	return e.b
+}
+
+// DecodeWarehouse deserializes a warehouse row.
+func DecodeWarehouse(b []byte) Warehouse {
+	d := dec{b}
+	return Warehouse{
+		ID: d.u32(), Name: d.str(), Street1: d.str(), Street2: d.str(),
+		City: d.str(), State: d.str(), Zip: d.str(), Tax: d.f64(), YTD: d.i64(),
+	}
+}
+
+// Encode serializes the district row.
+func (r *District) Encode() []byte {
+	var e enc
+	e.u32(r.ID)
+	e.u32(r.WID)
+	e.str(r.Name)
+	e.str(r.Street1)
+	e.str(r.Street2)
+	e.str(r.City)
+	e.str(r.State)
+	e.str(r.Zip)
+	e.f64(r.Tax)
+	e.i64(r.YTD)
+	e.u32(r.NextOID)
+	return e.b
+}
+
+// DecodeDistrict deserializes a district row.
+func DecodeDistrict(b []byte) District {
+	d := dec{b}
+	return District{
+		ID: d.u32(), WID: d.u32(), Name: d.str(), Street1: d.str(), Street2: d.str(),
+		City: d.str(), State: d.str(), Zip: d.str(), Tax: d.f64(), YTD: d.i64(),
+		NextOID: d.u32(),
+	}
+}
+
+// Encode serializes the customer row.
+func (r *Customer) Encode() []byte {
+	var e enc
+	e.u32(r.ID)
+	e.u32(r.DID)
+	e.u32(r.WID)
+	e.str(r.First)
+	e.str(r.Middle)
+	e.str(r.Last)
+	e.str(r.Street1)
+	e.str(r.Street2)
+	e.str(r.City)
+	e.str(r.State)
+	e.str(r.Zip)
+	e.str(r.Phone)
+	e.i64(r.Since)
+	e.str(r.Credit)
+	e.i64(r.CreditLim)
+	e.f64(r.Discount)
+	e.i64(r.Balance)
+	e.i64(r.YTDPayment)
+	e.u32(r.PaymentCnt)
+	e.u32(r.DeliveryCnt)
+	e.str(r.Data)
+	return e.b
+}
+
+// DecodeCustomer deserializes a customer row.
+func DecodeCustomer(b []byte) Customer {
+	d := dec{b}
+	return Customer{
+		ID: d.u32(), DID: d.u32(), WID: d.u32(),
+		First: d.str(), Middle: d.str(), Last: d.str(),
+		Street1: d.str(), Street2: d.str(), City: d.str(), State: d.str(), Zip: d.str(),
+		Phone: d.str(), Since: d.i64(), Credit: d.str(), CreditLim: d.i64(),
+		Discount: d.f64(), Balance: d.i64(), YTDPayment: d.i64(),
+		PaymentCnt: d.u32(), DeliveryCnt: d.u32(), Data: d.str(),
+	}
+}
+
+// Encode serializes the history row.
+func (r *History) Encode() []byte {
+	var e enc
+	e.u32(r.CID)
+	e.u32(r.CDID)
+	e.u32(r.CWID)
+	e.u32(r.DID)
+	e.u32(r.WID)
+	e.i64(r.Date)
+	e.i64(r.Amount)
+	e.str(r.Data)
+	return e.b
+}
+
+// DecodeHistory deserializes a history row.
+func DecodeHistory(b []byte) History {
+	d := dec{b}
+	return History{
+		CID: d.u32(), CDID: d.u32(), CWID: d.u32(), DID: d.u32(), WID: d.u32(),
+		Date: d.i64(), Amount: d.i64(), Data: d.str(),
+	}
+}
+
+// Encode serializes the new-order row.
+func (r *NewOrderRow) Encode() []byte {
+	var e enc
+	e.u32(r.OID)
+	e.u32(r.DID)
+	e.u32(r.WID)
+	return e.b
+}
+
+// DecodeNewOrder deserializes a new-order row.
+func DecodeNewOrder(b []byte) NewOrderRow {
+	d := dec{b}
+	return NewOrderRow{OID: d.u32(), DID: d.u32(), WID: d.u32()}
+}
+
+// Encode serializes the order row.
+func (r *Order) Encode() []byte {
+	var e enc
+	e.u32(r.ID)
+	e.u32(r.DID)
+	e.u32(r.WID)
+	e.u32(r.CID)
+	e.i64(r.EntryD)
+	e.u32(r.CarrierID)
+	e.u32(r.OLCnt)
+	e.u32(r.AllLocal)
+	return e.b
+}
+
+// DecodeOrder deserializes an order row.
+func DecodeOrder(b []byte) Order {
+	d := dec{b}
+	return Order{
+		ID: d.u32(), DID: d.u32(), WID: d.u32(), CID: d.u32(),
+		EntryD: d.i64(), CarrierID: d.u32(), OLCnt: d.u32(), AllLocal: d.u32(),
+	}
+}
+
+// Encode serializes the order-line row.
+func (r *OrderLine) Encode() []byte {
+	var e enc
+	e.u32(r.OID)
+	e.u32(r.DID)
+	e.u32(r.WID)
+	e.u32(r.Number)
+	e.u32(r.IID)
+	e.u32(r.SupplyWID)
+	e.i64(r.DeliveryD)
+	e.u32(r.Quantity)
+	e.i64(r.Amount)
+	e.str(r.DistInfo)
+	return e.b
+}
+
+// DecodeOrderLine deserializes an order-line row.
+func DecodeOrderLine(b []byte) OrderLine {
+	d := dec{b}
+	return OrderLine{
+		OID: d.u32(), DID: d.u32(), WID: d.u32(), Number: d.u32(), IID: d.u32(),
+		SupplyWID: d.u32(), DeliveryD: d.i64(), Quantity: d.u32(), Amount: d.i64(),
+		DistInfo: d.str(),
+	}
+}
+
+// Encode serializes the item row.
+func (r *Item) Encode() []byte {
+	var e enc
+	e.u32(r.ID)
+	e.u32(r.ImID)
+	e.str(r.Name)
+	e.i64(r.Price)
+	e.str(r.Data)
+	return e.b
+}
+
+// DecodeItem deserializes an item row.
+func DecodeItem(b []byte) Item {
+	d := dec{b}
+	return Item{ID: d.u32(), ImID: d.u32(), Name: d.str(), Price: d.i64(), Data: d.str()}
+}
+
+// Encode serializes the stock row.
+func (r *Stock) Encode() []byte {
+	var e enc
+	e.u32(r.IID)
+	e.u32(r.WID)
+	e.u32(uint32(r.Quantity))
+	for _, s := range r.Dists {
+		e.str(s)
+	}
+	e.u64(r.YTD)
+	e.u32(r.OrderCnt)
+	e.u32(r.RemoteCnt)
+	e.str(r.Data)
+	return e.b
+}
+
+// DecodeStock deserializes a stock row.
+func DecodeStock(b []byte) Stock {
+	d := dec{b}
+	s := Stock{IID: d.u32(), WID: d.u32(), Quantity: int32(d.u32())}
+	for i := range s.Dists {
+		s.Dists[i] = d.str()
+	}
+	s.YTD = d.u64()
+	s.OrderCnt = d.u32()
+	s.RemoteCnt = d.u32()
+	s.Data = d.str()
+	return s
+}
+
+// CreateSchema creates all TPC-C tables and secondary indexes on e.
+// Call once, before loading.
+func CreateSchema(e *engine.Engine) {
+	e.CreateTable(TabWarehouse)
+	e.CreateTable(TabDistrict)
+	cust := e.CreateTable(TabCustomer)
+	cust.CreateIndex(IdxCustomerByName, func(pk, row []byte) []byte {
+		c := DecodeCustomer(row)
+		return CustomerNameKey(c.WID, c.DID, c.Last, c.First)
+	})
+	e.CreateTable(TabHistory)
+	e.CreateTable(TabNewOrder)
+	orders := e.CreateTable(TabOrders)
+	orders.CreateIndex(IdxOrdersByCustomer, func(pk, row []byte) []byte {
+		o := DecodeOrder(row)
+		return OrderCustomerKey(o.WID, o.DID, o.CID, o.ID)
+	})
+	e.CreateTable(TabOrderLine)
+	e.CreateTable(TabItem)
+	e.CreateTable(TabStock)
+}

@@ -1,0 +1,523 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/keys"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/rng"
+)
+
+// ErrUserAbort is the spec-mandated 1% NewOrder rollback (invalid item).
+// It is an expected outcome, not a failure.
+var ErrUserAbort = errors.New("tpcc: simulated user abort (invalid item)")
+
+// maxRetries bounds conflict retries per transaction call.
+const maxRetries = 100
+
+// Client executes TPC-C transactions against a loaded database. One Client
+// serves all workers; per-call state comes from the caller's context and RNG.
+type Client struct {
+	e   *engine.Engine
+	cfg ScaleConfig
+
+	warehouses, districts, customers, history  *engine.Table
+	neworder, orders, orderline, items, stock  *engine.Table
+
+	hseq atomic.Uint64 // history primary-key uniquifier
+}
+
+// NewClient binds a client to a loaded engine.
+func NewClient(e *engine.Engine, cfg ScaleConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		e: e, cfg: cfg,
+		warehouses: e.MustTable(TabWarehouse),
+		districts:  e.MustTable(TabDistrict),
+		customers:  e.MustTable(TabCustomer),
+		history:    e.MustTable(TabHistory),
+		neworder:   e.MustTable(TabNewOrder),
+		orders:     e.MustTable(TabOrders),
+		orderline:  e.MustTable(TabOrderLine),
+		items:      e.MustTable(TabItem),
+		stock:      e.MustTable(TabStock),
+	}
+}
+
+// Scale returns the loaded scale configuration.
+func (c *Client) Scale() ScaleConfig { return c.cfg }
+
+// Engine returns the underlying storage engine.
+func (c *Client) Engine() *engine.Engine { return c.e }
+
+// retry runs body until it commits, hits a non-conflict error, or exhausts
+// the retry budget. Conflict retries are part of a transaction's end-to-end
+// latency, exactly as in the paper's driver.
+func retry(fn func() error) error {
+	for i := 0; i < maxRetries; i++ {
+		err := fn()
+		if err == nil || !engine.IsConflict(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("tpcc: transaction exceeded %d conflict retries", maxRetries)
+}
+
+// randomWID returns a warehouse other than home when possible.
+func (c *Client) randomRemoteWID(r *rng.Rand, home uint32) uint32 {
+	if c.cfg.Warehouses == 1 {
+		return home
+	}
+	for {
+		w := uint32(r.IntRange(1, c.cfg.Warehouses))
+		if w != home {
+			return w
+		}
+	}
+}
+
+// NewOrder runs the New-Order transaction for the given home warehouse.
+func (c *Client) NewOrder(ctx *pcontext.Context, r *rng.Rand, w uint32) error {
+	did := uint32(r.IntRange(1, c.cfg.Districts))
+	cid := uint32(r.NURand(1023, 1, c.cfg.Customers))
+	olCnt := r.IntRange(5, 15)
+	rollback := r.IntRange(1, 100) == 1
+
+	type line struct {
+		iid, supplyW, qty uint32
+	}
+	lines := make([]line, olCnt)
+	for i := range lines {
+		lines[i] = line{
+			iid:     uint32(r.NURand(8191, 1, c.cfg.Items)),
+			supplyW: w,
+			qty:     uint32(r.IntRange(1, 10)),
+		}
+		if r.IntRange(1, 100) == 1 { // 1% remote supply warehouse
+			lines[i].supplyW = c.randomRemoteWID(r, w)
+		}
+	}
+	if rollback {
+		lines[olCnt-1].iid = uint32(c.cfg.Items) + 999999 // unused item: forces abort
+	}
+
+	return retry(func() error {
+		tx := c.e.Begin(ctx)
+		defer tx.Abort()
+
+		wRow, err := tx.Get(c.warehouses, WarehouseKey(w))
+		if err != nil {
+			return err
+		}
+		wTax := DecodeWarehouse(wRow).Tax
+
+		dKey := DistrictKey(w, did)
+		dRow, err := tx.Get(c.districts, dKey)
+		if err != nil {
+			return err
+		}
+		district := DecodeDistrict(dRow)
+		oid := district.NextOID
+		district.NextOID++
+		if err := tx.Update(c.districts, dKey, district.Encode()); err != nil {
+			return err
+		}
+
+		cRow, err := tx.Get(c.customers, CustomerKey(w, did, cid))
+		if err != nil {
+			return err
+		}
+		cust := DecodeCustomer(cRow)
+
+		allLocal := uint32(1)
+		for _, l := range lines {
+			if l.supplyW != w {
+				allLocal = 0
+			}
+		}
+		ord := Order{ID: oid, DID: did, WID: w, CID: cid, OLCnt: uint32(olCnt), AllLocal: allLocal}
+		if err := tx.Insert(c.orders, OrderKey(w, did, oid), ord.Encode()); err != nil {
+			return err
+		}
+		no := NewOrderRow{OID: oid, DID: did, WID: w}
+		if err := tx.Insert(c.neworder, NewOrderKey(w, did, oid), no.Encode()); err != nil {
+			return err
+		}
+
+		var total int64
+		for i, l := range lines {
+			iRow, err := tx.Get(c.items, ItemKey(l.iid))
+			if err != nil {
+				if errors.Is(err, engine.ErrNotFound) && rollback && i == olCnt-1 {
+					return ErrUserAbort // spec: rollback on invalid item
+				}
+				return err
+			}
+			item := DecodeItem(iRow)
+
+			sKey := StockKey(l.supplyW, l.iid)
+			sRow, err := tx.Get(c.stock, sKey)
+			if err != nil {
+				return err
+			}
+			st := DecodeStock(sRow)
+			if st.Quantity >= int32(l.qty)+10 {
+				st.Quantity -= int32(l.qty)
+			} else {
+				st.Quantity = st.Quantity - int32(l.qty) + 91
+			}
+			st.YTD += uint64(l.qty)
+			st.OrderCnt++
+			if l.supplyW != w {
+				st.RemoteCnt++
+			}
+			if err := tx.Update(c.stock, sKey, st.Encode()); err != nil {
+				return err
+			}
+
+			amount := int64(l.qty) * item.Price
+			total += amount
+			ol := OrderLine{
+				OID: oid, DID: did, WID: w, Number: uint32(i + 1),
+				IID: l.iid, SupplyWID: l.supplyW, Quantity: l.qty,
+				Amount: amount, DistInfo: st.Dists[(did-1)%10],
+			}
+			if err := tx.Insert(c.orderline, OrderLineKey(w, did, oid, uint32(i+1)), ol.Encode()); err != nil {
+				return err
+			}
+		}
+		_ = total * int64((1+wTax+district.Tax)*(1-cust.Discount)*10000) // order total, returned to the client in a full system
+
+		return tx.Commit()
+	})
+}
+
+// lookupCustomer resolves a customer by id (40%) or last name (60%),
+// returning the primary key and decoded row. Used by Payment & OrderStatus.
+func (c *Client) lookupCustomer(tx *engine.Txn, r *rng.Rand, w, d uint32) ([]byte, Customer, error) {
+	if r.IntRange(1, 100) <= 40 {
+		cid := uint32(r.NURand(1023, 1, c.cfg.Customers))
+		key := CustomerKey(w, d, cid)
+		row, err := tx.Get(c.customers, key)
+		if err != nil {
+			return nil, Customer{}, err
+		}
+		return key, DecodeCustomer(row), nil
+	}
+	last := rng.LastName(r.NURand(255, 0, lastNameMax(c.cfg.Customers)))
+	prefix := keys.String(keys.Uint32(keys.Uint32(nil, w), d), last)
+	var rows []Customer
+	err := tx.ScanIndex(c.customers, IdxCustomerByName, prefix, keys.PrefixEnd(prefix),
+		func(_, row []byte) bool {
+			rows = append(rows, DecodeCustomer(row))
+			return true
+		})
+	if err != nil {
+		return nil, Customer{}, err
+	}
+	if len(rows) == 0 {
+		return nil, Customer{}, engine.ErrNotFound
+	}
+	// Spec: position n/2 rounded up in first-name order (scan order).
+	cust := rows[(len(rows)-1)/2]
+	return CustomerKey(cust.WID, cust.DID, cust.ID), cust, nil
+}
+
+// lastNameMax bounds the last-name number by what the loader generated for
+// scaled-down districts.
+func lastNameMax(customersPerDistrict int) int {
+	if customersPerDistrict >= 1000 {
+		return 999
+	}
+	return customersPerDistrict - 1
+}
+
+// Payment runs the Payment transaction for the given home warehouse.
+func (c *Client) Payment(ctx *pcontext.Context, r *rng.Rand, w uint32) error {
+	did := uint32(r.IntRange(1, c.cfg.Districts))
+	amount := int64(r.IntRange(100, 500000)) // 1.00..5000.00 in cents
+	// 85% local customer; 15% remote (the mixed-warehouse share the paper
+	// cites in §6.1).
+	cw, cd := w, did
+	if c.cfg.Warehouses > 1 && r.IntRange(1, 100) > 85 {
+		cw = c.randomRemoteWID(r, w)
+		cd = uint32(r.IntRange(1, c.cfg.Districts))
+	}
+
+	return retry(func() error {
+		tx := c.e.Begin(ctx)
+		defer tx.Abort()
+
+		wKey := WarehouseKey(w)
+		wRow, err := tx.Get(c.warehouses, wKey)
+		if err != nil {
+			return err
+		}
+		wh := DecodeWarehouse(wRow)
+		wh.YTD += amount
+		if err := tx.Update(c.warehouses, wKey, wh.Encode()); err != nil {
+			return err
+		}
+
+		dKey := DistrictKey(w, did)
+		dRow, err := tx.Get(c.districts, dKey)
+		if err != nil {
+			return err
+		}
+		district := DecodeDistrict(dRow)
+		district.YTD += amount
+		if err := tx.Update(c.districts, dKey, district.Encode()); err != nil {
+			return err
+		}
+
+		cKey, cust, err := c.lookupCustomer(tx, r, cw, cd)
+		if err != nil {
+			return err
+		}
+		cust.Balance -= amount
+		cust.YTDPayment += amount
+		cust.PaymentCnt++
+		if cust.Credit == "BC" {
+			data := fmt.Sprintf("%d %d %d %d %d %d|%s", cust.ID, cust.DID, cust.WID, did, w, amount, cust.Data)
+			if len(data) > 500 {
+				data = data[:500]
+			}
+			cust.Data = data
+		}
+		if err := tx.Update(c.customers, cKey, cust.Encode()); err != nil {
+			return err
+		}
+
+		h := History{
+			CID: cust.ID, CDID: cust.DID, CWID: cust.WID, DID: did, WID: w,
+			Amount: amount, Data: wh.Name + "    " + district.Name,
+		}
+		seq := c.hseq.Add(1)
+		if err := tx.Insert(c.history, HistoryKey(cust.WID, cust.DID, cust.ID, 1<<32+seq), h.Encode()); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+}
+
+// OrderStatus runs the Order-Status transaction (read-only).
+func (c *Client) OrderStatus(ctx *pcontext.Context, r *rng.Rand, w uint32) error {
+	did := uint32(r.IntRange(1, c.cfg.Districts))
+	return retry(func() error {
+		tx := c.e.Begin(ctx)
+		defer tx.Abort()
+
+		_, cust, err := c.lookupCustomer(tx, r, w, did)
+		if err != nil {
+			return err
+		}
+		// Newest order: first hit of a descending scan over the
+		// by-customer index.
+		prefix := keys.Uint32(keys.Uint32(keys.Uint32(nil, w), did), cust.ID)
+		var latest *Order
+		err = tx.ScanIndexDesc(c.orders, IdxOrdersByCustomer, prefix, keys.PrefixEnd(prefix),
+			func(_, row []byte) bool {
+				o := DecodeOrder(row)
+				latest = &o
+				return false
+			})
+		if err != nil {
+			return err
+		}
+		if latest != nil {
+			from := OrderLineKey(w, did, latest.ID, 0)
+			to := OrderLineKey(w, did, latest.ID+1, 0)
+			if err := tx.Scan(c.orderline, from, to, func(_, row []byte) bool {
+				_ = DecodeOrderLine(row)
+				return true
+			}); err != nil {
+				return err
+			}
+		}
+		return tx.Commit()
+	})
+}
+
+// Delivery runs the Delivery transaction: deliver the oldest undelivered
+// order in every district of the warehouse.
+func (c *Client) Delivery(ctx *pcontext.Context, r *rng.Rand, w uint32) error {
+	carrier := uint32(r.IntRange(1, 10))
+	return retry(func() error {
+		tx := c.e.Begin(ctx)
+		defer tx.Abort()
+		for d := 1; d <= c.cfg.Districts; d++ {
+			did := uint32(d)
+			// Oldest new_order in this district.
+			from := NewOrderKey(w, did, 0)
+			to := NewOrderKey(w, did+1, 0)
+			var oldest *NewOrderRow
+			if err := tx.Scan(c.neworder, from, to, func(_, row []byte) bool {
+				no := DecodeNewOrder(row)
+				oldest = &no
+				return false // first = oldest
+			}); err != nil {
+				return err
+			}
+			if oldest == nil {
+				continue // district fully delivered
+			}
+			if err := tx.Delete(c.neworder, NewOrderKey(w, did, oldest.OID)); err != nil {
+				return err
+			}
+
+			oKey := OrderKey(w, did, oldest.OID)
+			oRow, err := tx.Get(c.orders, oKey)
+			if err != nil {
+				return err
+			}
+			ord := DecodeOrder(oRow)
+			ord.CarrierID = carrier
+			if err := tx.Update(c.orders, oKey, ord.Encode()); err != nil {
+				return err
+			}
+
+			var sum int64
+			olFrom := OrderLineKey(w, did, oldest.OID, 0)
+			olTo := OrderLineKey(w, did, oldest.OID+1, 0)
+			var olKeys [][]byte
+			var olRows []OrderLine
+			if err := tx.Scan(c.orderline, olFrom, olTo, func(k, row []byte) bool {
+				olKeys = append(olKeys, append([]byte(nil), k...))
+				olRows = append(olRows, DecodeOrderLine(row))
+				return true
+			}); err != nil {
+				return err
+			}
+			for i, ol := range olRows {
+				sum += ol.Amount
+				ol.DeliveryD = 1
+				if err := tx.Update(c.orderline, olKeys[i], ol.Encode()); err != nil {
+					return err
+				}
+			}
+
+			cKey := CustomerKey(w, did, ord.CID)
+			cRow, err := tx.Get(c.customers, cKey)
+			if err != nil {
+				return err
+			}
+			cust := DecodeCustomer(cRow)
+			cust.Balance += sum
+			cust.DeliveryCnt++
+			if err := tx.Update(c.customers, cKey, cust.Encode()); err != nil {
+				return err
+			}
+		}
+		return tx.Commit()
+	})
+}
+
+// StockLevel runs the Stock-Level transaction (read-only).
+func (c *Client) StockLevel(ctx *pcontext.Context, r *rng.Rand, w uint32) error {
+	did := uint32(r.IntRange(1, c.cfg.Districts))
+	threshold := int32(r.IntRange(10, 20))
+	return retry(func() error {
+		tx := c.e.Begin(ctx)
+		defer tx.Abort()
+
+		dRow, err := tx.Get(c.districts, DistrictKey(w, did))
+		if err != nil {
+			return err
+		}
+		district := DecodeDistrict(dRow)
+
+		lowOID := uint32(0)
+		if district.NextOID > 20 {
+			lowOID = district.NextOID - 20
+		}
+		seen := make(map[uint32]struct{})
+		from := OrderLineKey(w, did, lowOID, 0)
+		to := OrderLineKey(w, did, district.NextOID, 0)
+		if err := tx.Scan(c.orderline, from, to, func(_, row []byte) bool {
+			ol := DecodeOrderLine(row)
+			seen[ol.IID] = struct{}{}
+			return true
+		}); err != nil {
+			return err
+		}
+		low := 0
+		for iid := range seen {
+			sRow, err := tx.Get(c.stock, StockKey(w, iid))
+			if err != nil {
+				return err
+			}
+			if DecodeStock(sRow).Quantity < threshold {
+				low++
+			}
+		}
+		_ = low
+		return tx.Commit()
+	})
+}
+
+// MixOutcome names one standard-mix transaction type.
+type MixOutcome uint8
+
+// Standard-mix transaction types.
+const (
+	TxNewOrder MixOutcome = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+func (m MixOutcome) String() string {
+	switch m {
+	case TxNewOrder:
+		return "NewOrder"
+	case TxPayment:
+		return "Payment"
+	case TxOrderStatus:
+		return "OrderStatus"
+	case TxDelivery:
+		return "Delivery"
+	case TxStockLevel:
+		return "StockLevel"
+	default:
+		return fmt.Sprintf("MixOutcome(%d)", uint8(m))
+	}
+}
+
+// PickMix draws a transaction type with the spec's standard mix:
+// 45% NewOrder, 43% Payment, 4% each of the rest.
+func PickMix(r *rng.Rand) MixOutcome {
+	switch x := r.IntRange(1, 100); {
+	case x <= 45:
+		return TxNewOrder
+	case x <= 88:
+		return TxPayment
+	case x <= 92:
+		return TxOrderStatus
+	case x <= 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// Run executes one transaction of the given type on warehouse w.
+func (c *Client) Run(kind MixOutcome, ctx *pcontext.Context, r *rng.Rand, w uint32) error {
+	switch kind {
+	case TxNewOrder:
+		return c.NewOrder(ctx, r, w)
+	case TxPayment:
+		return c.Payment(ctx, r, w)
+	case TxOrderStatus:
+		return c.OrderStatus(ctx, r, w)
+	case TxDelivery:
+		return c.Delivery(ctx, r, w)
+	case TxStockLevel:
+		return c.StockLevel(ctx, r, w)
+	default:
+		return fmt.Errorf("tpcc: unknown transaction kind %v", kind)
+	}
+}

@@ -1,0 +1,255 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/rng"
+	"preemptdb/internal/sched"
+)
+
+// Q2Params are the substitution parameters of TPC-H Q2.
+type Q2Params struct {
+	Size       uint32 // p_size = Size
+	TypeSuffix string // p_type LIKE '%TypeSuffix'
+	Region     string // r_name = Region
+}
+
+// RandomQ2Params draws spec-style parameters.
+func RandomQ2Params(r *rng.Rand) Q2Params {
+	return Q2Params{
+		Size:       uint32(r.IntRange(1, 50)),
+		TypeSuffix: typeSyllable3[r.Intn(len(typeSyllable3))],
+		Region:     regionNames[r.Intn(NumRegions)],
+	}
+}
+
+// Q2Row is one result row of Q2.
+type Q2Row struct {
+	AcctBal  int64
+	SuppName string
+	Nation   string
+	PartKey  uint32
+	Mfgr     string
+	Cost     int64
+}
+
+// Client runs TPC-H queries against a loaded engine.
+type Client struct {
+	e   *engine.Engine
+	cfg ScaleConfig
+
+	regions, nations, suppliers, parts, partsupp *engine.Table
+}
+
+// NewClient binds a query client to a loaded engine.
+func NewClient(e *engine.Engine, cfg ScaleConfig) *Client {
+	return &Client{
+		e: e, cfg: cfg.withDefaults(),
+		regions:   e.MustTable(TabRegion),
+		nations:   e.MustTable(TabNation),
+		suppliers: e.MustTable(TabSupplier),
+		parts:     e.MustTable(TabPart),
+		partsupp:  e.MustTable(TabPartSupp),
+	}
+}
+
+// Scale returns the loaded scale configuration.
+func (c *Client) Scale() ScaleConfig { return c.cfg }
+
+// Q2 runs the minimum-cost supplier query as one read-only snapshot
+// transaction. Every record access polls the transaction context, so the
+// whole query — scan, joins, nested subquery — is preemptible at record
+// granularity. yieldEvery > 0 additionally places a handcrafted cooperative
+// yield point after every yieldEvery nested query blocks (the paper's
+// Cooperative (Handcrafted) baseline, §6.3); pass 0 for the normal variant.
+func (c *Client) Q2(ctx *pcontext.Context, p Q2Params, yieldEvery int) ([]Q2Row, error) {
+	tx := c.e.Begin(ctx)
+	defer tx.Abort()
+
+	// Resolve the region key and the set of nations inside it.
+	regionKey := uint32(0)
+	found := false
+	if err := tx.Scan(c.regions, nil, nil, func(_, row []byte) bool {
+		r := DecodeRegion(row)
+		if r.Name == p.Region {
+			regionKey = r.Key
+			found = true
+			return false
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, engine.ErrNotFound
+	}
+
+	var out []Q2Row
+	nestedBlocks := 0
+	// Outer scan over PART with the size/type predicate. Decoding and
+	// predicate evaluation happen per record with polls in between.
+	err := tx.Scan(c.parts, nil, nil, func(_, row []byte) bool {
+		part := DecodePart(row)
+		if part.Size != p.Size || !strings.HasSuffix(part.Type, p.TypeSuffix) {
+			return true
+		}
+
+		// --- nested query block: min supplycost within the region ---
+		nestedBlocks++
+		type cand struct {
+			supp Supplier
+			nat  Nation
+			cost int64
+		}
+		minCost := int64(-1)
+		var cands []cand
+		from := PartSuppKey(part.Key, 0)
+		to := PartSuppKey(part.Key+1, 0)
+		tx.Scan(c.partsupp, from, to, func(_, psRow []byte) bool {
+			ps := DecodePartSupp(psRow)
+			sRow, err := tx.Get(c.suppliers, SupplierKey(ps.SuppKey))
+			if err != nil {
+				return true
+			}
+			supp := DecodeSupplier(sRow)
+			nRow, err := tx.Get(c.nations, NationKey(supp.NationKey))
+			if err != nil {
+				return true
+			}
+			nat := DecodeNation(nRow)
+			if nat.RegionKey != regionKey {
+				return true
+			}
+			if minCost < 0 || ps.SupplyCost < minCost {
+				minCost = ps.SupplyCost
+			}
+			cands = append(cands, cand{supp: supp, nat: nat, cost: ps.SupplyCost})
+			return true
+		})
+		// --- end nested query block ---
+
+		for _, cd := range cands {
+			if cd.cost == minCost {
+				out = append(out, Q2Row{
+					AcctBal: cd.supp.AcctBal, SuppName: cd.supp.Name,
+					Nation: cd.nat.Name, PartKey: part.Key, Mfgr: part.Mfgr,
+					Cost: cd.cost,
+				})
+			}
+		}
+
+		// Handcrafted yield point, placed exactly where the paper put it:
+		// right outside the nested query block, taken every yieldEvery blocks.
+		if yieldEvery > 0 && nestedBlocks%yieldEvery == 0 {
+			sched.Yield(ctx)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		// Spec ordering: s_acctbal desc, n_name, s_name, p_partkey.
+		if a.AcctBal != b.AcctBal {
+			return a.AcctBal > b.AcctBal
+		}
+		if a.Nation != b.Nation {
+			return a.Nation < b.Nation
+		}
+		if a.SuppName != b.SuppName {
+			return a.SuppName < b.SuppName
+		}
+		return a.PartKey < b.PartKey
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Q2Reference recomputes Q2 with a naive full-materialization plan, used by
+// tests to validate the transactional implementation.
+func (c *Client) Q2Reference(p Q2Params) []Q2Row {
+	tx := c.e.Begin(nil)
+	defer tx.Abort()
+
+	nationsByKey := map[uint32]Nation{}
+	tx.Scan(c.nations, nil, nil, func(_, row []byte) bool {
+		n := DecodeNation(row)
+		nationsByKey[n.Key] = n
+		return true
+	})
+	regionByName := map[string]uint32{}
+	tx.Scan(c.regions, nil, nil, func(_, row []byte) bool {
+		r := DecodeRegion(row)
+		regionByName[r.Name] = r.Key
+		return true
+	})
+	suppsByKey := map[uint32]Supplier{}
+	tx.Scan(c.suppliers, nil, nil, func(_, row []byte) bool {
+		s := DecodeSupplier(row)
+		suppsByKey[s.Key] = s
+		return true
+	})
+	psByPart := map[uint32][]PartSupp{}
+	tx.Scan(c.partsupp, nil, nil, func(_, row []byte) bool {
+		ps := DecodePartSupp(row)
+		psByPart[ps.PartKey] = append(psByPart[ps.PartKey], ps)
+		return true
+	})
+
+	rk := regionByName[p.Region]
+	var out []Q2Row
+	tx.Scan(c.parts, nil, nil, func(_, row []byte) bool {
+		part := DecodePart(row)
+		if part.Size != p.Size || !strings.HasSuffix(part.Type, p.TypeSuffix) {
+			return true
+		}
+		minCost := int64(-1)
+		for _, ps := range psByPart[part.Key] {
+			s := suppsByKey[ps.SuppKey]
+			if nationsByKey[s.NationKey].RegionKey != rk {
+				continue
+			}
+			if minCost < 0 || ps.SupplyCost < minCost {
+				minCost = ps.SupplyCost
+			}
+		}
+		for _, ps := range psByPart[part.Key] {
+			s := suppsByKey[ps.SuppKey]
+			n := nationsByKey[s.NationKey]
+			if n.RegionKey == rk && ps.SupplyCost == minCost {
+				out = append(out, Q2Row{
+					AcctBal: s.AcctBal, SuppName: s.Name, Nation: n.Name,
+					PartKey: part.Key, Mfgr: part.Mfgr, Cost: ps.SupplyCost,
+				})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.AcctBal != b.AcctBal {
+			return a.AcctBal > b.AcctBal
+		}
+		if a.Nation != b.Nation {
+			return a.Nation < b.Nation
+		}
+		if a.SuppName != b.SuppName {
+			return a.SuppName < b.SuppName
+		}
+		return a.PartKey < b.PartKey
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}

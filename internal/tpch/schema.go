@@ -1,0 +1,225 @@
+// Package tpch implements the TPC-H subset PreemptDB's evaluation needs:
+// the region/nation/supplier/part/partsupp tables and query Q2 (minimum-cost
+// supplier), the long-running, read-only, low-priority transaction in the
+// paper's mixed workload (§6.1). Q2's nested-subquery structure is also what
+// makes the Cooperative (Handcrafted) baseline possible: a yield point "right
+// outside the nested query block" (§6.3).
+package tpch
+
+import (
+	"encoding/binary"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/keys"
+)
+
+// Table names.
+const (
+	TabRegion   = "tpch.region"
+	TabNation   = "tpch.nation"
+	TabSupplier = "tpch.supplier"
+	TabPart     = "tpch.part"
+	TabPartSupp = "tpch.partsupp"
+)
+
+// Region is one region row (5 in TPC-H).
+type Region struct {
+	Key     uint32
+	Name    string
+	Comment string
+}
+
+// Nation is one nation row (25 in TPC-H).
+type Nation struct {
+	Key       uint32
+	Name      string
+	RegionKey uint32
+	Comment   string
+}
+
+// Supplier is one supplier row.
+type Supplier struct {
+	Key       uint32
+	Name      string
+	Address   string
+	NationKey uint32
+	Phone     string
+	AcctBal   int64 // cents
+	Comment   string
+}
+
+// Part is one part row.
+type Part struct {
+	Key         uint32
+	Name        string
+	Mfgr        string
+	Brand       string
+	Type        string
+	Size        uint32
+	Container   string
+	RetailPrice int64 // cents
+	Comment     string
+}
+
+// PartSupp links a part to a supplier with cost and availability.
+type PartSupp struct {
+	PartKey    uint32
+	SuppKey    uint32
+	AvailQty   uint32
+	SupplyCost int64 // cents
+	Comment    string
+}
+
+// Key builders.
+
+// RegionKey returns the region primary key.
+func RegionKey(r uint32) []byte { return keys.Uint32(nil, r) }
+
+// NationKey returns the nation primary key.
+func NationKey(n uint32) []byte { return keys.Uint32(nil, n) }
+
+// SupplierKey returns the supplier primary key.
+func SupplierKey(s uint32) []byte { return keys.Uint32(nil, s) }
+
+// PartKey returns the part primary key.
+func PartKey(p uint32) []byte { return keys.Uint32(nil, p) }
+
+// PartSuppKey returns the partsupp primary key (clustered by part).
+func PartSuppKey(p, s uint32) []byte { return keys.Uint32(keys.Uint32(nil, p), s) }
+
+// Codecs reuse the compact field layout style of the TPC-C package.
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readStr(b []byte) (string, []byte) {
+	n, w := binary.Uvarint(b)
+	b = b[w:]
+	return string(b[:n]), b[n:]
+}
+
+// Encode serializes the region row.
+func (r *Region) Encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, r.Key)
+	b = appendStr(b, r.Name)
+	return appendStr(b, r.Comment)
+}
+
+// DecodeRegion deserializes a region row.
+func DecodeRegion(b []byte) Region {
+	var r Region
+	r.Key = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	r.Name, b = readStr(b)
+	r.Comment, _ = readStr(b)
+	return r
+}
+
+// Encode serializes the nation row.
+func (n *Nation) Encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, n.Key)
+	b = appendStr(b, n.Name)
+	b = binary.LittleEndian.AppendUint32(b, n.RegionKey)
+	return appendStr(b, n.Comment)
+}
+
+// DecodeNation deserializes a nation row.
+func DecodeNation(b []byte) Nation {
+	var n Nation
+	n.Key = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	n.Name, b = readStr(b)
+	n.RegionKey = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	n.Comment, _ = readStr(b)
+	return n
+}
+
+// Encode serializes the supplier row.
+func (s *Supplier) Encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, s.Key)
+	b = appendStr(b, s.Name)
+	b = appendStr(b, s.Address)
+	b = binary.LittleEndian.AppendUint32(b, s.NationKey)
+	b = appendStr(b, s.Phone)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.AcctBal))
+	return appendStr(b, s.Comment)
+}
+
+// DecodeSupplier deserializes a supplier row.
+func DecodeSupplier(b []byte) Supplier {
+	var s Supplier
+	s.Key = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	s.Name, b = readStr(b)
+	s.Address, b = readStr(b)
+	s.NationKey = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	s.Phone, b = readStr(b)
+	s.AcctBal = int64(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	s.Comment, _ = readStr(b)
+	return s
+}
+
+// Encode serializes the part row.
+func (p *Part) Encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, p.Key)
+	b = appendStr(b, p.Name)
+	b = appendStr(b, p.Mfgr)
+	b = appendStr(b, p.Brand)
+	b = appendStr(b, p.Type)
+	b = binary.LittleEndian.AppendUint32(b, p.Size)
+	b = appendStr(b, p.Container)
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.RetailPrice))
+	return appendStr(b, p.Comment)
+}
+
+// DecodePart deserializes a part row.
+func DecodePart(b []byte) Part {
+	var p Part
+	p.Key = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	p.Name, b = readStr(b)
+	p.Mfgr, b = readStr(b)
+	p.Brand, b = readStr(b)
+	p.Type, b = readStr(b)
+	p.Size = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	p.Container, b = readStr(b)
+	p.RetailPrice = int64(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	p.Comment, _ = readStr(b)
+	return p
+}
+
+// Encode serializes the partsupp row.
+func (ps *PartSupp) Encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, ps.PartKey)
+	b = binary.LittleEndian.AppendUint32(b, ps.SuppKey)
+	b = binary.LittleEndian.AppendUint32(b, ps.AvailQty)
+	b = binary.LittleEndian.AppendUint64(b, uint64(ps.SupplyCost))
+	return appendStr(b, ps.Comment)
+}
+
+// DecodePartSupp deserializes a partsupp row.
+func DecodePartSupp(b []byte) PartSupp {
+	var ps PartSupp
+	ps.PartKey = binary.LittleEndian.Uint32(b)
+	ps.SuppKey = binary.LittleEndian.Uint32(b[4:])
+	ps.AvailQty = binary.LittleEndian.Uint32(b[8:])
+	ps.SupplyCost = int64(binary.LittleEndian.Uint64(b[12:]))
+	ps.Comment, _ = readStr(b[20:])
+	return ps
+}
+
+// CreateSchema creates the TPC-H subset tables on e.
+func CreateSchema(e *engine.Engine) {
+	e.CreateTable(TabRegion)
+	e.CreateTable(TabNation)
+	e.CreateTable(TabSupplier)
+	e.CreateTable(TabPart)
+	e.CreateTable(TabPartSupp)
+}

@@ -1,0 +1,152 @@
+package uintr
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendAndFetch(t *testing.T) {
+	var u UPID
+	if u.Pending() {
+		t.Fatal("fresh UPID must not be pending")
+	}
+	SendUIPI(&u, VecPreempt)
+	SendUIPI(&u, VecPing)
+	if !u.Pending() {
+		t.Fatal("UPID must be pending after send")
+	}
+	bm := u.Fetch()
+	if !Has(bm, VecPreempt) || !Has(bm, VecPing) {
+		t.Fatalf("bitmap %b missing vectors", bm)
+	}
+	if Has(bm, VecShutdown) {
+		t.Fatal("unexpected vector set")
+	}
+	if u.Pending() {
+		t.Fatal("Fetch must consume all pending vectors")
+	}
+	if u.Posted() != 2 {
+		t.Fatalf("posted = %d, want 2", u.Posted())
+	}
+}
+
+func TestSendDuplicateVectorCoalesces(t *testing.T) {
+	var u UPID
+	SendUIPI(&u, VecPreempt)
+	SendUIPI(&u, VecPreempt)
+	bm := u.Fetch()
+	if bm != 1<<uint(VecPreempt) {
+		t.Fatalf("bitmap %b, want single bit", bm)
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for vector >= 64")
+		}
+	}()
+	var u UPID
+	SendUIPI(&u, Vector(64))
+}
+
+func TestSuppressBit(t *testing.T) {
+	var u UPID
+	u.SetSuppress(true)
+	if !u.Suppressed() {
+		t.Fatal("suppress bit not set")
+	}
+	// Posting while suppressed still lands in PIR.
+	SendUIPI(&u, VecPing)
+	if !u.Pending() {
+		t.Fatal("post while suppressed must stay pending")
+	}
+	u.SetSuppress(false)
+	if u.Suppressed() {
+		t.Fatal("suppress bit not cleared")
+	}
+}
+
+func TestReceiverRecognize(t *testing.T) {
+	r := NewReceiver()
+	if !r.UIF() {
+		t.Fatal("new receiver must have UIF set")
+	}
+	if _, ok := r.Recognize(); ok {
+		t.Fatal("nothing pending: recognize must fail")
+	}
+	SendUIPI(r.UPID(), VecPreempt)
+	bm, ok := r.Recognize()
+	if !ok || !Has(bm, VecPreempt) {
+		t.Fatalf("recognize failed: ok=%v bm=%b", ok, bm)
+	}
+	if r.UIF() {
+		t.Fatal("UIF must be clear while handler runs")
+	}
+	// Interrupt posted during the handler stays pending.
+	SendUIPI(r.UPID(), VecPing)
+	if _, ok := r.Recognize(); ok {
+		t.Fatal("recognition must be blocked while UIF is clear")
+	}
+	r.UIRET()
+	bm, ok = r.Recognize()
+	if !ok || !Has(bm, VecPing) {
+		t.Fatal("pending interrupt must be recognized after UIRET")
+	}
+	r.UIRET()
+	if r.Delivered() != 2 {
+		t.Fatalf("delivered = %d, want 2", r.Delivered())
+	}
+}
+
+func TestCLUIMasksRecognition(t *testing.T) {
+	r := NewReceiver()
+	r.CLUI()
+	SendUIPI(r.UPID(), VecPreempt)
+	if _, ok := r.Recognize(); ok {
+		t.Fatal("CLUI must mask recognition")
+	}
+	if !r.UPID().Pending() {
+		t.Fatal("masked interrupt must stay pending")
+	}
+	r.STUI()
+	if _, ok := r.Recognize(); !ok {
+		t.Fatal("STUI must unmask pending interrupt")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	var u UPID
+	var wg sync.WaitGroup
+	const senders, posts = 8, 1000
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(v Vector) {
+			defer wg.Done()
+			for i := 0; i < posts; i++ {
+				SendUIPI(&u, v)
+			}
+		}(Vector(s))
+	}
+	wg.Wait()
+	if u.Posted() != senders*posts {
+		t.Fatalf("posted = %d", u.Posted())
+	}
+	bm := u.Fetch()
+	for s := 0; s < senders; s++ {
+		if !Has(bm, Vector(s)) {
+			t.Fatalf("vector %d lost", s)
+		}
+	}
+}
+
+func TestLastPostTimestamp(t *testing.T) {
+	var u UPID
+	if u.LastPostNanos() != 0 {
+		t.Fatal("fresh UPID has a post timestamp")
+	}
+	SendUIPI(&u, VecPing)
+	if u.LastPostNanos() == 0 {
+		t.Fatal("post must record a timestamp")
+	}
+}

@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferAppendReset(t *testing.T) {
+	b := NewBuffer()
+	if b.Len() != 0 {
+		t.Fatal("new buffer not empty")
+	}
+	b.Append(RecInsert, 1, []byte("k"), []byte("v"))
+	b.Append(RecUpdate, 2, []byte("k2"), []byte("v2"))
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 || len(b.Bytes()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCommitAndReplayRoundtrip(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+
+	b := NewBuffer()
+	b.Append(RecInsert, 7, []byte("alpha"), []byte("one"))
+	b.Append(RecUpdate, 7, []byte("alpha"), []byte("two"))
+	b.Append(RecDelete, 9, []byte("beta"), nil)
+	if _, err := m.Commit(100, 55, b); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	b.Append(RecInsert, 8, []byte("gamma"), []byte("three"))
+	if _, err := m.Commit(101, 56, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits() != 2 {
+		t.Fatalf("commits = %d", m.Commits())
+	}
+
+	var txns []CommittedTxn
+	if err := Replay(bytes.NewReader(sink.Bytes()), func(tx CommittedTxn) error {
+		txns = append(txns, tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 2 {
+		t.Fatalf("replayed %d txns", len(txns))
+	}
+	if txns[0].TxnID != 100 || txns[0].CTS != 55 || len(txns[0].Records) != 3 {
+		t.Fatalf("txn0 = %+v", txns[0])
+	}
+	r := txns[0].Records[1]
+	if r.Type != RecUpdate || r.Table != 7 || string(r.Key) != "alpha" || string(r.Value) != "two" {
+		t.Fatalf("record = %+v", r)
+	}
+	if txns[1].Records[0].Type != RecInsert || string(txns[1].Records[0].Value) != "three" {
+		t.Fatalf("txn1 record = %+v", txns[1].Records[0])
+	}
+}
+
+func TestEmptyTransactionCommit(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+	b := NewBuffer()
+	if _, err := m.Commit(1, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	n := 0
+	if err := Replay(bytes.NewReader(sink.Bytes()), func(tx CommittedTxn) error {
+		if len(tx.Records) != 0 {
+			t.Errorf("records = %d", len(tx.Records))
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d", n)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+	b := NewBuffer()
+	b.Append(RecInsert, 1, []byte("k"), []byte("v"))
+	m.Commit(1, 1, b)
+	m.Flush()
+	whole := append([]byte(nil), sink.Bytes()...)
+
+	for cut := 1; cut < len(whole); cut += 7 {
+		torn := whole[:len(whole)-cut]
+		n := 0
+		if err := Replay(bytes.NewReader(torn), func(tx CommittedTxn) error {
+			n++
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n != 0 {
+			t.Fatalf("cut %d: replayed incomplete txn", cut)
+		}
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+	b := NewBuffer()
+	b.Append(RecInsert, 1, []byte("key"), []byte("value"))
+	m.Commit(1, 1, b)
+	m.Flush()
+	data := append([]byte(nil), sink.Bytes()...)
+	data[len(data)-1] ^= 0xff // flip a payload byte
+	err := Replay(bytes.NewReader(data), func(CommittedTxn) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 64)
+	err := Replay(bytes.NewReader(data), func(CommittedTxn) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestApplyErrorPropagates(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+	b := NewBuffer()
+	m.Commit(1, 1, b)
+	m.Flush()
+	sentinel := errors.New("stop")
+	err := Replay(bytes.NewReader(sink.Bytes()), func(CommittedTxn) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := NewBuffer()
+			for i := 0; i < per; i++ {
+				b.Reset()
+				b.Append(RecInsert, uint32(w), []byte{byte(i)}, []byte{byte(w)})
+				if _, err := m.Commit(uint64(w*per+i), uint64(i), b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Flush()
+	n := 0
+	if err := Replay(bytes.NewReader(sink.Bytes()), func(tx CommittedTxn) error {
+		if len(tx.Records) != 1 {
+			t.Errorf("interleaved commit: %d records", len(tx.Records))
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*per {
+		t.Fatalf("replayed %d of %d", n, writers*per)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	err := quick.Check(func(txnID, cts uint64, table uint32, key, val []byte) bool {
+		var sink bytes.Buffer
+		m := NewManager(&sink, false)
+		b := NewBuffer()
+		b.Append(RecUpdate, table, key, val)
+		if _, err := m.Commit(txnID, cts, b); err != nil {
+			return false
+		}
+		m.Flush()
+		ok := false
+		Replay(bytes.NewReader(sink.Bytes()), func(tx CommittedTxn) error {
+			r := tx.Records[0]
+			ok = tx.TxnID == txnID && tx.CTS == cts && r.Table == table &&
+				bytes.Equal(r.Key, key) && bytes.Equal(r.Value, val)
+			return nil
+		})
+		return ok
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	if RecInsert.String() != "insert" || RecUpdate.String() != "update" || RecDelete.String() != "delete" {
+		t.Fatal("bad strings")
+	}
+	if RecordType(99).String() == "" {
+		t.Fatal("unknown type must still format")
+	}
+}
+
+func TestLSNMonotonic(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+	b := NewBuffer()
+	b.Append(RecInsert, 1, []byte("k"), []byte("v"))
+	l1, _ := m.Commit(1, 1, b)
+	l2, _ := m.Commit(2, 2, b)
+	if l2 <= l1 || m.LSN() != l2 {
+		t.Fatalf("lsn not monotonic: %d %d %d", l1, l2, m.LSN())
+	}
+}

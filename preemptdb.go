@@ -1,0 +1,493 @@
+// Package preemptdb is a memory-optimized, multi-versioned database engine
+// with preemptive transaction scheduling via (simulated) userspace
+// interrupts — a Go reproduction of "Low-Latency Transaction Scheduling via
+// Userspace Interrupts: Why Wait or Yield When You Can Preempt?" (SIGMOD
+// 2025).
+//
+// A DB owns a set of worker cores, each hosting two transaction contexts.
+// Transactions are submitted with a priority; under PolicyPreempt, a
+// high-priority transaction interrupts an in-progress low-priority one at
+// the next instruction boundary, runs on the worker's second context, and
+// then resumes the paused transaction — it is paused, never aborted.
+//
+// Quick start:
+//
+//	db, _ := preemptdb.Open(preemptdb.Config{Policy: preemptdb.PolicyPreempt})
+//	defer db.Close()
+//	db.CreateTable("kv")
+//	db.Run(func(tx *preemptdb.Txn) error {
+//	    return tx.Insert("kv", []byte("k"), []byte("v"))
+//	})
+//	err := db.Exec(preemptdb.High, func(tx *preemptdb.Txn) error {
+//	    v, err := tx.Get("kv", []byte("k"))
+//	    _ = v
+//	    return err
+//	})
+package preemptdb
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/mvcc"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/sched"
+)
+
+// Policy selects the scheduling discipline (paper §6.1's competing methods).
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// PolicyWait runs transactions to completion; high-priority requests
+	// wait for the running transaction (non-preemptive FIFO with a priority
+	// queue checked between transactions).
+	PolicyWait Policy = iota
+	// PolicyCooperative yields to pending high-priority work every
+	// YieldInterval record accesses.
+	PolicyCooperative
+	// PolicyCooperativeHandcrafted yields only at workload-placed
+	// Txn.Yield() calls.
+	PolicyCooperativeHandcrafted
+	// PolicyPreempt is PreemptDB: user interrupts preempt low-priority
+	// transactions at instruction granularity.
+	PolicyPreempt
+)
+
+func (p Policy) String() string { return p.toSched().String() }
+
+func (p Policy) toSched() sched.Policy {
+	switch p {
+	case PolicyCooperative:
+		return sched.PolicyCooperative
+	case PolicyCooperativeHandcrafted:
+		return sched.PolicyCooperativeHandcrafted
+	case PolicyPreempt:
+		return sched.PolicyPreempt
+	default:
+		return sched.PolicyWait
+	}
+}
+
+// Isolation selects the transaction isolation level.
+type Isolation uint8
+
+// Isolation levels.
+const (
+	// SnapshotIsolation is the default (the paper's baseline, §2.2).
+	SnapshotIsolation Isolation = iota
+	// ReadCommitted reads the newest committed version at each access.
+	ReadCommitted
+	// Serializable adds OCC read-set validation at commit.
+	Serializable
+)
+
+func (i Isolation) toMVCC() mvcc.IsolationLevel {
+	switch i {
+	case ReadCommitted:
+		return mvcc.ReadCommitted
+	case Serializable:
+		return mvcc.Serializable
+	default:
+		return mvcc.SnapshotIsolation
+	}
+}
+
+// Priority classifies a submitted transaction.
+type Priority uint8
+
+// Priorities. The paper's design generalizes to more levels via additional
+// contexts; two are implemented, as evaluated.
+const (
+	Low Priority = iota
+	High
+)
+
+// Config controls Open.
+type Config struct {
+	// Workers is the number of simulated cores. Default: 2.
+	Workers int
+	// Policy is the scheduling discipline. Default PolicyWait.
+	Policy Policy
+	// Isolation is the isolation level for all transactions.
+	Isolation Isolation
+	// HiQueueSize / LoQueueSize size the per-worker request queues
+	// (defaults 4 and 64).
+	HiQueueSize, LoQueueSize int
+	// YieldInterval is the cooperative yield period in record accesses
+	// (default 10000).
+	YieldInterval uint64
+	// StarvationThreshold bounds the fraction of a paused low-priority
+	// transaction's lifetime spent on high-priority work (default 100,
+	// i.e. effectively unbounded; see paper §5).
+	StarvationThreshold float64
+	// MaxRetries bounds automatic conflict retries in Exec/Submit/Run
+	// (default 100).
+	MaxRetries int
+	// LogSink receives the redo log (nil: in-memory only).
+	LogSink io.Writer
+	// SyncEachCommit flushes and syncs the log on every commit when the
+	// sink supports it.
+	SyncEachCommit bool
+}
+
+// ErrClosed reports use of a closed DB.
+var ErrClosed = errors.New("preemptdb: database closed")
+
+// ErrQueueFull reports that a non-blocking submit found all queues full.
+var ErrQueueFull = errors.New("preemptdb: all scheduling queues full")
+
+// IsConflict reports whether err was a concurrency conflict (these are
+// retried automatically up to MaxRetries; seeing one from Exec means the
+// budget was exhausted).
+func IsConflict(err error) bool { return engine.IsConflict(err) }
+
+// DB is a PreemptDB instance.
+type DB struct {
+	cfg    Config
+	eng    *engine.Engine
+	sch    *sched.Scheduler
+	rrLow  int
+	closed bool
+}
+
+// Open creates a database and starts its workers.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.LoQueueSize == 0 {
+		cfg.LoQueueSize = 64
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 100
+	}
+	eng := engine.New(engine.Config{
+		Isolation:      cfg.Isolation.toMVCC(),
+		LogSink:        cfg.LogSink,
+		SyncEachCommit: cfg.SyncEachCommit,
+	})
+	s := sched.New(sched.Config{
+		Policy:              cfg.Policy.toSched(),
+		Workers:             cfg.Workers,
+		HiQueueSize:         cfg.HiQueueSize,
+		LoQueueSize:         cfg.LoQueueSize,
+		YieldInterval:       cfg.YieldInterval,
+		StarvationThreshold: cfg.StarvationThreshold,
+	})
+	s.Start()
+	return &DB{cfg: cfg, eng: eng, sch: s}, nil
+}
+
+// Close stops the workers. In-flight transactions finish; queued but
+// unstarted requests are dropped.
+func (db *DB) Close() error {
+	if db.closed {
+		return ErrClosed
+	}
+	db.closed = true
+	db.sch.Stop()
+	return db.eng.Log().Flush()
+}
+
+// CreateTable creates a table (idempotent).
+func (db *DB) CreateTable(name string) {
+	db.eng.CreateTable(name)
+}
+
+// CreateIndex adds a secondary index computed by extract (see
+// engine.KeyExtractor semantics: non-unique, keys must be immutable per
+// row). Create indexes before inserting rows.
+func (db *DB) CreateIndex(table, index string, extract func(key, row []byte) []byte) error {
+	t, err := db.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	t.CreateIndex(index, extract)
+	return nil
+}
+
+// Run executes fn as a transaction on the calling goroutine, outside the
+// scheduler — for loading, admin, and tests. Conflicts retry automatically;
+// fn returning nil commits, anything else aborts and is returned.
+func (db *DB) Run(fn func(tx *Txn) error) error {
+	return db.runOn(pcontext.Detached(), fn)
+}
+
+func (db *DB) runOn(ctx *pcontext.Context, fn func(tx *Txn) error) error {
+	var err error
+	for attempt := 0; attempt < db.cfg.MaxRetries; attempt++ {
+		err = db.attempt(ctx, fn)
+		if err == nil || !engine.IsConflict(err) {
+			return err
+		}
+	}
+	return err
+}
+
+func (db *DB) attempt(ctx *pcontext.Context, fn func(tx *Txn) error) error {
+	inner := db.eng.Begin(ctx)
+	tx := &Txn{db: db, inner: inner, ctx: ctx}
+	defer inner.Abort()
+	if err := fn(tx); err != nil {
+		return err
+	}
+	return inner.Commit()
+}
+
+// Submit schedules fn as a transaction with the given priority and returns
+// immediately; done (optional) receives the outcome on a worker goroutine.
+// High-priority submissions trigger a user interrupt under PolicyPreempt.
+// It fails with ErrQueueFull when every worker's queue is full.
+func (db *DB) Submit(p Priority, fn func(tx *Txn) error, done func(error)) error {
+	if db.closed {
+		return ErrClosed
+	}
+	req := &sched.Request{
+		Work: func(ctx *pcontext.Context) error {
+			return db.runOn(ctx, fn)
+		},
+	}
+	if done != nil {
+		req.OnDone = func(r *sched.Request) { done(r.Err) }
+	}
+	if p == High {
+		if db.sch.SubmitHighBatch([]*sched.Request{req}) == 0 {
+			return ErrQueueFull
+		}
+		return nil
+	}
+	for i := 0; i < db.cfg.Workers; i++ {
+		db.rrLow = (db.rrLow + 1) % db.cfg.Workers
+		if db.sch.SubmitLow(db.rrLow, req) {
+			return nil
+		}
+	}
+	return ErrQueueFull
+}
+
+// Exec schedules fn like Submit and waits for it to finish, returning the
+// transaction's outcome.
+func (db *DB) Exec(p Priority, fn func(tx *Txn) error) error {
+	ch := make(chan error, 1)
+	if err := db.Submit(p, fn, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// Timing reports a transaction's worker-stamped latencies: Scheduling is
+// submission → first execution, Total is submission → completion. These are
+// the in-database latencies the paper measures; they exclude the time the
+// *submitting goroutine* waits to be rescheduled by the Go runtime, which on
+// an oversubscribed host can dwarf the database's own latency.
+type Timing struct {
+	Scheduling time.Duration
+	Total      time.Duration
+}
+
+// SubmitTimed is Submit with a done callback that also receives the
+// worker-stamped Timing. The callback runs on a worker goroutine.
+func (db *DB) SubmitTimed(p Priority, fn func(tx *Txn) error, done func(Timing, error)) error {
+	if db.closed {
+		return ErrClosed
+	}
+	req := &sched.Request{
+		Work: func(ctx *pcontext.Context) error {
+			return db.runOn(ctx, fn)
+		},
+	}
+	if done != nil {
+		req.OnDone = func(r *sched.Request) {
+			done(Timing{
+				Scheduling: time.Duration(r.SchedulingLatency()),
+				Total:      time.Duration(r.Latency()),
+			}, r.Err)
+		}
+	}
+	if p == High {
+		if db.sch.SubmitHighBatch([]*sched.Request{req}) == 0 {
+			return ErrQueueFull
+		}
+		return nil
+	}
+	for i := 0; i < db.cfg.Workers; i++ {
+		db.rrLow = (db.rrLow + 1) % db.cfg.Workers
+		if db.sch.SubmitLow(db.rrLow, req) {
+			return nil
+		}
+	}
+	return ErrQueueFull
+}
+
+// ExecTimed is Exec plus worker-stamped timing.
+func (db *DB) ExecTimed(p Priority, fn func(tx *Txn) error) (Timing, error) {
+	type outcome struct {
+		timing Timing
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	err := db.SubmitTimed(p, fn, func(t Timing, err error) {
+		ch <- outcome{timing: t, err: err}
+	})
+	if err != nil {
+		return Timing{}, err
+	}
+	out := <-ch
+	return out.timing, out.err
+}
+
+// Vacuum trims record version chains no active snapshot can reach and
+// returns the number of versions reclaimed.
+func (db *DB) Vacuum() int { return db.eng.Vacuum(pcontext.Detached()) }
+
+// Checkpoint writes a transactionally consistent snapshot of all tables to
+// w. Restoring it and replaying a redo log started at checkpoint time
+// reproduces the database; see RestoreCheckpoint.
+func (db *DB) Checkpoint(w io.Writer) error { return db.eng.Checkpoint(w) }
+
+// RestoreCheckpoint loads a checkpoint stream produced by Checkpoint into
+// this database. Tables and indexes must already be created, matching the
+// schema at checkpoint time.
+func (db *DB) RestoreCheckpoint(r io.Reader) error { return db.eng.RestoreCheckpoint(r) }
+
+// Stats is a point-in-time snapshot of engine and scheduler counters.
+type Stats struct {
+	Commits, Aborts  uint64
+	InterruptsSent   uint64
+	StarvationSkips  uint64
+	PassiveSwitches  uint64
+	ActiveSwitches   uint64
+	LogBytes         uint64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		Commits:         db.eng.Commits(),
+		Aborts:          db.eng.Aborts(),
+		InterruptsSent:  db.sch.InterruptsSent(),
+		StarvationSkips: db.sch.StarvationSkips(),
+		LogBytes:        db.eng.Log().LSN(),
+	}
+	for _, w := range db.sch.Workers() {
+		for i := 0; i < w.Core().NumContexts(); i++ {
+			st.PassiveSwitches += w.Core().Context(i).TCB().PassiveSwitches()
+			st.ActiveSwitches += w.Core().Context(i).TCB().ActiveSwitches()
+		}
+	}
+	return st
+}
+
+// Txn is a transaction handle passed to user functions. It is only valid
+// for the duration of the function call.
+type Txn struct {
+	db    *DB
+	inner *engine.Txn
+	ctx   *pcontext.Context
+}
+
+func (t *Txn) table(name string) (*engine.Table, error) {
+	return t.db.eng.Table(name)
+}
+
+// Get returns the visible row under key in table.
+func (t *Txn) Get(table string, key []byte) ([]byte, error) {
+	tab, err := t.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.inner.Get(tab, key)
+}
+
+// Insert creates a new row; it fails on a visible duplicate key.
+func (t *Txn) Insert(table string, key, value []byte) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.Insert(tab, key, value)
+}
+
+// Update overwrites an existing visible row.
+func (t *Txn) Update(table string, key, value []byte) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.Update(tab, key, value)
+}
+
+// Put inserts or overwrites (upsert).
+func (t *Txn) Put(table string, key, value []byte) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.Put(tab, key, value)
+}
+
+// Delete removes a visible row.
+func (t *Txn) Delete(table string, key []byte) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.Delete(tab, key)
+}
+
+// Scan visits visible rows with from <= key < to in key order; fn returns
+// false to stop. The scan is preemptible at every record.
+func (t *Txn) Scan(table string, from, to []byte, fn func(key, value []byte) bool) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.Scan(tab, from, to, fn)
+}
+
+// ScanDesc is Scan in descending key order.
+func (t *Txn) ScanDesc(table string, from, to []byte, fn func(key, value []byte) bool) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.ScanDesc(tab, from, to, fn)
+}
+
+// ScanIndex is Scan over a secondary index; fn receives the index key.
+func (t *Txn) ScanIndex(table, index string, from, to []byte, fn func(key, value []byte) bool) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.ScanIndex(tab, index, from, to, fn)
+}
+
+// ScanIndexDesc is ScanIndex in descending index-key order.
+func (t *Txn) ScanIndexDesc(table, index string, from, to []byte, fn func(key, value []byte) bool) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return t.inner.ScanIndexDesc(tab, index, from, to, fn)
+}
+
+// Yield is a handcrafted cooperative yield point (used with
+// PolicyCooperativeHandcrafted): if high-priority work is queued on this
+// worker, the transaction voluntarily hands over the core and resumes after
+// the high-priority batch drains. A no-op on other policies' workers only
+// insofar as there is no queued work; it is always safe to call.
+func (t *Txn) Yield() { sched.Yield(t.ctx) }
+
+// NonPreemptible runs fn with preemption disabled on this context — the
+// application-level escape hatch for short critical sections (paper §4.4).
+func (t *Txn) NonPreemptible(fn func()) { pcontext.NonPreemptible(t.ctx, fn) }
+
+// IsNotFound reports whether err is the not-found condition.
+func IsNotFound(err error) bool { return errors.Is(err, engine.ErrNotFound) }
+
+// IsDuplicateKey reports whether err is the duplicate-key condition.
+func IsDuplicateKey(err error) bool { return errors.Is(err, engine.ErrDuplicateKey) }

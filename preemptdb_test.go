@@ -1,0 +1,389 @@
+package preemptdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestOpenCloseTwice(t *testing.T) {
+	db, err := Open(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := db.Submit(High, func(tx *Txn) error { return nil }, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestRunCRUD(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("kv")
+	err := db.Run(func(tx *Txn) error {
+		if err := tx.Insert("kv", []byte("a"), []byte("1")); err != nil {
+			return err
+		}
+		return tx.Insert("kv", []byte("b"), []byte("2"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Run(func(tx *Txn) error {
+		v, err := tx.Get("kv", []byte("a"))
+		if err != nil || string(v) != "1" {
+			return fmt.Errorf("get a = %q, %v", v, err)
+		}
+		if err := tx.Update("kv", []byte("a"), []byte("1b")); err != nil {
+			return err
+		}
+		if err := tx.Delete("kv", []byte("b")); err != nil {
+			return err
+		}
+		return tx.Put("kv", []byte("c"), []byte("3"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	db.Run(func(tx *Txn) error {
+		return tx.Scan("kv", nil, nil, func(k, v []byte) bool {
+			seen = append(seen, string(k)+"="+string(v))
+			return true
+		})
+	})
+	want := []string{"a=1b", "c=3"}
+	if len(seen) != len(want) || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("scan = %v", seen)
+	}
+}
+
+func TestErrorsRollBack(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("t")
+	boom := errors.New("boom")
+	err := db.Run(func(tx *Txn) error {
+		tx.Insert("t", []byte("x"), []byte("1"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	db.Run(func(tx *Txn) error {
+		if _, err := tx.Get("t", []byte("x")); !IsNotFound(err) {
+			t.Errorf("rolled-back insert visible: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestUnknownTable(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	err := db.Run(func(tx *Txn) error {
+		_, err := tx.Get("nope", []byte("k"))
+		return err
+	})
+	if err == nil {
+		t.Fatal("unknown table must error")
+	}
+	if err := db.CreateIndex("nope", "i", func(k, v []byte) []byte { return nil }); err == nil {
+		t.Fatal("index on unknown table must error")
+	}
+}
+
+func TestDuplicateKeyError(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("t")
+	db.Run(func(tx *Txn) error { return tx.Insert("t", []byte("k"), []byte("v")) })
+	err := db.Run(func(tx *Txn) error { return tx.Insert("t", []byte("k"), []byte("v2")) })
+	if !IsDuplicateKey(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSecondaryIndexThroughAPI(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("users")
+	if err := db.CreateIndex("users", "bycity", func(k, row []byte) []byte {
+		return append([]byte(nil), row...) // index the whole row (the city)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Run(func(tx *Txn) error {
+		tx.Insert("users", []byte("u1"), []byte("berlin"))
+		tx.Insert("users", []byte("u2"), []byte("tokyo"))
+		tx.Insert("users", []byte("u3"), []byte("berlin"))
+		return nil
+	})
+	var hits int
+	db.Run(func(tx *Txn) error {
+		return tx.ScanIndex("users", "bycity", []byte("berlin"), []byte("berlio"),
+			func(k, v []byte) bool { hits++; return true })
+	})
+	if hits != 2 {
+		t.Fatalf("index hits = %d", hits)
+	}
+}
+
+func TestExecBothPriorities(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyPreempt})
+	db.CreateTable("t")
+	if err := db.Exec(Low, func(tx *Txn) error {
+		return tx.Insert("t", []byte("lo"), []byte("1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(High, func(tx *Txn) error {
+		return tx.Insert("t", []byte("hi"), []byte("2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Run(func(tx *Txn) error {
+		if _, err := tx.Get("t", []byte("lo")); err != nil {
+			t.Error(err)
+		}
+		if _, err := tx.Get("t", []byte("hi")); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+}
+
+func TestHighPreemptsLow(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyPreempt})
+	db.CreateTable("data")
+	// Load enough rows that a full scan takes a while.
+	db.Run(func(tx *Txn) error {
+		var k [8]byte
+		for i := 0; i < 50000; i++ {
+			binary.BigEndian.PutUint64(k[:], uint64(i))
+			if err := tx.Insert("data", k[:], bytes.Repeat([]byte("x"), 64)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	longDone := make(chan struct{})
+	db.Submit(Low, func(tx *Txn) error {
+		// A long analytical scan, repeated to stretch it out.
+		for i := 0; i < 20; i++ {
+			tx.Scan("data", nil, nil, func(k, v []byte) bool { return true })
+		}
+		return nil
+	}, func(error) { close(longDone) })
+
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	if err := db.Exec(High, func(tx *Txn) error {
+		_, err := tx.Get("data", binary.BigEndian.AppendUint64(nil, 7))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hiLatency := time.Since(start)
+	select {
+	case <-longDone:
+		t.Log("long scan finished before high-priority txn; timing too tight to assert preemption")
+	default:
+		if hiLatency > 100*time.Millisecond {
+			t.Fatalf("high-priority latency %v under preemption", hiLatency)
+		}
+	}
+	<-longDone
+	st := db.Stats()
+	if st.InterruptsSent == 0 {
+		t.Fatal("no interrupts sent")
+	}
+	if st.Commits == 0 {
+		t.Fatal("no commits counted")
+	}
+}
+
+func TestSubmitAsyncDone(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("t")
+	var calls atomic.Int32
+	done := make(chan error, 1)
+	err := db.Submit(High, func(tx *Txn) error {
+		calls.Add(1)
+		return tx.Insert("t", []byte("k"), []byte("v"))
+	}, func(err error) { done <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("done callback never fired")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("work ran %d times", calls.Load())
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, LoQueueSize: 1})
+	db.CreateTable("t")
+	block := make(chan struct{})
+	// Occupy the worker.
+	db.Submit(Low, func(tx *Txn) error { <-block; return nil }, nil)
+	time.Sleep(2 * time.Millisecond)
+	// Fill the single queue slot.
+	filled := false
+	for i := 0; i < 3; i++ {
+		if err := db.Submit(Low, func(tx *Txn) error { return nil }, nil); err != nil {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("err = %v", err)
+			}
+			filled = true
+			break
+		}
+	}
+	close(block)
+	if !filled {
+		t.Fatal("queue never reported full")
+	}
+}
+
+func TestConflictRetryTransparent(t *testing.T) {
+	db := openTest(t, Config{Workers: 2})
+	db.CreateTable("ctr")
+	db.Run(func(tx *Txn) error { return tx.Insert("ctr", []byte("n"), make([]byte, 8)) })
+
+	const workers, perWorker = 4, 200
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < perWorker; i++ {
+				err := db.Run(func(tx *Txn) error {
+					v, err := tx.Get("ctr", []byte("n"))
+					if err != nil {
+						return err
+					}
+					n := binary.LittleEndian.Uint64(v)
+					return tx.Update("ctr", []byte("n"), binary.LittleEndian.AppendUint64(nil, n+1))
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Run(func(tx *Txn) error {
+		v, _ := tx.Get("ctr", []byte("n"))
+		if n := binary.LittleEndian.Uint64(v); n != workers*perWorker {
+			t.Errorf("counter = %d, want %d", n, workers*perWorker)
+		}
+		return nil
+	})
+}
+
+func TestSerializableConfig(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Isolation: Serializable})
+	db.CreateTable("t")
+	if err := db.Run(func(tx *Txn) error {
+		return tx.Insert("t", []byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacuum(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("t")
+	db.Run(func(tx *Txn) error { return tx.Insert("t", []byte("k"), []byte("v0")) })
+	for i := 0; i < 5; i++ {
+		db.Run(func(tx *Txn) error {
+			return tx.Update("t", []byte("k"), []byte{byte('0' + i)})
+		})
+	}
+	if n := db.Vacuum(); n != 5 {
+		t.Fatalf("vacuum reclaimed %d, want 5", n)
+	}
+}
+
+func TestWALRecoveryThroughAPI(t *testing.T) {
+	var log bytes.Buffer
+	db := openTest(t, Config{Workers: 1, LogSink: &log})
+	db.CreateTable("t")
+	db.Run(func(tx *Txn) error { return tx.Insert("t", []byte("k"), []byte("v")) })
+	db.Close()
+	if log.Len() == 0 {
+		t.Fatal("no log bytes written")
+	}
+	if db.Stats().LogBytes == 0 {
+		t.Fatal("log bytes not counted")
+	}
+}
+
+func TestYieldAndNonPreemptibleSafeEverywhere(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyCooperativeHandcrafted})
+	db.CreateTable("t")
+	err := db.Exec(Low, func(tx *Txn) error {
+		tx.NonPreemptible(func() {
+			// Critical section: preemption masked.
+		})
+		tx.Yield()
+		return tx.Insert("t", []byte("k"), []byte("v"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Also on a detached context via Run.
+	if err := db.Run(func(tx *Txn) error { tx.Yield(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyWait:                   "Wait",
+		PolicyCooperative:            "Cooperative",
+		PolicyCooperativeHandcrafted: "Cooperative (Handcrafted)",
+		PolicyPreempt:                "PreemptDB",
+	} {
+		if p.String() != want {
+			t.Errorf("%d: %q", p, p.String())
+		}
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	db := openTest(t, Config{Workers: 1})
+	db.CreateTable("t")
+	db.Run(func(tx *Txn) error { return tx.Insert("t", []byte("a"), []byte("b")) })
+	st := db.Stats()
+	if st.Commits == 0 {
+		t.Fatal("commits not counted")
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"preemptdb"
+)
+
+// Client is a connection to a PreemptDB server. Safe for concurrent use;
+// requests on one connection are serialized (open several clients for
+// parallelism).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads the response.
+func (c *Client) roundTrip(payload []byte) (uint8, string, []OpResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, payload); err != nil {
+		return 0, "", nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return decodeResults(resp)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	status, msg, _, err := c.roundTrip([]byte{reqPing})
+	if err != nil {
+		return err
+	}
+	if status != statusOK || msg != "pong" {
+		return fmt.Errorf("server: bad ping response %d %q", status, msg)
+	}
+	return nil
+}
+
+// CreateTable creates a table on the server (idempotent).
+func (c *Client) CreateTable(name string) error {
+	payload := appendString([]byte{reqCreateTable}, name)
+	status, msg, _, err := c.roundTrip(payload)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, msg)
+}
+
+// Stats returns the server's counter summary line.
+func (c *Client) Stats() (string, error) {
+	status, msg, _, err := c.roundTrip([]byte{reqStats})
+	if err != nil {
+		return "", err
+	}
+	return msg, statusErr(status, msg)
+}
+
+// Txn executes a script of operations atomically at the given priority.
+func (c *Client) Txn(p preemptdb.Priority, ops []ScriptOp) ([]OpResult, error) {
+	var prio uint8
+	if p == preemptdb.High {
+		prio = 1
+	}
+	status, msg, results, err := c.roundTrip(encodeScript(nil, prio, ops))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, msg); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func statusErr(status uint8, msg string) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case statusDuplicate:
+		return fmt.Errorf("%w: %s", ErrDuplicate, msg)
+	case statusConflict:
+		return fmt.Errorf("%w: %s", ErrConflict, msg)
+	default:
+		return fmt.Errorf("server: %s", msg)
+	}
+}
+
+// Convenience single-op wrappers.
+
+// Get fetches one row (priority Low).
+func (c *Client) Get(table string, key []byte) ([]byte, error) {
+	res, err := c.Txn(preemptdb.Low, []ScriptOp{{Op: opGet, Table: table, Key: key}})
+	if err != nil {
+		return nil, err
+	}
+	if res[0].Status == statusNotFound {
+		return nil, ErrNotFound
+	}
+	return res[0].Value, nil
+}
+
+// Put upserts one row (priority Low).
+func (c *Client) Put(table string, key, value []byte) error {
+	_, err := c.Txn(preemptdb.Low, []ScriptOp{{Op: opPut, Table: table, Key: key, Value: value}})
+	return err
+}
+
+// Insert creates one row (priority Low); fails on duplicates.
+func (c *Client) Insert(table string, key, value []byte) error {
+	_, err := c.Txn(preemptdb.Low, []ScriptOp{{Op: opInsert, Table: table, Key: key, Value: value}})
+	return err
+}
+
+// Delete removes one row (priority Low).
+func (c *Client) Delete(table string, key []byte) error {
+	_, err := c.Txn(preemptdb.Low, []ScriptOp{{Op: opDelete, Table: table, Key: key}})
+	return err
+}
+
+// Scan returns up to limit rows with from <= key < to in ascending order.
+func (c *Client) Scan(table string, from, to []byte, limit uint32) (keys, values [][]byte, err error) {
+	res, err := c.Txn(preemptdb.Low, []ScriptOp{{Op: opScan, Table: table, Key: from, Value: to, Limit: limit}})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res[0].Keys, res[0].Values, nil
+}
+
+// GetOp builds a read operation for use in Txn scripts.
+func GetOp(table string, key []byte) ScriptOp { return ScriptOp{Op: opGet, Table: table, Key: key} }
+
+// InsertOp builds an insert operation.
+func InsertOp(table string, key, value []byte) ScriptOp {
+	return ScriptOp{Op: opInsert, Table: table, Key: key, Value: value}
+}
+
+// UpdateOp builds an update operation.
+func UpdateOp(table string, key, value []byte) ScriptOp {
+	return ScriptOp{Op: opUpdate, Table: table, Key: key, Value: value}
+}
+
+// PutOp builds an upsert operation.
+func PutOp(table string, key, value []byte) ScriptOp {
+	return ScriptOp{Op: opPut, Table: table, Key: key, Value: value}
+}
+
+// DeleteOp builds a delete operation.
+func DeleteOp(table string, key []byte) ScriptOp {
+	return ScriptOp{Op: opDelete, Table: table, Key: key}
+}
+
+// ScanOp builds an ascending scan operation ([from, to), limit rows; 0 =
+// unlimited). Set Index on the result for secondary-index scans.
+func ScanOp(table string, from, to []byte, limit uint32) ScriptOp {
+	return ScriptOp{Op: opScan, Table: table, Key: from, Value: to, Limit: limit}
+}
+
+// ScanDescOp builds a descending scan operation.
+func ScanDescOp(table string, from, to []byte, limit uint32) ScriptOp {
+	return ScriptOp{Op: opScanDesc, Table: table, Key: from, Value: to, Limit: limit}
+}
+
+// NotFound reports whether an op result carries the not-found status, for
+// use with results of Txn scripts containing GetOps.
+func NotFound(r OpResult) bool { return r.Status == statusNotFound }

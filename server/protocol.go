@@ -1,0 +1,279 @@
+// Package server provides a TCP network layer for PreemptDB: a wire
+// protocol, a Server that executes client transactions through the
+// priority scheduler, and a Client.
+//
+// The protocol is deliberately simple — length-prefixed binary frames, one
+// request/response pair per transaction. A transaction is shipped as a
+// script of operations executed atomically on the server inside one
+// engine transaction, tagged with a priority; a high-priority script
+// preempts in-flight low-priority work exactly like an embedded caller.
+// (The paper's evaluation excludes networking to isolate scheduling; this
+// layer exists for the library's sake and is benchmarked separately.)
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op codes for transaction script operations.
+const (
+	opGet uint8 = iota + 1
+	opInsert
+	opUpdate
+	opPut
+	opDelete
+	opScan
+	opScanDesc
+)
+
+// Request types.
+const (
+	reqTxn uint8 = iota + 1
+	reqCreateTable
+	reqCreateIndex // reserved; extractors cannot cross the wire
+	reqStats
+	reqPing
+)
+
+// Response status codes.
+const (
+	statusOK uint8 = iota
+	statusNotFound
+	statusDuplicate
+	statusConflict
+	statusError
+)
+
+// maxFrame bounds a single frame (16 MiB) to keep a misbehaving peer from
+// ballooning server memory.
+const maxFrame = 16 << 20
+
+// Wire errors.
+var (
+	ErrFrameTooLarge = errors.New("server: frame exceeds limit")
+	ErrMalformed     = errors.New("server: malformed frame")
+)
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendBytes appends a uvarint-length-prefixed blob.
+func appendBytes(b, blob []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(blob)))
+	return append(b, blob...)
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// reader walks a payload buffer.
+type reader struct{ b []byte }
+
+func (r *reader) u8() (uint8, error) {
+	if len(r.b) < 1 {
+		return 0, ErrMalformed
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.b)) < n {
+		return nil, ErrMalformed
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	v, err := r.bytes()
+	return string(v), err
+}
+
+func (r *reader) empty() bool { return len(r.b) == 0 }
+
+// ScriptOp is one operation in a transaction script.
+type ScriptOp struct {
+	Op         uint8
+	Table      string
+	Index      string // scans over a secondary index (optional)
+	Key, Value []byte // Key/Value double as From/To for scans
+	Limit      uint32 // scans: max rows (0 = unlimited)
+}
+
+// OpResult is the outcome of one script operation.
+type OpResult struct {
+	Status uint8
+	Value  []byte   // point reads
+	Keys   [][]byte // scans
+	Values [][]byte // scans
+}
+
+func encodeScript(b []byte, priority uint8, ops []ScriptOp) []byte {
+	b = append(b, reqTxn, priority)
+	b = binary.AppendUvarint(b, uint64(len(ops)))
+	for _, op := range ops {
+		b = append(b, op.Op)
+		b = appendString(b, op.Table)
+		b = appendString(b, op.Index)
+		b = appendBytes(b, op.Key)
+		b = appendBytes(b, op.Value)
+		b = binary.AppendUvarint(b, uint64(op.Limit))
+	}
+	return b
+}
+
+func decodeScript(r *reader) (priority uint8, ops []ScriptOp, err error) {
+	if priority, err = r.u8(); err != nil {
+		return 0, nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 1<<16 {
+		return 0, nil, fmt.Errorf("%w: script of %d ops", ErrMalformed, n)
+	}
+	ops = make([]ScriptOp, n)
+	for i := range ops {
+		op := &ops[i]
+		if op.Op, err = r.u8(); err != nil {
+			return 0, nil, err
+		}
+		if op.Table, err = r.str(); err != nil {
+			return 0, nil, err
+		}
+		if op.Index, err = r.str(); err != nil {
+			return 0, nil, err
+		}
+		var kb, vb []byte
+		if kb, err = r.bytes(); err != nil {
+			return 0, nil, err
+		}
+		if vb, err = r.bytes(); err != nil {
+			return 0, nil, err
+		}
+		op.Key = append([]byte(nil), kb...)
+		op.Value = append([]byte(nil), vb...)
+		lim, err := r.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		op.Limit = uint32(lim)
+	}
+	return priority, ops, nil
+}
+
+func encodeResults(b []byte, status uint8, msg string, results []OpResult) []byte {
+	b = append(b, status)
+	b = appendString(b, msg)
+	b = binary.AppendUvarint(b, uint64(len(results)))
+	for _, res := range results {
+		b = append(b, res.Status)
+		b = appendBytes(b, res.Value)
+		b = binary.AppendUvarint(b, uint64(len(res.Keys)))
+		for i := range res.Keys {
+			b = appendBytes(b, res.Keys[i])
+			b = appendBytes(b, res.Values[i])
+		}
+	}
+	return b
+}
+
+func decodeResults(payload []byte) (status uint8, msg string, results []OpResult, err error) {
+	r := &reader{payload}
+	if status, err = r.u8(); err != nil {
+		return 0, "", nil, err
+	}
+	if msg, err = r.str(); err != nil {
+		return 0, "", nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if n > 1<<16 {
+		return 0, "", nil, ErrMalformed
+	}
+	results = make([]OpResult, n)
+	for i := range results {
+		res := &results[i]
+		if res.Status, err = r.u8(); err != nil {
+			return 0, "", nil, err
+		}
+		var v []byte
+		if v, err = r.bytes(); err != nil {
+			return 0, "", nil, err
+		}
+		res.Value = append([]byte(nil), v...)
+		rows, err := r.uvarint()
+		if err != nil {
+			return 0, "", nil, err
+		}
+		if rows > 1<<24 {
+			return 0, "", nil, ErrMalformed
+		}
+		for j := uint64(0); j < rows; j++ {
+			k, err := r.bytes()
+			if err != nil {
+				return 0, "", nil, err
+			}
+			val, err := r.bytes()
+			if err != nil {
+				return 0, "", nil, err
+			}
+			res.Keys = append(res.Keys, append([]byte(nil), k...))
+			res.Values = append(res.Values, append([]byte(nil), val...))
+		}
+	}
+	if !r.empty() {
+		return 0, "", nil, ErrMalformed
+	}
+	return status, msg, results, nil
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"preemptdb"
+)
+
+// Server serves the PreemptDB wire protocol on a listener, executing each
+// transaction script through the embedded DB's priority scheduler.
+type Server struct {
+	db  *preemptdb.DB
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// New wraps db in a network server; call Serve with a listener.
+func New(db *preemptdb.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") in a background
+// goroutine and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(lis)
+	}()
+	return lis.Addr(), nil
+}
+
+func (s *Server) serve(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: client is gone
+		}
+		resp, err := s.dispatch(frame)
+		if err != nil {
+			// Protocol error: answer once, then drop the connection.
+			resp = encodeResults(nil, statusError, err.Error(), nil)
+			writeFrame(conn, resp)
+			return
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch parses and executes one request frame, returning the response
+// payload. A returned error means the frame was malformed.
+func (s *Server) dispatch(frame []byte) ([]byte, error) {
+	r := &reader{frame}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case reqPing:
+		return encodeResults(nil, statusOK, "pong", nil), nil
+
+	case reqCreateTable:
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		s.db.CreateTable(name)
+		return encodeResults(nil, statusOK, "", nil), nil
+
+	case reqStats:
+		st := s.db.Stats()
+		msg := fmt.Sprintf("commits=%d aborts=%d interrupts=%d passive=%d active=%d",
+			st.Commits, st.Aborts, st.InterruptsSent, st.PassiveSwitches, st.ActiveSwitches)
+		return encodeResults(nil, statusOK, msg, nil), nil
+
+	case reqTxn:
+		prio, ops, err := decodeScript(r)
+		if err != nil {
+			return nil, err
+		}
+		return s.runScript(prio, ops), nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown request %d", ErrMalformed, kind)
+	}
+}
+
+// runScript executes the ops atomically in one transaction at the given
+// priority. Per-op read misses are reported in-band (statusNotFound) without
+// aborting; write errors abort the whole script.
+func (s *Server) runScript(prio uint8, ops []ScriptOp) []byte {
+	priority := preemptdb.Low
+	if prio > 0 {
+		priority = preemptdb.High
+	}
+	results := make([]OpResult, len(ops))
+	err := s.db.Exec(priority, func(tx *preemptdb.Txn) error {
+		for i := range ops {
+			op := &ops[i]
+			res := &results[i]
+			*res = OpResult{Status: statusOK}
+			switch op.Op {
+			case opGet:
+				v, err := tx.Get(op.Table, op.Key)
+				if preemptdb.IsNotFound(err) {
+					res.Status = statusNotFound
+				} else if err != nil {
+					return err
+				} else {
+					res.Value = append([]byte(nil), v...)
+				}
+			case opInsert:
+				if err := tx.Insert(op.Table, op.Key, op.Value); err != nil {
+					return err
+				}
+			case opUpdate:
+				if err := tx.Update(op.Table, op.Key, op.Value); err != nil {
+					return err
+				}
+			case opPut:
+				if err := tx.Put(op.Table, op.Key, op.Value); err != nil {
+					return err
+				}
+			case opDelete:
+				if err := tx.Delete(op.Table, op.Key); err != nil {
+					return err
+				}
+			case opScan, opScanDesc:
+				from, to := op.Key, op.Value
+				if len(from) == 0 {
+					from = nil
+				}
+				if len(to) == 0 {
+					to = nil
+				}
+				emit := func(k, v []byte) bool {
+					res.Keys = append(res.Keys, append([]byte(nil), k...))
+					res.Values = append(res.Values, append([]byte(nil), v...))
+					return op.Limit == 0 || uint32(len(res.Keys)) < op.Limit
+				}
+				var err error
+				switch {
+				case op.Op == opScan && op.Index == "":
+					err = tx.Scan(op.Table, from, to, emit)
+				case op.Op == opScan:
+					err = tx.ScanIndex(op.Table, op.Index, from, to, emit)
+				case op.Index == "":
+					err = tx.ScanDesc(op.Table, from, to, emit)
+				default:
+					err = tx.ScanIndexDesc(op.Table, op.Index, from, to, emit)
+				}
+				if err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown op %d", op.Op)
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		return encodeResults(nil, statusOK, "", results)
+	case preemptdb.IsDuplicateKey(err):
+		return encodeResults(nil, statusDuplicate, err.Error(), nil)
+	case preemptdb.IsNotFound(err):
+		return encodeResults(nil, statusNotFound, err.Error(), nil)
+	case preemptdb.IsConflict(err):
+		return encodeResults(nil, statusConflict, err.Error(), nil)
+	default:
+		return encodeResults(nil, statusError, err.Error(), nil)
+	}
+}
+
+// Errors surfaced by the client for non-OK response statuses.
+var (
+	ErrNotFound  = errors.New("server: not found")
+	ErrDuplicate = errors.New("server: duplicate key")
+	ErrConflict  = errors.New("server: transaction conflict")
+)
