@@ -24,7 +24,13 @@ const (
 func key(i uint64) []byte { return binary.BigEndian.AppendUint64(nil, i) }
 
 func runPolicy(policy preemptdb.Policy) (lat []time.Duration, scanned uint64) {
-	db, err := preemptdb.Open(preemptdb.Config{Workers: 1, Policy: policy})
+	db, err := preemptdb.Open(preemptdb.Config{
+		Workers: 1,
+		Policy:  policy,
+		// Background vacuum keeps the repeatedly-updated sales/inventory
+		// version chains short for the duration of the mix.
+		VacuumInterval: 10 * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

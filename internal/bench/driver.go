@@ -45,6 +45,12 @@ type Options struct {
 	TPCC tpcc.ScaleConfig
 	TPCH tpch.ScaleConfig
 
+	// VacuumInterval enables the engine's background incremental vacuum for
+	// the run; long experiments with update-heavy mixes keep version chains
+	// short without a stop-the-world sweep between data points. Zero keeps
+	// the seed behavior (manual Vacuum between runs).
+	VacuumInterval time.Duration
+
 	Out io.Writer // table output; default io.Discard
 }
 
@@ -116,7 +122,7 @@ type Fixture struct {
 // NewFixture loads TPC-C and the TPC-H subset into one engine.
 func NewFixture(opt Options) (*Fixture, error) {
 	opt = opt.withDefaults()
-	e := engine.New(engine.Config{})
+	e := engine.New(engine.Config{VacuumInterval: opt.VacuumInterval})
 	tpcc.CreateSchema(e)
 	tpch.CreateSchema(e)
 	ccCfg, err := tpcc.Load(e, opt.TPCC)

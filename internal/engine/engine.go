@@ -14,8 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"preemptdb/internal/index"
 	"preemptdb/internal/mvcc"
@@ -43,8 +45,26 @@ type Config struct {
 	// LogSink receives the redo log; nil discards it (pure in-memory mode,
 	// the paper's evaluation configuration).
 	LogSink io.Writer
-	// SyncEachCommit forces a flush+sync per commit when the sink supports it.
+	// SyncEachCommit forces a flush+sync per group-commit batch when the
+	// sink supports it; committers are released only once their batch is
+	// durable.
 	SyncEachCommit bool
+	// MaxBatchBytes stops a group-commit leader's gathering wait once the
+	// open batch reaches this many framed bytes (0: no byte bound).
+	MaxBatchBytes int
+	// MaxBatchDelay bounds the extra latency a group-commit leader spends
+	// gathering followers before writing its batch (0: write as soon as the
+	// previous batch's I/O completes; batching then comes only from natural
+	// I/O overlap).
+	MaxBatchDelay time.Duration
+	// VacuumInterval, when non-zero, starts a background goroutine that
+	// incrementally trims version chains: every tick it walks a bounded
+	// slice of VacuumBatch records from a persistent cursor, using the
+	// oracle's MinActiveBegin horizon. Stop it with Close.
+	VacuumInterval time.Duration
+	// VacuumBatch is the number of records examined per vacuum tick
+	// (default 1024).
+	VacuumBatch int
 }
 
 // Engine is the storage engine. Create with New; it is safe for concurrent
@@ -59,8 +79,14 @@ type Engine struct {
 	tableIDs map[uint32]*Table
 	nextID   uint32
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	vacuumed atomic.Uint64
+
+	// Background vacuum lifecycle; cursor state lives in the goroutine.
+	vacStop chan struct{}
+	vacWG   sync.WaitGroup
+	closed  atomic.Bool
 }
 
 // New returns an engine with the given configuration.
@@ -69,13 +95,37 @@ func New(cfg Config) *Engine {
 	if sink == nil {
 		sink = io.Discard
 	}
-	return &Engine{
+	if cfg.VacuumBatch == 0 {
+		cfg.VacuumBatch = 1024
+	}
+	e := &Engine{
 		cfg:      cfg,
 		oracle:   mvcc.NewOracle(),
 		log:      wal.NewManager(sink, cfg.SyncEachCommit),
 		tables:   make(map[string]*Table),
 		tableIDs: make(map[uint32]*Table),
 	}
+	e.log.SetBatchLimits(cfg.MaxBatchBytes, cfg.MaxBatchDelay)
+	if cfg.VacuumInterval > 0 {
+		e.vacStop = make(chan struct{})
+		e.vacWG.Add(1)
+		go e.vacuumLoop()
+	}
+	return e
+}
+
+// Close stops the background vacuum goroutine (if running) and flushes the
+// log. Idempotent; the engine remains usable for reads afterwards, but no
+// further GC runs.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	if e.vacStop != nil {
+		close(e.vacStop)
+		e.vacWG.Wait()
+	}
+	return e.log.Flush()
 }
 
 // Oracle exposes the timestamp oracle (for GC and observability).
@@ -222,26 +272,121 @@ func (e *Engine) AttachContext(ctx *pcontext.Context) {
 	}
 }
 
+// DetachContext tears down what AttachContext installed: the snapshot slot
+// is returned to the oracle's free list (so the MinActiveBegin scan set stays
+// bounded by the number of live contexts) and the CLS entries are cleared.
+// Call it when a context will no longer run transactions on this engine; a
+// never-attached or nil context is a no-op.
+func (e *Engine) DetachContext(ctx *pcontext.Context) {
+	if ctx == nil {
+		return
+	}
+	cls := ctx.CLS()
+	if s, ok := cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot); ok {
+		e.oracle.UnregisterSlot(s)
+	}
+	cls.Set(pcontext.SlotSnapshot, nil)
+	cls.Set(pcontext.SlotLog, nil)
+	cls.Set(pcontext.SlotScratch, nil)
+}
+
 // Vacuum trims version chains across all tables down to what the oldest
 // active snapshot can still reach, returning the number of versions
-// reclaimed. Run it periodically from a maintenance goroutine or between
-// benchmark phases.
+// reclaimed. This is the manual full sweep; engines configured with
+// VacuumInterval run the same trim incrementally in the background.
 func (e *Engine) Vacuum(ctx *pcontext.Context) int {
 	m := e.oracle.MinActiveBegin()
 	total := 0
+	for _, t := range e.tablesByID() {
+		t.primary.Scan(ctx, nil, nil, func(_ []byte, rec *mvcc.Record) bool {
+			total += mvcc.Trim(rec, m)
+			return true
+		})
+	}
+	e.vacuumed.Add(uint64(total))
+	return total
+}
+
+// Vacuumed returns the total number of versions reclaimed by manual and
+// background vacuum since the engine was created.
+func (e *Engine) Vacuumed() uint64 { return e.vacuumed.Load() }
+
+// tablesByID snapshots the table list in id order (stable cursor order for
+// the incremental vacuum).
+func (e *Engine) tablesByID() []*Table {
 	e.mu.RLock()
 	tabs := make([]*Table, 0, len(e.tables))
 	for _, t := range e.tables {
 		tabs = append(tabs, t)
 	}
 	e.mu.RUnlock()
+	sort.Slice(tabs, func(i, j int) bool { return tabs[i].id < tabs[j].id })
+	return tabs
+}
+
+// vacuumLoop is the background incremental vacuum: every VacuumInterval it
+// trims a bounded slice of VacuumBatch records, resuming from a persistent
+// (table id, key) cursor so long tables are reclaimed across ticks without
+// ever stalling foreground work behind a full sweep.
+func (e *Engine) vacuumLoop() {
+	defer e.vacWG.Done()
+	ctx := pcontext.Detached()
+	ticker := time.NewTicker(e.cfg.VacuumInterval)
+	defer ticker.Stop()
+	var curTable uint32 // resume at the first table with id >= curTable
+	var curKey []byte   // resume at the first key > curKey (nil: table start)
+	for {
+		select {
+		case <-e.vacStop:
+			return
+		case <-ticker.C:
+		}
+		curTable, curKey = e.vacuumSlice(ctx, curTable, curKey, e.cfg.VacuumBatch)
+	}
+}
+
+// vacuumSlice trims up to batch records starting at the (table, afterKey)
+// cursor and returns the advanced cursor, wrapping to the first table after
+// a full cycle.
+func (e *Engine) vacuumSlice(ctx *pcontext.Context, table uint32, afterKey []byte, batch int) (uint32, []byte) {
+	tabs := e.tablesByID()
+	if len(tabs) == 0 {
+		return 0, nil
+	}
+	m := e.oracle.MinActiveBegin()
+	reclaimed, budget := 0, batch
 	for _, t := range tabs {
-		t.primary.Scan(ctx, nil, nil, func(_ []byte, rec *mvcc.Record) bool {
-			total += mvcc.Trim(rec, m)
+		if t.id < table {
+			continue
+		}
+		start := afterKey
+		if t.id != table {
+			start = nil
+		}
+		var lastKey []byte
+		scanned := 0
+		t.primary.Scan(ctx, start, nil, func(k []byte, rec *mvcc.Record) bool {
+			if scanned >= budget {
+				lastKey = append(lastKey[:0], k...) // resume here next tick
+				return false
+			}
+			scanned++
+			reclaimed += mvcc.Trim(rec, m)
 			return true
 		})
+		if lastKey != nil {
+			e.vacuumed.Add(uint64(reclaimed))
+			return t.id, lastKey
+		}
+		budget -= scanned
+		afterKey = nil
+		if budget <= 0 && t != tabs[len(tabs)-1] {
+			e.vacuumed.Add(uint64(reclaimed))
+			return t.id + 1, nil
+		}
 	}
-	return total
+	e.vacuumed.Add(uint64(reclaimed))
+	return 0, nil // full cycle done; wrap around
 }
 
 // Recover replays a redo log stream into the engine, rebuilding table
@@ -250,12 +395,21 @@ func (e *Engine) Vacuum(ctx *pcontext.Context) int {
 func (e *Engine) Recover(r io.Reader) error {
 	ctx := pcontext.Detached()
 	return wal.Replay(r, func(tx wal.CommittedTxn) error {
-		for _, rec := range tx.Records {
-			e.mu.RLock()
-			table, ok := e.tableIDs[rec.Table]
-			e.mu.RUnlock()
-			if !ok {
-				return fmt.Errorf("engine: recovery references unknown table id %d", rec.Table)
+		// Resolve table ids under a single engine lock per committed
+		// transaction instead of re-locking for every record; consecutive
+		// records for the same table (the common log shape) skip the map
+		// lookup entirely.
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		var table *Table
+		for i := range tx.Records {
+			rec := &tx.Records[i]
+			if table == nil || table.id != rec.Table {
+				t, ok := e.tableIDs[rec.Table]
+				if !ok {
+					return fmt.Errorf("engine: recovery references unknown table id %d", rec.Table)
+				}
+				table = t
 			}
 			mrec, _ := table.primary.GetOrInsert(ctx, rec.Key, mvcc.NewRecord())
 			switch rec.Type {

@@ -11,13 +11,22 @@ import (
 )
 
 // Txn is an engine-level transaction: the MVCC transaction plus redo logging
-// and index maintenance. Confined to one transaction context.
+// and index maintenance. Confined to one transaction context. Context-bound
+// transactions are pooled in the context's CLS scratch slot, so the steady
+// state commit path performs no heap allocation.
 type Txn struct {
 	inner  *mvcc.Txn
 	eng    *Engine
 	ctx    *pcontext.Context
 	logBuf *wal.Buffer
 	done   bool
+
+	// Group-commit state for the Commit in flight. stageFn is bound once at
+	// construction so handing it to mvcc.Commit does not allocate a closure
+	// per commit.
+	staged  bool
+	leader  bool
+	stageFn func(cts uint64) error
 }
 
 // Begin starts a transaction on ctx at the engine's configured isolation
@@ -29,23 +38,42 @@ func (e *Engine) Begin(ctx *pcontext.Context) *Txn {
 
 // BeginIso starts a transaction with an explicit isolation level.
 func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
-	var buf *wal.Buffer
-	var slot *mvcc.ActiveSlot
-	if ctx != nil {
-		e.AttachContext(ctx)
-		cls := ctx.CLS()
-		buf = cls.Get(pcontext.SlotLog).(*wal.Buffer)
-		slot = cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot)
-	} else {
-		buf = wal.NewBuffer()
+	if ctx == nil {
+		t := &Txn{eng: e, logBuf: wal.NewBuffer()}
+		t.stageFn = t.stage
+		t.inner = e.oracle.Begin(nil, iso, nil)
+		return t
+	}
+	e.AttachContext(ctx)
+	cls := ctx.CLS()
+	buf := cls.Get(pcontext.SlotLog).(*wal.Buffer)
+	slot := cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot)
+	// Reuse the context's cached Txn when its previous transaction finished;
+	// a still-open cached txn (caller abandoned it) or one bound to another
+	// engine gets left behind and replaced.
+	t, _ := cls.Get(pcontext.SlotScratch).(*Txn)
+	if t == nil || !t.done || t.eng != e {
+		t = &Txn{eng: e, ctx: ctx}
+		t.stageFn = t.stage
+		cls.Set(pcontext.SlotScratch, t)
 	}
 	buf.Reset()
-	return &Txn{
-		inner:  e.oracle.Begin(ctx, iso, slot),
-		eng:    e,
-		ctx:    ctx,
-		logBuf: buf,
+	t.logBuf = buf
+	t.done = false
+	t.inner = e.oracle.Begin(ctx, iso, slot)
+	return t
+}
+
+// stage frames the redo buffer into the open group-commit batch. Invoked by
+// mvcc.Commit after validation assigns the commit timestamp; staging cannot
+// fail, so a staged buffer is always written by its batch leader.
+func (t *Txn) stage(cts uint64) error {
+	if t.logBuf.Len() == 0 {
+		return nil // read-only: nothing to log
 	}
+	t.leader = t.eng.log.Stage(t.inner.ID(), cts, t.logBuf)
+	t.staged = true
+	return nil
 }
 
 // Context returns the transaction's context.
@@ -204,31 +232,49 @@ func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn S
 }
 
 // Commit finishes the transaction: serializable validation (if configured),
-// redo-log flush, and atomic publication, all inside a non-preemptible
-// region because the log latch and the commit critical section must not be
-// held across a preemption (paper §4.4).
+// group-commit staging, and atomic publication run inside one non-preemptible
+// region because the commit critical section and any WAL latch must not be
+// held across a preemption (paper §4.4). If this committer became its batch's
+// leader it also performs the batch write+sync inside the SAME region — a
+// leader paused while holding the WAL's I/O latch would deadlock a same-core
+// higher-priority transaction that becomes the next batch's leader. Followers
+// instead park on their batch's completion channel outside the region,
+// holding no latch, so they can neither block nor be blocked by preemption.
+//
+// Durability ordering caveat: versions are published at staging time, before
+// the batch reaches the sink, so a log I/O error surfaces as the returned
+// error after the in-memory commit already happened (and is counted as a
+// commit). Single-node crash recovery is unaffected — the unlogged suffix is
+// simply not replayed — but callers mirroring the log elsewhere must treat a
+// non-nil return as "committed here, not durable".
 func (t *Txn) Commit() error {
 	if t.done {
 		return mvcc.ErrTxnDone
 	}
 	t.done = true
-	var err error
+	t.staged, t.leader = false, false
+	var mvccErr, ioErr error
 	pcontext.NonPreemptible(t.ctx, func() {
-		_, err = t.inner.Commit(func(cts uint64) error {
-			if t.logBuf.Len() == 0 {
-				return nil // read-only: nothing to log
-			}
-			_, lerr := t.eng.log.Commit(t.inner.ID(), cts, t.logBuf)
-			return lerr
-		})
+		_, mvccErr = t.inner.Commit(t.stageFn)
+		if t.leader {
+			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+		}
 	})
+	if t.staged && !t.leader {
+		// Let a pending preemption run before parking: the follower holds no
+		// latch and its versions are already published, so this is the
+		// natural low-priority wait point of §4.4.
+		t.ctx.Poll()
+		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+	}
 	t.logBuf.Reset()
-	if err != nil {
+	t.inner.Release()
+	if mvccErr != nil {
 		t.eng.aborts.Add(1)
-		return err
+		return mvccErr
 	}
 	t.eng.commits.Add(1)
-	return nil
+	return ioErr
 }
 
 // Abort rolls the transaction back. Abort after Commit (or a second Abort)
@@ -242,6 +288,7 @@ func (t *Txn) Abort() {
 		t.inner.Abort()
 	})
 	t.logBuf.Reset()
+	t.inner.Release()
 	t.eng.aborts.Add(1)
 }
 

@@ -20,6 +20,13 @@ func Trim(rec *Record, m uint64) int {
 	if v == nil {
 		return 0
 	}
+	// Fast path: a single-version chain has nothing to trim. This skips the
+	// resolve() machinery entirely for the overwhelmingly common case of
+	// records written once and never updated, which is what the background
+	// vacuum spends most of its scan visiting.
+	if v.prev.Load() == nil {
+		return 0
+	}
 	// Find the cut point: the newest version visible at m (or the last
 	// resolvable version). In-flight and too-new versions are kept.
 	var cut *Version

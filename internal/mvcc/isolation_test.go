@@ -144,7 +144,10 @@ func TestSerializableReadOnlyAnomalyConcurrent(t *testing.T) {
 
 func TestGCDoesNotDisturbConcurrentReaders(t *testing.T) {
 	// Readers traverse chains while Trim unlinks tails; every read must
-	// still resolve to a committed value.
+	// still resolve to a committed value. Readers advertise their snapshots
+	// through registered slots — that is the GC contract: Trim only reclaims
+	// versions no *advertised* snapshot can reach, so a reader that skipped
+	// RegisterSlot could race with Trim and legitimately lose its version.
 	o := NewOracle()
 	rec := NewRecord()
 	setup := o.Begin(nil, SnapshotIsolation, nil)
@@ -175,9 +178,13 @@ func TestGCDoesNotDisturbConcurrentReaders(t *testing.T) {
 		readerWG.Add(1)
 		go func() {
 			defer readerWG.Done()
+			slot := o.RegisterSlot()
+			defer o.UnregisterSlot(slot)
 			for j := 0; j < 20000; j++ {
-				tx := o.Begin(nil, SnapshotIsolation, nil)
-				if _, ok := tx.Read(rec); !ok {
+				tx := o.Begin(nil, SnapshotIsolation, slot)
+				_, ok := tx.Read(rec)
+				tx.Abort()
+				if !ok {
 					t.Error("reader lost the record during GC")
 					return
 				}

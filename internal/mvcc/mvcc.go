@@ -157,33 +157,43 @@ func (v *Version) Data() []byte { return v.data }
 
 // resolve returns the version's commitment state: committed (with its
 // timestamp), aborted, or in-flight owned by `owner`.
+//
+// Txn objects are pooled per ActiveSlot, so the writer pointer read here may
+// belong to a *recycled* transaction: the previous incarnation stamped every
+// version it wrote (cts is monotone — once non-zero it never returns to zero)
+// and cleared the writer references before the object was reused. Re-checking
+// cts after reading the writer's state word therefore suffices: if cts is
+// still zero, the writer has not finished stamping, so it cannot have been
+// recycled and its state word is trustworthy; if cts became non-zero, the
+// stamped value wins and the (possibly stale) state word is discarded.
 func (v *Version) resolve() (cts uint64, committed bool, owner *Txn) {
-	c := v.cts.Load()
-	if c == ctsAborted {
-		return 0, false, nil
-	}
-	if c != 0 {
-		return c, true, nil
-	}
-	w := v.writer.Load()
-	if w == nil {
-		// Stamped between the two loads; re-read.
-		c = v.cts.Load()
+	for {
+		c := v.cts.Load()
 		if c == ctsAborted {
 			return 0, false, nil
 		}
-		return c, c != 0, nil
-	}
-	switch st, wcts := w.status(); st {
-	case statusCommitted:
-		// Help stamp so later readers take the fast path.
-		v.cts.CompareAndSwap(0, wcts)
-		return wcts, true, nil
-	case statusAborted:
-		v.cts.CompareAndSwap(0, ctsAborted)
-		return 0, false, nil
-	default:
-		return 0, false, w
+		if c != 0 {
+			return c, true, nil
+		}
+		w := v.writer.Load()
+		if w == nil {
+			continue // stamped between the two loads; re-read cts
+		}
+		st, wcts := w.status()
+		if v.cts.Load() != 0 {
+			continue // w may be recycled; the stamp is authoritative
+		}
+		switch st {
+		case statusCommitted:
+			// Help stamp so later readers take the fast path.
+			v.cts.CompareAndSwap(0, wcts)
+			return wcts, true, nil
+		case statusAborted:
+			v.cts.CompareAndSwap(0, ctsAborted)
+			return 0, false, nil
+		default:
+			return 0, false, w
+		}
 	}
 }
 
@@ -247,6 +257,7 @@ func (t *Txn) Update(rec *Record, data []byte) error {
 	if !t.Active() {
 		return ErrTxnDone
 	}
+	var nv *Version
 	for {
 		t.ctx.Poll()
 		h := rec.head.Load()
@@ -266,14 +277,21 @@ func (t *Txn) Update(rec *Record, data []byte) error {
 			}
 			// Committed-visible or aborted head: supersede it.
 		}
-		nv := &Version{data: data}
-		nv.writer.Store(t)
+		if nv == nil {
+			if t.slot != nil {
+				nv = t.slot.newVersion()
+			} else {
+				nv = &Version{}
+			}
+			nv.data = data
+			nv.writer.Store(t)
+		}
 		nv.prev.Store(h)
 		if rec.head.CompareAndSwap(h, nv) {
 			t.writes = append(t.writes, writeEntry{rec: rec, ver: nv})
 			return nil
 		}
-		// Lost the install race; re-examine the new head.
+		// Lost the install race; re-examine the new head, reusing nv.
 	}
 }
 
@@ -286,17 +304,47 @@ type Oracle struct {
 	clock  atomic.Uint64
 	nextID atomic.Uint64
 
-	mu    sync.Mutex
-	slots []*ActiveSlot
+	mu        sync.Mutex
+	slots     []*ActiveSlot
+	freeSlots []int // indexes of unregistered slots available for reuse
 
 	// commitMu serializes Serializable validation+publication (backward
 	// OCC). Snapshot-isolation commits never touch it.
 	commitMu sync.Mutex
 }
 
-// ActiveSlot advertises one context's active snapshot to the GC.
+// arenaChunk is the number of versions allocated per arena refill. Update
+// hands out versions from the owning slot's arena, so the steady-state write
+// path performs one bulk allocation per arenaChunk versions instead of one
+// per version; a chunk becomes ordinary garbage once every version in it is
+// unreachable (trimmed or superseded and unreferenced).
+const arenaChunk = 256
+
+// ActiveSlot advertises one context's active snapshot to the GC and carries
+// the context's transaction scratch: a pooled Txn (with its read/write set
+// capacity) and the version arena. The scratch is touched only by the slot's
+// owning context, so it needs no synchronization — the same confinement
+// argument CLS makes for the WAL buffer (paper §4.3).
 type ActiveSlot struct {
 	begin atomic.Uint64 // 0 = idle
+
+	idx        int  // position in Oracle.slots, for free-list reuse
+	registered bool // guarded by Oracle.mu
+
+	cached *Txn      // recycled transaction object, nil when in use
+	arena  []Version // bump allocator for new versions
+	next   int       // next free index in arena
+}
+
+// newVersion returns a zeroed version from the slot's arena.
+func (s *ActiveSlot) newVersion() *Version {
+	if s.next == len(s.arena) {
+		s.arena = make([]Version, arenaChunk)
+		s.next = 0
+	}
+	v := &s.arena[s.next]
+	s.next++
+	return v
 }
 
 // NewOracle returns an oracle with the clock at 0 (first commit gets ts 1).
@@ -306,30 +354,95 @@ func NewOracle() *Oracle { return &Oracle{} }
 func (o *Oracle) Clock() uint64 { return o.clock.Load() }
 
 // Begin starts a transaction at the current snapshot on ctx. The slot, if
-// non-nil, marks the snapshot active for GC purposes; obtain one per worker
-// context with RegisterSlot and pass it to every Begin on that context.
+// non-nil, marks the snapshot active for GC purposes and supplies the pooled
+// transaction object; obtain one per worker context with RegisterSlot and
+// pass it to every Begin on that context.
 func (o *Oracle) Begin(ctx *pcontext.Context, iso IsolationLevel, slot *ActiveSlot) *Txn {
-	t := &Txn{
-		id:     o.nextID.Add(1),
-		begin:  o.clock.Load(),
-		iso:    iso,
-		ctx:    ctx,
-		oracle: o,
-		slot:   slot,
+	var t *Txn
+	if slot != nil && slot.cached != nil {
+		t = slot.cached
+		slot.cached = nil
+		t.writes = t.writes[:0]
+		t.reads = t.reads[:0]
+	} else {
+		t = &Txn{}
 	}
+	t.id = o.nextID.Add(1)
 	if slot != nil {
-		slot.begin.Store(t.begin + 1) // +1 so a begin of 0 is distinguishable
+		// Advertise a conservative snapshot bound *before* reading the
+		// snapshot itself (both +1 so a begin of 0 stays distinguishable
+		// from idle). A GC pass that misses this store computed its horizon
+		// from an older clock than the snapshot we are about to take, and
+		// one that sees it keeps everything the snapshot can read; either
+		// way Trim can never reclaim this transaction's visible versions.
+		// Reading the clock first and advertising after would leave a
+		// window where neither holds.
+		slot.begin.Store(o.clock.Load() + 1)
+		t.begin = o.clock.Load()
+		slot.begin.Store(t.begin + 1)
+	} else {
+		t.begin = o.clock.Load()
 	}
+	t.iso = iso
+	t.ctx = ctx
+	t.oracle = o
+	t.slot = slot
+	t.state.Store(statusActive)
 	return t
 }
 
-// RegisterSlot returns a new snapshot-tracking slot for a worker context.
+// Release returns a finished transaction object to its slot's pool for reuse
+// by the next Begin on that slot. Call only after Commit or Abort returned
+// and only from the slot's owning context; the Txn must not be used again.
+// Safe (a no-op) for slotless or still-active transactions.
+func (t *Txn) Release() {
+	if t.slot == nil || t.Active() {
+		return
+	}
+	t.slot.cached = t
+}
+
+// RegisterSlot returns a snapshot-tracking slot for a worker context, reusing
+// a previously unregistered slot when one is free so the slot table — which
+// MinActiveBegin scans on every GC cycle — stays bounded by the high-water
+// mark of concurrently attached contexts rather than growing forever.
 func (o *Oracle) RegisterSlot() *ActiveSlot {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	s := &ActiveSlot{}
+	if n := len(o.freeSlots); n > 0 {
+		s := o.slots[o.freeSlots[n-1]]
+		o.freeSlots = o.freeSlots[:n-1]
+		s.registered = true
+		return s
+	}
+	s := &ActiveSlot{idx: len(o.slots), registered: true}
 	o.slots = append(o.slots, s)
 	return s
+}
+
+// UnregisterSlot releases a slot obtained from RegisterSlot back to the
+// oracle for reuse. The slot must be idle (no transaction in flight on it).
+// Double-unregistration is a harmless no-op.
+func (o *Oracle) UnregisterSlot(s *ActiveSlot) {
+	if s == nil {
+		return
+	}
+	s.begin.Store(0)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !s.registered {
+		return
+	}
+	s.registered = false
+	o.freeSlots = append(o.freeSlots, s.idx)
+}
+
+// SlotCount returns the size of the slot table and how many entries are free
+// for reuse (observability and leak tests).
+func (o *Oracle) SlotCount() (total, free int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.slots), len(o.freeSlots)
 }
 
 // MinActiveBegin returns the smallest active snapshot timestamp, or the

@@ -1,0 +1,191 @@
+package mvcc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTxnPoolingReusesObject verifies that Release returns the transaction
+// object to its slot and the next Begin on that slot hands it back.
+func TestTxnPoolingReusesObject(t *testing.T) {
+	o := NewOracle()
+	slot := o.RegisterSlot()
+	rec := NewRecord()
+
+	t1 := o.Begin(nil, SnapshotIsolation, slot)
+	if err := t1.Update(rec, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	t1.Release()
+
+	t2 := o.Begin(nil, SnapshotIsolation, slot)
+	if t2 != t1 {
+		t.Fatal("Begin did not reuse the released Txn")
+	}
+	if !t2.Active() || t2.NumWrites() != 0 {
+		t.Fatalf("recycled txn not reset: active=%v writes=%d", t2.Active(), t2.NumWrites())
+	}
+	if d, ok := t2.Read(rec); !ok || d[0] != 1 {
+		t.Fatalf("recycled txn read = %v %v", d, ok)
+	}
+	// Releasing a still-active transaction must be refused.
+	t2.Release()
+	if t3 := o.Begin(nil, SnapshotIsolation, slot); t3 == t2 {
+		t.Fatal("active txn was recycled")
+	} else {
+		t3.Abort()
+		t3.Release()
+	}
+	t2.Abort()
+	t2.Release()
+}
+
+// TestRecycledTxnDoesNotConfuseReaders hammers the stale-writer-pointer
+// window: readers resolve versions whose writer Txn is being committed,
+// released, and recycled for the next transaction on the same slot. Every
+// read must still observe a committed value.
+func TestRecycledTxnDoesNotConfuseReaders(t *testing.T) {
+	o := NewOracle()
+	rec := NewRecord()
+	seed := o.Begin(nil, SnapshotIsolation, nil)
+	seed.Update(rec, []byte{0})
+	seed.Commit(nil)
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer recycling one Txn object as fast as possible
+		defer wg.Done()
+		slot := o.RegisterSlot()
+		defer o.UnregisterSlot(slot)
+		for i := byte(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := o.Begin(nil, SnapshotIsolation, slot)
+			if tx.Update(rec, []byte{i}) == nil {
+				tx.Commit(nil)
+			} else {
+				tx.Abort()
+			}
+			tx.Release()
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slot := o.RegisterSlot()
+			defer o.UnregisterSlot(slot)
+			defer stopOnce.Do(func() { close(stop) })
+			for j := 0; j < 30000; j++ {
+				tx := o.Begin(nil, ReadCommitted, slot)
+				_, ok := tx.Read(rec)
+				tx.Abort()
+				tx.Release()
+				if !ok {
+					t.Error("reader observed no committed version")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSlotFreeListReuse verifies that UnregisterSlot recycles slot-table
+// entries instead of growing the table forever (the MinActiveBegin scan set).
+func TestSlotFreeListReuse(t *testing.T) {
+	o := NewOracle()
+	for i := 0; i < 100; i++ {
+		s := o.RegisterSlot()
+		tx := o.Begin(nil, SnapshotIsolation, s)
+		tx.Abort()
+		o.UnregisterSlot(s)
+	}
+	if total, free := o.SlotCount(); total != 1 || free != 1 {
+		t.Fatalf("slot table = %d (%d free), want 1 (1 free)", total, free)
+	}
+	s := o.RegisterSlot()
+	o.UnregisterSlot(s)
+	o.UnregisterSlot(s) // double unregister must be a no-op
+	if total, free := o.SlotCount(); total != 1 || free != 1 {
+		t.Fatalf("after double unregister: %d (%d free)", total, free)
+	}
+	// A freed slot must not pin the GC horizon.
+	if min := o.MinActiveBegin(); min != o.Clock() {
+		t.Fatalf("min active = %d, want clock %d", min, o.Clock())
+	}
+}
+
+// TestTrimSingleVersionFastPath covers the fast path: a record with exactly
+// one version is skipped without resolving the chain, even when that version
+// is in-flight (writer still set) or older than the horizon.
+func TestTrimSingleVersionFastPath(t *testing.T) {
+	o := NewOracle()
+
+	// Committed single version, far older than the horizon.
+	rec := NewRecord()
+	tx := o.Begin(nil, SnapshotIsolation, nil)
+	tx.Update(rec, []byte{1})
+	tx.Commit(nil)
+	o.AdvanceTo(o.Clock() + 100)
+	if n := Trim(rec, o.MinActiveBegin()); n != 0 {
+		t.Fatalf("trimmed %d from single-version chain", n)
+	}
+	if ChainLength(rec) != 1 {
+		t.Fatalf("chain = %d", ChainLength(rec))
+	}
+
+	// In-flight single version: fast path must not resolve (and must not
+	// disturb) the uncommitted head.
+	rec2 := NewRecord()
+	inflight := o.Begin(nil, SnapshotIsolation, nil)
+	inflight.Update(rec2, []byte{2})
+	if n := Trim(rec2, o.MinActiveBegin()); n != 0 {
+		t.Fatalf("trimmed %d under in-flight head", n)
+	}
+	if err := inflight.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two-version chain still trims through the slow path.
+	rec3 := NewRecord()
+	for i := byte(0); i < 2; i++ {
+		tx := o.Begin(nil, SnapshotIsolation, nil)
+		tx.Update(rec3, []byte{i})
+		tx.Commit(nil)
+	}
+	if n := Trim(rec3, o.MinActiveBegin()); n != 1 {
+		t.Fatalf("trimmed %d, want 1", n)
+	}
+}
+
+// TestVersionArenaServesUpdates checks that slot-backed transactions draw
+// versions from the arena across chunk boundaries.
+func TestVersionArenaServesUpdates(t *testing.T) {
+	o := NewOracle()
+	slot := o.RegisterSlot()
+	rec := NewRecord()
+	for i := 0; i < arenaChunk*2+3; i++ {
+		tx := o.Begin(nil, SnapshotIsolation, slot)
+		if err := tx.Update(rec, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+		tx.Release()
+	}
+	want := byte((arenaChunk*2 + 2) % 256)
+	check := o.Begin(nil, SnapshotIsolation, nil)
+	if d, ok := check.Read(rec); !ok || d[0] != want {
+		t.Fatalf("read = %v %v, want [%d]", d, ok, want)
+	}
+}

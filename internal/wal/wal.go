@@ -10,10 +10,21 @@
 // changes.
 //
 // At commit, the buffer is framed (txn id, commit timestamp, record count,
-// CRC) and appended to the central Manager under a short critical section.
-// The engine wraps that flush in a non-preemptible region: the Manager's
-// mutex is a database latch, and holding it across a preemption could
-// deadlock a same-core high-priority committer (paper §4.4).
+// CRC) and handed to the central Manager's group-commit pipeline. Committers
+// stage their framed buffer into the open batch under a short staging latch;
+// the first committer into an empty batch is elected leader, and once the
+// previous batch's I/O completes the leader closes its batch and writes every
+// staged frame with a single Write+Flush+Sync, assigns LSNs, and wakes the
+// followers. Batching therefore arises naturally from I/O overlap — while one
+// leader syncs, the next batch accumulates — and is bounded by MaxBatchDelay
+// (extra latency a leader may spend gathering joiners) and MaxBatchBytes
+// (batch size at which the leader stops waiting).
+//
+// Latch discipline (paper §4.4): the staging latch is held for an append and
+// the write latch only by a leader across its batch I/O; the engine runs both
+// inside non-preemptible regions. Followers hold *no* latch while parked
+// waiting for their leader, so a preempted low-priority committer parked as a
+// follower can never block a same-core high-priority committer on the log.
 package wal
 
 import (
@@ -25,6 +36,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // RecordType tags a redo record.
@@ -63,16 +75,45 @@ type Record struct {
 // txnMagic frames each committed transaction in the log stream.
 const txnMagic uint32 = 0x7072444c // "prDL"
 
+// frameHdrLen is the size of the fixed per-transaction frame header:
+// magic + txn id + commit ts + record count + payload length + payload CRC.
+const frameHdrLen = 4 + 8 + 8 + 4 + 4 + 4
+
 // Buffer accumulates a single transaction's redo records. It lives in a
 // context's CLS slot and is reused across transactions via Reset. Not safe
 // for concurrent use — by construction only its owning context touches it.
+//
+// The buffer doubles as the owning transaction's commit request: Stage frames
+// the payload into hdr and enrolls the buffer in the open batch, and the
+// leader publishes the outcome through lsn/cerr before signalling done. This
+// keeps the whole commit path allocation-free — the framing scratch, the
+// park/wake channel, and the batch linkage are all reused with the buffer.
 type Buffer struct {
 	buf  []byte
 	recs int
+
+	// Group-commit request state, owned by the staging committer until its
+	// leader signals done; the leader writes lsn/cerr before the signal.
+	hdr  [frameHdrLen]byte
+	lsn  uint64
+	cerr error
+	done chan struct{}
 }
 
 // NewBuffer returns a buffer with some preallocated capacity.
-func NewBuffer() *Buffer { return &Buffer{buf: make([]byte, 0, 4096)} }
+func NewBuffer() *Buffer {
+	return &Buffer{buf: make([]byte, 0, 4096), done: make(chan struct{}, 1)}
+}
+
+// frame fills the buffer's header scratch for the given identity.
+func (b *Buffer) frame(txnID, cts uint64) {
+	binary.LittleEndian.PutUint32(b.hdr[0:], txnMagic)
+	binary.LittleEndian.PutUint64(b.hdr[4:], txnID)
+	binary.LittleEndian.PutUint64(b.hdr[12:], cts)
+	binary.LittleEndian.PutUint32(b.hdr[20:], uint32(b.recs))
+	binary.LittleEndian.PutUint32(b.hdr[24:], uint32(len(b.buf)))
+	binary.LittleEndian.PutUint32(b.hdr[28:], crc32.ChecksumIEEE(b.buf))
+}
 
 // Append adds one redo record.
 func (b *Buffer) Append(t RecordType, table uint32, key, value []byte) {
@@ -97,17 +138,42 @@ func (b *Buffer) Reset() {
 	b.recs = 0
 }
 
-// Manager is the central committed-transaction log. Writers append framed
-// transaction payloads under a mutex; the mutex is held only for the memcpy
-// into the bufio writer, so commits serialize briefly, as in a real group
-// commit pipeline.
+// batch is one group-commit round: the slot list of staged commit requests
+// accumulated between two leader writes. Batches are pooled on the Manager so
+// the steady-state commit path allocates nothing.
+type batch struct {
+	reqs  []*Buffer
+	bytes int
+	// full is signalled (non-blocking) by the joiner that pushes the batch
+	// past MaxBatchBytes, cutting the leader's delay wait short.
+	full  chan struct{}
+	timer *time.Timer
+}
+
+// Manager is the central committed-transaction log, a leader/follower group
+// commit pipeline. Committers stage framed buffers into the open batch under
+// stageMu (held for an append); the batch's first committer is its leader and
+// writes the whole batch under ioMu with one Write+Flush+Sync. Batch creation
+// is serialized by ioMu — a new batch opens only after its predecessor's
+// leader has closed the old one while holding ioMu — so batch write order,
+// and therefore LSN order, always matches staging order.
 type Manager struct {
-	mu      sync.Mutex
+	stageMu sync.Mutex
+	open    *batch // batch accepting joiners; nil when none is open
+	ioMu    sync.Mutex
 	w       *bufio.Writer
 	sink    io.Writer
-	lsn     atomic.Uint64 // bytes appended
-	commits atomic.Uint64
+
+	lsn      atomic.Uint64 // bytes appended
+	commits  atomic.Uint64
+	batches  atomic.Uint64 // leader write rounds
 	syncEach bool
+
+	// Batching bounds; see SetBatchLimits.
+	maxBatchBytes int
+	maxBatchDelay time.Duration
+
+	pool sync.Pool // *batch
 }
 
 // Syncer is optionally implemented by sinks that can make appended bytes
@@ -115,51 +181,170 @@ type Manager struct {
 type Syncer interface{ Sync() error }
 
 // NewManager returns a Manager appending to sink. If syncEach is true and the
-// sink implements Syncer, every commit is synced — the durable configuration;
-// benchmarks use an in-memory sink, matching the paper's setup that keeps all
-// data in memory to stress scheduling rather than I/O.
+// sink implements Syncer, every batch is flushed and synced before its
+// committers are released — the durable configuration; benchmarks use an
+// in-memory sink, matching the paper's setup that keeps all data in memory to
+// stress scheduling rather than I/O.
 func NewManager(sink io.Writer, syncEach bool) *Manager {
-	return &Manager{w: bufio.NewWriterSize(sink, 1<<20), sink: sink, syncEach: syncEach}
+	m := &Manager{w: bufio.NewWriterSize(sink, 1<<20), sink: sink, syncEach: syncEach}
+	m.pool.New = func() any { return &batch{full: make(chan struct{}, 1)} }
+	return m
 }
 
-// Commit appends the buffer's records as one committed transaction with the
-// given id and commit timestamp, returning the end-of-frame LSN.
-func (m *Manager) Commit(txnID, cts uint64, b *Buffer) (uint64, error) {
-	payload := b.Bytes()
-	var hdr [4 + 8 + 8 + 4 + 4 + 4]byte
-	binary.LittleEndian.PutUint32(hdr[0:], txnMagic)
-	binary.LittleEndian.PutUint64(hdr[4:], txnID)
-	binary.LittleEndian.PutUint64(hdr[12:], cts)
-	binary.LittleEndian.PutUint32(hdr[20:], uint32(b.Len()))
-	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[28:], crc32.ChecksumIEEE(payload))
+// SetBatchLimits bounds the group-commit batching. maxBytes stops a leader's
+// delay wait once the open batch reaches that many framed bytes (0: no byte
+// bound); delay is the maximum extra time a leader spends gathering joiners
+// before writing (0: write as soon as the previous batch's I/O completes —
+// batching then comes only from natural I/O overlap). Call before first use.
+func (m *Manager) SetBatchLimits(maxBytes int, delay time.Duration) {
+	m.maxBatchBytes = maxBytes
+	m.maxBatchDelay = delay
+}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, err := m.w.Write(hdr[:]); err != nil {
-		return 0, err
+// Stage frames the buffer's records as one committed transaction and enrolls
+// it in the open batch, returning true when the calling committer was elected
+// the batch's leader. Stage never blocks beyond the staging latch and never
+// fails; the engine calls it inside the commit critical section so log order
+// matches commit order. A leader must follow up with LeaderFinish, a follower
+// with FollowerWait — the buffer must not be touched in between.
+func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool) {
+	b.frame(txnID, cts)
+	if b.done == nil {
+		b.done = make(chan struct{}, 1)
 	}
-	if _, err := m.w.Write(payload); err != nil {
-		return 0, err
+	m.stageMu.Lock()
+	bt := m.open
+	if bt == nil {
+		bt = m.pool.Get().(*batch)
+		m.open = bt
+		bt.reqs = append(bt.reqs, b)
+		bt.bytes = frameHdrLen + len(b.buf)
+		m.stageMu.Unlock()
+		return true
 	}
-	if m.syncEach {
-		if err := m.w.Flush(); err != nil {
-			return 0, err
+	bt.reqs = append(bt.reqs, b)
+	bt.bytes += frameHdrLen + len(b.buf)
+	over := m.maxBatchBytes > 0 && bt.bytes >= m.maxBatchBytes
+	m.stageMu.Unlock()
+	if over {
+		select {
+		case bt.full <- struct{}{}:
+		default:
 		}
-		if s, ok := m.sink.(Syncer); ok {
-			if err := s.Sync(); err != nil {
-				return 0, err
+	}
+	return false
+}
+
+// LeaderFinish completes a leader's group commit: after an optional
+// MaxBatchDelay gathering window it acquires the write latch, closes the
+// batch, writes every staged frame, flushes and syncs once (when configured),
+// assigns end-of-frame LSNs, and wakes the followers. The caller's own LSN
+// and write error are returned; each follower receives its own through
+// FollowerWait. The engine runs LeaderFinish inside a non-preemptible region:
+// ioMu is a database latch, and a leader preempted while holding it could
+// deadlock a same-core high-priority committer that becomes the next leader.
+func (m *Manager) LeaderFinish(b *Buffer) (uint64, error) {
+	m.stageMu.Lock()
+	bt := m.open
+	if bt == nil || bt.reqs[0] != b {
+		m.stageMu.Unlock()
+		panic("wal: LeaderFinish by a non-leader")
+	}
+	m.stageMu.Unlock()
+
+	if d := m.maxBatchDelay; d > 0 {
+		if bt.timer == nil {
+			bt.timer = time.NewTimer(d)
+		} else {
+			bt.timer.Reset(d)
+		}
+		select {
+		case <-bt.timer.C:
+		case <-bt.full:
+			if !bt.timer.Stop() {
+				<-bt.timer.C
 			}
 		}
 	}
-	m.commits.Add(1)
-	return m.lsn.Add(uint64(len(hdr) + len(payload))), nil
+
+	m.ioMu.Lock()
+	// Close the batch: joiners from here on open the next one. Closing under
+	// ioMu is what serializes batch creation with batch writing.
+	m.stageMu.Lock()
+	m.open = nil
+	m.stageMu.Unlock()
+
+	var err error
+	for _, r := range bt.reqs {
+		if _, err = m.w.Write(r.hdr[:]); err != nil {
+			break
+		}
+		if _, err = m.w.Write(r.buf); err != nil {
+			break
+		}
+	}
+	if err == nil && m.syncEach {
+		if err = m.w.Flush(); err == nil {
+			if s, ok := m.sink.(Syncer); ok {
+				err = s.Sync()
+			}
+		}
+	}
+	if err == nil {
+		end := m.lsn.Load()
+		for _, r := range bt.reqs {
+			end += uint64(frameHdrLen + len(r.buf))
+			r.lsn, r.cerr = end, nil
+		}
+		m.lsn.Store(end)
+		m.commits.Add(uint64(len(bt.reqs)))
+		m.batches.Add(1)
+	} else {
+		for _, r := range bt.reqs {
+			r.lsn, r.cerr = 0, err
+		}
+	}
+	m.ioMu.Unlock()
+
+	for _, r := range bt.reqs[1:] {
+		r.done <- struct{}{}
+	}
+	lsn, cerr := b.lsn, b.cerr
+	bt.reqs = bt.reqs[:0]
+	bt.bytes = 0
+	select { // drop a stale full signal before recycling
+	case <-bt.full:
+	default:
+	}
+	m.pool.Put(bt)
+	return lsn, cerr
+}
+
+// FollowerWait parks the calling committer until its batch's leader has
+// written (and, when configured, synced) the batch, then returns the
+// committer's end-of-frame LSN. Followers hold no latch while parked — the
+// engine calls FollowerWait outside any non-preemptible region, so a
+// preempted committer parked here never blocks the log (paper §4.4).
+func (m *Manager) FollowerWait(b *Buffer) (uint64, error) {
+	<-b.done
+	return b.lsn, b.cerr
+}
+
+// Commit appends the buffer's records as one committed transaction with the
+// given id and commit timestamp through the group-commit pipeline, returning
+// the end-of-frame LSN once the transaction's batch has been written. It is
+// the single-call form of Stage + LeaderFinish/FollowerWait.
+func (m *Manager) Commit(txnID, cts uint64, b *Buffer) (uint64, error) {
+	if m.Stage(txnID, cts, b) {
+		return m.LeaderFinish(b)
+	}
+	return m.FollowerWait(b)
 }
 
 // Flush drains buffered bytes to the sink.
 func (m *Manager) Flush() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
 	return m.w.Flush()
 }
 
@@ -168,6 +353,10 @@ func (m *Manager) LSN() uint64 { return m.lsn.Load() }
 
 // Commits returns the number of committed transactions logged.
 func (m *Manager) Commits() uint64 { return m.commits.Load() }
+
+// Batches returns the number of group-commit write rounds; Commits/Batches is
+// the achieved batching factor.
+func (m *Manager) Batches() uint64 { return m.batches.Load() }
 
 // ErrCorrupt reports a malformed or checksum-failing log stream.
 var ErrCorrupt = errors.New("wal: corrupt log")

@@ -28,6 +28,7 @@ package preemptdb
 import (
 	"errors"
 	"io"
+	"sync"
 	"time"
 
 	"preemptdb/internal/engine"
@@ -128,9 +129,19 @@ type Config struct {
 	MaxRetries int
 	// LogSink receives the redo log (nil: in-memory only).
 	LogSink io.Writer
-	// SyncEachCommit flushes and syncs the log on every commit when the
-	// sink supports it.
+	// SyncEachCommit makes every commit wait for its group-commit batch to
+	// be flushed (and synced, when the sink supports it) before returning.
 	SyncEachCommit bool
+	// MaxBatchBytes caps how many framed bytes a group-commit leader
+	// gathers into one batch (0: unbounded).
+	MaxBatchBytes int
+	// MaxBatchDelay bounds the extra latency a group-commit leader spends
+	// gathering followers before writing its batch (0: write as soon as the
+	// previous batch's I/O completes).
+	MaxBatchDelay time.Duration
+	// VacuumInterval, when non-zero, enables background incremental
+	// garbage collection of record version chains at that period.
+	VacuumInterval time.Duration
 }
 
 // ErrClosed reports use of a closed DB.
@@ -151,6 +162,10 @@ type DB struct {
 	sch    *sched.Scheduler
 	rrLow  int
 	closed bool
+	// ctxPool recycles detached contexts for Run so repeated loader/admin
+	// calls reuse one oracle slot and one pooled transaction instead of
+	// registering a fresh slot per call.
+	ctxPool sync.Pool
 }
 
 // Open creates a database and starts its workers.
@@ -168,6 +183,9 @@ func Open(cfg Config) (*DB, error) {
 		Isolation:      cfg.Isolation.toMVCC(),
 		LogSink:        cfg.LogSink,
 		SyncEachCommit: cfg.SyncEachCommit,
+		MaxBatchBytes:  cfg.MaxBatchBytes,
+		MaxBatchDelay:  cfg.MaxBatchDelay,
+		VacuumInterval: cfg.VacuumInterval,
 	})
 	s := sched.New(sched.Config{
 		Policy:              cfg.Policy.toSched(),
@@ -181,15 +199,21 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{cfg: cfg, eng: eng, sch: s}, nil
 }
 
-// Close stops the workers. In-flight transactions finish; queued but
-// unstarted requests are dropped.
+// Close stops the workers, releases their engine resources (oracle slots,
+// CLS buffers), stops the background vacuum, and flushes the log. In-flight
+// transactions finish; queued but unstarted requests are dropped.
 func (db *DB) Close() error {
 	if db.closed {
 		return ErrClosed
 	}
 	db.closed = true
 	db.sch.Stop()
-	return db.eng.Log().Flush()
+	for _, w := range db.sch.Workers() {
+		for i := 0; i < w.Core().NumContexts(); i++ {
+			db.eng.DetachContext(w.Core().Context(i))
+		}
+	}
+	return db.eng.Close()
 }
 
 // CreateTable creates a table (idempotent).
@@ -213,7 +237,12 @@ func (db *DB) CreateIndex(table, index string, extract func(key, row []byte) []b
 // scheduler — for loading, admin, and tests. Conflicts retry automatically;
 // fn returning nil commits, anything else aborts and is returned.
 func (db *DB) Run(fn func(tx *Txn) error) error {
-	return db.runOn(pcontext.Detached(), fn)
+	ctx, _ := db.ctxPool.Get().(*pcontext.Context)
+	if ctx == nil {
+		ctx = pcontext.Detached()
+	}
+	defer db.ctxPool.Put(ctx)
+	return db.runOn(ctx, fn)
 }
 
 func (db *DB) runOn(ctx *pcontext.Context, fn func(tx *Txn) error) error {
@@ -355,22 +384,30 @@ func (db *DB) RestoreCheckpoint(r io.Reader) error { return db.eng.RestoreCheckp
 
 // Stats is a point-in-time snapshot of engine and scheduler counters.
 type Stats struct {
-	Commits, Aborts  uint64
-	InterruptsSent   uint64
-	StarvationSkips  uint64
-	PassiveSwitches  uint64
-	ActiveSwitches   uint64
-	LogBytes         uint64
+	Commits, Aborts uint64
+	InterruptsSent  uint64
+	StarvationSkips uint64
+	PassiveSwitches uint64
+	ActiveSwitches  uint64
+	LogBytes        uint64
+	// LogBatches counts group-commit batches written; Commits/LogBatches is
+	// the achieved group-commit fan-in.
+	LogBatches uint64
+	// VacuumedVersions counts record versions reclaimed by manual and
+	// background vacuum.
+	VacuumedVersions uint64
 }
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
 	st := Stats{
-		Commits:         db.eng.Commits(),
-		Aborts:          db.eng.Aborts(),
-		InterruptsSent:  db.sch.InterruptsSent(),
-		StarvationSkips: db.sch.StarvationSkips(),
-		LogBytes:        db.eng.Log().LSN(),
+		Commits:          db.eng.Commits(),
+		Aborts:           db.eng.Aborts(),
+		InterruptsSent:   db.sch.InterruptsSent(),
+		StarvationSkips:  db.sch.StarvationSkips(),
+		LogBytes:         db.eng.Log().LSN(),
+		LogBatches:       db.eng.Log().Batches(),
+		VacuumedVersions: db.eng.Vacuumed(),
 	}
 	for _, w := range db.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
