@@ -7,7 +7,7 @@
 //	preemptbench -experiment fig10 -duration 3s -workers 2
 //	preemptbench -experiment all
 //
-// Experiments: fig1, uintr, switch, fig8, fig9, fig10, fig11, fig12, fig13, all.
+// Experiments: fig1, uintr, switch, fig8, fig9, fig10, fig11, fig12, fig13, shed, all.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig1|uintr|switch|trace|fig8|fig9|fig10|fig11|fig12|fig13|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig1|uintr|switch|trace|fig8|fig9|fig10|fig11|fig12|fig13|shed|all)")
 		duration   = flag.Duration("duration", 3*time.Second, "measurement window per data point")
 		workers    = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
 		arrival    = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
@@ -60,6 +60,8 @@ func main() {
 			_, err = bench.Fig12(opt)
 		case "fig13":
 			_, err = bench.Fig13(opt)
+		case "shed":
+			_, err = bench.Shed(opt)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -72,7 +74,7 @@ func main() {
 
 	ids := []string{*experiment}
 	if *experiment == "all" {
-		ids = []string{"uintr", "switch", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+		ids = []string{"uintr", "switch", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shed"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

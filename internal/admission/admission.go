@@ -7,6 +7,7 @@
 package admission
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -28,7 +29,19 @@ type Controller struct {
 
 	admitted atomic.Uint64
 	rejected atomic.Uint64
+
+	// queueDelayBits is the EWMA of observed scheduling latency (nanoseconds,
+	// stored as float64 bits and updated by CAS). AdmitDeadline uses it to
+	// shed requests whose deadline is certain to be missed before they would
+	// even reach a worker.
+	queueDelayBits   atomic.Uint64
+	deadlineRejected atomic.Uint64
 }
+
+// queueDelayAlpha weights new queue-delay observations into the EWMA. 0.2
+// tracks load shifts within a handful of requests without jittering on a
+// single outlier.
+const queueDelayAlpha = 0.2
 
 // New returns a controller admitting up to rate requests/second with the
 // given burst, and at most maxInFlight admitted-but-unreleased requests.
@@ -97,6 +110,51 @@ func (c *Controller) Release() {
 
 // InFlight returns the number of admitted, unreleased requests.
 func (c *Controller) InFlight() int64 { return c.inFlight.Load() }
+
+// ObserveQueueDelay feeds one observed scheduling latency (enqueue→start, in
+// nanoseconds) into the controller's queue-delay estimate.
+func (c *Controller) ObserveQueueDelay(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	for {
+		old := c.queueDelayBits.Load()
+		est := math.Float64frombits(old)
+		if old == 0 {
+			est = float64(nanos) // first sample seeds the estimate
+		} else {
+			est += queueDelayAlpha * (float64(nanos) - est)
+		}
+		if c.queueDelayBits.CompareAndSwap(old, math.Float64bits(est)) {
+			return
+		}
+	}
+}
+
+// QueueDelayEstimate returns the current queue-delay EWMA in nanoseconds
+// (0 until the first observation).
+func (c *Controller) QueueDelayEstimate() int64 {
+	return int64(math.Float64frombits(c.queueDelayBits.Load()))
+}
+
+// AdmitDeadline is Admit for a request carrying an absolute deadline
+// (clock.Nanos; 0 means none): when the observed queue delay implies the
+// deadline will be missed before the request even starts, it is shed here —
+// cheaper than letting the scheduler drop it at dispatch, and it keeps the
+// doomed request from occupying queue capacity. Deadline sheds are counted
+// in both Stats' rejected and DeadlineRejected.
+func (c *Controller) AdmitDeadline(deadline int64) bool {
+	if deadline != 0 && clock.Nanos()+c.QueueDelayEstimate() > deadline {
+		c.deadlineRejected.Add(1)
+		c.rejected.Add(1)
+		return false
+	}
+	return c.Admit()
+}
+
+// DeadlineRejected returns how many requests were shed because their
+// deadline could not be met given the observed queue delay.
+func (c *Controller) DeadlineRejected() uint64 { return c.deadlineRejected.Load() }
 
 // Stats returns the cumulative admitted and rejected counts.
 func (c *Controller) Stats() (admitted, rejected uint64) {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"preemptdb/internal/clock"
 )
 
 func TestUnlimited(t *testing.T) {
@@ -112,5 +114,73 @@ func TestRateAccuracy(t *testing.T) {
 	// Expect ~300 admitted over 300ms at 1000/s; allow wide CI noise.
 	if admitted < 100 || admitted > 600 {
 		t.Fatalf("admitted %d in 300ms at 1000/s", admitted)
+	}
+}
+
+func TestQueueDelayEWMA(t *testing.T) {
+	c := New(0, 1, 0)
+	if c.QueueDelayEstimate() != 0 {
+		t.Fatalf("fresh estimate = %d", c.QueueDelayEstimate())
+	}
+	c.ObserveQueueDelay(1000)
+	if got := c.QueueDelayEstimate(); got != 1000 {
+		t.Fatalf("first sample must seed the estimate, got %d", got)
+	}
+	c.ObserveQueueDelay(2000)
+	// 1000 + 0.2*(2000-1000) = 1200
+	if got := c.QueueDelayEstimate(); got != 1200 {
+		t.Fatalf("EWMA after second sample = %d, want 1200", got)
+	}
+	c.ObserveQueueDelay(-50) // negative observations clamp to zero
+	if got := c.QueueDelayEstimate(); got >= 1200 || got < 0 {
+		t.Fatalf("EWMA after clamped sample = %d", got)
+	}
+}
+
+func TestAdmitDeadline(t *testing.T) {
+	c := New(0, 1, 0)
+	// No deadline: always admitted.
+	if !c.AdmitDeadline(0) {
+		t.Fatal("no-deadline request rejected")
+	}
+	// Feasible deadline far in the future.
+	if !c.AdmitDeadline(clock.Nanos() + int64(time.Hour)) {
+		t.Fatal("feasible deadline rejected")
+	}
+	// Teach the controller a 10ms queue delay; a 1ms-out deadline is then a
+	// certain miss.
+	for i := 0; i < 50; i++ {
+		c.ObserveQueueDelay(int64(10 * time.Millisecond))
+	}
+	if c.AdmitDeadline(clock.Nanos() + int64(time.Millisecond)) {
+		t.Fatal("certain-miss deadline admitted")
+	}
+	if got := c.DeadlineRejected(); got != 1 {
+		t.Fatalf("DeadlineRejected = %d", got)
+	}
+	if _, rejected := c.Stats(); rejected != 1 {
+		t.Fatalf("deadline shed not counted in Stats rejected: %d", rejected)
+	}
+	// A deadline beyond the estimate still gets in.
+	if !c.AdmitDeadline(clock.Nanos() + int64(time.Second)) {
+		t.Fatal("slack deadline rejected")
+	}
+}
+
+func TestConcurrentObserveQueueDelay(t *testing.T) {
+	c := New(0, 1, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.ObserveQueueDelay(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.QueueDelayEstimate(); got != 1000 {
+		t.Fatalf("constant observations must converge exactly, got %d", got)
 	}
 }

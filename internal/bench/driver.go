@@ -161,6 +161,15 @@ type MixedResult struct {
 	PassiveSwitches uint64
 	ActiveSwitches  uint64
 	DroppedHi       uint64 // generated but never admitted before the run ended
+
+	// ShedExpired / ShedCanceled count queued requests the workers dropped
+	// at dispatch: deadline already passed / canceled by the submitter.
+	// Non-zero only when HiDeadline is set (or requests are canceled).
+	ShedExpired  uint64
+	ShedCanceled uint64
+	// HiDeadlineMisses counts high-priority requests that executed but
+	// finished with a lifecycle error (deadline tripped mid-flight).
+	HiDeadlineMisses uint64
 }
 
 // collector accumulates latencies; sharded per worker would be overkill at
@@ -234,6 +243,10 @@ type MixedConfig struct {
 	// PingEveryInterval sends an empty interrupt to every worker at each
 	// arrival interval (fig8's overhead measurement).
 	PingEveryInterval bool
+	// HiDeadline, when > 0, stamps every high-priority request with an
+	// absolute deadline of arrival + HiDeadline: requests still queued past
+	// it are shed at dispatch, and running ones unwind at the next poll.
+	HiDeadline time.Duration
 }
 
 func (m MixedConfig) withDefaults(opt Options) MixedConfig {
@@ -310,6 +323,27 @@ func (f *Fixture) RunMixed(cfg MixedConfig) MixedResult {
 		req.OnDone = func(r *sched.Request) { col.done(kind, r) }
 		return req
 	}
+	var hiMisses atomic.Uint64
+	if cfg.HiDeadline > 0 {
+		// Lifecycle-failed requests don't enter the latency histograms: a
+		// shed request never ran, and a mid-flight miss produced no result.
+		// They are accounted separately (ShedExpired / HiDeadlineMisses).
+		base := newHiRequest
+		newHiRequest = func(gen *rng.Rand) *sched.Request {
+			req := base(gen)
+			inner := req.OnDone
+			req.OnDone = func(r *sched.Request) {
+				if errors.Is(r.Err, pcontext.ErrDeadlineExceeded) || errors.Is(r.Err, pcontext.ErrCanceled) {
+					if r.StartedAt != r.FinishedAt {
+						hiMisses.Add(1) // executed but unwound mid-flight
+					}
+					return
+				}
+				inner(r)
+			}
+			return req
+		}
+	}
 
 	s.Start()
 	start := clock.Nanos()
@@ -350,6 +384,9 @@ func (f *Fixture) RunMixed(cfg MixedConfig) MixedResult {
 			for i := range batch {
 				batch[i] = newHiRequest(gen)
 				batch[i].EnqueuedAt = now
+				if cfg.HiDeadline > 0 {
+					batch[i].Deadline = now + int64(cfg.HiDeadline)
+				}
 			}
 			n := s.SubmitHighBatch(batch)
 			dropped += uint64(len(batch) - n)
@@ -366,10 +403,13 @@ func (f *Fixture) RunMixed(cfg MixedConfig) MixedResult {
 	s.Stop()
 
 	res := MixedResult{
-		Policy:          cfg.Policy.String(),
-		InterruptsSent:  s.InterruptsSent(),
-		StarvationSkips: s.StarvationSkips(),
-		DroppedHi:       dropped,
+		Policy:           cfg.Policy.String(),
+		InterruptsSent:   s.InterruptsSent(),
+		StarvationSkips:  s.StarvationSkips(),
+		DroppedHi:        dropped,
+		ShedExpired:      s.ShedExpired(),
+		ShedCanceled:     s.ShedCanceled(),
+		HiDeadlineMisses: hiMisses.Load(),
 	}
 	for _, w := range s.Workers() {
 		res.PassiveSwitches += w.Core().Context(0).TCB().PassiveSwitches() +

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/wal"
+)
+
+func u64key(i uint64) []byte { return binary.BigEndian.AppendUint64(nil, i) }
+
+// assertHorizonPast commits one unrelated write (advancing the oracle clock)
+// and asserts the GC horizon moved past snap — i.e. the aborted/canceled
+// transaction released its oracle slot instead of pinning MinActiveBegin.
+func assertHorizonPast(t *testing.T, e *Engine, snap uint64) {
+	t.Helper()
+	bump := e.Begin(nil)
+	if err := bump.Put(e.CreateTable("horizon-bump"), []byte("k"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bump.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Oracle().MinActiveBegin(); m <= snap {
+		t.Fatalf("MinActiveBegin = %d <= snapshot %d: canceled txn still pins the GC horizon", m, snap)
+	}
+}
+
+func loadRows(t *testing.T, e *Engine, tab *Table, n int) {
+	t.Helper()
+	tx := e.Begin(nil)
+	val := make([]byte, 32)
+	for i := 0; i < n; i++ {
+		if err := tx.Insert(tab, u64key(uint64(i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelMidScanReleasesResources is the lifecycle acceptance test: a
+// canceled transaction must unwind mid-scan with the typed error and give
+// back everything it held — the oracle slot's snapshot advertisement, the
+// pooled engine.Txn, and the redo buffer — so a canceled Q2 cannot pin the
+// GC horizon or leak CLS state.
+func TestCancelMidScanReleasesResources(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	tab := e.CreateTable("t")
+	loadRows(t, e, tab, 2000)
+
+	ctx := pcontext.Detached()
+	defer e.DetachContext(ctx)
+
+	tx := e.Begin(ctx)
+	snap := tx.Snapshot()
+	seen := 0
+	err := tx.Scan(tab, nil, nil, func(k, v []byte) bool {
+		seen++
+		if seen == 100 {
+			ctx.Cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, pcontext.ErrCanceled) {
+		t.Fatalf("Scan err = %v", err)
+	}
+	if seen >= 2000 {
+		t.Fatalf("scan ran to completion (%d rows) despite cancel", seen)
+	}
+	// Committing a canceled transaction must refuse, abort, and release.
+	if err := tx.Commit(); !errors.Is(err, pcontext.ErrCanceled) {
+		t.Fatalf("Commit err = %v", err)
+	}
+
+	// Oracle: the canceled snapshot must no longer be advertised. Advance
+	// the clock with an unrelated commit; a still-pinned slot would hold
+	// MinActiveBegin at the canceled transaction's snapshot.
+	assertHorizonPast(t, e, snap)
+	// WAL: the context's redo buffer must be empty for the next request.
+	if buf := ctx.CLS().Get(pcontext.SlotLog).(*wal.Buffer); buf.Len() != 0 {
+		t.Fatalf("redo buffer holds %d records after abort", buf.Len())
+	}
+	// Pool: the context's cached Txn must be reusable (same object, fresh
+	// transaction) once the lifecycle is cleared.
+	ctx.Disarm()
+	ctx.Arm(0)
+	defer ctx.Disarm()
+	tx2 := e.Begin(ctx)
+	if tx2 != tx {
+		t.Fatalf("pooled Txn not reused after canceled transaction")
+	}
+	n := 0
+	if err := tx2.Scan(tab, nil, nil, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Fatalf("scan after cancel saw %d rows", n)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineUnwindsScanWithinOnePollInterval arms a deadline that expires
+// mid-scan; the scan must stop at the next poll (leaf boundary) rather than
+// finish, and the typed error must reach the caller.
+func TestDeadlineUnwindsScanWithinOnePollInterval(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	tab := e.CreateTable("t")
+	loadRows(t, e, tab, 5000)
+
+	ctx := pcontext.Detached()
+	defer e.DetachContext(ctx)
+	ctx.Arm(clock.Nanos() + int64(200*time.Microsecond))
+	defer ctx.Disarm()
+
+	tx := e.Begin(ctx)
+	snap := tx.Snapshot()
+	rounds, rows := 0, 0
+	var err error
+	for rounds = 0; rounds < 1_000_000; rounds++ {
+		err = tx.Scan(tab, nil, nil, func(k, v []byte) bool { rows++; return true })
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, pcontext.ErrDeadlineExceeded) {
+		t.Fatalf("Scan err = %v after %d rounds", err, rounds)
+	}
+	if err := tx.Commit(); !errors.Is(err, pcontext.ErrDeadlineExceeded) {
+		t.Fatalf("Commit err = %v", err)
+	}
+	ctx.Disarm()
+	assertHorizonPast(t, e, snap)
+}
+
+// TestCancelFromAnotherGoroutine cancels a scanning transaction from outside
+// (the cross-goroutine path a Pending.Cancel or dying connection takes);
+// run under -race this also proves the lifecycle word is the only shared
+// state between canceler and scanner.
+func TestCancelFromAnotherGoroutine(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	tab := e.CreateTable("t")
+	loadRows(t, e, tab, 2000)
+
+	ctx := pcontext.Detached()
+	defer e.DetachContext(ctx)
+
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started
+		ctx.Cancel()
+	}()
+
+	tx := e.Begin(ctx)
+	snap := tx.Snapshot()
+	var err error
+	for i := 0; i < 1_000_000; i++ {
+		err = tx.Scan(tab, nil, nil, func(k, v []byte) bool {
+			once.Do(func() { close(started) })
+			return true
+		})
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, pcontext.ErrCanceled) {
+		t.Fatalf("Scan err = %v", err)
+	}
+	tx.Abort()
+	ctx.Disarm()
+	assertHorizonPast(t, e, snap)
+}
+
+// TestCanceledUpdateRefused: a canceled transaction must not install new
+// versions.
+func TestCanceledUpdateRefused(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	tab := e.CreateTable("t")
+	loadRows(t, e, tab, 1)
+
+	ctx := pcontext.Detached()
+	defer e.DetachContext(ctx)
+	tx := e.Begin(ctx)
+	ctx.Cancel()
+	if err := tx.Update(tab, u64key(0), []byte("x")); !errors.Is(err, pcontext.ErrCanceled) {
+		t.Fatalf("Update err = %v", err)
+	}
+	tx.Abort()
+	ctx.Disarm()
+
+	// The row is untouched.
+	tx2 := e.Begin(nil)
+	v, err := tx2.Get(tab, u64key(0))
+	if err != nil || len(v) != 32 {
+		t.Fatalf("row changed: %q %v", v, err)
+	}
+	tx2.Abort()
+}

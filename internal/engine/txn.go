@@ -87,6 +87,9 @@ func (t *Txn) Snapshot() uint64 { return t.inner.Begin() }
 
 // Get returns the row visible to this transaction under key.
 func (t *Txn) Get(table *Table, key []byte) ([]byte, error) {
+	if err := t.ctx.Err(); err != nil {
+		return nil, err
+	}
 	rec, ok := table.primary.Get(t.ctx, key)
 	if !ok {
 		return nil, ErrNotFound
@@ -177,16 +180,16 @@ type ScanFunc func(key, value []byte) bool
 // Scan visits rows visible to this transaction with from <= key < to in
 // ascending primary-key order (nil bounds are open). Tombstones and
 // snapshot-invisible rows are skipped. The scan polls the context at every
-// record, so long scans — the paper's Q2 — are preemptible throughout.
+// record, so long scans — the paper's Q2 — are preemptible throughout; a
+// canceled or deadline-expired transaction unwinds with the typed lifecycle
+// error within one poll interval.
 func (t *Txn) Scan(table *Table, from, to []byte, fn ScanFunc) error {
-	t.scanTree(table.primary, from, to, fn)
-	return nil
+	return t.scanTree(table.primary, from, to, fn)
 }
 
 // ScanDesc is Scan in descending key order.
 func (t *Txn) ScanDesc(table *Table, from, to []byte, fn ScanFunc) error {
-	t.scanTreeDesc(table.primary, from, to, fn)
-	return nil
+	return t.scanTreeDesc(table.primary, from, to, fn)
 }
 
 // ScanIndex is Scan over a secondary index; fn receives the *index* key and
@@ -196,8 +199,7 @@ func (t *Txn) ScanIndex(table *Table, indexName string, from, to []byte, fn Scan
 	if err != nil {
 		return err
 	}
-	t.scanTree(si.tree, from, to, fn)
-	return nil
+	return t.scanTree(si.tree, from, to, fn)
 }
 
 // ScanIndexDesc is ScanIndex in descending index-key order, the natural
@@ -207,28 +209,37 @@ func (t *Txn) ScanIndexDesc(table *Table, indexName string, from, to []byte, fn 
 	if err != nil {
 		return err
 	}
-	t.scanTreeDesc(si.tree, from, to, fn)
-	return nil
+	return t.scanTreeDesc(si.tree, from, to, fn)
 }
 
-func (t *Txn) scanTree(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanFunc) {
+func (t *Txn) scanTree(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanFunc) error {
+	var lcErr error
 	tree.Scan(t.ctx, from, to, func(key []byte, rec *mvcc.Record) bool {
+		if lcErr = t.ctx.Err(); lcErr != nil {
+			return false // unwind mid-scan: canceled or past deadline
+		}
 		data, ok := t.inner.Read(rec)
 		if !ok {
 			return true // invisible or tombstone
 		}
 		return fn(key, data)
 	})
+	return lcErr
 }
 
-func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanFunc) {
+func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanFunc) error {
+	var lcErr error
 	tree.ScanDesc(t.ctx, from, to, func(key []byte, rec *mvcc.Record) bool {
+		if lcErr = t.ctx.Err(); lcErr != nil {
+			return false
+		}
 		data, ok := t.inner.Read(rec)
 		if !ok {
 			return true
 		}
 		return fn(key, data)
 	})
+	return lcErr
 }
 
 // Commit finishes the transaction: serializable validation (if configured),
@@ -250,6 +261,13 @@ func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn S
 func (t *Txn) Commit() error {
 	if t.done {
 		return mvcc.ErrTxnDone
+	}
+	if err := t.ctx.Err(); err != nil {
+		// Canceled or past deadline at the commit point: abort instead —
+		// the pooled Txn, oracle slot and redo buffer are all released by
+		// the abort path, and nothing is published or logged.
+		t.Abort()
+		return err
 	}
 	t.done = true
 	t.staged, t.leader = false, false

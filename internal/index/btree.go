@@ -642,6 +642,11 @@ func (t *Tree[V]) Scan(ctx *pcontext.Context, from, to []byte, fn ScanFunc[V]) {
 		restart := false
 		for n != nil {
 			ctx.Poll()
+			if ctx.Err() != nil {
+				// Lifecycle canceled or past deadline: abandon the scan at
+				// the leaf boundary; the caller observes ctx.Err itself.
+				return
+			}
 			ver, rok := n.readLock()
 			if !rok {
 				restart = true
@@ -754,6 +759,9 @@ func (t *Tree[V]) ScanDesc(ctx *pcontext.Context, from, to []byte, fn ScanFunc[V
 	upper := to // exclusive moving bound; nil = +∞
 	for {
 		ctx.Poll()
+		if ctx.Err() != nil {
+			return // see Scan: unwind at the leaf boundary when canceled
+		}
 		leaf, fence, leftmost, ok := t.findLeafLess(ctx, upper)
 		if !ok {
 			t.noteRestart()

@@ -257,6 +257,9 @@ func (t *Txn) Update(rec *Record, data []byte) error {
 	if !t.Active() {
 		return ErrTxnDone
 	}
+	if err := t.ctx.Err(); err != nil {
+		return err // canceled or past deadline: stop installing versions
+	}
 	var nv *Version
 	for {
 		t.ctx.Poll()
@@ -470,6 +473,15 @@ func (o *Oracle) MinActiveBegin() uint64 {
 func (t *Txn) Commit(logFn func(cts uint64) error) (uint64, error) {
 	if !t.Active() {
 		return 0, ErrTxnDone
+	}
+	if err := t.ctx.Err(); err != nil {
+		// A canceled or deadline-expired transaction must never publish:
+		// its submitter has already been (or will be) told it failed.
+		t.abortLocked()
+		if t.slot != nil {
+			t.slot.begin.Store(0)
+		}
+		return 0, err
 	}
 	release := func() {
 		if t.slot != nil {

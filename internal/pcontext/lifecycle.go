@@ -1,0 +1,197 @@
+package pcontext
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"preemptdb/internal/clock"
+)
+
+// Transaction lifecycle errors. They originate here — the layer whose Poll
+// instrumentation detects cancellation — and propagate unchanged through
+// mvcc, engine and the public API, so errors.Is works at every layer.
+var (
+	// ErrCanceled reports that the transaction's lifecycle was canceled
+	// (by the submitter, the scheduler, or a dying network connection).
+	ErrCanceled = errors.New("preemptdb: transaction canceled")
+	// ErrDeadlineExceeded reports that the transaction ran (or queued) past
+	// its absolute deadline.
+	ErrDeadlineExceeded = errors.New("preemptdb: transaction deadline exceeded")
+)
+
+// CancelReason is the typed reason stored in a context's lifecycle word.
+type CancelReason uint8
+
+// Cancel reasons. The zero value means "not canceled".
+const (
+	ReasonNone CancelReason = iota
+	ReasonCanceled
+	ReasonDeadline
+)
+
+func (r CancelReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonCanceled:
+		return "canceled"
+	case ReasonDeadline:
+		return "deadline"
+	default:
+		return "invalid"
+	}
+}
+
+// Err maps the reason to its typed error (nil for ReasonNone).
+func (r CancelReason) Err() error {
+	switch r {
+	case ReasonCanceled:
+		return ErrCanceled
+	case ReasonDeadline:
+		return ErrDeadlineExceeded
+	default:
+		return nil
+	}
+}
+
+// The lifecycle word packs the request's absolute deadline (clock.Nanos,
+// shifted left) and the cancel reason into one atomic uint64, so Poll's
+// common case — no deadline, not canceled — costs a single load of zero.
+//
+//	bits 0..1  CancelReason
+//	bits 2..63 absolute deadline in nanoseconds (0 = none)
+//
+// The word is written by the owning worker (arm/disarm), by Poll when the
+// deadline trips, and by any goroutine calling Cancel — hence atomic, unlike
+// the rest of the TCB, which is context-confined.
+const (
+	lcReasonMask = uint64(3)
+	lcShift      = 2
+)
+
+// lifecycle is the per-context cancellation/deadline state plus the
+// generation counter that fences stale cross-goroutine cancels.
+type lifecycle struct {
+	word atomic.Uint64
+	// gen increments on every Arm/Disarm. CancelGen refuses to cancel when
+	// the generation moved on, so a racing cancel aimed at a finished
+	// request can never hit the next transaction reusing this context.
+	gen atomic.Uint64
+}
+
+// Arm installs a fresh lifecycle for the next request on this context:
+// deadline is the absolute clock.Nanos() bound (0 = none). It returns the
+// generation token to pass to CancelGen. Safe on a nil context (returns 0).
+func (x *Context) Arm(deadline int64) uint64 {
+	if x == nil {
+		return 0
+	}
+	g := x.lc.gen.Add(1)
+	var w uint64
+	if deadline > 0 {
+		w = uint64(deadline) << lcShift
+	}
+	x.lc.word.Store(w)
+	return g
+}
+
+// Disarm clears the lifecycle after a request finishes, invalidating
+// outstanding CancelGen tokens. Safe on a nil context.
+func (x *Context) Disarm() {
+	if x == nil {
+		return
+	}
+	x.lc.gen.Add(1)
+	x.lc.word.Store(0)
+}
+
+// Cancel marks the context's current lifecycle canceled. The first reason
+// sticks: canceling an already deadline-expired context keeps ReasonDeadline.
+// Safe to call from any goroutine and on a nil context.
+func (x *Context) Cancel() {
+	if x == nil {
+		return
+	}
+	x.cancelReason(ReasonCanceled)
+}
+
+// CancelGen cancels the lifecycle only if gen — obtained from Arm — is still
+// current, reporting whether the cancel (or an earlier one) took effect.
+// This is the cross-goroutine entry point: a caller holding a handle to a
+// request that already finished gets false instead of poisoning whatever
+// transaction runs on the context next.
+func (x *Context) CancelGen(gen uint64) bool {
+	if x == nil || x.lc.gen.Load() != gen {
+		return false
+	}
+	x.cancelReason(ReasonCanceled)
+	// Re-check: if Disarm raced in, the word was cleared and the cancel
+	// missed its target (the request finished anyway).
+	return x.lc.gen.Load() == gen
+}
+
+func (x *Context) cancelReason(r CancelReason) {
+	for {
+		w := x.lc.word.Load()
+		if w&lcReasonMask != 0 {
+			return // first reason wins
+		}
+		if x.lc.word.CompareAndSwap(w, w|uint64(r)) {
+			return
+		}
+	}
+}
+
+// Deadline returns the armed absolute deadline in clock.Nanos units
+// (0 = none).
+func (x *Context) Deadline() int64 {
+	if x == nil {
+		return 0
+	}
+	return int64(x.lc.word.Load() >> lcShift)
+}
+
+// Reason returns the context's current cancel reason, tripping the deadline
+// on the spot if it has passed (so callers between polls still observe it).
+func (x *Context) Reason() CancelReason {
+	if x == nil {
+		return ReasonNone
+	}
+	w := x.lc.word.Load()
+	if r := CancelReason(w & lcReasonMask); r != ReasonNone {
+		return r
+	}
+	if d := int64(w >> lcShift); d != 0 && clock.Nanos() >= d {
+		x.cancelReason(ReasonDeadline)
+		return ReasonDeadline
+	}
+	return ReasonNone
+}
+
+// Err returns the typed lifecycle error — ErrCanceled or
+// ErrDeadlineExceeded — or nil while the transaction may keep running. It is
+// the check every engine/mvcc/index access path performs to unwind a
+// canceled transaction; like Poll, it is nil-safe and costs one atomic load
+// in the common (alive, no deadline) case.
+func (x *Context) Err() error {
+	if x == nil {
+		return nil
+	}
+	if x.lc.word.Load() == 0 {
+		return nil
+	}
+	return x.Reason().Err()
+}
+
+// pollLifecycle is Poll's lifecycle check: trip the deadline at instruction
+// granularity. The caller guarantees x != nil; the single load of a zero
+// word keeps the un-armed fast path at one instruction.
+func (x *Context) pollLifecycle() {
+	w := x.lc.word.Load()
+	if w == 0 || w&lcReasonMask != 0 {
+		return
+	}
+	if clock.Nanos() >= int64(w>>lcShift) {
+		x.lc.word.CompareAndSwap(w, w|uint64(ReasonDeadline))
+	}
+}

@@ -1,0 +1,162 @@
+package pcontext
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"preemptdb/internal/clock"
+)
+
+func TestLifecycleNilContextSafe(t *testing.T) {
+	var x *Context
+	if g := x.Arm(123); g != 0 {
+		t.Fatalf("nil Arm = %d", g)
+	}
+	x.Disarm()
+	x.Cancel()
+	if x.CancelGen(0) {
+		t.Fatal("nil CancelGen must report false")
+	}
+	if x.Deadline() != 0 || x.Reason() != ReasonNone || x.Err() != nil {
+		t.Fatal("nil context must read as alive")
+	}
+}
+
+func TestLifecycleUnarmedIsAlive(t *testing.T) {
+	x := Detached()
+	if err := x.Err(); err != nil {
+		t.Fatalf("fresh context Err = %v", err)
+	}
+	x.Poll()
+	if err := x.Err(); err != nil {
+		t.Fatalf("Err after Poll = %v", err)
+	}
+}
+
+func TestCancelSetsTypedError(t *testing.T) {
+	x := Detached()
+	x.Arm(0)
+	x.Cancel()
+	if x.Reason() != ReasonCanceled {
+		t.Fatalf("reason = %v", x.Reason())
+	}
+	if err := x.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Err = %v", err)
+	}
+	x.Disarm()
+	if err := x.Err(); err != nil {
+		t.Fatalf("Err after Disarm = %v", err)
+	}
+}
+
+func TestPollTripsPastDeadline(t *testing.T) {
+	x := Detached()
+	x.Arm(clock.Nanos() - 1)
+	x.Poll()
+	// Inspect the word directly: the reason must have been set by Poll
+	// itself, not lazily by Err/Reason.
+	if r := CancelReason(x.lc.word.Load() & lcReasonMask); r != ReasonDeadline {
+		t.Fatalf("reason after Poll = %v", r)
+	}
+	if err := x.Err(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestFutureDeadlineStaysAlive(t *testing.T) {
+	x := Detached()
+	d := clock.Nanos() + int64(time.Hour)
+	x.Arm(d)
+	x.Poll()
+	if err := x.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if got := x.Deadline(); got != d {
+		t.Fatalf("Deadline = %d want %d", got, d)
+	}
+}
+
+func TestErrTripsDeadlineBetweenPolls(t *testing.T) {
+	x := Detached()
+	x.Arm(clock.Nanos() + int64(time.Millisecond))
+	time.Sleep(2 * time.Millisecond)
+	// No Poll in between: Err must still observe the expiry.
+	if err := x.Err(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestFirstReasonWins(t *testing.T) {
+	x := Detached()
+	x.Arm(clock.Nanos() - 1)
+	x.Poll() // trips the deadline
+	x.Cancel()
+	if err := x.Err(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Err = %v, deadline must stick", err)
+	}
+}
+
+func TestCancelGenFencesStaleCancel(t *testing.T) {
+	x := Detached()
+	gen := x.Arm(0)
+	x.Disarm()
+	// The request the token referred to is gone; the cancel must miss.
+	if x.CancelGen(gen) {
+		t.Fatal("stale CancelGen must report false")
+	}
+	x.Arm(0) // next request on the same context
+	if err := x.Err(); err != nil {
+		t.Fatalf("stale cancel leaked into the next request: %v", err)
+	}
+	x.Disarm()
+}
+
+func TestCancelGenCurrentGeneration(t *testing.T) {
+	x := Detached()
+	gen := x.Arm(0)
+	if !x.CancelGen(gen) {
+		t.Fatal("current-generation CancelGen must succeed")
+	}
+	if err := x.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Err = %v", err)
+	}
+	x.Disarm()
+}
+
+// TestConcurrentCancelRace hammers Cancel/Arm/Disarm from several goroutines
+// to give -race something to chew on; the only invariant is that a cancel
+// never survives a Disarm into the next generation.
+func TestConcurrentCancelRace(t *testing.T) {
+	x := Detached()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					x.Cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		x.Arm(0)
+		x.Poll()
+		_ = x.Err()
+		x.Disarm()
+	}
+	close(stop)
+	wg.Wait()
+	x.Arm(0)
+	x.Disarm()
+	if err := x.Err(); err != nil {
+		t.Fatalf("disarmed context still canceled: %v", err)
+	}
+}

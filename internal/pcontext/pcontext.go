@@ -267,6 +267,9 @@ type Context struct {
 	resume chan struct{} // binary semaphore: park/unpark token
 	tcb    TCB
 	cls    CLS
+	// lc is the request lifecycle descriptor (deadline + cancel reason),
+	// checked by Poll at instruction granularity; see lifecycle.go.
+	lc lifecycle
 }
 
 func newContext(id int, core *Core) *Context {
@@ -308,6 +311,7 @@ func (x *Context) Poll() {
 		return
 	}
 	x.cls.Accesses++
+	x.pollLifecycle()
 	core := x.core
 	if core == nil || !core.hooked.Load() {
 		return

@@ -61,13 +61,21 @@ func (p Policy) String() string {
 	}
 }
 
-// Request is one transaction request flowing through the scheduler.
+// Request is one transaction request flowing through the scheduler. Its
+// lifecycle fields (Deadline, Cancel) form the descriptor the worker arms on
+// the executing context, so in-flight cancellation rides the same poll
+// instrumentation that makes preemption work.
 type Request struct {
 	// HighPriority marks the short, latency-sensitive class.
 	HighPriority bool
 	// Work runs the transaction body on the executing context. Conflict
 	// retries are the body's responsibility; the returned error is recorded.
 	Work func(ctx *pcontext.Context) error
+
+	// Deadline is the absolute clock.Nanos() instant after which the request
+	// is worthless (0 = none). An expired request still queued is shed
+	// before execution; a running one is canceled at its next poll.
+	Deadline int64
 
 	// EnqueuedAt is stamped by the submitter (clock.Nanos); StartedAt and
 	// FinishedAt by the executing worker. Scheduling latency is
@@ -79,6 +87,32 @@ type Request struct {
 
 	// OnDone, when set, is called after FinishedAt is stamped.
 	OnDone func(*Request)
+
+	// canceled is the submitter-side cancel flag; execCtx/execGen identify
+	// the context currently running the request so Cancel can reach a
+	// transaction already in flight (the generation fences stale cancels).
+	canceled atomic.Bool
+	execCtx  atomic.Pointer[pcontext.Context]
+	execGen  atomic.Uint64
+}
+
+// Cancel marks the request canceled. Queued requests are shed before
+// execution; a request already running is canceled at its executing
+// context's next poll. Safe to call from any goroutine, repeatedly, and at
+// any point in the request's life (after completion it is a no-op).
+func (r *Request) Cancel() {
+	r.canceled.Store(true)
+	if ctx := r.execCtx.Load(); ctx != nil {
+		ctx.CancelGen(r.execGen.Load())
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (r *Request) Canceled() bool { return r.canceled.Load() }
+
+// expired reports whether the request's deadline has passed at time now.
+func (r *Request) expired(now int64) bool {
+	return r.Deadline != 0 && now >= r.Deadline
 }
 
 // SchedulingLatency returns StartedAt-EnqueuedAt in nanoseconds.
@@ -137,6 +171,8 @@ type Scheduler struct {
 
 	interruptsSent  atomic.Uint64
 	starvationSkips atomic.Uint64
+	shedExpired     atomic.Uint64
+	shedCanceled    atomic.Uint64
 	started         bool
 }
 
@@ -196,6 +232,14 @@ func (s *Scheduler) InterruptsSent() uint64 { return s.interruptsSent.Load() }
 // StarvationSkips returns how many scheduler-side dispatches were withheld
 // because a worker's starvation level exceeded the threshold.
 func (s *Scheduler) StarvationSkips() uint64 { return s.starvationSkips.Load() }
+
+// ShedExpired returns how many queued requests were dropped at dispatch
+// because their deadline had already passed.
+func (s *Scheduler) ShedExpired() uint64 { return s.shedExpired.Load() }
+
+// ShedCanceled returns how many queued requests were dropped at dispatch
+// because their submitter canceled them before they ran.
+func (s *Scheduler) ShedCanceled() uint64 { return s.shedCanceled.Load() }
 
 // Start launches every worker's contexts and installs the policy hooks.
 func (s *Scheduler) Start() {
@@ -371,11 +415,52 @@ func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
 	w.core.EndLowPrio()
 }
 
-// execute runs one request, stamping its latency fields.
+// shed completes a request without running it — the dispatch-side drop for
+// requests that were canceled, or whose deadline expired, while still queued.
+// Executing such a request would only burn core time its submitter has
+// already written off. Returns true when the request was shed.
+func (w *Worker) shed(req *Request) bool {
+	now := clock.Nanos()
+	switch {
+	case req.Canceled():
+		req.Err = pcontext.ErrCanceled
+		w.s.shedCanceled.Add(1)
+	case req.expired(now):
+		req.Err = pcontext.ErrDeadlineExceeded
+		w.s.shedExpired.Add(1)
+	default:
+		return false
+	}
+	req.StartedAt = now
+	req.FinishedAt = now
+	if req.OnDone != nil {
+		req.OnDone(req)
+	}
+	return true
+}
+
+// execute runs one request, stamping its latency fields. The request's
+// lifecycle descriptor is armed on the executing context for the duration of
+// Work, so Poll observes the deadline and cross-goroutine Cancel at
+// instruction granularity.
 func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
+	if w.shed(req) {
+		return
+	}
+	gen := ctx.Arm(req.Deadline)
+	req.execGen.Store(gen)
+	req.execCtx.Store(ctx)
+	// Dekker-style re-check: a Cancel that loaded execCtx before the store
+	// above couldn't reach this context, so look at the flag again now that
+	// the handoff is published.
+	if req.Canceled() {
+		ctx.CancelGen(gen)
+	}
 	req.StartedAt = clock.Nanos()
 	req.Err = req.Work(ctx)
 	req.FinishedAt = clock.Nanos()
+	req.execCtx.Store(nil)
+	ctx.Disarm()
 	if req.HighPriority {
 		w.executedHi.Add(1)
 	} else {

@@ -27,11 +27,16 @@ package preemptdb
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"math/rand/v2"
 	"sync"
 	"time"
 
+	"preemptdb/internal/admission"
+	"preemptdb/internal/clock"
 	"preemptdb/internal/engine"
+	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
 	"preemptdb/internal/pcontext"
 	"preemptdb/internal/sched"
@@ -142,24 +147,59 @@ type Config struct {
 	// VacuumInterval, when non-zero, enables background incremental
 	// garbage collection of record version chains at that period.
 	VacuumInterval time.Duration
+	// AdmissionRate, when > 0, caps the admitted request rate
+	// (requests/second, token bucket of AdmissionBurst tokens).
+	AdmissionRate float64
+	// AdmissionBurst is the token-bucket burst for AdmissionRate (default 1).
+	AdmissionBurst int
+	// MaxInFlight, when > 0, caps admitted-but-unfinished requests.
+	MaxInFlight int
 }
 
 // ErrClosed reports use of a closed DB.
 var ErrClosed = errors.New("preemptdb: database closed")
 
-// ErrQueueFull reports that a non-blocking submit found all queues full.
+// ErrQueueFull reports that a request was rejected up front: every
+// scheduling queue was full, or admission control shed it (rate, in-flight
+// cap, or a deadline that cannot be met given the observed queue delay).
 var ErrQueueFull = errors.New("preemptdb: all scheduling queues full")
+
+// ErrConflict marks a transaction that failed with a concurrency conflict
+// after exhausting its automatic retry budget. The underlying engine error
+// is wrapped alongside it.
+var ErrConflict = errors.New("preemptdb: transaction conflict")
+
+// ErrCanceled reports a transaction canceled by its submitter (via
+// Pending.Cancel). It unwinds mid-flight at the next poll.
+var ErrCanceled = pcontext.ErrCanceled
+
+// ErrDeadlineExceeded reports a transaction that missed its deadline: shed
+// while queued, rejected at admission, or canceled mid-flight at the first
+// poll past the deadline.
+var ErrDeadlineExceeded = pcontext.ErrDeadlineExceeded
 
 // IsConflict reports whether err was a concurrency conflict (these are
 // retried automatically up to MaxRetries; seeing one from Exec means the
 // budget was exhausted).
-func IsConflict(err error) bool { return engine.IsConflict(err) }
+func IsConflict(err error) bool {
+	return engine.IsConflict(err) || errors.Is(err, ErrConflict)
+}
+
+// IsCanceled reports whether err means the transaction was canceled by its
+// submitter.
+func IsCanceled(err error) bool { return errors.Is(err, ErrCanceled) }
+
+// IsDeadlineExceeded reports whether err means the transaction missed its
+// deadline.
+func IsDeadlineExceeded(err error) bool { return errors.Is(err, ErrDeadlineExceeded) }
 
 // DB is a PreemptDB instance.
 type DB struct {
 	cfg    Config
 	eng    *engine.Engine
 	sch    *sched.Scheduler
+	adm    *admission.Controller
+	aborts metrics.AbortCounters
 	rrLow  int
 	closed bool
 	// ctxPool recycles detached contexts for Run so repeated loader/admin
@@ -196,7 +236,11 @@ func Open(cfg Config) (*DB, error) {
 		StarvationThreshold: cfg.StarvationThreshold,
 	})
 	s.Start()
-	return &DB{cfg: cfg, eng: eng, sch: s}, nil
+	// The admission controller is always present: with the rate and
+	// in-flight knobs at zero it admits everything, but it still tracks the
+	// queue-delay estimate that lets AdmitDeadline shed doomed requests.
+	adm := admission.New(cfg.AdmissionRate, cfg.AdmissionBurst, cfg.MaxInFlight)
+	return &DB{cfg: cfg, eng: eng, sch: s, adm: adm}, nil
 }
 
 // Close stops the workers, releases their engine resources (oracle slots,
@@ -248,12 +292,17 @@ func (db *DB) Run(fn func(tx *Txn) error) error {
 func (db *DB) runOn(ctx *pcontext.Context, fn func(tx *Txn) error) error {
 	var err error
 	for attempt := 0; attempt < db.cfg.MaxRetries; attempt++ {
+		// Canceled or past deadline: further retries cannot succeed — every
+		// new attempt would unwind at its first poll anyway.
+		if lcErr := ctx.Err(); lcErr != nil {
+			return lcErr
+		}
 		err = db.attempt(ctx, fn)
 		if err == nil || !engine.IsConflict(err) {
 			return err
 		}
 	}
-	return err
+	return fmt.Errorf("%w: %w", ErrConflict, err)
 }
 
 func (db *DB) attempt(ctx *pcontext.Context, fn func(tx *Txn) error) error {
@@ -266,35 +315,148 @@ func (db *DB) attempt(ctx *pcontext.Context, fn func(tx *Txn) error) error {
 	return inner.Commit()
 }
 
+// TxnOptions carries per-request lifecycle options. The zero value means
+// "low priority, no deadline".
+type TxnOptions struct {
+	// Priority classifies the request (default Low).
+	Priority Priority
+	// Deadline is an absolute wall-clock instant after which the result is
+	// worthless (zero = none). An expired request is shed at admission or
+	// dispatch, and canceled mid-flight at the first poll past the deadline;
+	// either way the submitter sees ErrDeadlineExceeded (shed at admission
+	// reports ErrQueueFull from Submit itself).
+	Deadline time.Time
+	// Timeout is a relative deadline measured from submission (0 = none).
+	// When both are set the earlier instant wins.
+	Timeout time.Duration
+}
+
+// deadlineNanos converts the options' deadline to the scheduler's absolute
+// clock.Nanos domain (0 = none). An already-past deadline maps to the oldest
+// representable armed instant so it still reads as expired, not as "none".
+func (o TxnOptions) deadlineNanos() int64 {
+	pick := func(rel time.Duration) int64 {
+		n := clock.Nanos() + int64(rel)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	var d int64
+	if !o.Deadline.IsZero() {
+		d = pick(time.Until(o.Deadline))
+	}
+	if o.Timeout > 0 {
+		if t := pick(o.Timeout); d == 0 || t < d {
+			d = t
+		}
+	}
+	return d
+}
+
+// Pending is a handle to a submitted-but-unfinished request.
+type Pending struct {
+	req *sched.Request
+	ch  chan error
+}
+
+// Cancel asks the request's transaction to stop: still-queued requests are
+// shed before execution, a running one unwinds with ErrCanceled at its next
+// poll. Safe to call from any goroutine, repeatedly, and after completion.
+// Cancel does not wait; the outcome still arrives through Wait/Done.
+func (p *Pending) Cancel() { p.req.Cancel() }
+
+// Wait blocks until the request finishes and returns its outcome. Call it
+// at most once (use Done for multi-consumer patterns).
+func (p *Pending) Wait() error { return <-p.ch }
+
+// Done exposes the single-delivery outcome channel.
+func (p *Pending) Done() <-chan error { return p.ch }
+
+// classify buckets a finished request's error into the per-reason abort
+// counters surfaced by Stats.
+func (db *DB) classify(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDeadlineExceeded):
+		db.aborts.Inc(metrics.AbortDeadline)
+	case errors.Is(err, ErrCanceled):
+		db.aborts.Inc(metrics.AbortCanceled)
+	case IsConflict(err):
+		db.aborts.Inc(metrics.AbortConflict)
+	case errors.Is(err, ErrQueueFull):
+		db.aborts.Inc(metrics.AbortQueueFull)
+	default:
+		db.aborts.Inc(metrics.AbortOther)
+	}
+}
+
+// submit is the single scheduling entry point every public Submit/Exec
+// variant funnels through: admission, lifecycle wiring, dispatch, and
+// per-reason accounting in one place.
+func (db *DB) submit(p Priority, deadline int64, fn func(tx *Txn) error, onDone func(*sched.Request)) (*sched.Request, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if !db.adm.AdmitDeadline(deadline) {
+		db.aborts.Inc(metrics.AbortQueueFull)
+		return nil, ErrQueueFull
+	}
+	req := &sched.Request{
+		Deadline: deadline,
+		Work: func(ctx *pcontext.Context) error {
+			return db.runOn(ctx, fn)
+		},
+	}
+	req.OnDone = func(r *sched.Request) {
+		db.adm.ObserveQueueDelay(r.SchedulingLatency())
+		db.adm.Release()
+		db.classify(r.Err)
+		if onDone != nil {
+			onDone(r)
+		}
+	}
+	ok := false
+	if p == High {
+		ok = db.sch.SubmitHighBatch([]*sched.Request{req}) == 1
+	} else {
+		for i := 0; i < db.cfg.Workers && !ok; i++ {
+			db.rrLow = (db.rrLow + 1) % db.cfg.Workers
+			ok = db.sch.SubmitLow(db.rrLow, req)
+		}
+	}
+	if !ok {
+		db.adm.Release()
+		db.aborts.Inc(metrics.AbortQueueFull)
+		return nil, ErrQueueFull
+	}
+	return req, nil
+}
+
 // Submit schedules fn as a transaction with the given priority and returns
 // immediately; done (optional) receives the outcome on a worker goroutine.
 // High-priority submissions trigger a user interrupt under PolicyPreempt.
 // It fails with ErrQueueFull when every worker's queue is full.
 func (db *DB) Submit(p Priority, fn func(tx *Txn) error, done func(error)) error {
-	if db.closed {
-		return ErrClosed
-	}
-	req := &sched.Request{
-		Work: func(ctx *pcontext.Context) error {
-			return db.runOn(ctx, fn)
-		},
-	}
+	var onDone func(*sched.Request)
 	if done != nil {
-		req.OnDone = func(r *sched.Request) { done(r.Err) }
+		onDone = func(r *sched.Request) { done(r.Err) }
 	}
-	if p == High {
-		if db.sch.SubmitHighBatch([]*sched.Request{req}) == 0 {
-			return ErrQueueFull
-		}
-		return nil
+	_, err := db.submit(p, 0, fn, onDone)
+	return err
+}
+
+// SubmitOpts schedules fn with per-request lifecycle options and returns a
+// Pending handle for waiting on — or canceling — the request.
+func (db *DB) SubmitOpts(opts TxnOptions, fn func(tx *Txn) error) (*Pending, error) {
+	ch := make(chan error, 1)
+	req, err := db.submit(opts.Priority, opts.deadlineNanos(), fn, func(r *sched.Request) {
+		ch <- r.Err
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < db.cfg.Workers; i++ {
-		db.rrLow = (db.rrLow + 1) % db.cfg.Workers
-		if db.sch.SubmitLow(db.rrLow, req) {
-			return nil
-		}
-	}
-	return ErrQueueFull
+	return &Pending{req: req, ch: ch}, nil
 }
 
 // Exec schedules fn like Submit and waits for it to finish, returning the
@@ -305,6 +467,51 @@ func (db *DB) Exec(p Priority, fn func(tx *Txn) error) error {
 		return err
 	}
 	return <-ch
+}
+
+// ExecOpts is Exec with per-request lifecycle options.
+func (db *DB) ExecOpts(opts TxnOptions, fn func(tx *Txn) error) error {
+	pending, err := db.SubmitOpts(opts, fn)
+	if err != nil {
+		return err
+	}
+	return pending.Wait()
+}
+
+// ExecDeadline schedules fn with an absolute deadline and waits for the
+// outcome. A request whose deadline passes before it runs is shed (at
+// admission or dispatch) without executing; one already running is canceled
+// at its next poll and unwinds with ErrDeadlineExceeded, releasing its
+// pooled transaction, oracle slot, and log buffer.
+func (db *DB) ExecDeadline(p Priority, deadline time.Time, fn func(tx *Txn) error) error {
+	return db.ExecOpts(TxnOptions{Priority: p, Deadline: deadline}, fn)
+}
+
+// ExecRetry is Exec wrapped in a bounded retry loop for transient rejection:
+// conflict-budget exhaustion and full queues back off exponentially (with
+// jitter, capped at ~1ms) before retrying on the submitting goroutine. All
+// other outcomes — including deadline and cancellation — return immediately.
+func (db *DB) ExecRetry(p Priority, fn func(tx *Txn) error) error {
+	const (
+		maxAttempts = 16
+		baseBackoff = 20 * time.Microsecond
+		maxBackoff  = time.Millisecond
+	)
+	backoff := baseBackoff
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err = db.Exec(p, fn)
+		if err == nil || !(IsConflict(err) || errors.Is(err, ErrQueueFull)) {
+			return err
+		}
+		// Full jitter: sleep a uniform fraction of the current backoff so
+		// retrying submitters decorrelate instead of colliding again.
+		time.Sleep(time.Duration(rand.Int64N(int64(backoff)) + 1))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	return err
 }
 
 // Timing reports a transaction's worker-stamped latencies: Scheduling is
@@ -320,35 +527,17 @@ type Timing struct {
 // SubmitTimed is Submit with a done callback that also receives the
 // worker-stamped Timing. The callback runs on a worker goroutine.
 func (db *DB) SubmitTimed(p Priority, fn func(tx *Txn) error, done func(Timing, error)) error {
-	if db.closed {
-		return ErrClosed
-	}
-	req := &sched.Request{
-		Work: func(ctx *pcontext.Context) error {
-			return db.runOn(ctx, fn)
-		},
-	}
+	var onDone func(*sched.Request)
 	if done != nil {
-		req.OnDone = func(r *sched.Request) {
+		onDone = func(r *sched.Request) {
 			done(Timing{
 				Scheduling: time.Duration(r.SchedulingLatency()),
 				Total:      time.Duration(r.Latency()),
 			}, r.Err)
 		}
 	}
-	if p == High {
-		if db.sch.SubmitHighBatch([]*sched.Request{req}) == 0 {
-			return ErrQueueFull
-		}
-		return nil
-	}
-	for i := 0; i < db.cfg.Workers; i++ {
-		db.rrLow = (db.rrLow + 1) % db.cfg.Workers
-		if db.sch.SubmitLow(db.rrLow, req) {
-			return nil
-		}
-	}
-	return ErrQueueFull
+	_, err := db.submit(p, 0, fn, onDone)
+	return err
 }
 
 // ExecTimed is Exec plus worker-stamped timing.
@@ -396,6 +585,22 @@ type Stats struct {
 	// VacuumedVersions counts record versions reclaimed by manual and
 	// background vacuum.
 	VacuumedVersions uint64
+	// ShedExpired / ShedCanceled count queued requests dropped at dispatch
+	// because the deadline had passed / the submitter had canceled.
+	ShedExpired  uint64
+	ShedCanceled uint64
+	// DeadlineRejected counts requests shed at admission because the
+	// observed queue delay implied a certain deadline miss.
+	DeadlineRejected uint64
+	// AbortsConflict..AbortsOther classify every failed request by reason:
+	// conflict budget exhausted, deadline missed, submitter-canceled,
+	// rejected up front (queues full or admission), or any other
+	// transaction-body error.
+	AbortsConflict  uint64
+	AbortsDeadline  uint64
+	AbortsCanceled  uint64
+	AbortsQueueFull uint64
+	AbortsOther     uint64
 }
 
 // Stats returns current counters.
@@ -408,6 +613,14 @@ func (db *DB) Stats() Stats {
 		LogBytes:         db.eng.Log().LSN(),
 		LogBatches:       db.eng.Log().Batches(),
 		VacuumedVersions: db.eng.Vacuumed(),
+		ShedExpired:      db.sch.ShedExpired(),
+		ShedCanceled:     db.sch.ShedCanceled(),
+		DeadlineRejected: db.adm.DeadlineRejected(),
+		AbortsConflict:   db.aborts.Load(metrics.AbortConflict),
+		AbortsDeadline:   db.aborts.Load(metrics.AbortDeadline),
+		AbortsCanceled:   db.aborts.Load(metrics.AbortCanceled),
+		AbortsQueueFull:  db.aborts.Load(metrics.AbortQueueFull),
+		AbortsOther:      db.aborts.Load(metrics.AbortOther),
 	}
 	for _, w := range db.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
@@ -522,6 +735,12 @@ func (t *Txn) Yield() { sched.Yield(t.ctx) }
 // NonPreemptible runs fn with preemption disabled on this context — the
 // application-level escape hatch for short critical sections (paper §4.4).
 func (t *Txn) NonPreemptible(fn func()) { pcontext.NonPreemptible(t.ctx, fn) }
+
+// Err returns ErrCanceled or ErrDeadlineExceeded once this transaction's
+// request has been canceled or has passed its deadline, and nil otherwise.
+// Engine calls already check it at every record access; long user loops
+// between engine calls can poll it to unwind sooner.
+func (t *Txn) Err() error { return t.ctx.Err() }
 
 // IsNotFound reports whether err is the not-found condition.
 func IsNotFound(err error) bool { return errors.Is(err, engine.ErrNotFound) }

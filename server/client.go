@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"preemptdb"
 )
@@ -89,6 +90,30 @@ func (c *Client) Txn(p preemptdb.Priority, ops []ScriptOp) ([]OpResult, error) {
 	return results, nil
 }
 
+// TxnTimeout is Txn with a server-side deadline: the relative timeout ships
+// on the wire (microsecond resolution, so the machines' clocks never need to
+// agree) and the server arms it as the transaction's deadline on receipt. A
+// transaction that misses it — still queued or mid-flight — fails with
+// ErrDeadlineExceeded instead of occupying a core.
+func (c *Client) TxnTimeout(p preemptdb.Priority, timeout time.Duration, ops []ScriptOp) ([]OpResult, error) {
+	var prio uint8
+	if p == preemptdb.High {
+		prio = 1
+	}
+	micros := uint64(timeout / time.Microsecond)
+	if timeout > 0 && micros == 0 {
+		micros = 1 // sub-microsecond timeouts still arm a deadline
+	}
+	status, msg, results, err := c.roundTrip(encodeScriptDeadline(nil, prio, micros, ops))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, msg); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 func statusErr(status uint8, msg string) error {
 	switch status {
 	case statusOK:
@@ -99,6 +124,12 @@ func statusErr(status uint8, msg string) error {
 		return fmt.Errorf("%w: %s", ErrDuplicate, msg)
 	case statusConflict:
 		return fmt.Errorf("%w: %s", ErrConflict, msg)
+	case statusDeadline:
+		return fmt.Errorf("%w: %s", ErrDeadlineExceeded, msg)
+	case statusCanceled:
+		return fmt.Errorf("%w: %s", ErrCanceled, msg)
+	case statusQueueFull:
+		return fmt.Errorf("%w: %s", ErrQueueFull, msg)
 	default:
 		return fmt.Errorf("server: %s", msg)
 	}

@@ -36,6 +36,10 @@ const (
 	reqCreateIndex // reserved; extractors cannot cross the wire
 	reqStats
 	reqPing
+	// reqTxnDeadline is reqTxn preceded by a uvarint relative timeout in
+	// microseconds (relative so the two machines' clocks never have to
+	// agree); the server arms it as an absolute deadline on receipt.
+	reqTxnDeadline
 )
 
 // Response status codes.
@@ -45,6 +49,14 @@ const (
 	statusDuplicate
 	statusConflict
 	statusError
+	// statusDeadline: the transaction missed its deadline (shed while
+	// queued or canceled mid-flight).
+	statusDeadline
+	// statusCanceled: the transaction was canceled server-side.
+	statusCanceled
+	// statusQueueFull: rejected up front — scheduler queues full or
+	// admission control shed the request.
+	statusQueueFull
 )
 
 // maxFrame bounds a single frame (16 MiB) to keep a misbehaving peer from
@@ -155,8 +167,8 @@ type OpResult struct {
 	Values [][]byte // scans
 }
 
-func encodeScript(b []byte, priority uint8, ops []ScriptOp) []byte {
-	b = append(b, reqTxn, priority)
+func appendScriptBody(b []byte, priority uint8, ops []ScriptOp) []byte {
+	b = append(b, priority)
 	b = binary.AppendUvarint(b, uint64(len(ops)))
 	for _, op := range ops {
 		b = append(b, op.Op)
@@ -167,6 +179,18 @@ func encodeScript(b []byte, priority uint8, ops []ScriptOp) []byte {
 		b = binary.AppendUvarint(b, uint64(op.Limit))
 	}
 	return b
+}
+
+func encodeScript(b []byte, priority uint8, ops []ScriptOp) []byte {
+	return appendScriptBody(append(b, reqTxn), priority, ops)
+}
+
+// encodeScriptDeadline frames a reqTxnDeadline request: the relative timeout
+// (microseconds) precedes the ordinary script body.
+func encodeScriptDeadline(b []byte, priority uint8, timeoutMicros uint64, ops []ScriptOp) []byte {
+	b = append(b, reqTxnDeadline)
+	b = binary.AppendUvarint(b, timeoutMicros)
+	return appendScriptBody(b, priority, ops)
 }
 
 func decodeScript(r *reader) (priority uint8, ops []ScriptOp, err error) {

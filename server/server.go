@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"preemptdb"
 )
@@ -23,11 +24,27 @@ type Server struct {
 
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
+
+	// IdleTimeout bounds how long a connection may sit without delivering a
+	// complete request frame before the server drops it (default 2m;
+	// negative disables). It also bounds how long a truncated frame can
+	// wedge a connection.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (default 30s; negative
+	// disables). A peer that stops reading cannot pin a handler goroutine.
+	WriteTimeout time.Duration
 }
 
-// New wraps db in a network server; call Serve with a listener.
+// New wraps db in a network server; call Serve with a listener. Adjust
+// IdleTimeout/WriteTimeout before the first connection arrives.
 func New(db *preemptdb.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	return &Server{
+		db:           db,
+		conns:        make(map[net.Conn]struct{}),
+		Logf:         log.Printf,
+		IdleTimeout:  2 * time.Minute,
+		WriteTimeout: 30 * time.Second,
+	}
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") in a background
@@ -96,16 +113,25 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		frame, err := readFrame(conn)
 		if err != nil {
-			return // EOF or broken pipe: client is gone
+			// EOF, broken pipe, idle/truncated-frame timeout, or an
+			// oversized length prefix: the byte stream is gone or no longer
+			// trustworthy, so the connection cannot be kept.
+			return
 		}
 		resp, err := s.dispatch(frame)
 		if err != nil {
-			// Protocol error: answer once, then drop the connection.
+			// Malformed payload inside a well-delimited frame: frame
+			// boundaries are still in sync, so answer with a typed error
+			// frame and keep serving the connection.
 			resp = encodeResults(nil, statusError, err.Error(), nil)
-			writeFrame(conn, resp)
-			return
+		}
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
 		if err := writeFrame(conn, resp); err != nil {
 			return
@@ -144,7 +170,18 @@ func (s *Server) dispatch(frame []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.runScript(prio, ops), nil
+		return s.runScript(prio, ops, 0), nil
+
+	case reqTxnDeadline:
+		micros, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prio, ops, err := decodeScript(r)
+		if err != nil {
+			return nil, err
+		}
+		return s.runScript(prio, ops, time.Duration(micros)*time.Microsecond), nil
 
 	default:
 		return nil, fmt.Errorf("%w: unknown request %d", ErrMalformed, kind)
@@ -152,15 +189,16 @@ func (s *Server) dispatch(frame []byte) ([]byte, error) {
 }
 
 // runScript executes the ops atomically in one transaction at the given
-// priority. Per-op read misses are reported in-band (statusNotFound) without
-// aborting; write errors abort the whole script.
-func (s *Server) runScript(prio uint8, ops []ScriptOp) []byte {
+// priority, with an optional relative timeout (0 = none) armed as the
+// transaction's deadline. Per-op read misses are reported in-band
+// (statusNotFound) without aborting; write errors abort the whole script.
+func (s *Server) runScript(prio uint8, ops []ScriptOp, timeout time.Duration) []byte {
 	priority := preemptdb.Low
 	if prio > 0 {
 		priority = preemptdb.High
 	}
 	results := make([]OpResult, len(ops))
-	err := s.db.Exec(priority, func(tx *preemptdb.Txn) error {
+	err := s.db.ExecOpts(preemptdb.TxnOptions{Priority: priority, Timeout: timeout}, func(tx *preemptdb.Txn) error {
 		for i := range ops {
 			op := &ops[i]
 			res := &results[i]
@@ -231,6 +269,12 @@ func (s *Server) runScript(prio uint8, ops []ScriptOp) []byte {
 		return encodeResults(nil, statusDuplicate, err.Error(), nil)
 	case preemptdb.IsNotFound(err):
 		return encodeResults(nil, statusNotFound, err.Error(), nil)
+	case preemptdb.IsDeadlineExceeded(err):
+		return encodeResults(nil, statusDeadline, err.Error(), nil)
+	case preemptdb.IsCanceled(err):
+		return encodeResults(nil, statusCanceled, err.Error(), nil)
+	case errors.Is(err, preemptdb.ErrQueueFull):
+		return encodeResults(nil, statusQueueFull, err.Error(), nil)
 	case preemptdb.IsConflict(err):
 		return encodeResults(nil, statusConflict, err.Error(), nil)
 	default:
@@ -243,4 +287,12 @@ var (
 	ErrNotFound  = errors.New("server: not found")
 	ErrDuplicate = errors.New("server: duplicate key")
 	ErrConflict  = errors.New("server: transaction conflict")
+	// ErrDeadlineExceeded: the transaction missed its wire-specified
+	// deadline (shed while queued or canceled mid-flight on the server).
+	ErrDeadlineExceeded = errors.New("server: transaction deadline exceeded")
+	// ErrCanceled: the transaction was canceled on the server.
+	ErrCanceled = errors.New("server: transaction canceled")
+	// ErrQueueFull: the server rejected the request up front (scheduler
+	// queues full or admission control).
+	ErrQueueFull = errors.New("server: request rejected, queues full")
 )
