@@ -27,7 +27,7 @@ type outcome struct {
 }
 
 func run(policy preemptdb.Policy, yieldInterval uint64) outcome {
-	db, err := preemptdb.Open(preemptdb.Config{
+	db, err := preemptdb.Open("", preemptdb.Config{
 		Workers:       1,
 		Policy:        policy,
 		YieldInterval: yieldInterval,

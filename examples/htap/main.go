@@ -24,7 +24,7 @@ const (
 func key(i uint64) []byte { return binary.BigEndian.AppendUint64(nil, i) }
 
 func runPolicy(policy preemptdb.Policy) (lat []time.Duration, scanned, restocks uint64) {
-	db, err := preemptdb.Open(preemptdb.Config{
+	db, err := preemptdb.Open("", preemptdb.Config{
 		Workers: 1,
 		Policy:  policy,
 		// Background vacuum keeps the repeatedly-updated sales/inventory

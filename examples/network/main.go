@@ -20,7 +20,7 @@ const rows = 30000
 func key(i uint64) []byte { return binary.BigEndian.AppendUint64(nil, i) }
 
 func main() {
-	db, err := preemptdb.Open(preemptdb.Config{Workers: 1, Policy: preemptdb.PolicyPreempt})
+	db, err := preemptdb.Open("", preemptdb.Config{Workers: 1, Policy: preemptdb.PolicyPreempt})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	db, err := preemptdb.Open(preemptdb.Config{
+	db, err := preemptdb.Open("", preemptdb.Config{
 		Workers: 2,
 		Policy:  preemptdb.PolicyPreempt,
 	})

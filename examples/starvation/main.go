@@ -26,7 +26,7 @@ const (
 func key(i uint64) []byte { return binary.BigEndian.AppendUint64(nil, i) }
 
 func run(threshold float64) (reports, orders uint64, orderP50, orderP99 time.Duration) {
-	db, err := preemptdb.Open(preemptdb.Config{
+	db, err := preemptdb.Open("", preemptdb.Config{
 		Workers:             1,
 		Policy:              preemptdb.PolicyPreempt,
 		HiQueueSize:         64,

@@ -1,0 +1,29 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The plain-`go test` tier covers 220 seeded crash points: 160 in-memory
+// power cuts at randomized write/sync boundaries and 60 file-backed crashes
+// across rotation, checkpoint, and torn-tail boundaries. The longer sweep
+// lives behind `go test -tags torture`.
+
+func TestTortureMemory(t *testing.T) {
+	for seed := uint64(0); seed < 160; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunMemory(t, Plan{Seed: seed, Workers: 4, Keys: 8, Ops: 120})
+		})
+	}
+}
+
+func TestTortureFile(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunFile(t, Plan{Seed: seed, Keys: 6, Ops: 30})
+		})
+	}
+}

@@ -1,0 +1,31 @@
+//go:build torture
+
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The extended sweep: thousands of seeded crash points, run in CI's nightly
+// torture step and locally via `go test -tags torture ./internal/crashtest/`.
+// Seed ranges are disjoint from the plain tier so the sweep adds coverage
+// instead of repeating it.
+
+func TestTortureSweepMemory(t *testing.T) {
+	for seed := uint64(1000); seed < 3000; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunMemory(t, Plan{Seed: seed, Workers: 4, Keys: 8, Ops: 200})
+		})
+	}
+}
+
+func TestTortureSweepFile(t *testing.T) {
+	for seed := uint64(1000); seed < 1400; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunFile(t, Plan{Seed: seed, Keys: 8, Ops: 60})
+		})
+	}
+}

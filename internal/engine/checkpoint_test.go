@@ -115,7 +115,7 @@ func TestCheckpointPlusLogTailRecovery(t *testing.T) {
 	if err := e3.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	if err := e3.Recover(bytes.NewReader(log2.Bytes())); err != nil {
+	if _, err := e3.Recover(bytes.NewReader(log2.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	r := e3.Begin(nil)

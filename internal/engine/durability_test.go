@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"preemptdb/internal/iofault"
+	"preemptdb/internal/wal"
+)
+
+// TestEngineReadOnlyAfterWALFailure drives the degradation contract: after
+// the first sync failure the engine keeps serving reads off the in-memory
+// versions, every write path fails fast with the latched ErrWALFailed, and
+// the failed commit's effects never became visible.
+func TestEngineReadOnlyAfterWALFailure(t *testing.T) {
+	sink := iofault.NewSink()
+	e := New(Config{LogSink: sink, SyncEachCommit: true})
+	defer e.Close()
+	tab := e.CreateTable("t")
+
+	tx := e.Begin(nil)
+	if err := tx.Insert(tab, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.FailSync(2, nil) // the next batch's sync
+	tx2 := e.Begin(nil)
+	if err := tx2.Insert(tab, []byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, wal.ErrWALFailed) {
+		t.Fatalf("commit over failed sync: %v, want ErrWALFailed", err)
+	}
+	if e.WALErr() == nil {
+		t.Fatal("WALErr not latched")
+	}
+
+	// The failing batch's transaction had already published at stage time
+	// (pipelined group commit), so it stays visible in memory even though its
+	// commit reported the error — the documented commit-uncertain window. It
+	// was never synced, so it cannot survive a restart.
+	r := e.Begin(nil)
+	if v, err := r.Get(tab, []byte("b")); err != nil || string(v) != "2" {
+		t.Fatalf("failing batch's row should stay visible in memory: %q %v", v, err)
+	}
+	// Reads keep working.
+	if v, err := r.Get(tab, []byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("read after WAL failure: %q %v", v, err)
+	}
+	n := 0
+	if err := r.Scan(tab, nil, nil, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scan after WAL failure saw %d rows", n)
+	}
+	// Only acked bytes are durable: recovery from the sink's durable prefix
+	// sees exactly the first commit.
+	e2 := New(Config{})
+	tab2 := e2.CreateTable("t")
+	res, err := e2.Recover(bytes.NewReader(sink.Durable()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 1 {
+		t.Fatalf("durable prefix replayed %d txns, want 1", res.Txns)
+	}
+	r2 := e2.Begin(nil)
+	defer r2.Abort()
+	if _, err := r2.Get(tab2, []byte("b")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unsynced commit survived recovery: %v", err)
+	}
+	// A read-only transaction still commits (nothing to log).
+	if err := r.Commit(); err != nil {
+		t.Fatalf("read-only commit on failed log: %v", err)
+	}
+
+	// Every write op is refused up front with the typed error.
+	w := e.Begin(nil)
+	defer w.Abort()
+	if err := w.Insert(tab, []byte("c"), []byte("3")); !errors.Is(err, wal.ErrWALFailed) {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := w.Update(tab, []byte("a"), []byte("9")); !errors.Is(err, wal.ErrWALFailed) {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := w.Put(tab, []byte("a"), []byte("9")); !errors.Is(err, wal.ErrWALFailed) {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := w.Delete(tab, []byte("a")); !errors.Is(err, wal.ErrWALFailed) {
+		t.Fatalf("Delete: %v", err)
+	}
+}
+
+// TestRecoverOverlappingLogIsIdempotent replays a log that covers
+// transactions already contained in the restored v2 checkpoint — the
+// fuzzy-checkpoint recovery shape, where replay starts from the LSN captured
+// before the snapshot began. Apply-if-newer must skip the overlap, and a
+// second full replay over the recovered state must change nothing.
+func TestRecoverOverlappingLogIsIdempotent(t *testing.T) {
+	var log bytes.Buffer
+	e := New(Config{LogSink: &log})
+	tab := e.CreateTable("t")
+	commit := func(eng *Engine, key, val string) {
+		tx := eng.Begin(nil)
+		if err := tx.Put(eng.MustTable("t"), []byte(key), []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(e, "a", "1")
+	commit(e, "b", "2")
+
+	var ckpt bytes.Buffer
+	if err := e.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	commit(e, "a", "3") // after the checkpoint, still in the same log
+	if err := e.Log().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = tab
+
+	verify := func(e2 *Engine) {
+		t.Helper()
+		r := e2.Begin(nil)
+		defer r.Abort()
+		for key, want := range map[string]string{"a": "3", "b": "2"} {
+			v, err := r.Get(e2.MustTable("t"), []byte(key))
+			if err != nil || string(v) != want {
+				t.Fatalf("recovered %s = %q %v, want %q", key, v, err, want)
+			}
+		}
+	}
+
+	// Restore the checkpoint, then replay the WHOLE log — txns 1 and 2
+	// overlap the checkpoint contents.
+	e2 := New(Config{})
+	e2.CreateTable("t")
+	if err := e2.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e2.Recover(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 3 || res.Torn || res.Offset != uint64(log.Len()) {
+		t.Fatalf("replay result %+v, want 3 txns over %d bytes", res, log.Len())
+	}
+	verify(e2)
+
+	// Replaying the same stream again must be a no-op (pure overlap).
+	if _, err := e2.Recover(bytes.NewReader(log.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	verify(e2)
+}
+
+// TestRecoverReportsTornTail checks the positional contract recovery relies
+// on: a log whose final frame was torn by a crash replays its valid prefix
+// and reports the resume offset.
+func TestRecoverReportsTornTail(t *testing.T) {
+	var log bytes.Buffer
+	e := New(Config{LogSink: &log})
+	e.CreateTable("t")
+	tx := e.Begin(nil)
+	tx.Put(e.MustTable("t"), []byte("a"), []byte("1"))
+	tx.Commit()
+	valid := uint64(0)
+	e.Log().Flush()
+	valid = e.Log().LSN()
+	tx2 := e.Begin(nil)
+	tx2.Put(e.MustTable("t"), []byte("b"), []byte("2"))
+	tx2.Commit()
+	e.Log().Flush()
+
+	torn := log.Bytes()[:log.Len()-3]
+	e2 := New(Config{})
+	e2.CreateTable("t")
+	res, err := e2.Recover(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 1 || !res.Torn || res.Offset != valid {
+		t.Fatalf("replay result %+v, want torn tail after %d bytes", res, valid)
+	}
+	r := e2.Begin(nil)
+	defer r.Abort()
+	if _, err := r.Get(e2.MustTable("t"), []byte("b")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn txn visible after recovery: %v", err)
+	}
+}

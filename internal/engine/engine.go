@@ -134,6 +134,12 @@ func (e *Engine) Oracle() *mvcc.Oracle { return e.oracle }
 // Log exposes the WAL manager.
 func (e *Engine) Log() *wal.Manager { return e.log }
 
+// WALErr returns the WAL's latched failure, or nil while the log is healthy.
+// Once non-nil the engine is effectively read-only: every write operation and
+// commit with buffered writes fails fast with the same ErrWALFailed-wrapped
+// error, while reads and scans keep working off the in-memory versions.
+func (e *Engine) WALErr() error { return e.log.Err() }
+
 // Commits returns the number of committed transactions.
 func (e *Engine) Commits() uint64 { return e.commits.Load() }
 
@@ -391,10 +397,20 @@ func (e *Engine) vacuumSlice(ctx *pcontext.Context, table uint32, afterKey []byt
 
 // Recover replays a redo log stream into the engine, rebuilding table
 // contents and advancing the timestamp oracle past the highest recovered
-// commit. Tables and indexes must be created (empty) before calling.
-func (e *Engine) Recover(r io.Reader) error {
+// commit. Tables and indexes must be created before calling; a restored
+// checkpoint may already hold some of the stream's transactions — each record
+// is applied only when its commit timestamp is newer than the record's
+// newest committed version (apply-if-newer), so replaying a log region that
+// overlaps the checkpoint is idempotent.
+//
+// The returned ReplayResult reports how far the stream was consumed: a torn
+// tail (Torn set) is the benign crash signature — everything before Offset is
+// applied and the caller may truncate and resume appending there — while
+// mid-stream damage surfaces as ErrCorrupt and the caller must fall back to
+// an older checkpoint/log pair rather than trust the partial state.
+func (e *Engine) Recover(r io.Reader) (wal.ReplayResult, error) {
 	ctx := pcontext.Detached()
-	return wal.Replay(r, func(tx wal.CommittedTxn) error {
+	return wal.ReplayStream(r, func(tx wal.CommittedTxn) error {
 		// Resolve table ids under a single engine lock per committed
 		// transaction instead of re-locking for every record; consecutive
 		// records for the same table (the common log shape) skip the map
@@ -412,6 +428,13 @@ func (e *Engine) Recover(r io.Reader) error {
 				table = t
 			}
 			mrec, _ := table.primary.GetOrInsert(ctx, rec.Key, mvcc.NewRecord())
+			if tx.CTS <= mvcc.NewestCommittedTS(mrec) {
+				// Already present — the restored checkpoint included this
+				// version (or a newer one). Skipping keeps replay idempotent
+				// and preserves InstallCommitted's non-decreasing-cts rule;
+				// the checkpoint restored the secondary-index entry too.
+				continue
+			}
 			switch rec.Type {
 			case wal.RecDelete:
 				mvcc.InstallCommitted(mrec, nil, tx.CTS)

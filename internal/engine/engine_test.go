@@ -300,7 +300,7 @@ func TestLoggingAndRecovery(t *testing.T) {
 	e2 := New(Config{})
 	tab2 := e2.CreateTable("t")
 	tab2.CreateIndex("mirror", func(pk, row []byte) []byte { return append([]byte(nil), pk...) })
-	if err := e2.Recover(bytes.NewReader(log.Bytes())); err != nil {
+	if _, err := e2.Recover(bytes.NewReader(log.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	r := e2.Begin(nil)

@@ -65,13 +65,20 @@ func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
 }
 
 // stage frames the redo buffer into the open group-commit batch. Invoked by
-// mvcc.Commit after validation assigns the commit timestamp; staging cannot
-// fail, so a staged buffer is always written by its batch leader.
+// mvcc.Commit after validation assigns the commit timestamp; a staged buffer
+// is always written by its batch leader. On a failed log Stage refuses the
+// enrollment with the latched ErrWALFailed, which aborts the commit before
+// anything is published — the transaction's effects neither become visible
+// nor reach the log.
 func (t *Txn) stage(cts uint64) error {
 	if t.logBuf.Len() == 0 {
 		return nil // read-only: nothing to log
 	}
-	t.leader = t.eng.log.Stage(t.inner.ID(), cts, t.logBuf)
+	leader, err := t.eng.log.Stage(t.inner.ID(), cts, t.logBuf)
+	if err != nil {
+		return err
+	}
+	t.leader = leader
 	t.staged = true
 	return nil
 }
@@ -105,6 +112,9 @@ func (t *Txn) Get(table *Table, key []byte) ([]byte, error) {
 // to this transaction already exists, and with ErrWriteConflict when an
 // in-flight or snapshot-invisible newer row contends.
 func (t *Txn) Insert(table *Table, key, value []byte) error {
+	if err := t.eng.log.Err(); err != nil {
+		return err // WAL failed: the engine is read-only, refuse before buffering
+	}
 	rec, _ := table.primary.GetOrInsert(t.ctx, key, mvcc.NewRecord())
 	if _, ok := t.inner.Read(rec); ok {
 		return fmt.Errorf("%w: table %q", ErrDuplicateKey, table.name)
@@ -123,6 +133,9 @@ func (t *Txn) Insert(table *Table, key, value []byte) error {
 
 // Update overwrites an existing visible row.
 func (t *Txn) Update(table *Table, key, value []byte) error {
+	if err := t.eng.log.Err(); err != nil {
+		return err
+	}
 	rec, ok := table.primary.Get(t.ctx, key)
 	if !ok {
 		return ErrNotFound
@@ -139,6 +152,9 @@ func (t *Txn) Update(table *Table, key, value []byte) error {
 
 // Put inserts or overwrites the row (upsert).
 func (t *Txn) Put(table *Table, key, value []byte) error {
+	if err := t.eng.log.Err(); err != nil {
+		return err
+	}
 	rec, _ := table.primary.GetOrInsert(t.ctx, key, mvcc.NewRecord())
 	_, existed := t.inner.Read(rec)
 	if err := t.inner.Update(rec, value); err != nil {
@@ -159,6 +175,9 @@ func (t *Txn) Put(table *Table, key, value []byte) error {
 
 // Delete tombstones a visible row.
 func (t *Txn) Delete(table *Table, key []byte) error {
+	if err := t.eng.log.Err(); err != nil {
+		return err
+	}
 	rec, ok := table.primary.Get(t.ctx, key)
 	if !ok {
 		return ErrNotFound
@@ -224,6 +243,13 @@ func (t *Txn) scanTree(tree *index.Tree[*mvcc.Record], from, to []byte, fn ScanF
 		}
 		return fn(key, data)
 	})
+	if lcErr == nil {
+		// The tree abandons a canceled scan at a leaf boundary without
+		// calling back, so a cancellation that lands before the first record
+		// is only visible here; without this check a canceled scan would
+		// masquerade as a successful empty one.
+		lcErr = t.ctx.Err()
+	}
 	return lcErr
 }
 
@@ -239,6 +265,9 @@ func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn S
 		}
 		return fn(key, data)
 	})
+	if lcErr == nil {
+		lcErr = t.ctx.Err() // see scanTree: pre-first-record cancellation
+	}
 	return lcErr
 }
 

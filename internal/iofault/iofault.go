@@ -1,0 +1,255 @@
+// Package iofault is a deterministic fault-injecting log sink for durability
+// testing. A Sink models a file plus its page cache: Write appends bytes to
+// an in-memory buffer (the cache), Sync marks everything written so far as
+// durable, and a simulated power cut discards every byte that was never
+// synced. On top of that model the sink injects planned faults — fail the
+// Nth write, fail the Nth sync, tear a write after a chosen number of bytes,
+// flip a bit at an offset, or cut power when a byte or sync threshold is
+// reached — all armed explicitly or derived from a seed, so a failing
+// schedule can be replayed exactly.
+//
+// Sink implements io.Writer and the structural Syncer interface the WAL
+// manager probes for (`Sync() error`), so it drops in as Config.LogSink.
+// It is safe for concurrent use; the WAL's group-commit leader serializes
+// actual I/O, but counters and crash arming may race with test goroutines.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Injected fault errors.
+var (
+	// ErrInjected is the default error returned by planned write/sync faults.
+	ErrInjected = errors.New("iofault: injected I/O failure")
+	// ErrPowerCut reports an operation attempted after (or interrupted by) a
+	// simulated power cut; bytes not synced before the cut are gone.
+	ErrPowerCut = errors.New("iofault: simulated power cut")
+)
+
+// faultKey identifies a planned per-operation fault.
+type opFault struct {
+	err  error
+	keep int // torn writes: bytes accepted before the error (-1: none accepted)
+}
+
+// Sink is the fault-injecting in-memory sink. The zero value is not ready;
+// use NewSink.
+type Sink struct {
+	mu      sync.Mutex
+	buf     []byte // every accepted byte, durable or not ("page cache")
+	durable int    // prefix of buf made durable by successful Syncs
+	writes  int    // Write calls observed (including failed ones)
+	syncs   int    // Sync calls observed (including failed ones)
+
+	writeFaults map[int]opFault // by 1-based upcoming write ordinal
+	syncFaults  map[int]error   // by 1-based upcoming sync ordinal
+
+	cutAtBytes int64 // power cut once total accepted bytes reach this (-1: off)
+	cutAtSync  int   // power cut at this 1-based sync, before it succeeds (0: off)
+	cut        bool  // power already cut: all further I/O fails
+}
+
+// NewSink returns an empty sink with no faults planned.
+func NewSink() *Sink {
+	return &Sink{
+		writeFaults: make(map[int]opFault),
+		syncFaults:  make(map[int]error),
+		cutAtBytes:  -1,
+	}
+}
+
+// FailWrite plans the nth upcoming Write call (1-based, counted from the
+// sink's creation) to fail with err (ErrInjected when nil), accepting none of
+// its bytes.
+func (s *Sink) FailWrite(n int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	s.mu.Lock()
+	s.writeFaults[n] = opFault{err: err, keep: -1}
+	s.mu.Unlock()
+}
+
+// TearWrite plans the nth Write call to be torn: the first keep bytes are
+// accepted into the cache, the rest are dropped, and the write returns err
+// (ErrInjected when nil) — the short-write-plus-error shape a failing disk
+// produces mid-transfer.
+func (s *Sink) TearWrite(n, keep int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	s.mu.Lock()
+	s.writeFaults[n] = opFault{err: err, keep: keep}
+	s.mu.Unlock()
+}
+
+// FailSync plans the nth Sync call (1-based) to fail with err (ErrInjected
+// when nil). The bytes it would have made durable stay volatile.
+func (s *Sink) FailSync(n int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	s.mu.Lock()
+	s.syncFaults[n] = err
+	s.mu.Unlock()
+}
+
+// CutAtBytes arms a power cut that triggers the moment total accepted bytes
+// reach n: the triggering write is torn at the threshold, everything not yet
+// synced is discarded, and all later operations fail with ErrPowerCut.
+func (s *Sink) CutAtBytes(n int64) {
+	s.mu.Lock()
+	s.cutAtBytes = n
+	s.mu.Unlock()
+}
+
+// CutAtSync arms a power cut at the nth upcoming Sync call (1-based): the
+// sync fails with ErrPowerCut and makes nothing durable, modelling power loss
+// while the device had the batch in flight.
+func (s *Sink) CutAtSync(n int) {
+	s.mu.Lock()
+	s.cutAtSync = n
+	s.mu.Unlock()
+}
+
+// PowerCut cuts power immediately: unsynced bytes are discarded and every
+// later operation fails with ErrPowerCut.
+func (s *Sink) PowerCut() {
+	s.mu.Lock()
+	s.powerCutLocked()
+	s.mu.Unlock()
+}
+
+func (s *Sink) powerCutLocked() {
+	s.cut = true
+	s.buf = s.buf[:s.durable]
+}
+
+// FlipBit XORs bit (0-7) of the byte at off in the accepted stream — cached
+// or durable — modelling storage corruption. Out-of-range offsets are
+// reported so tests fail loudly instead of silently not corrupting.
+func (s *Sink) FlipBit(off int64, bit uint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off >= int64(len(s.buf)) {
+		return fmt.Errorf("iofault: FlipBit offset %d outside %d accepted bytes", off, len(s.buf))
+	}
+	s.buf[off] ^= 1 << (bit & 7)
+	return nil
+}
+
+// Write appends p to the cache, honouring planned faults and the armed power
+// cut. It never blocks.
+func (s *Sink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cut {
+		return 0, ErrPowerCut
+	}
+	s.writes++
+	if f, ok := s.writeFaults[s.writes]; ok {
+		delete(s.writeFaults, s.writes)
+		keep := f.keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			s.buf = append(s.buf, p[:keep]...)
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		return keep, f.err
+	}
+	if s.cutAtBytes >= 0 && int64(len(s.buf))+int64(len(p)) >= s.cutAtBytes {
+		keep := int(s.cutAtBytes - int64(len(s.buf)))
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(p) {
+			keep = len(p)
+		}
+		s.buf = append(s.buf, p[:keep]...)
+		s.powerCutLocked()
+		return keep, ErrPowerCut
+	}
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// Sync makes every accepted byte durable, honouring planned faults and the
+// armed power cut.
+func (s *Sink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cut {
+		return ErrPowerCut
+	}
+	s.syncs++
+	if s.cutAtSync > 0 && s.syncs >= s.cutAtSync {
+		s.powerCutLocked()
+		return ErrPowerCut
+	}
+	if err, ok := s.syncFaults[s.syncs]; ok {
+		delete(s.syncFaults, s.syncs)
+		return err
+	}
+	s.durable = len(s.buf)
+	return nil
+}
+
+// Bytes returns a copy of every accepted byte, synced or not — what a crash
+// that flushed the page cache would leave behind.
+func (s *Sink) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf...)
+}
+
+// Durable returns a copy of the synced prefix — what survives a power cut.
+func (s *Sink) Durable() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf[:s.durable]...)
+}
+
+// Len returns the number of accepted bytes.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// DurableLen returns the number of durable bytes.
+func (s *Sink) DurableLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// Writes returns the number of Write calls observed.
+func (s *Sink) Writes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// Syncs returns the number of Sync calls observed.
+func (s *Sink) Syncs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}
+
+// Cut reports whether the simulated power has been cut.
+func (s *Sink) Cut() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cut
+}

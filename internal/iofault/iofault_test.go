@@ -1,0 +1,138 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWriteSyncDurability(t *testing.T) {
+	s := NewSink()
+	s.Write([]byte("abc"))
+	if s.DurableLen() != 0 {
+		t.Fatalf("unsynced bytes counted durable: %d", s.DurableLen())
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Write([]byte("def"))
+	if got := s.Durable(); !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("durable = %q", got)
+	}
+	if got := s.Bytes(); !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("bytes = %q", got)
+	}
+}
+
+func TestFailWriteNth(t *testing.T) {
+	s := NewSink()
+	s.FailWrite(2, nil)
+	if _, err := s.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Write([]byte("boom"))
+	if !errors.Is(err, ErrInjected) || n != 0 {
+		t.Fatalf("write 2: n=%d err=%v", n, err)
+	}
+	if _, err := s.Write([]byte("after")); err != nil {
+		t.Fatalf("write 3 should succeed: %v", err)
+	}
+	if got := s.Bytes(); !bytes.Equal(got, []byte("okafter")) {
+		t.Fatalf("bytes = %q", got)
+	}
+}
+
+func TestTearWrite(t *testing.T) {
+	s := NewSink()
+	s.TearWrite(1, 2, nil)
+	n, err := s.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if got := s.Bytes(); !bytes.Equal(got, []byte("ab")) {
+		t.Fatalf("bytes = %q", got)
+	}
+}
+
+func TestFailSyncOnce(t *testing.T) {
+	s := NewSink()
+	s.FailSync(1, nil)
+	s.Write([]byte("x"))
+	if err := s.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if s.DurableLen() != 0 {
+		t.Fatal("failed sync made bytes durable")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if s.DurableLen() != 1 {
+		t.Fatal("second sync did not make bytes durable")
+	}
+}
+
+func TestPowerCutDiscardsUnsynced(t *testing.T) {
+	s := NewSink()
+	s.Write([]byte("keep"))
+	s.Sync()
+	s.Write([]byte("lost"))
+	s.PowerCut()
+	if got := s.Bytes(); !bytes.Equal(got, []byte("keep")) {
+		t.Fatalf("after cut bytes = %q", got)
+	}
+	if _, err := s.Write([]byte("z")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("sync after cut: %v", err)
+	}
+}
+
+func TestCutAtBytesTearsTriggeringWrite(t *testing.T) {
+	s := NewSink()
+	s.Write([]byte("abcd"))
+	s.Sync()
+	s.CutAtBytes(6)
+	n, err := s.Write([]byte("efgh"))
+	if n != 2 || !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("cut write: n=%d err=%v", n, err)
+	}
+	// The torn bytes were never synced, so the cut discards them.
+	if got := s.Bytes(); !bytes.Equal(got, []byte("abcd")) {
+		t.Fatalf("bytes = %q", got)
+	}
+	if !s.Cut() {
+		t.Fatal("cut flag not latched")
+	}
+}
+
+func TestCutAtSync(t *testing.T) {
+	s := NewSink()
+	s.CutAtSync(2)
+	s.Write([]byte("one"))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Write([]byte("two"))
+	if err := s.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("armed sync: %v", err)
+	}
+	if got := s.Durable(); !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("durable = %q", got)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	s := NewSink()
+	s.Write([]byte{0x00, 0xff})
+	if err := s.FlipBit(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Bytes(); got[1] != 0xf7 {
+		t.Fatalf("flip: %#x", got[1])
+	}
+	if err := s.FlipBit(99, 0); err == nil {
+		t.Fatal("out-of-range flip not reported")
+	}
+}

@@ -20,6 +20,10 @@ const (
 	// AbortQueueFull is a request rejected up front: scheduler queues full
 	// or admission control shed it.
 	AbortQueueFull
+	// AbortWALFailed is a write rejected (or a commit failed) because the
+	// write-ahead log latched a permanent I/O failure and the database
+	// degraded to read-only.
+	AbortWALFailed
 	// AbortOther is any other transaction-body error.
 	AbortOther
 	// NumAbortReasons sizes AbortCounters.
@@ -36,6 +40,8 @@ func (r AbortReason) String() string {
 		return "canceled"
 	case AbortQueueFull:
 		return "queue-full"
+	case AbortWALFailed:
+		return "wal-failed"
 	case AbortOther:
 		return "other"
 	default:

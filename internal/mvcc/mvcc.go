@@ -551,6 +551,33 @@ func newestCommitted(rec *Record) *Version {
 	return nil
 }
 
+// ReadCommittedAt returns the payload and true commit timestamp of the newest
+// version committed at or before ts. ok is false when no such version exists;
+// a tombstone returns ok true with nil data. Checkpointing uses this to
+// record each row's real commit timestamp, so replaying an overlapping log
+// region over the restored checkpoint can skip already-included versions
+// (apply-if-newer) instead of double-installing them.
+func ReadCommittedAt(rec *Record, ts uint64) (data []byte, cts uint64, ok bool) {
+	for v := rec.head.Load(); v != nil; v = v.prev.Load() {
+		c, committed, _ := v.resolve()
+		if committed && c <= ts {
+			return v.data, c, true
+		}
+	}
+	return nil, 0, false
+}
+
+// NewestCommittedTS returns the commit timestamp of rec's newest committed
+// version, or 0 when none exists. Recovery-only: the apply-if-newer guard for
+// replaying a log region that overlaps a restored checkpoint.
+func NewestCommittedTS(rec *Record) uint64 {
+	if v := newestCommitted(rec); v != nil {
+		cts, _, _ := v.resolve()
+		return cts
+	}
+	return 0
+}
+
 // InstallCommitted prepends an already-committed version with the given
 // commit timestamp. Recovery-only: it bypasses conflict detection and assumes
 // versions are installed in non-decreasing timestamp order per record.

@@ -1,0 +1,172 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Log is the file-backed WAL sink: an append-only, size-rotated segment
+// stream implementing io.Writer, wal.Syncer and wal.BatchBoundaryMarker. The
+// WAL manager flushes whole group-commit batches and calls MarkBoundary after
+// each, so rotation — which only happens inside MarkBoundary — always falls
+// on a frame boundary and no frame ever spans two segment files.
+//
+// A Log starts unpositioned and opens no file until Reposition (or the first
+// Write, which positions at the end of the existing stream). This lets the
+// engine be constructed — with the Log already installed as its sink — before
+// recovery has replayed the existing segments and truncated any torn tail.
+type Log struct {
+	d        *Dir
+	segBytes int64
+	f        *os.File
+	start    uint64 // current segment's first byte, absolute LSN
+	size     int64  // bytes in the current segment
+	closed   bool
+}
+
+// NewLog returns an unpositioned Log over the directory rotating segments at
+// segBytes (minimum enforced at 1: every boundary rotates).
+func (d *Dir) NewLog(segBytes int64) *Log {
+	if segBytes < 1 {
+		segBytes = 64 << 20
+	}
+	return &Log{d: d, segBytes: segBytes}
+}
+
+// Reposition opens the log for appending at the absolute position lsn, which
+// must be the verified end of the recovered stream: either the exact end of
+// an existing segment (TruncateTail has run) or a fresh position with no
+// segments at all. Recovery calls this once, after replay, before the first
+// commit.
+func (l *Log) Reposition(lsn uint64) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	segs, err := l.d.Segments()
+	if err != nil {
+		return err
+	}
+	// Pick the segment to keep appending to: the one that ends exactly at
+	// lsn, or — when a crash at rotation left both a full predecessor ending
+	// at lsn and its empty successor starting there — the successor (it is
+	// later in start order, so the last match wins).
+	target := -1
+	for i, s := range segs {
+		if s.End() == lsn && (s.Size > 0 || s.Start == lsn) {
+			target = i
+			continue
+		}
+		if s.Start < lsn && lsn < s.End() {
+			return fmt.Errorf("store: reposition %d lands inside segment at %d (size %d): truncate the tail first",
+				lsn, s.Start, s.Size)
+		}
+	}
+	if target >= 0 {
+		s := segs[target]
+		f, err := os.OpenFile(s.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.f, l.start, l.size = f, s.Start, s.Size
+		return nil
+	}
+	if n := len(segs); n > 0 && segs[n-1].End() != lsn {
+		return fmt.Errorf("store: reposition %d does not match stream end %d", lsn, segs[n-1].End())
+	}
+	return l.create(lsn)
+}
+
+// create starts a fresh segment whose first byte is absolute position start.
+func (l *Log) create(start uint64) error {
+	f, err := os.OpenFile(l.d.join(segName(start)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := l.d.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.start, l.size = f, start, 0
+	return nil
+}
+
+// Write appends to the current segment. An unpositioned Log positions itself
+// at the end of the existing stream first.
+func (l *Log) Write(p []byte) (int, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.f == nil {
+		segs, err := l.d.Segments()
+		if err != nil {
+			return 0, err
+		}
+		end := uint64(0)
+		if n := len(segs); n > 0 {
+			end = segs[n-1].End()
+		}
+		if err := l.Reposition(end); err != nil {
+			return 0, err
+		}
+	}
+	n, err := l.f.Write(p)
+	l.size += int64(n)
+	return n, err
+}
+
+// Sync makes the current segment's appended bytes durable.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// MarkBoundary is the WAL manager's after-batch hook: the stream position is
+// on a frame boundary, so this is the only place the log may rotate. The old
+// segment is synced and closed before its successor is created, keeping the
+// name-derived stream contiguous across a crash at any step.
+func (l *Log) MarkBoundary() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil || l.size < l.segBytes {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.f = nil
+		return err
+	}
+	l.f = nil
+	return l.create(l.start + uint64(l.size))
+}
+
+// Close syncs and closes the current segment. Further use fails with
+// ErrClosed.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -1,0 +1,354 @@
+// Package store manages PreemptDB's on-disk layout: a data directory holding
+// size-rotated WAL segments and atomically-installed checkpoint files.
+//
+//	wal-<start>.log    WAL segment; <start> is the 16-hex-digit absolute LSN
+//	                   of the segment's first byte, so the file set is a
+//	                   contiguous byte stream and any segment's coverage is
+//	                   known from names alone.
+//	ckpt-<lsn>.ckpt    checkpoint whose contents include every transaction
+//	                   whose frames end at or before <lsn>; recovery replays
+//	                   the WAL from <lsn>.
+//	*.tmp              in-flight checkpoint writes; removed at Open.
+//
+// Segments rotate only at group-commit batch boundaries (the Log is the WAL
+// manager's BatchBoundaryMarker), so a frame never spans two files and only
+// the final segment can end in a torn frame after a crash. Checkpoints are
+// written to a temp file, fsynced, renamed into place, and the directory
+// fsynced — a crash anywhere leaves either the complete old state or the
+// complete new state, never a half-checkpoint under the real name.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+// Dir is an opened data directory.
+type Dir struct {
+	path string
+}
+
+// Open prepares dir: creates it if missing and clears abandoned temp files
+// from interrupted checkpoint writes (they were never renamed into place, so
+// they are invisible to recovery by construction — removing them only
+// reclaims space).
+func Open(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), tmpSuffix) {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+	return &Dir{path: dir}, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// TempSuffix is the extension of in-flight checkpoint temp files; exported so
+// crash simulators can fabricate the artifact an interrupted checkpoint
+// leaves behind.
+const TempSuffix = tmpSuffix
+
+// SegmentPath returns the path a WAL segment starting at LSN start has (or
+// would have). Exported for crash simulators that fabricate the empty
+// successor a crash mid-rotation leaves behind.
+func (d *Dir) SegmentPath(start uint64) string { return d.join(segName(start)) }
+
+// CheckpointPath returns the path a checkpoint at lsn has (or would have).
+func (d *Dir) CheckpointPath(lsn uint64) string { return d.join(ckptName(lsn)) }
+
+func segName(start uint64) string   { return fmt.Sprintf("%s%016x%s", segPrefix, start, segSuffix) }
+func ckptName(lsn uint64) string    { return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix) }
+func (d *Dir) join(n string) string { return filepath.Join(d.path, n) }
+
+// parseName extracts the 16-hex-digit position from a prefixed file name.
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexPart := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Segment describes one WAL segment file.
+type Segment struct {
+	Start uint64 // absolute LSN of the segment's first byte
+	Size  int64
+	Path  string
+}
+
+// End returns the absolute LSN one past the segment's last byte.
+func (s Segment) End() uint64 { return s.Start + uint64(s.Size) }
+
+// Segments lists WAL segments sorted by start LSN, verifying the set forms a
+// contiguous stream (each segment starts where the previous one ends). A gap
+// means files were lost or tampered with, and replay past it would be wrong.
+func (d *Dir) Segments() ([]Segment, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, err
+	}
+	var segs []Segment
+	for _, ent := range ents {
+		start, ok := parseName(ent.Name(), segPrefix, segSuffix)
+		if !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, Segment{Start: start, Size: info.Size(), Path: d.join(ent.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End() {
+			return nil, fmt.Errorf("store: WAL gap: segment at %d ends at %d but next starts at %d",
+				segs[i-1].Start, segs[i-1].End(), segs[i].Start)
+		}
+	}
+	return segs, nil
+}
+
+// Checkpoint describes one checkpoint file.
+type Checkpoint struct {
+	LSN  uint64 // log position replay resumes from after restoring it
+	Path string
+}
+
+// Checkpoints lists checkpoint files sorted by LSN ascending (newest last).
+func (d *Dir) Checkpoints() ([]Checkpoint, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, err
+	}
+	var cks []Checkpoint
+	for _, ent := range ents {
+		lsn, ok := parseName(ent.Name(), ckptPrefix, ckptSuffix)
+		if !ok {
+			continue
+		}
+		cks = append(cks, Checkpoint{LSN: lsn, Path: d.join(ent.Name())})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].LSN < cks[j].LSN })
+	return cks, nil
+}
+
+// WriteCheckpoint atomically installs a checkpoint for log position lsn:
+// write is streamed to a temp file, the file is fsynced, renamed to its final
+// name, and the directory entry is fsynced. If write (or any I/O step) fails
+// the temp file is removed and no checkpoint appears.
+func (d *Dir) WriteCheckpoint(lsn uint64, write func(io.Writer) error) error {
+	tmp := d.join(ckptName(lsn) + tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, d.join(ckptName(lsn))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return d.syncDir()
+}
+
+// PruneCheckpoints removes all but the keep newest checkpoints. Keeping more
+// than one lets recovery fall back to an older checkpoint when the newest one
+// fails its CRC.
+func (d *Dir) PruneCheckpoints(keep int) error {
+	cks, err := d.Checkpoints()
+	if err != nil {
+		return err
+	}
+	if len(cks) <= keep {
+		return nil
+	}
+	for _, ck := range cks[:len(cks)-keep] {
+		if err := os.Remove(ck.Path); err != nil {
+			return err
+		}
+	}
+	return d.syncDir()
+}
+
+// TruncateSegments removes WAL segments that lie entirely below keepLSN —
+// every byte they hold is covered by a retained checkpoint. The segment
+// containing keepLSN itself (and everything after) stays, and the newest
+// segment is never removed even when fully covered: it is the live Log's
+// append target (unlinking it would silently sever every later commit) and
+// the stream-end marker appending resumes from after a reopen. Callers pass
+// the OLDEST retained checkpoint's LSN so a fallback restore never finds its
+// log missing.
+func (d *Dir) TruncateSegments(keepLSN uint64) error {
+	segs, err := d.Segments()
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, s := range segs[:max(len(segs)-1, 0)] {
+		if s.End() > keepLSN || s.End() == s.Start {
+			break // this segment (or an empty successor) is still needed
+		}
+		if err := os.Remove(s.Path); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if !removed {
+		return nil
+	}
+	return d.syncDir()
+}
+
+// TruncateTail trims the log to end exactly at validEnd, the position replay
+// verified as the end of the last whole frame: the segment containing
+// validEnd is truncated to it and any later segments (a crash can leave an
+// empty just-rotated successor) are removed. Must be called before appending
+// resumes.
+func (d *Dir) TruncateTail(validEnd uint64) error {
+	segs, err := d.Segments()
+	if err != nil {
+		return err
+	}
+	dirty := false
+	for _, s := range segs {
+		switch {
+		case s.End() <= validEnd:
+			continue // wholly valid
+		case s.Start <= validEnd:
+			if err := os.Truncate(s.Path, int64(validEnd-s.Start)); err != nil {
+				return err
+			}
+			if err := syncFile(s.Path); err != nil {
+				return err
+			}
+			dirty = true
+		default:
+			// Starts past the valid end: nothing in it can be trusted.
+			if err := os.Remove(s.Path); err != nil {
+				return err
+			}
+			dirty = true
+		}
+	}
+	if !dirty {
+		return nil
+	}
+	return d.syncDir()
+}
+
+// OpenReplay returns a reader over the contiguous WAL stream starting at lsn
+// (which must be a frame boundary — in practice a checkpoint's LSN or 0).
+// The reader spans all segments from the one containing lsn to the newest.
+// An lsn at or past the end of the log yields an empty reader.
+func (d *Dir) OpenReplay(lsn uint64) (io.ReadCloser, error) {
+	segs, err := d.Segments()
+	if err != nil {
+		return nil, err
+	}
+	var files []*os.File
+	var readers []io.Reader
+	fail := func(e error) (io.ReadCloser, error) {
+		for _, f := range files {
+			f.Close()
+		}
+		return nil, e
+	}
+	for _, s := range segs {
+		if s.End() <= lsn {
+			continue
+		}
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return fail(err)
+		}
+		if s.Start < lsn {
+			if _, err := f.Seek(int64(lsn-s.Start), io.SeekStart); err != nil {
+				f.Close()
+				return fail(err)
+			}
+		} else if s.Start > lsn && len(files) == 0 {
+			f.Close()
+			return fail(fmt.Errorf("store: replay start %d precedes oldest segment at %d", lsn, s.Start))
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	return &multiFileReader{r: io.MultiReader(readers...), files: files}, nil
+}
+
+type multiFileReader struct {
+	r     io.Reader
+	files []*os.File
+}
+
+func (m *multiFileReader) Read(p []byte) (int, error) { return m.r.Read(p) }
+
+func (m *multiFileReader) Close() error {
+	var first error
+	for _, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (d *Dir) syncDir() error { return syncFile(d.path) }
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrClosed reports use of a closed Log.
+var ErrClosed = errors.New("store: log closed")

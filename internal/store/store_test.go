@@ -1,0 +1,309 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openDir(t *testing.T) *Dir {
+	t.Helper()
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// writeBatch appends p as one "group-commit batch": write then boundary mark,
+// the sequence the WAL manager performs.
+func writeBatch(t *testing.T, l *Log, p []byte) {
+	t.Helper()
+	if _, err := l.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkBoundary(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, d *Dir, from uint64) []byte {
+	t.Helper()
+	r, err := d.OpenReplay(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestLogRotatesAtBatchBoundaries(t *testing.T) {
+	d := openDir(t)
+	l := d.NewLog(10)                   // rotate once a segment holds >= 10 bytes
+	writeBatch(t, l, []byte("aaaa"))    // seg0: 4
+	writeBatch(t, l, []byte("bbbbbbb")) // seg0: 11 -> rotate
+	writeBatch(t, l, []byte("cc"))      // seg1: 2
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := d.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].Start != 0 || segs[0].Size != 11 || segs[1].Start != 11 || segs[1].Size != 2 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if got := readAll(t, d, 0); !bytes.Equal(got, []byte("aaaabbbbbbbcc")) {
+		t.Fatalf("stream = %q", got)
+	}
+	// Replay from inside the first segment and from a segment boundary.
+	if got := readAll(t, d, 4); !bytes.Equal(got, []byte("bbbbbbbcc")) {
+		t.Fatalf("stream from 4 = %q", got)
+	}
+	if got := readAll(t, d, 11); !bytes.Equal(got, []byte("cc")) {
+		t.Fatalf("stream from 11 = %q", got)
+	}
+}
+
+func TestTruncateTailAndReposition(t *testing.T) {
+	d := openDir(t)
+	l := d.NewLog(10)
+	writeBatch(t, l, []byte("aaaabbbbbbb")) // 11 bytes, rotates
+	writeBatch(t, l, []byte("cccc"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: garbage appended to the last segment that
+	// replay (the WAL layer) rejected past offset 13.
+	segs, _ := d.Segments()
+	f, err := os.OpenFile(segs[1].Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("torn"))
+	f.Close()
+
+	if err := d.TruncateTail(13); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, d, 0); !bytes.Equal(got, []byte("aaaabbbbbbbcc")) {
+		t.Fatalf("after truncate = %q", got)
+	}
+
+	l2 := d.NewLog(1 << 20)
+	if err := l2.Reposition(13); err != nil {
+		t.Fatal(err)
+	}
+	writeBatch(t, l2, []byte("dd"))
+	l2.Close()
+	if got := readAll(t, d, 0); !bytes.Equal(got, []byte("aaaabbbbbbbccdd")) {
+		t.Fatalf("after reappend = %q", got)
+	}
+}
+
+func TestRepositionInsideSegmentRefused(t *testing.T) {
+	d := openDir(t)
+	l := d.NewLog(1 << 20)
+	writeBatch(t, l, []byte("aaaa"))
+	l.Close()
+	l2 := d.NewLog(1 << 20)
+	if err := l2.Reposition(2); err == nil {
+		t.Fatal("reposition inside a segment must be refused")
+	}
+}
+
+func TestRepositionPrefersEmptyRotationSuccessor(t *testing.T) {
+	// Crash right after rotation: full predecessor [0,4) plus empty
+	// successor at 4. Reposition(4) must append to the successor, not fork
+	// the stream by reopening the predecessor.
+	d := openDir(t)
+	l := d.NewLog(4)
+	writeBatch(t, l, []byte("aaaa")) // rotates, creating empty successor
+	// Simulate the crash: drop the Log without Close (file handles leak in
+	// tests but the on-disk state is what matters).
+	segs, _ := d.Segments()
+	if len(segs) != 2 || segs[1].Size != 0 {
+		t.Fatalf("segments = %+v", segs)
+	}
+
+	l2 := d.NewLog(1 << 20)
+	if err := l2.Reposition(4); err != nil {
+		t.Fatal(err)
+	}
+	writeBatch(t, l2, []byte("bb"))
+	l2.Close()
+	segs, _ = d.Segments()
+	if len(segs) != 2 || segs[0].Size != 4 || segs[1].Size != 2 {
+		t.Fatalf("stream forked: %+v", segs)
+	}
+	if got := readAll(t, d, 0); !bytes.Equal(got, []byte("aaaabb")) {
+		t.Fatalf("stream = %q", got)
+	}
+}
+
+func TestLazyWritePositionsAtStreamEnd(t *testing.T) {
+	d := openDir(t)
+	l := d.NewLog(1 << 20)
+	writeBatch(t, l, []byte("aaaa"))
+	l.Close()
+	// A fresh unpositioned Log must continue at byte 4, not restart at 0.
+	l2 := d.NewLog(1 << 20)
+	writeBatch(t, l2, []byte("bb"))
+	l2.Close()
+	if got := readAll(t, d, 0); !bytes.Equal(got, []byte("aaaabb")) {
+		t.Fatalf("stream = %q", got)
+	}
+}
+
+func TestWriteCheckpointAtomicity(t *testing.T) {
+	d := openDir(t)
+	if err := d.WriteCheckpoint(42, func(w io.Writer) error {
+		_, err := w.Write([]byte("snapshot"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cks, err := d.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 1 || cks[0].LSN != 42 {
+		t.Fatalf("checkpoints = %+v", cks)
+	}
+	b, _ := os.ReadFile(cks[0].Path)
+	if !bytes.Equal(b, []byte("snapshot")) {
+		t.Fatalf("contents = %q", b)
+	}
+
+	// A failing writer must leave neither a checkpoint nor a temp file.
+	boom := errors.New("boom")
+	if err := d.WriteCheckpoint(43, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	cks, _ = d.Checkpoints()
+	if len(cks) != 1 {
+		t.Fatalf("failed checkpoint installed: %+v", cks)
+	}
+	ents, _ := os.ReadDir(d.Path())
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == tmpSuffix {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestOpenClearsAbandonedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, ckptName(7)+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("abandoned temp file survived Open")
+	}
+	cks, _ := d.Checkpoints()
+	if len(cks) != 0 {
+		t.Fatalf("temp file visible as checkpoint: %+v", cks)
+	}
+}
+
+func TestPruneCheckpointsKeepsNewest(t *testing.T) {
+	d := openDir(t)
+	for _, lsn := range []uint64{10, 20, 30} {
+		if err := d.WriteCheckpoint(lsn, func(w io.Writer) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.PruneCheckpoints(2); err != nil {
+		t.Fatal(err)
+	}
+	cks, _ := d.Checkpoints()
+	if len(cks) != 2 || cks[0].LSN != 20 || cks[1].LSN != 30 {
+		t.Fatalf("checkpoints = %+v", cks)
+	}
+}
+
+func TestTruncateSegmentsKeepsCoveringSegment(t *testing.T) {
+	d := openDir(t)
+	l := d.NewLog(4)
+	writeBatch(t, l, []byte("aaaa")) // seg [0,4)
+	writeBatch(t, l, []byte("bbbb")) // seg [4,8)
+	writeBatch(t, l, []byte("cc"))   // seg [8,10)
+	l.Close()
+
+	// keepLSN=6 lands inside [4,8): only [0,4) may go.
+	if err := d.TruncateSegments(6); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := d.Segments()
+	if len(segs) != 2 || segs[0].Start != 4 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if got := readAll(t, d, 6); !bytes.Equal(got, []byte("bbcc")) {
+		t.Fatalf("stream from 6 = %q", got)
+	}
+	// keepLSN=8: [4,8) goes too; the empty successor rule keeps [8,10).
+	if err := d.TruncateSegments(8); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = d.Segments()
+	if len(segs) != 1 || segs[0].Start != 8 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestTruncateSegmentsNeverRemovesNewest(t *testing.T) {
+	// A checkpoint taken at the exact stream end covers every logged byte,
+	// but the newest segment is the live Log's append target and the
+	// stream-end marker — it must survive truncation.
+	d := openDir(t)
+	l := d.NewLog(1 << 20)
+	writeBatch(t, l, []byte("aaaa"))
+	if err := d.TruncateSegments(4); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := d.Segments()
+	if len(segs) != 1 || segs[0].Size != 4 {
+		t.Fatalf("active segment removed: %+v", segs)
+	}
+	// The live log keeps appending to the same, still-linked file.
+	writeBatch(t, l, []byte("bb"))
+	l.Close()
+	if got := readAll(t, d, 0); !bytes.Equal(got, []byte("aaaabb")) {
+		t.Fatalf("stream = %q", got)
+	}
+}
+
+func TestSegmentsDetectGaps(t *testing.T) {
+	d := openDir(t)
+	l := d.NewLog(4)
+	writeBatch(t, l, []byte("aaaa"))
+	writeBatch(t, l, []byte("bbbb"))
+	writeBatch(t, l, []byte("cc"))
+	l.Close()
+	segs, _ := d.Segments()
+	if err := os.Remove(segs[1].Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Segments(); err == nil {
+		t.Fatal("gap in the segment stream not detected")
+	}
+}

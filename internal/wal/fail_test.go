@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"preemptdb/internal/iofault"
+)
+
+// TestTornWriteLatchesManager is the regression test for the
+// silent-append-after-torn-frame data-loss bug: before failure latching, a
+// batch whose write tore mid-frame left the manager live, so the next leader
+// happily appended new frames *after* the torn one — and Replay, stopping at
+// the tear, could never reach them. Every commit after the tear was acked (in
+// memory) yet unrecoverable.
+//
+// With latching, the first torn write permanently fails the manager: later
+// Stages are refused with ErrWALFailed, nothing is appended past the tear,
+// and the durable prefix replays cleanly to exactly the pre-tear commits.
+func TestTornWriteLatchesManager(t *testing.T) {
+	sink := iofault.NewSink()
+	m := NewManager(sink, true)
+
+	b := stageBuf(1)
+	lsn1, err := m.Commit(1, 11, b)
+	if err != nil {
+		t.Fatalf("commit 1: %v", err)
+	}
+
+	// The manager flushes each batch as one sink write; tear the second
+	// batch's write after 10 bytes (mid-header).
+	sink.TearWrite(2, 10, nil)
+	b.Reset()
+	b.Append(RecUpdate, 1, []byte{2}, []byte{2})
+	if _, err := m.Commit(2, 12, b); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("commit 2 after torn write: %v, want ErrWALFailed", err)
+	}
+
+	// The next commit must be refused up front — this is the append that the
+	// old code silently wrote into the unreachable tail.
+	b.Reset()
+	b.Append(RecUpdate, 1, []byte{3}, []byte{3})
+	writesBefore := sink.Writes()
+	if _, err := m.Commit(3, 13, b); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("commit 3 on failed log: %v, want ErrWALFailed", err)
+	}
+	if sink.Writes() != writesBefore {
+		t.Fatal("commit on a failed log still reached the sink")
+	}
+	if m.LSN() != lsn1 {
+		t.Fatalf("LSN advanced past the failure: %d, want %d", m.LSN(), lsn1)
+	}
+	if m.Err() == nil || !errors.Is(m.Err(), ErrWALFailed) {
+		t.Fatalf("manager failure not latched: %v", m.Err())
+	}
+
+	// The stream — torn tail included — replays to exactly commit 1.
+	res, err := ReplayStream(bytes.NewReader(sink.Bytes()), func(tx CommittedTxn) error {
+		if tx.TxnID != 1 {
+			t.Fatalf("replayed txn %d, want only 1", tx.TxnID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 1 || !res.Torn || res.Offset != lsn1 {
+		t.Fatalf("replay result %+v, want 1 txn, torn tail at offset %d", res, lsn1)
+	}
+}
+
+// TestSyncFailureLatchesManager verifies a failed sync poisons the manager
+// even though every byte was written: the frame may be in the page cache only,
+// so treating it as durable — or appending after it — would be wrong.
+func TestSyncFailureLatchesManager(t *testing.T) {
+	sink := iofault.NewSink()
+	m := NewManager(sink, true)
+	sink.FailSync(1, nil)
+
+	b := stageBuf(1)
+	if _, err := m.Commit(1, 11, b); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("commit over failed sync: %v, want ErrWALFailed", err)
+	}
+	b.Reset()
+	b.Append(RecUpdate, 1, []byte{2}, []byte{2})
+	if _, err := m.Commit(2, 12, b); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("commit 2: %v, want latched ErrWALFailed", err)
+	}
+	if err := m.Flush(); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("flush on failed log: %v, want ErrWALFailed", err)
+	}
+	// Nothing was synced, so nothing is durable.
+	if sink.DurableLen() != 0 {
+		t.Fatalf("durable bytes after failed sync: %d", sink.DurableLen())
+	}
+}
+
+// TestFailureLatchFailsWholeOpenBatch checks a batch that was already staged
+// when the log failed: its leader must not write, and every member must see
+// the latched error.
+func TestFailureLatchFailsWholeOpenBatch(t *testing.T) {
+	sink := iofault.NewSink()
+	m := NewManager(sink, true)
+
+	b1, b2 := stageBuf(1), stageBuf(2)
+	if !mustStage(t, m, 1, 1, b1) {
+		t.Fatal("expected leader")
+	}
+	mustStage(t, m, 2, 2, b2)
+	m.latch(errors.New("boom")) // failure lands while the batch is open
+
+	errCh := make(chan error, 1)
+	go func() { _, err := m.FollowerWait(b2); errCh <- err }()
+	if _, err := m.LeaderFinish(b1); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("leader on failed log: %v", err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("follower on failed log: %v", err)
+	}
+	if sink.Writes() != 0 {
+		t.Fatal("failed batch reached the sink")
+	}
+}
+
+// TestReplayStreamResult pins down the positional contract: Offset tracks the
+// end of the last valid frame through clean ends, torn tails, and mid-stream
+// corruption.
+func TestReplayStreamResult(t *testing.T) {
+	sink := iofault.NewSink()
+	m := NewManager(sink, true)
+	var ends []uint64
+	for i := 1; i <= 3; i++ {
+		b := stageBuf(byte(i))
+		lsn, err := m.Commit(uint64(i), uint64(10+i), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, lsn)
+	}
+	full := sink.Bytes()
+
+	res, err := ReplayStream(bytes.NewReader(full), func(CommittedTxn) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 3 || res.Torn || res.Offset != ends[2] || res.LastCTS != 13 {
+		t.Fatalf("clean replay result %+v, want offset %d cts 13", res, ends[2])
+	}
+
+	// Torn inside frame 3.
+	res, err = ReplayStream(bytes.NewReader(full[:ends[2]-5]), func(CommittedTxn) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 2 || !res.Torn || res.Offset != ends[1] {
+		t.Fatalf("torn replay result %+v, want 2 txns at offset %d", res, ends[1])
+	}
+
+	// Bit flip in frame 2's payload: mid-stream corruption, not a torn tail.
+	corrupt := append([]byte(nil), full...)
+	corrupt[ends[0]+frameHdrLen] ^= 0x40
+	res, err = ReplayStream(bytes.NewReader(corrupt), func(CommittedTxn) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt replay error %v, want ErrCorrupt", err)
+	}
+	if res.Txns != 1 || res.Offset != ends[0] {
+		t.Fatalf("corrupt replay result %+v, want valid prefix of 1 txn / %d bytes", res, ends[0])
+	}
+}

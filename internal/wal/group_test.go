@@ -16,6 +16,17 @@ func stageBuf(val byte) *Buffer {
 	return b
 }
 
+// mustStage stages b on a healthy manager, failing the test on a latched log
+// error, and returns whether the committer was elected leader.
+func mustStage(t *testing.T, m *Manager, id, cts uint64, b *Buffer) bool {
+	t.Helper()
+	leader, err := m.Stage(id, cts, b)
+	if err != nil {
+		t.Fatalf("stage %d: %v", id, err)
+	}
+	return leader
+}
+
 // TestLeaderFollowerProtocol drives the split Stage/LeaderFinish/FollowerWait
 // API directly: the first committer into an empty batch is leader, later
 // stagers are followers, and the leader's single write releases everyone with
@@ -25,10 +36,10 @@ func TestLeaderFollowerProtocol(t *testing.T) {
 	m := NewManager(&sink, false)
 
 	b1, b2, b3 := stageBuf(1), stageBuf(2), stageBuf(3)
-	if !m.Stage(101, 11, b1) {
+	if !mustStage(t, m, 101, 11, b1) {
 		t.Fatal("first stager must be leader")
 	}
-	if m.Stage(102, 12, b2) || m.Stage(103, 13, b3) {
+	if mustStage(t, m, 102, 12, b2) || mustStage(t, m, 103, 13, b3) {
 		t.Fatal("later stagers must be followers")
 	}
 
@@ -164,7 +175,7 @@ func TestMaxBatchBytesCutsDelayShort(t *testing.T) {
 	m.SetBatchLimits(1, 30*time.Second) // any joiner overflows the batch
 
 	b1, b2 := stageBuf(1), stageBuf(2)
-	if !m.Stage(1, 1, b1) {
+	if !mustStage(t, m, 1, 1, b1) {
 		t.Fatal("expected leader")
 	}
 	done := make(chan error, 1)
@@ -174,7 +185,7 @@ func TestMaxBatchBytesCutsDelayShort(t *testing.T) {
 	}()
 	// The joiner signals the batch full; the leader must finish long before
 	// its 30s delay.
-	if m.Stage(2, 2, b2) {
+	if mustStage(t, m, 2, 2, b2) {
 		t.Fatal("joiner must not be leader")
 	}
 	select {
@@ -224,7 +235,7 @@ func TestTornBatchRecovery(t *testing.T) {
 		bufs := make([]*Buffer, len(ids))
 		for i, id := range ids {
 			bufs[i] = stageBuf(byte(id))
-			if got := m.Stage(id, 100+id, bufs[i]); got != (i == 0) {
+			if got := mustStage(t, m, id, 100+id, bufs[i]); got != (i == 0) {
 				t.Fatalf("stage %d: leader=%v", id, got)
 			}
 		}
@@ -289,10 +300,10 @@ func TestGroupCommitErrorPropagatesToWholeBatch(t *testing.T) {
 	m := NewManager(sink, true) // syncEach forces the flush to hit the sink
 
 	b1, b2 := stageBuf(1), stageBuf(2)
-	if !m.Stage(1, 1, b1) {
+	if !mustStage(t, m, 1, 1, b1) {
 		t.Fatal("expected leader")
 	}
-	m.Stage(2, 2, b2)
+	mustStage(t, m, 2, 2, b2)
 	errCh := make(chan error, 1)
 	go func() { _, err := m.FollowerWait(b2); errCh <- err }()
 	if _, err := m.LeaderFinish(b1); err == nil {

@@ -163,11 +163,20 @@ type Manager struct {
 	ioMu    sync.Mutex
 	w       *bufio.Writer
 	sink    io.Writer
+	marker  BatchBoundaryMarker // non-nil when the sink rotates at batch boundaries
 
 	lsn      atomic.Uint64 // bytes appended
 	commits  atomic.Uint64
 	batches  atomic.Uint64 // leader write rounds
 	syncEach bool
+
+	// failed latches the first write/flush/sync error permanently (wrapped in
+	// ErrWALFailed). Once set, Stage fails fast and no further bytes reach the
+	// sink: after a torn or unsynced frame the stream tail is unreadable, so
+	// appending more frames would silently sever every later commit from
+	// Replay. The engine surfaces the latched error as a typed abort and the
+	// DB degrades to read-only.
+	failed atomic.Pointer[failure]
 
 	// Batching bounds; see SetBatchLimits.
 	maxBatchBytes int
@@ -180,6 +189,41 @@ type Manager struct {
 // durable (e.g. *os.File).
 type Syncer interface{ Sync() error }
 
+// BatchBoundaryMarker is optionally implemented by sinks that must only ever
+// split the log at transaction-frame boundaries — a segmented file sink
+// rotates in MarkBoundary, never mid-frame. The manager calls it after each
+// batch has been flushed (and synced, when configured), so every mark sits at
+// the end of a whole batch of frames. A sink implementing this interface gets
+// a Flush per batch even when per-commit sync is off; a MarkBoundary error
+// latches the manager like any other log failure.
+type BatchBoundaryMarker interface{ MarkBoundary() error }
+
+// ErrWALFailed marks the log permanently failed: a write, flush, sync, or
+// rotation error poisoned the stream. It wraps the root cause. All later
+// Stage/Commit calls fail fast with the same latched error.
+var ErrWALFailed = errors.New("wal: log failed")
+
+// failure boxes the latched error for atomic.Pointer.
+type failure struct{ err error }
+
+// latch records cause as the manager's permanent failure (first error wins)
+// and returns the latched, ErrWALFailed-wrapped error.
+func (m *Manager) latch(cause error) error {
+	f := &failure{err: fmt.Errorf("%w: %w", ErrWALFailed, cause)}
+	if !m.failed.CompareAndSwap(nil, f) {
+		f = m.failed.Load()
+	}
+	return f.err
+}
+
+// Err returns the latched log failure, or nil while the log is healthy.
+func (m *Manager) Err() error {
+	if f := m.failed.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
 // NewManager returns a Manager appending to sink. If syncEach is true and the
 // sink implements Syncer, every batch is flushed and synced before its
 // committers are released — the durable configuration; benchmarks use an
@@ -187,6 +231,7 @@ type Syncer interface{ Sync() error }
 // stress scheduling rather than I/O.
 func NewManager(sink io.Writer, syncEach bool) *Manager {
 	m := &Manager{w: bufio.NewWriterSize(sink, 1<<20), sink: sink, syncEach: syncEach}
+	m.marker, _ = sink.(BatchBoundaryMarker)
 	m.pool.New = func() any { return &batch{full: make(chan struct{}, 1)} }
 	return m
 }
@@ -203,11 +248,16 @@ func (m *Manager) SetBatchLimits(maxBytes int, delay time.Duration) {
 
 // Stage frames the buffer's records as one committed transaction and enrolls
 // it in the open batch, returning true when the calling committer was elected
-// the batch's leader. Stage never blocks beyond the staging latch and never
-// fails; the engine calls it inside the commit critical section so log order
-// matches commit order. A leader must follow up with LeaderFinish, a follower
-// with FollowerWait — the buffer must not be touched in between.
-func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool) {
+// the batch's leader. Stage never blocks beyond the staging latch; the engine
+// calls it inside the commit critical section so log order matches commit
+// order. On a failed log (ErrWALFailed latched) it refuses the enrollment and
+// returns the latched error — the caller must abort rather than publish. A
+// leader must follow up with LeaderFinish, a follower with FollowerWait — the
+// buffer must not be touched in between.
+func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool, err error) {
+	if err := m.Err(); err != nil {
+		return false, err
+	}
 	b.frame(txnID, cts)
 	if b.done == nil {
 		b.done = make(chan struct{}, 1)
@@ -220,7 +270,7 @@ func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool) {
 		bt.reqs = append(bt.reqs, b)
 		bt.bytes = frameHdrLen + len(b.buf)
 		m.stageMu.Unlock()
-		return true
+		return true, nil
 	}
 	bt.reqs = append(bt.reqs, b)
 	bt.bytes += frameHdrLen + len(b.buf)
@@ -232,7 +282,7 @@ func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool) {
 		default:
 		}
 	}
-	return false
+	return false, nil
 }
 
 // LeaderFinish completes a leader's group commit: after an optional
@@ -274,20 +324,35 @@ func (m *Manager) LeaderFinish(b *Buffer) (uint64, error) {
 	m.open = nil
 	m.stageMu.Unlock()
 
-	var err error
-	for _, r := range bt.reqs {
-		if _, err = m.w.Write(r.hdr[:]); err != nil {
-			break
+	// A log that failed after this batch opened (a predecessor's torn write)
+	// must not be appended to: the stream past the tear is unreadable, so
+	// every frame written now would be unrecoverable. Fail the whole batch
+	// with the latched error instead.
+	err := m.Err()
+	if err == nil {
+		for _, r := range bt.reqs {
+			if _, err = m.w.Write(r.hdr[:]); err != nil {
+				break
+			}
+			if _, err = m.w.Write(r.buf); err != nil {
+				break
+			}
 		}
-		if _, err = m.w.Write(r.buf); err != nil {
-			break
+		// A rotating sink needs whole batches delivered before each boundary
+		// mark, so flush per batch even when per-commit sync is off.
+		if err == nil && (m.syncEach || m.marker != nil) {
+			err = m.w.Flush()
 		}
-	}
-	if err == nil && m.syncEach {
-		if err = m.w.Flush(); err == nil {
+		if err == nil && m.syncEach {
 			if s, ok := m.sink.(Syncer); ok {
 				err = s.Sync()
 			}
+		}
+		if err == nil && m.marker != nil {
+			err = m.marker.MarkBoundary()
+		}
+		if err != nil {
+			err = m.latch(err)
 		}
 	}
 	if err == nil {
@@ -335,21 +400,59 @@ func (m *Manager) FollowerWait(b *Buffer) (uint64, error) {
 // the end-of-frame LSN once the transaction's batch has been written. It is
 // the single-call form of Stage + LeaderFinish/FollowerWait.
 func (m *Manager) Commit(txnID, cts uint64, b *Buffer) (uint64, error) {
-	if m.Stage(txnID, cts, b) {
+	leader, err := m.Stage(txnID, cts, b)
+	if err != nil {
+		return 0, err
+	}
+	if leader {
 		return m.LeaderFinish(b)
 	}
 	return m.FollowerWait(b)
 }
 
-// Flush drains buffered bytes to the sink.
+// Flush drains buffered bytes to the sink. On a failed log it returns the
+// latched error without touching the sink: the buffered tail may end in a
+// torn frame, and pushing more bytes past it would corrupt the stream.
 func (m *Manager) Flush() error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
-	return m.w.Flush()
+	if err := m.Err(); err != nil {
+		return err
+	}
+	if err := m.w.Flush(); err != nil {
+		return m.latch(err)
+	}
+	return nil
+}
+
+// Sync drains buffered bytes to the sink and, when the sink supports it,
+// makes them durable. Like Flush it refuses to touch a failed log, and an I/O
+// error here latches the manager. Checkpointing uses it to guarantee the log
+// is durable up to the checkpoint's LSN before the checkpoint is installed.
+func (m *Manager) Sync() error {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	if err := m.Err(); err != nil {
+		return err
+	}
+	if err := m.w.Flush(); err != nil {
+		return m.latch(err)
+	}
+	if s, ok := m.sink.(Syncer); ok {
+		if err := s.Sync(); err != nil {
+			return m.latch(err)
+		}
+	}
+	return nil
 }
 
 // LSN returns the current end-of-log position in bytes.
 func (m *Manager) LSN() uint64 { return m.lsn.Load() }
+
+// SetLSN initializes the end-of-log position. Recovery-only: call it once,
+// after replaying an existing log and before the first commit, so LSNs keep
+// counting from the recovered stream's end.
+func (m *Manager) SetLSN(lsn uint64) { m.lsn.Store(lsn) }
 
 // Commits returns the number of committed transactions logged.
 func (m *Manager) Commits() uint64 { return m.commits.Load() }
@@ -367,24 +470,61 @@ type CommittedTxn struct {
 	Records    []Record
 }
 
+// ReplayResult reports how far a replay got through the stream — the
+// information recovery needs to distinguish a benign torn tail (truncate and
+// keep appending at Offset) from mid-stream damage (ErrCorrupt, do not trust
+// anything past Offset).
+type ReplayResult struct {
+	// Txns is the number of committed transactions applied.
+	Txns int
+	// Offset is the number of stream bytes consumed through the end of the
+	// last fully-valid, applied frame. Added to the stream's starting LSN it
+	// is the exact position appending may safely resume from.
+	Offset uint64
+	// LastCTS is the commit timestamp of the last applied transaction (0 when
+	// none were).
+	LastCTS uint64
+	// Torn reports that the stream ended inside a frame — the torn-write tail
+	// a crash mid-append leaves behind. The bytes past Offset are garbage but
+	// everything before is intact.
+	Torn bool
+}
+
+// maxFramePayload bounds a single frame's payload during replay so a corrupt
+// length field cannot balloon recovery memory.
+const maxFramePayload = 1 << 30
+
 // Replay decodes a log stream and invokes apply for each committed
 // transaction in log order. A truncated final frame (torn write) terminates
-// replay cleanly; a checksum mismatch returns ErrCorrupt.
+// replay cleanly; a checksum mismatch returns ErrCorrupt. It is ReplayStream
+// without the positional result.
 func Replay(r io.Reader, apply func(CommittedTxn) error) error {
+	_, err := ReplayStream(r, apply)
+	return err
+}
+
+// ReplayStream decodes a log stream, invokes apply for each committed
+// transaction in log order, and reports how far it got. A truncated final
+// frame terminates replay cleanly with Torn set; bad magic, a checksum
+// mismatch, or a malformed payload return ErrCorrupt alongside the result for
+// the valid prefix.
+func ReplayStream(r io.Reader, apply func(CommittedTxn) error) (ReplayResult, error) {
 	br := bufio.NewReader(r)
+	var res ReplayResult
 	for {
-		var hdr [32]byte
+		var hdr [frameHdrLen]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
-				return nil
+				return res, nil
 			}
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn header: end of usable log
+				res.Torn = true // torn header: end of usable log
+				return res, nil
 			}
-			return err
+			return res, err
 		}
 		if binary.LittleEndian.Uint32(hdr[0:]) != txnMagic {
-			return fmt.Errorf("%w: bad magic", ErrCorrupt)
+			return res, fmt.Errorf("%w: bad magic at offset %d", ErrCorrupt, res.Offset)
 		}
 		txn := CommittedTxn{
 			TxnID: binary.LittleEndian.Uint64(hdr[4:]),
@@ -393,24 +533,31 @@ func Replay(r io.Reader, apply func(CommittedTxn) error) error {
 		nrec := binary.LittleEndian.Uint32(hdr[20:])
 		plen := binary.LittleEndian.Uint32(hdr[24:])
 		want := binary.LittleEndian.Uint32(hdr[28:])
+		if plen > maxFramePayload {
+			return res, fmt.Errorf("%w: implausible payload length %d at offset %d", ErrCorrupt, plen, res.Offset)
+		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn payload
+				res.Torn = true // torn payload
+				return res, nil
 			}
-			return err
+			return res, err
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return fmt.Errorf("%w: checksum mismatch for txn %d", ErrCorrupt, txn.TxnID)
+			return res, fmt.Errorf("%w: checksum mismatch for txn %d at offset %d", ErrCorrupt, txn.TxnID, res.Offset)
 		}
 		recs, err := decodePayload(payload, int(nrec))
 		if err != nil {
-			return err
+			return res, err
 		}
 		txn.Records = recs
 		if err := apply(txn); err != nil {
-			return err
+			return res, err
 		}
+		res.Txns++
+		res.Offset += uint64(frameHdrLen) + uint64(plen)
+		res.LastCTS = txn.CTS
 	}
 }
 

@@ -12,7 +12,7 @@
 //
 // Quick start:
 //
-//	db, _ := preemptdb.Open(preemptdb.Config{Policy: preemptdb.PolicyPreempt})
+//	db, _ := preemptdb.Open("", preemptdb.Config{Policy: preemptdb.PolicyPreempt})
 //	defer db.Close()
 //	db.CreateTable("kv")
 //	db.Run(func(tx *preemptdb.Txn) error {
@@ -26,10 +26,12 @@
 package preemptdb
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"os"
 	"sync"
 	"time"
 
@@ -40,6 +42,8 @@ import (
 	"preemptdb/internal/mvcc"
 	"preemptdb/internal/pcontext"
 	"preemptdb/internal/sched"
+	"preemptdb/internal/store"
+	"preemptdb/internal/wal"
 )
 
 // Policy selects the scheduling discipline (paper §6.1's competing methods).
@@ -132,8 +136,22 @@ type Config struct {
 	// MaxRetries bounds automatic conflict retries in Exec/Submit/Run
 	// (default 100).
 	MaxRetries int
-	// LogSink receives the redo log (nil: in-memory only).
+	// LogSink receives the redo log (nil: in-memory only). Ignored when the
+	// database is opened on a directory — the segmented WAL is the sink then.
 	LogSink io.Writer
+	// Schema recreates the database's tables and secondary indexes (via
+	// CreateTable/CreateIndex) on a freshly constructed DB. File-backed
+	// recovery calls it before restoring a checkpoint or replaying the WAL —
+	// index extractors are code, not data, so the schema cannot be recovered
+	// from disk and must be re-declared deterministically (table IDs follow
+	// CreateTable order). In-memory opens call it too, as a convenience, so
+	// one Config works for both modes. Required to reopen any non-empty
+	// file-backed database.
+	Schema func(db *DB) error
+	// SegmentBytes is the WAL segment rotation size for file-backed
+	// databases (default 64 MiB). Segments only rotate at group-commit batch
+	// boundaries, so a frame never spans two files.
+	SegmentBytes int64
 	// SyncEachCommit makes every commit wait for its group-commit batch to
 	// be flushed (and synced, when the sink supports it) before returning.
 	SyncEachCommit bool
@@ -178,6 +196,13 @@ var ErrCanceled = pcontext.ErrCanceled
 // poll past the deadline.
 var ErrDeadlineExceeded = pcontext.ErrDeadlineExceeded
 
+// ErrWALFailed reports that the write-ahead log latched a permanent I/O
+// failure. The database degrades to read-only: reads and scans keep working
+// off the in-memory versions, while every write operation and commit fails
+// fast with an error wrapping this one. The first error also wraps the root
+// I/O cause.
+var ErrWALFailed = wal.ErrWALFailed
+
 // IsConflict reports whether err was a concurrency conflict (these are
 // retried automatically up to MaxRetries; seeing one from Exec means the
 // budget was exhausted).
@@ -193,6 +218,10 @@ func IsCanceled(err error) bool { return errors.Is(err, ErrCanceled) }
 // deadline.
 func IsDeadlineExceeded(err error) bool { return errors.Is(err, ErrDeadlineExceeded) }
 
+// IsWALFailed reports whether err means the write-ahead log has failed and
+// the database is read-only.
+func IsWALFailed(err error) bool { return errors.Is(err, ErrWALFailed) }
+
 // DB is a PreemptDB instance.
 type DB struct {
 	cfg    Config
@@ -202,6 +231,10 @@ type DB struct {
 	aborts metrics.AbortCounters
 	rrLow  int
 	closed bool
+	// dir and dlog are set on file-backed databases: the data directory and
+	// the segmented WAL log the engine appends to.
+	dir  *store.Dir
+	dlog *store.Log
 	// ctxPool recycles detached contexts for Run so repeated loader/admin
 	// calls reuse one oracle slot and one pooled transaction instead of
 	// registering a fresh slot per call.
@@ -209,7 +242,64 @@ type DB struct {
 }
 
 // Open creates a database and starts its workers.
-func Open(cfg Config) (*DB, error) {
+//
+// dir selects the durability mode. "" runs purely in memory (Config.LogSink,
+// when set, still receives the redo stream). A path names a data directory:
+// Open creates it if missing, recovers the existing state — newest valid
+// checkpoint plus WAL replay, falling back to an older checkpoint when the
+// newest fails verification — truncates any torn tail left by a crash, and
+// resumes appending to the segmented WAL exactly where the verified stream
+// ends. Config.Schema must recreate the schema for recovery to apply the
+// replayed records; set Config.SyncEachCommit for commits to be durable at
+// the moment they return.
+func Open(dir string, cfg Config) (*DB, error) {
+	if dir == "" {
+		db, err := newDB(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Schema != nil {
+			if err := cfg.Schema(db); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		return db, nil
+	}
+	d, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	cks, err := d.Checkpoints()
+	if err != nil {
+		return nil, err
+	}
+	// Recovery candidates, newest checkpoint first, ending with "no
+	// checkpoint" (replay the whole log from LSN 0). A candidate that fails
+	// verification anywhere — checkpoint CRC, mid-stream log corruption, a
+	// checkpoint whose LSN the log never durably reached — is abandoned
+	// wholesale and the next one tried from a fresh engine, so partial
+	// restore state never leaks into the opened database.
+	var errs []error
+	for i := len(cks); i >= 0; i-- {
+		var ck *store.Checkpoint
+		if i > 0 {
+			ck = &cks[i-1]
+		}
+		db, err := tryOpenDir(d, cfg, ck)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		return db, nil
+	}
+	return nil, fmt.Errorf("preemptdb: open %s: %w", dir, errors.Join(errs...))
+}
+
+// newDB builds the database around its engine, scheduler, and admission
+// controller. dlog, when non-nil, becomes the engine's log sink (file-backed
+// mode); it is still unpositioned, so constructing the engine writes nothing.
+func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
@@ -219,9 +309,13 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 100
 	}
+	sink := cfg.LogSink
+	if dlog != nil {
+		sink = dlog
+	}
 	eng := engine.New(engine.Config{
 		Isolation:      cfg.Isolation.toMVCC(),
-		LogSink:        cfg.LogSink,
+		LogSink:        sink,
 		SyncEachCommit: cfg.SyncEachCommit,
 		MaxBatchBytes:  cfg.MaxBatchBytes,
 		MaxBatchDelay:  cfg.MaxBatchDelay,
@@ -240,7 +334,68 @@ func Open(cfg Config) (*DB, error) {
 	// in-flight knobs at zero it admits everything, but it still tracks the
 	// queue-delay estimate that lets AdmitDeadline shed doomed requests.
 	adm := admission.New(cfg.AdmissionRate, cfg.AdmissionBurst, cfg.MaxInFlight)
-	return &DB{cfg: cfg, eng: eng, sch: s, adm: adm}, nil
+	return &DB{cfg: cfg, eng: eng, sch: s, adm: adm, dlog: dlog}, nil
+}
+
+// tryOpenDir attempts a full file-backed open against one recovery candidate
+// (a checkpoint, or nil for log-only replay). Any failure closes the
+// half-recovered database and is reported to the caller for fallback.
+func tryOpenDir(d *store.Dir, cfg Config, ck *store.Checkpoint) (*DB, error) {
+	db, err := newDB(cfg, d.NewLog(cfg.SegmentBytes))
+	if err != nil {
+		return nil, err
+	}
+	db.dir = d
+	if err := db.recoverDir(ck); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// recoverDir rebuilds the in-memory state from ck (when non-nil) plus the WAL
+// suffix past it, truncates the log's torn tail, and positions the segmented
+// log and the LSN counter at the verified stream end.
+func (db *DB) recoverDir(ck *store.Checkpoint) error {
+	if db.cfg.Schema != nil {
+		if err := db.cfg.Schema(db); err != nil {
+			return err
+		}
+	}
+	start := uint64(0)
+	if ck != nil {
+		f, err := os.Open(ck.Path)
+		if err != nil {
+			return err
+		}
+		err = db.eng.RestoreCheckpoint(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("checkpoint at LSN %d: %w", ck.LSN, err)
+		}
+		start = ck.LSN
+	}
+	r, err := db.dir.OpenReplay(start)
+	if err != nil {
+		return err
+	}
+	res, rerr := db.eng.Recover(r)
+	r.Close()
+	if rerr != nil {
+		return fmt.Errorf("replay from LSN %d: %w", start, rerr)
+	}
+	validEnd := start + res.Offset
+	if err := db.dir.TruncateTail(validEnd); err != nil {
+		return err
+	}
+	// Reposition also cross-checks validEnd against the on-disk stream: a
+	// checkpoint whose LSN the log never durably reached fails here and falls
+	// back to an older candidate.
+	if err := db.dlog.Reposition(validEnd); err != nil {
+		return err
+	}
+	db.eng.Log().SetLSN(validEnd)
+	return nil
 }
 
 // Close stops the workers, releases their engine resources (oracle slots,
@@ -257,7 +412,15 @@ func (db *DB) Close() error {
 			db.eng.DetachContext(w.Core().Context(i))
 		}
 	}
-	return db.eng.Close()
+	err := db.eng.Close()
+	if db.dlog != nil {
+		// The engine's close flushed the WAL manager into the segmented log;
+		// close the log file after it.
+		if cerr := db.dlog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // CreateTable creates a table (idempotent).
@@ -382,6 +545,8 @@ func (db *DB) classify(err error) {
 		db.aborts.Inc(metrics.AbortDeadline)
 	case errors.Is(err, ErrCanceled):
 		db.aborts.Inc(metrics.AbortCanceled)
+	case IsWALFailed(err):
+		db.aborts.Inc(metrics.AbortWALFailed)
 	case IsConflict(err):
 		db.aborts.Inc(metrics.AbortConflict)
 	case errors.Is(err, ErrQueueFull):
@@ -571,6 +736,50 @@ func (db *DB) Checkpoint(w io.Writer) error { return db.eng.Checkpoint(w) }
 // schema at checkpoint time.
 func (db *DB) RestoreCheckpoint(r io.Reader) error { return db.eng.RestoreCheckpoint(r) }
 
+// checkpointsKept is how many disk checkpoints CheckpointDisk retains. Two
+// lets recovery fall back to the previous checkpoint when the newest fails
+// verification; WAL segments are only truncated below the oldest retained
+// one, so the fallback always finds its log suffix intact.
+const checkpointsKept = 2
+
+// errNotFileBacked reports a disk operation on an in-memory database.
+var errNotFileBacked = errors.New("preemptdb: database is not file-backed (opened without a directory)")
+
+// CheckpointDisk writes a transactionally consistent checkpoint into the
+// database's data directory (atomically: temp file, fsync, rename, directory
+// fsync), prunes all but the newest checkpoints, and deletes WAL segments
+// wholly covered by the oldest retained one. The checkpoint is fuzzy — its
+// replay LSN is captured before the snapshot begins, and recovery's
+// apply-if-newer replay makes the overlap idempotent.
+func (db *DB) CheckpointDisk() error {
+	if db.dir == nil {
+		return errNotFileBacked
+	}
+	// Capture the replay start before the snapshot begins, then make the log
+	// durable through it: a checkpoint must never name a replay position its
+	// own log has not reached on disk.
+	lsn0 := db.eng.Log().LSN()
+	if err := db.eng.Log().Sync(); err != nil {
+		return err
+	}
+	if err := db.dir.WriteCheckpoint(lsn0, db.eng.Checkpoint); err != nil {
+		return err
+	}
+	if err := db.dir.PruneCheckpoints(checkpointsKept); err != nil {
+		return err
+	}
+	cks, err := db.dir.Checkpoints()
+	if err != nil {
+		return err
+	}
+	return db.dir.TruncateSegments(cks[0].LSN)
+}
+
+// ReadOnly reports whether the database has degraded to read-only because
+// the write-ahead log latched a permanent failure. Reads and scans keep
+// working; writes fail with an error satisfying IsWALFailed.
+func (db *DB) ReadOnly() bool { return db.eng.WALErr() != nil }
+
 // Stats is a point-in-time snapshot of engine and scheduler counters.
 type Stats struct {
 	Commits, Aborts uint64
@@ -600,7 +809,13 @@ type Stats struct {
 	AbortsDeadline  uint64
 	AbortsCanceled  uint64
 	AbortsQueueFull uint64
+	// AbortsWALFailed counts requests refused because the write-ahead log
+	// latched a permanent failure and the database is read-only.
+	AbortsWALFailed uint64
 	AbortsOther     uint64
+	// WALFailed reports that the write-ahead log has latched a permanent
+	// failure (see ReadOnly).
+	WALFailed bool
 }
 
 // Stats returns current counters.
@@ -620,7 +835,9 @@ func (db *DB) Stats() Stats {
 		AbortsDeadline:   db.aborts.Load(metrics.AbortDeadline),
 		AbortsCanceled:   db.aborts.Load(metrics.AbortCanceled),
 		AbortsQueueFull:  db.aborts.Load(metrics.AbortQueueFull),
+		AbortsWALFailed:  db.aborts.Load(metrics.AbortWALFailed),
 		AbortsOther:      db.aborts.Load(metrics.AbortOther),
+		WALFailed:        db.eng.WALErr() != nil,
 	}
 	for _, w := range db.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {

@@ -12,7 +12,7 @@ import (
 
 func openTest(t *testing.T, cfg Config) *DB {
 	t.Helper()
-	db, err := Open(cfg)
+	db, err := Open("", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +21,7 @@ func openTest(t *testing.T, cfg Config) *DB {
 }
 
 func TestOpenCloseTwice(t *testing.T) {
-	db, err := Open(Config{Workers: 1})
+	db, err := Open("", Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -130,6 +130,8 @@ func statusErr(status uint8, msg string) error {
 		return fmt.Errorf("%w: %s", ErrCanceled, msg)
 	case statusQueueFull:
 		return fmt.Errorf("%w: %s", ErrQueueFull, msg)
+	case statusReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, msg)
 	default:
 		return fmt.Errorf("server: %s", msg)
 	}

@@ -57,6 +57,10 @@ const (
 	// statusQueueFull: rejected up front — scheduler queues full or
 	// admission control shed the request.
 	statusQueueFull
+	// statusReadOnly: the database's write-ahead log latched a permanent
+	// failure and the server only accepts reads until restarted on a
+	// recovered directory.
+	statusReadOnly
 )
 
 // maxFrame bounds a single frame (16 MiB) to keep a misbehaving peer from

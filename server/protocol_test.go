@@ -17,7 +17,7 @@ import (
 // before the listener opens.
 func startRawServer(t *testing.T, configure func(*Server)) (string, *preemptdb.DB) {
 	t.Helper()
-	db, err := preemptdb.Open(preemptdb.Config{Workers: 1})
+	db, err := preemptdb.Open("", preemptdb.Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

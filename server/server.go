@@ -161,8 +161,8 @@ func (s *Server) dispatch(frame []byte) ([]byte, error) {
 
 	case reqStats:
 		st := s.db.Stats()
-		msg := fmt.Sprintf("commits=%d aborts=%d interrupts=%d passive=%d active=%d",
-			st.Commits, st.Aborts, st.InterruptsSent, st.PassiveSwitches, st.ActiveSwitches)
+		msg := fmt.Sprintf("commits=%d aborts=%d interrupts=%d passive=%d active=%d wal-failed=%t",
+			st.Commits, st.Aborts, st.InterruptsSent, st.PassiveSwitches, st.ActiveSwitches, st.WALFailed)
 		return encodeResults(nil, statusOK, msg, nil), nil
 
 	case reqTxn:
@@ -275,6 +275,8 @@ func (s *Server) runScript(prio uint8, ops []ScriptOp, timeout time.Duration) []
 		return encodeResults(nil, statusCanceled, err.Error(), nil)
 	case errors.Is(err, preemptdb.ErrQueueFull):
 		return encodeResults(nil, statusQueueFull, err.Error(), nil)
+	case preemptdb.IsWALFailed(err):
+		return encodeResults(nil, statusReadOnly, err.Error(), nil)
 	case preemptdb.IsConflict(err):
 		return encodeResults(nil, statusConflict, err.Error(), nil)
 	default:
@@ -295,4 +297,8 @@ var (
 	// ErrQueueFull: the server rejected the request up front (scheduler
 	// queues full or admission control).
 	ErrQueueFull = errors.New("server: request rejected, queues full")
+	// ErrReadOnly: the server's write-ahead log latched a permanent failure;
+	// reads still succeed but every write is refused until the operator
+	// restarts the server on a recovered data directory.
+	ErrReadOnly = errors.New("server: database is read-only after a log failure")
 )

@@ -19,7 +19,7 @@ func startServer(t *testing.T, cfg preemptdb.Config) (*Client, *Server) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
-	db, err := preemptdb.Open(cfg)
+	db, err := preemptdb.Open("", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
