@@ -14,6 +14,14 @@ package engine
 // "already in the checkpoint" from "raced in after my scan pass", silently
 // dropping the racer; with true timestamps the replay decision is exact.
 //
+// Apply-if-newer only helps for racers whose frames land *after* the LSN the
+// caller captured for the checkpoint. A racer whose frame the captured LSN
+// already covers (its batch leader wrote and advanced the LSN before the
+// racer's goroutine published) would be skipped by replay AND invisible to
+// the scan — lost. Checkpoint therefore runs the WAL's PublishBarrier before
+// drawing its snapshot timestamp: every transaction staged by then has
+// published, at a commit timestamp the snapshot covers.
+//
 // Recovery: create the schema, RestoreCheckpoint(ckpt), then Recover(log)
 // where the log covers at least everything after the LSN captured *before*
 // the checkpoint began.
@@ -41,6 +49,14 @@ const (
 // unaffected (MVCC), and the read transaction pins the GC horizon so the
 // versions visible at the snapshot cannot be trimmed mid-scan.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	// Before drawing the snapshot timestamp, wait out every committer caught
+	// between group-commit staging and MVCC publication: their frames may
+	// already be covered by an LSN the caller captured for this checkpoint,
+	// so the snapshot must see their versions (at commit timestamps <= the
+	// snapshot's, since timestamps are assigned before staging). Commits that
+	// stage after the caller's LSN capture land past it in the log and are
+	// handled by the replay's apply-if-newer guard instead.
+	e.log.PublishBarrier()
 	ctx := pcontext.Detached()
 	tx := e.Begin(ctx)
 	defer tx.Abort()

@@ -303,6 +303,13 @@ func (t *Txn) Commit() error {
 	var mvccErr, ioErr error
 	pcontext.NonPreemptible(t.ctx, func() {
 		_, mvccErr = t.inner.Commit(t.stageFn)
+		if t.staged {
+			// The commit-point store has run (mvcc.Commit publishes
+			// unconditionally after a successful logFn): tell the WAL so
+			// checkpointing's PublishBarrier can see this transaction's
+			// versions before trusting an LSN that covers its frame.
+			t.eng.log.Published()
+		}
 		if t.leader {
 			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
 		}

@@ -62,7 +62,16 @@ func (l *Log) Reposition(lsn uint64) error {
 			target = i
 			continue
 		}
-		if s.Start < lsn && lsn < s.End() {
+		if s.Start >= lsn {
+			// The stream continues past lsn — a non-empty segment at or
+			// beyond it, or a stray empty successor starting further on.
+			// Appending from lsn would fork the stream past those bytes.
+			// (The empty just-rotated successor starting exactly at lsn is
+			// the target case above, not this one.)
+			return fmt.Errorf("store: reposition %d would fork the stream: segment at %d (size %d) lies at or past it",
+				lsn, s.Start, s.Size)
+		}
+		if lsn < s.End() {
 			return fmt.Errorf("store: reposition %d lands inside segment at %d (size %d): truncate the tail first",
 				lsn, s.Start, s.Size)
 		}

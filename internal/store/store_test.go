@@ -123,6 +123,42 @@ func TestRepositionInsideSegmentRefused(t *testing.T) {
 	}
 }
 
+func TestRepositionMidStreamBoundaryRefused(t *testing.T) {
+	// lsn == a mid-stream segment boundary with non-empty segments past it:
+	// appending there would fork the stream past the later segments. Only
+	// reachable through misuse (recovery runs TruncateTail first), but it must
+	// be refused rather than silently corrupt the stream.
+	d := openDir(t)
+	l := d.NewLog(4)
+	writeBatch(t, l, []byte("aaaa")) // seg0 [0,4), rotates
+	writeBatch(t, l, []byte("bbbb")) // seg1 [4,8), rotates
+	writeBatch(t, l, []byte("cc"))   // seg2 [8,10)
+	l.Close()
+
+	l2 := d.NewLog(1 << 20)
+	if err := l2.Reposition(4); err == nil {
+		t.Fatal("reposition at a mid-stream boundary must be refused")
+	}
+	// A stray empty segment starting beyond lsn also marks a stream position
+	// past it; repositioning short of it must be refused too.
+	d2 := openDir(t)
+	writeBatch(t, d2.NewLog(1<<20), []byte("aaaa"))
+	if f, err := os.Create(d2.SegmentPath(4)); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+	l3 := d2.NewLog(1 << 20)
+	if err := l3.Reposition(0); err == nil {
+		t.Fatal("reposition below a stray empty successor must be refused")
+	}
+	// The true stream end still repositions fine.
+	if err := l3.Reposition(4); err != nil {
+		t.Fatal(err)
+	}
+	l3.Close()
+}
+
 func TestRepositionPrefersEmptyRotationSuccessor(t *testing.T) {
 	// Crash right after rotation: full predecessor [0,4) plus empty
 	// successor at 4. Reposition(4) must append to the successor, not fork

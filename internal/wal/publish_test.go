@@ -1,0 +1,84 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestPublishBarrierWaitsForStagedCommits reproduces the checkpoint-vs-group-
+// commit race: a follower's frame is written — and the manager's LSN advanced
+// past it — by the batch leader before the follower's goroutine publishes its
+// commit state. A checkpoint capturing that LSN must wait on PublishBarrier
+// until every covered committer has called Published, or its snapshot scan
+// misses a commit that replay-from-LSN will never revisit.
+func TestPublishBarrierWaitsForStagedCommits(t *testing.T) {
+	var sink bytes.Buffer
+	m := NewManager(&sink, false)
+
+	lb := NewBuffer()
+	lb.Append(RecInsert, 1, []byte("k1"), []byte("v1"))
+	leader, err := m.Stage(1, 1, lb)
+	if err != nil || !leader {
+		t.Fatalf("leader stage: leader=%v err=%v", leader, err)
+	}
+	fb := NewBuffer()
+	fb.Append(RecInsert, 1, []byte("k2"), []byte("v2"))
+	follower, err := m.Stage(2, 2, fb)
+	if err != nil || follower {
+		t.Fatalf("follower stage: leader=%v err=%v", follower, err)
+	}
+
+	// The leader writes the batch: the LSN now covers both frames while
+	// neither committer has published its commit state.
+	if _, err := m.LeaderFinish(lb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FollowerWait(fb); err != nil {
+		t.Fatal(err)
+	}
+	if m.LSN() == 0 {
+		t.Fatal("batch not written")
+	}
+
+	barrier := make(chan struct{})
+	go func() {
+		m.PublishBarrier()
+		close(barrier)
+	}()
+	select {
+	case <-barrier:
+		t.Fatal("PublishBarrier returned with two staged commits unpublished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Published()
+	select {
+	case <-barrier:
+		t.Fatal("PublishBarrier returned with one staged commit unpublished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Published()
+	select {
+	case <-barrier:
+	case <-time.After(2 * time.Second):
+		t.Fatal("PublishBarrier did not return after all staged commits published")
+	}
+
+	// With no stragglers the barrier is a fast no-op, and the single-call
+	// Commit form keeps the counters balanced on its own.
+	b := NewBuffer()
+	b.Append(RecInsert, 1, []byte("k3"), []byte("v3"))
+	if _, err := m.Commit(3, 3, b); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.PublishBarrier()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("PublishBarrier wedged on a quiesced manager")
+	}
+}

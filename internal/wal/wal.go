@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,6 +171,15 @@ type Manager struct {
 	batches  atomic.Uint64 // leader write rounds
 	syncEach bool
 
+	// stagedTxns counts buffers enrolled in a batch (bumped in Stage while
+	// stageMu is held); publishedTxns counts those whose commit state has since
+	// been made visible (Published). The difference is the set of committers
+	// inside the stage→publish window — the window PublishBarrier waits out so
+	// a checkpoint never captures an LSN covering a frame whose in-memory
+	// effects its snapshot cannot yet see.
+	stagedTxns    atomic.Uint64
+	publishedTxns atomic.Uint64
+
 	// failed latches the first write/flush/sync error permanently (wrapped in
 	// ErrWALFailed). Once set, Stage fails fast and no further bytes reach the
 	// sink: after a torn or unsynced frame the stream tail is unreadable, so
@@ -253,7 +263,9 @@ func (m *Manager) SetBatchLimits(maxBytes int, delay time.Duration) {
 // order. On a failed log (ErrWALFailed latched) it refuses the enrollment and
 // returns the latched error — the caller must abort rather than publish. A
 // leader must follow up with LeaderFinish, a follower with FollowerWait — the
-// buffer must not be touched in between.
+// buffer must not be touched in between. Every successful Stage must also be
+// matched by exactly one Published call once the transaction's commit state is
+// visible, or PublishBarrier wedges.
 func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool, err error) {
 	if err := m.Err(); err != nil {
 		return false, err
@@ -263,6 +275,7 @@ func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool, err error) {
 		b.done = make(chan struct{}, 1)
 	}
 	m.stageMu.Lock()
+	m.stagedTxns.Add(1)
 	bt := m.open
 	if bt == nil {
 		bt = m.pool.Get().(*batch)
@@ -385,6 +398,31 @@ func (m *Manager) LeaderFinish(b *Buffer) (uint64, error) {
 	return lsn, cerr
 }
 
+// Published records that a previously Staged transaction's commit state is
+// now visible to readers (the engine calls it right after the MVCC layer's
+// atomic commit-point store). Call exactly once per successful Stage,
+// regardless of how the batch I/O turned out — an aborted-after-stage or
+// failed-batch transaction still resolves its versions, which is all the
+// barrier needs.
+func (m *Manager) Published() { m.publishedTxns.Add(1) }
+
+// PublishBarrier returns once every transaction staged before the call has
+// published its commit state. Checkpointing runs it between capturing the
+// checkpoint's replay LSN and taking the snapshot timestamp: a frame can be
+// written — and the manager's LSN advanced past it — by its batch leader
+// before the staging goroutine executes the MVCC commit-point store, so
+// without the barrier a checkpoint could cover that frame on disk while its
+// snapshot scan still sees the version as uncommitted, and recovery (which
+// replays only from the checkpoint's LSN) would lose the acked commit. The
+// stage→publish window contains no blocking calls, so the wait is bounded and
+// short.
+func (m *Manager) PublishBarrier() {
+	c0 := m.stagedTxns.Load()
+	for m.publishedTxns.Load() < c0 {
+		runtime.Gosched()
+	}
+}
+
 // FollowerWait parks the calling committer until its batch's leader has
 // written (and, when configured, synced) the batch, then returns the
 // committer's end-of-frame LSN. Followers hold no latch while parked — the
@@ -404,6 +442,9 @@ func (m *Manager) Commit(txnID, cts uint64, b *Buffer) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Standalone commits have no separate publication step; count it here so
+	// PublishBarrier stays balanced for direct Manager.Commit users.
+	m.Published()
 	if leader {
 		return m.LeaderFinish(b)
 	}

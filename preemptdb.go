@@ -235,6 +235,9 @@ type DB struct {
 	// the segmented WAL log the engine appends to.
 	dir  *store.Dir
 	dlog *store.Log
+	// ckMu serializes CheckpointDisk: concurrent calls would race the
+	// write/prune/truncate sequence over the same directory listing.
+	ckMu sync.Mutex
 	// ctxPool recycles detached contexts for Run so repeated loader/admin
 	// calls reuse one oracle slot and one pooled transaction instead of
 	// registering a fresh slot per call.
@@ -750,15 +753,24 @@ var errNotFileBacked = errors.New("preemptdb: database is not file-backed (opene
 // fsync), prunes all but the newest checkpoints, and deletes WAL segments
 // wholly covered by the oldest retained one. The checkpoint is fuzzy — its
 // replay LSN is captured before the snapshot begins, and recovery's
-// apply-if-newer replay makes the overlap idempotent.
+// apply-if-newer replay makes the overlap idempotent. Safe for concurrent
+// use; calls are serialized.
 func (db *DB) CheckpointDisk() error {
 	if db.dir == nil {
 		return errNotFileBacked
 	}
+	db.ckMu.Lock()
+	defer db.ckMu.Unlock()
 	// Capture the replay start before the snapshot begins, then make the log
 	// durable through it: a checkpoint must never name a replay position its
 	// own log has not reached on disk.
 	lsn0 := db.eng.Log().LSN()
+	// Every transaction lsn0 covers must have published before the snapshot
+	// scan starts, or the checkpoint could miss a commit that replay-from-lsn0
+	// will never revisit. engine.Checkpoint runs this barrier itself (before
+	// drawing its snapshot timestamp); doing it here too keeps the invariant
+	// local to the lsn0 capture it protects.
+	db.eng.Log().PublishBarrier()
 	if err := db.eng.Log().Sync(); err != nil {
 		return err
 	}
