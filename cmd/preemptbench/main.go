@@ -7,7 +7,9 @@
 //	preemptbench -experiment fig10 -duration 3s -workers 2
 //	preemptbench -experiment all
 //
-// Experiments: fig1, uintr, switch, fig8, fig9, fig10, fig11, fig12, fig13, shed, all.
+// Experiments: fig1, uintr, switch, fig8, fig9, fig10, fig11, fig12, fig13,
+// shed, parallelscan, all. parallelscan also writes its result to -scanout
+// (BENCH_scan.json) in the same envelope as BENCH_commit.json.
 package main
 
 import (
@@ -21,10 +23,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig1|uintr|switch|trace|fig8|fig9|fig10|fig11|fig12|fig13|shed|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig1|uintr|switch|trace|fig8|fig9|fig10|fig11|fig12|fig13|shed|parallelscan|all)")
 		duration   = flag.Duration("duration", 3*time.Second, "measurement window per data point")
 		workers    = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
 		arrival    = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
+		scanout    = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,17 @@ func main() {
 			_, err = bench.Fig13(opt)
 		case "shed":
 			_, err = bench.Shed(opt)
+		case "parallelscan":
+			var res *bench.ScanResult
+			res, err = bench.ParallelScan(opt, nil)
+			if err == nil && *scanout != "" {
+				cmd := fmt.Sprintf("preemptbench -experiment parallelscan -duration %v", *duration)
+				notes := []string{
+					fmt.Sprintf("Host exposes %d CPU(s); wall-clock speedup from morsel parallelism requires spare physical cores — on a single-CPU host helpers timeshare one core and speedup is bounded at ~1x.", res.NumCPU),
+					"hi_* latencies: end-to-end Payment latency under PolicyPreempt while scans run continuously; parallel scans must keep p99 within noise of sequential (every helper is independently preemptible).",
+				}
+				err = bench.WriteScanJSON(*scanout, cmd, res, notes)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -74,7 +88,7 @@ func main() {
 
 	ids := []string{*experiment}
 	if *experiment == "all" {
-		ids = []string{"uintr", "switch", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shed"}
+		ids = []string{"uintr", "switch", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shed", "parallelscan"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

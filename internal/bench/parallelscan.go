@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/rng"
+	"preemptdb/internal/sched"
+	"preemptdb/internal/tpch"
+)
+
+// ScanPoint is one parallel data point of the parallelscan experiment: Q2
+// executed as a morsel-parallel scan at a given worker count.
+type ScanPoint struct {
+	Workers           int     `json:"workers"`
+	Morsels           int     `json:"morsels"`
+	Queries           uint64  `json:"queries"`
+	MeanQueryNs       float64 `json:"mean_query_ns"`
+	P50QueryNs        int64   `json:"p50_query_ns"`
+	MakespanNs        int64   `json:"makespan_ns"`
+	Speedup           float64 `json:"speedup_vs_sequential"`
+	MorselsStolen     uint64  `json:"morsels_stolen"`
+	PartitionRestarts uint64  `json:"partition_restarts"`
+}
+
+// ScanResult is the full parallelscan experiment output.
+type ScanResult struct {
+	// Sequential is the single-threaded baseline: Q2 with one morsel on the
+	// same scheduler configuration as the widest parallel point.
+	Sequential struct {
+		Workers     int     `json:"workers"`
+		Queries     uint64  `json:"queries"`
+		MeanQueryNs float64 `json:"mean_query_ns"`
+		P50QueryNs  int64   `json:"p50_query_ns"`
+		MakespanNs  int64   `json:"makespan_ns"`
+	} `json:"sequential"`
+	Points []ScanPoint `json:"points"`
+	// HiSeq / HiPar are high-priority TPC-C end-to-end latency summaries
+	// measured while sequential / morsel-parallel scans run continuously
+	// under PolicyPreempt — the "does stealing hurt preemption?" check.
+	HiSeq metrics.Summary `json:"-"`
+	HiPar metrics.Summary `json:"-"`
+	// JSON-friendly views of the two summaries.
+	HiSeqP50Ns int64 `json:"hi_seq_p50_ns"`
+	HiSeqP99Ns int64 `json:"hi_seq_p99_ns"`
+	HiParP50Ns int64 `json:"hi_par_p50_ns"`
+	HiParP99Ns int64 `json:"hi_par_p99_ns"`
+	NumCPU     int   `json:"num_cpu"`
+}
+
+// scanPhase runs the given Q2 queries one at a time at low priority and
+// reports the makespan, the per-query latency histogram, and scheduler
+// counters. Every mode executes the identical query list, so makespans are
+// directly comparable. With hiTraffic, TPC-C batches arrive every
+// opt.ArrivalInterval and their end-to-end latencies are recorded in hi; the
+// query list then repeats until the duration elapses (latency under steady
+// analytical load, not makespan, is the object there).
+func (f *Fixture) scanPhase(workers, morsels int, queries []tpch.Q2Params, duration time.Duration, hiTraffic bool) (makespan time.Duration, query, hi metrics.Histogram, stolen, restarts uint64) {
+	s := sched.New(sched.Config{
+		Policy:              sched.PolicyPreempt,
+		Workers:             workers,
+		HiQueueSize:         f.opts.HiQueueSize,
+		LoQueueSize:         f.opts.LoQueueSize,
+		YieldInterval:       f.opts.YieldInterval,
+		StarvationThreshold: f.opts.StarvationThreshold,
+	})
+	restartsBefore := f.Engine.PartitionRestarts()
+	s.Start()
+
+	stop := make(chan struct{})
+	hiDone := make(chan struct{})
+	if hiTraffic {
+		go func() {
+			defer close(hiDone)
+			gen := rng.New(0x5ca1ab1e)
+			warehouses := f.TPCC.Scale().Warehouses
+			var mu sync.Mutex
+			ticker := time.NewTicker(f.opts.ArrivalInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				now := clock.Nanos()
+				batch := make([]*sched.Request, workers*2)
+				for i := range batch {
+					w := uint32(gen.IntRange(1, warehouses))
+					req := &sched.Request{EnqueuedAt: now}
+					req.Work = func(ctx *pcontext.Context) error {
+						return f.TPCC.Payment(ctx, ctxRand(ctx), w)
+					}
+					req.OnDone = func(r *sched.Request) {
+						mu.Lock()
+						hi.Record(r.Latency())
+						mu.Unlock()
+					}
+					batch[i] = req
+				}
+				s.SubmitHighBatch(batch)
+			}
+		}()
+	} else {
+		close(hiDone)
+	}
+
+	// One analytical query in flight at a time: the makespan over the fixed
+	// list is the scan completion time the speedup is computed from.
+	phaseStart := clock.Nanos()
+	deadline := phaseStart + int64(duration)
+	for i := 0; ; i++ {
+		if hiTraffic {
+			// Latency phase: loop the list until the window closes.
+			if clock.Nanos() >= deadline {
+				break
+			}
+		} else if i >= len(queries) {
+			break
+		}
+		p := queries[i%len(queries)]
+		done := make(chan error, 1)
+		start := clock.Nanos()
+		ok := s.SubmitLow(0, &sched.Request{Work: func(ctx *pcontext.Context) error {
+			_, err := f.TPCH.Q2Ex(ctx, p, tpch.Q2Exec{Morsels: morsels})
+			return err
+		}, OnDone: func(r *sched.Request) { done <- r.Err }})
+		if !ok {
+			time.Sleep(100 * time.Microsecond)
+			i--
+			continue
+		}
+		if err := <-done; err == nil {
+			query.Record(clock.Nanos() - start)
+		}
+	}
+	makespan = time.Duration(clock.Nanos() - phaseStart)
+	close(stop)
+	<-hiDone
+	stolen = s.MorselsStolen()
+	s.Stop()
+	return makespan, query, hi, stolen, f.Engine.PartitionRestarts() - restartsBefore
+}
+
+// ParallelScan runs the morsel-driven analytical scan experiment: Q2
+// completion time sequentially vs morsel-parallel across worker counts, and
+// high-priority p99 while each scan mode runs continuously. Morsel fan-out is
+// 4x the worker count so the work-stealing queue stays non-trivially
+// populated. True wall-clock speedup requires spare physical CPUs: with
+// GOMAXPROCS=1 every helper timeshares one core and speedup tops out at ~1x
+// (the shape, not the host, is the reproduction target — see NumCPU in the
+// result).
+func ParallelScan(opt Options, workerCounts []int) (*ScanResult, error) {
+	opt = opt.withDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScanResult{NumCPU: runtime.NumCPU()}
+	maxW := workerCounts[len(workerCounts)-1]
+
+	// Fixed query list, identical in every mode so makespans compare the
+	// execution strategy and nothing else. Sized so the sequential pass runs
+	// for roughly opt.Duration (a Q2 at the default scale takes tens of ms).
+	nq := int(opt.Duration / (40 * time.Millisecond))
+	if nq < 4 {
+		nq = 4
+	}
+	gen := rng.New(0xbeefcafe)
+	queries := make([]tpch.Q2Params, nq)
+	for i := range queries {
+		queries[i] = tpch.RandomQ2Params(gen)
+	}
+
+	// Single-threaded baseline: one morsel, so the whole scan runs inline on
+	// the submitting worker, on the same scheduler width as the widest point.
+	seqWall, seqQ, _, _, _ := f.scanPhase(maxW, 1, queries, opt.Duration, false)
+	seq := seqQ.Summarize()
+	res.Sequential.Workers = maxW
+	res.Sequential.Queries = seq.Count
+	res.Sequential.MeanQueryNs = seq.Mean
+	res.Sequential.P50QueryNs = seq.P50
+	res.Sequential.MakespanNs = int64(seqWall)
+
+	tbl := metrics.NewTable("mode", "workers", "morsels", "queries", "makespan", "mean", "p50", "speedup", "stolen", "restarts")
+	tbl.AddRow("sequential", maxW, 1, seq.Count, seqWall.Round(time.Millisecond), fmtNs(int64(seq.Mean)), fmtNs(seq.P50), "1.00x", 0, 0)
+	for _, w := range workerCounts {
+		morsels := 4 * w
+		wall, q, _, stolen, restarts := f.scanPhase(w, morsels, queries, opt.Duration, false)
+		sum := q.Summarize()
+		pt := ScanPoint{
+			Workers: w, Morsels: morsels,
+			Queries: sum.Count, MeanQueryNs: sum.Mean, P50QueryNs: sum.P50,
+			MakespanNs:    int64(wall),
+			MorselsStolen: stolen, PartitionRestarts: restarts,
+		}
+		if wall > 0 {
+			pt.Speedup = float64(seqWall) / float64(wall)
+		}
+		res.Points = append(res.Points, pt)
+		tbl.AddRow("parallel", w, morsels, sum.Count, wall.Round(time.Millisecond), fmtNs(int64(sum.Mean)), fmtNs(sum.P50),
+			fmt.Sprintf("%.2fx", pt.Speedup), stolen, restarts)
+	}
+	fmt.Fprintf(opt.Out, "Morsel-parallel Q2: makespan of %d identical queries (NumCPU=%d)\n", nq, res.NumCPU)
+	fmt.Fprint(opt.Out, tbl.String())
+
+	// High-priority latency while scans run continuously: sequential vs
+	// parallel at the widest worker count, under PolicyPreempt.
+	_, _, hiSeq, _, _ := f.scanPhase(maxW, 1, queries, opt.Duration, true)
+	_, _, hiPar, _, _ := f.scanPhase(maxW, 4*maxW, queries, opt.Duration, true)
+	res.HiSeq = hiSeq.Summarize()
+	res.HiPar = hiPar.Summarize()
+	res.HiSeqP50Ns, res.HiSeqP99Ns = res.HiSeq.P50, res.HiSeq.P99
+	res.HiParP50Ns, res.HiParP99Ns = res.HiPar.P50, res.HiPar.P99
+
+	tbl2 := metrics.NewTable("scan mode", "hi n", "hi p50", "hi p99", "hi p99.9")
+	tbl2.AddRow("sequential", res.HiSeq.Count, fmtNs(res.HiSeq.P50), fmtNs(res.HiSeq.P99), fmtNs(res.HiSeq.P999))
+	tbl2.AddRow("parallel", res.HiPar.Count, fmtNs(res.HiPar.P50), fmtNs(res.HiPar.P99), fmtNs(res.HiPar.P999))
+	fmt.Fprintln(opt.Out, "High-priority Payment latency during continuous scans (PolicyPreempt)")
+	fmt.Fprint(opt.Out, tbl2.String())
+	return res, nil
+}
+
+// WriteScanJSON emits a ScanResult in the same envelope as BENCH_commit.json.
+func WriteScanJSON(path, command string, res *ScanResult, notes []string) error {
+	doc := map[string]any{
+		"date":    time.Now().Format("2006-01-02"),
+		"cpu":     cpuModel(),
+		"go":      runtime.GOOS + "/" + runtime.GOARCH,
+		"command": command,
+		"results": res,
+		"notes":   notes,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// cpuModel best-effort reads the CPU model name (linux), falling back to the
+// architecture string.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				return strings.TrimLeft(rest, " \t:")
+			}
+		}
+	}
+	return runtime.GOARCH
+}

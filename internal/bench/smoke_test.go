@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"preemptdb/internal/tpch"
+
 	"os"
 	"testing"
 	"time"
@@ -22,5 +24,35 @@ func TestSmokeFig1(t *testing.T) {
 	for _, r := range rs {
 		t.Logf("%s: NO n=%d schedP50=%v Q2 n=%d noTPS=%.0f q2TPS=%.1f intr=%d drop=%d",
 			r.Policy, r.NewOrderSched.Count, time.Duration(r.NewOrderSched.P50), r.Q2.Count, r.NewOrderTPS, r.Q2TPS, r.InterruptsSent, r.DroppedHi)
+	}
+}
+
+// TestSmokeParallelScan exercises the parallelscan experiment end to end at a
+// small scale; CI runs it in short mode as the benchmark smoke step.
+func TestSmokeParallelScan(t *testing.T) {
+	opt := Options{
+		Workers:  2,
+		Duration: 200 * time.Millisecond,
+		TPCH:     tpch.ScaleConfig{Parts: 4000, Suppliers: 100},
+		Out:      os.Stderr,
+	}
+	res, err := ParallelScan(opt, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Sequential.Queries == 0 {
+		t.Fatal("baseline ran no queries")
+	}
+	for _, p := range res.Points {
+		if p.Queries != res.Sequential.Queries {
+			t.Fatalf("point %+v ran %d queries, baseline %d — makespans not comparable",
+				p, p.Queries, res.Sequential.Queries)
+		}
+	}
+	if res.HiSeq.Count == 0 || res.HiPar.Count == 0 {
+		t.Fatal("hi-priority phases recorded nothing")
 	}
 }

@@ -146,6 +146,35 @@ func (e *Engine) Commits() uint64 { return e.commits.Load() }
 // Aborts returns the number of aborted transactions.
 func (e *Engine) Aborts() uint64 { return e.aborts.Load() }
 
+// IndexRestarts returns the cumulative optimistic-restart count across every
+// table's primary and secondary B+trees — the contention signal for point
+// operations and scans.
+func (e *Engine) IndexRestarts() uint64 {
+	var total uint64
+	for _, t := range e.tablesByID() {
+		total += t.primary.Restarts()
+		t.forEachSecondary(func(si *secondaryIndex) {
+			total += si.tree.Restarts()
+		})
+	}
+	return total
+}
+
+// PartitionRestarts returns the cumulative whole-sample restart count of the
+// morsel partition helper across every table, surfaced separately from
+// IndexRestarts because one partition restart re-reads a whole level
+// frontier.
+func (e *Engine) PartitionRestarts() uint64 {
+	var total uint64
+	for _, t := range e.tablesByID() {
+		total += t.primary.PartitionRestarts()
+		t.forEachSecondary(func(si *secondaryIndex) {
+			total += si.tree.PartitionRestarts()
+		})
+	}
+	return total
+}
+
 // KeyExtractor derives a secondary-index key from a row. Secondary indexes
 // are non-unique: the engine appends the primary key to the extracted key as
 // a uniquifier, so several rows may share an extracted key and scans stay in

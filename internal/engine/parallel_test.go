@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"preemptdb/internal/keys"
+	"preemptdb/internal/pcontext"
+)
+
+// goSpawner returns a SpawnFunc running helper tasks on plain goroutines
+// with detached contexts — the scheduler-free harness for operator tests —
+// plus a wait func that joins the helpers and detaches their contexts.
+func goSpawner(e *Engine) (SpawnFunc, func()) {
+	var wg sync.WaitGroup
+	spawn := func(fn func(ctx *pcontext.Context)) bool {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := pcontext.Detached()
+			defer e.DetachContext(ctx)
+			fn(ctx)
+		}()
+		return true
+	}
+	return spawn, wg.Wait
+}
+
+// loadRows fills table with n rows key(i) -> uint64(i) and returns the sum.
+func loadSumRows(t *testing.T, e *Engine, tab *Table, n int) uint64 {
+	t.Helper()
+	var total uint64
+	tx := e.Begin(nil)
+	for i := 0; i < n; i++ {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], uint64(i))
+		if err := tx.Insert(tab, keys.Uint32(nil, uint32(i)), v[:]); err != nil {
+			t.Fatal(err)
+		}
+		total += uint64(i)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+type sumPart struct {
+	sum   uint64
+	count int
+}
+
+func sumBody(tab *Table) func(sub *Txn, m Morsel) (sumPart, error) {
+	return func(sub *Txn, m Morsel) (sumPart, error) {
+		var p sumPart
+		err := sub.Scan(tab, m.From, m.To, func(_, v []byte) bool {
+			p.sum += binary.LittleEndian.Uint64(v)
+			p.count++
+			return true
+		})
+		return p, err
+	}
+}
+
+func mergeSum(a, b sumPart) sumPart { return sumPart{a.sum + b.sum, a.count + b.count} }
+
+func TestParallelScanInline(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	want := loadSumRows(t, e, tab, 5000)
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	var st ParallelScanStats
+	got, err := ParallelScan(tx, tab, nil, nil, ParallelScanConfig{Morsels: 8, Stats: &st},
+		sumBody(tab), mergeSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.sum != want || got.count != 5000 {
+		t.Fatalf("sum=%d count=%d, want %d/5000", got.sum, got.count, want)
+	}
+	if st.Helpers != 0 || st.Inline != st.Morsels {
+		t.Fatalf("inline run used helpers: %+v", st)
+	}
+	if st.Morsels < 2 {
+		t.Fatalf("tree of 5000 rows partitioned into %d morsels", st.Morsels)
+	}
+}
+
+func TestParallelScanWithHelpers(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	want := loadSumRows(t, e, tab, 20000)
+	spawn, wait := goSpawner(e)
+	tx := e.Begin(pcontext.Detached())
+	defer tx.Abort()
+	var st ParallelScanStats
+	got, err := ParallelScan(tx, tab, nil, nil,
+		ParallelScanConfig{Morsels: 16, Spawn: spawn, Stats: &st},
+		sumBody(tab), mergeSum)
+	wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.sum != want || got.count != 20000 {
+		t.Fatalf("sum=%d count=%d, want %d/20000", got.sum, got.count, want)
+	}
+	if st.Morsels < 8 {
+		t.Fatalf("only %d morsels", st.Morsels)
+	}
+	// Slot hygiene: all helper slots must have been unregistered by wait().
+	total, free := e.Oracle().SlotCount()
+	if total-free < 1 || total-free > 1 {
+		t.Fatalf("slot leak: total=%d free=%d", total, free)
+	}
+}
+
+func TestParallelScanBoundedRange(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	loadSumRows(t, e, tab, 10000)
+	spawn, wait := goSpawner(e)
+	tx := e.Begin(pcontext.Detached())
+	defer tx.Abort()
+	got, err := ParallelScan(tx, tab, keys.Uint32(nil, 1000), keys.Uint32(nil, 9000),
+		ParallelScanConfig{Morsels: 8, Spawn: spawn}, sumBody(tab), mergeSum)
+	wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 1000; i < 9000; i++ {
+		want += uint64(i)
+	}
+	if got.sum != want || got.count != 8000 {
+		t.Fatalf("sum=%d count=%d, want %d/8000", got.sum, got.count, want)
+	}
+}
+
+// TestParallelScanSharedSnapshot: rows committed after the parent began are
+// invisible to every morsel, even those executed by helpers that start long
+// after the commit.
+func TestParallelScanSharedSnapshot(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	want := loadSumRows(t, e, tab, 8000)
+	tx := e.Begin(pcontext.Detached())
+	defer tx.Abort()
+
+	// Concurrent writer commits after the parent's snapshot.
+	w := e.Begin(nil)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], 1<<40)
+	if err := w.Put(tab, keys.Uint32(nil, 99999), v[:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		binary.LittleEndian.PutUint64(v[:], 1<<41)
+		if err := w.Put(tab, keys.Uint32(nil, uint32(i)), v[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	spawn, wait := goSpawner(e)
+	got, err := ParallelScan(tx, tab, nil, nil,
+		ParallelScanConfig{Morsels: 16, Spawn: spawn}, sumBody(tab), mergeSum)
+	wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.sum != want || got.count != 8000 {
+		t.Fatalf("snapshot leak: sum=%d count=%d, want %d/8000", got.sum, got.count, want)
+	}
+}
+
+func TestParallelScanRejectsWriterParent(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	loadSumRows(t, e, tab, 100)
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	if err := tx.Update(tab, keys.Uint32(nil, 1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ParallelScan(tx, tab, nil, nil, ParallelScanConfig{}, sumBody(tab), mergeSum)
+	if !errors.Is(err, ErrParallelScanWrites) {
+		t.Fatalf("err = %v, want ErrParallelScanWrites", err)
+	}
+}
+
+func TestMorselReaderIsReadOnly(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	loadSumRows(t, e, tab, 4000)
+	spawn, wait := goSpawner(e)
+	tx := e.Begin(pcontext.Detached())
+	defer tx.Abort()
+	var sawHelper, sawRefusal atomic.Bool
+	_, err := ParallelScan(tx, tab, nil, nil,
+		ParallelScanConfig{Morsels: 8, Spawn: spawn},
+		func(sub *Txn, m Morsel) (struct{}, error) {
+			if sub != tx {
+				sawHelper.Store(true)
+				if err := sub.Put(tab, keys.Uint32(nil, 7), []byte("x")); !errors.Is(err, ErrTxnReadOnly) {
+					t.Errorf("helper Put err = %v, want ErrTxnReadOnly", err)
+				}
+				if err := sub.Commit(); !errors.Is(err, ErrTxnReadOnly) {
+					t.Errorf("helper Commit err = %v, want ErrTxnReadOnly", err)
+				}
+				sawRefusal.Store(true)
+			}
+			return struct{}{}, nil
+		},
+		func(a, _ struct{}) struct{} { return a })
+	wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawHelper.Load() && !sawRefusal.Load() {
+		t.Fatal("helper ran but refusal path not exercised")
+	}
+}
+
+// TestParallelScanErrorCancelsHelpers: the first body error is returned and
+// running helpers are canceled rather than left to finish the whole table.
+func TestParallelScanError(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	loadSumRows(t, e, tab, 20000)
+	spawn, wait := goSpawner(e)
+	tx := e.Begin(pcontext.Detached())
+	defer tx.Abort()
+	boom := errors.New("boom")
+	_, err := ParallelScan(tx, tab, nil, nil,
+		ParallelScanConfig{Morsels: 16, Spawn: spawn},
+		func(sub *Txn, m Morsel) (int, error) {
+			if m.Index == 3 {
+				return 0, boom
+			}
+			n := 0
+			scanErr := sub.Scan(tab, m.From, m.To, func(_, _ []byte) bool { n++; return true })
+			return n, scanErr
+		},
+		func(a, b int) int { return a + b })
+	wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestParallelScanCanceledParent: a parent canceled mid-scan propagates its
+// lifecycle error out of ParallelScan.
+func TestParallelScanCanceledParent(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	loadSumRows(t, e, tab, 10000)
+	ctx := pcontext.Detached()
+	ctx.Arm(0)
+	tx := e.Begin(ctx)
+	defer tx.Abort()
+	rows := 0
+	_, err := ParallelScan(tx, tab, nil, nil, ParallelScanConfig{Morsels: 8},
+		func(sub *Txn, m Morsel) (struct{}, error) {
+			scanErr := sub.Scan(tab, m.From, m.To, func(_, _ []byte) bool {
+				rows++
+				if rows == 100 {
+					ctx.Cancel()
+				}
+				return true
+			})
+			return struct{}{}, scanErr
+		},
+		func(a, _ struct{}) struct{} { return a })
+	if !errors.Is(err, pcontext.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if rows >= 10000 {
+		t.Fatal("cancel did not unwind the scan")
+	}
+}
+
+// TestParallelScanVacuumSafety: a parallel scan's helper slots keep the GC
+// horizon behind the query, so a full vacuum during the scan reclaims
+// nothing the snapshot can read.
+func TestParallelScanVacuumSafety(t *testing.T) {
+	e := newEngine()
+	tab := e.CreateTable("t")
+	want := loadSumRows(t, e, tab, 8000)
+	tx := e.Begin(pcontext.Detached())
+	defer tx.Abort()
+
+	// Overwrite every row after the parent began, then vacuum mid-scan.
+	w := e.Begin(nil)
+	for i := 0; i < 8000; i++ {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], 1<<50)
+		if err := w.Update(tab, keys.Uint32(nil, uint32(i)), v[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	spawn, wait := goSpawner(e)
+	vacuumed := make(chan int, 1)
+	got, err := ParallelScan(tx, tab, nil, nil,
+		ParallelScanConfig{Morsels: 16, Spawn: spawn},
+		func(sub *Txn, m Morsel) (sumPart, error) {
+			if m.Index == 1 {
+				vacuumed <- e.Vacuum(nil)
+			}
+			return sumBody(tab)(sub, m)
+		}, mergeSum)
+	wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.sum != want || got.count != 8000 {
+		t.Fatalf("vacuum reclaimed under the scan: sum=%d count=%d, want %d/8000", got.sum, got.count, want)
+	}
+	select {
+	case <-vacuumed:
+	default:
+		t.Fatal("vacuum probe did not run")
+	}
+}

@@ -21,6 +21,12 @@ type Txn struct {
 	logBuf *wal.Buffer
 	done   bool
 
+	// readonly marks a morsel-helper reader sharing a parent transaction's
+	// snapshot (see ParallelScan): every write method refuses, and its
+	// lifecycle belongs to the operator, so Commit refuses and Abort is a
+	// no-op.
+	readonly bool
+
 	// Group-commit state for the Commit in flight. stageFn is bound once at
 	// construction so handing it to mvcc.Commit does not allocate a closure
 	// per commit.
@@ -60,6 +66,7 @@ func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
 	buf.Reset()
 	t.logBuf = buf
 	t.done = false
+	t.readonly = false
 	t.inner = e.oracle.Begin(ctx, iso, slot)
 	return t
 }
@@ -112,6 +119,9 @@ func (t *Txn) Get(table *Table, key []byte) ([]byte, error) {
 // to this transaction already exists, and with ErrWriteConflict when an
 // in-flight or snapshot-invisible newer row contends.
 func (t *Txn) Insert(table *Table, key, value []byte) error {
+	if t.readonly {
+		return ErrTxnReadOnly
+	}
 	if err := t.eng.log.Err(); err != nil {
 		return err // WAL failed: the engine is read-only, refuse before buffering
 	}
@@ -133,6 +143,9 @@ func (t *Txn) Insert(table *Table, key, value []byte) error {
 
 // Update overwrites an existing visible row.
 func (t *Txn) Update(table *Table, key, value []byte) error {
+	if t.readonly {
+		return ErrTxnReadOnly
+	}
 	if err := t.eng.log.Err(); err != nil {
 		return err
 	}
@@ -152,6 +165,9 @@ func (t *Txn) Update(table *Table, key, value []byte) error {
 
 // Put inserts or overwrites the row (upsert).
 func (t *Txn) Put(table *Table, key, value []byte) error {
+	if t.readonly {
+		return ErrTxnReadOnly
+	}
 	if err := t.eng.log.Err(); err != nil {
 		return err
 	}
@@ -175,6 +191,9 @@ func (t *Txn) Put(table *Table, key, value []byte) error {
 
 // Delete tombstones a visible row.
 func (t *Txn) Delete(table *Table, key []byte) error {
+	if t.readonly {
+		return ErrTxnReadOnly
+	}
 	if err := t.eng.log.Err(); err != nil {
 		return err
 	}
@@ -288,6 +307,9 @@ func (t *Txn) scanTreeDesc(tree *index.Tree[*mvcc.Record], from, to []byte, fn S
 // simply not replayed — but callers mirroring the log elsewhere must treat a
 // non-nil return as "committed here, not durable".
 func (t *Txn) Commit() error {
+	if t.readonly {
+		return ErrTxnReadOnly // morsel readers are finished by ParallelScan
+	}
 	if t.done {
 		return mvcc.ErrTxnDone
 	}
@@ -332,9 +354,11 @@ func (t *Txn) Commit() error {
 }
 
 // Abort rolls the transaction back. Abort after Commit (or a second Abort)
-// is a harmless no-op so callers can `defer tx.Abort()`.
+// is a harmless no-op so callers can `defer tx.Abort()`. On a read-only
+// morsel reader it is also a no-op: the reader's lifecycle belongs to
+// ParallelScan, and counting it as an engine abort would pollute the stats.
 func (t *Txn) Abort() {
-	if t.done {
+	if t.done || t.readonly {
 		return
 	}
 	t.done = true

@@ -124,6 +124,10 @@ type Tree[V any] struct {
 	root     atomic.Pointer[node[V]]
 	size     atomic.Int64
 	restarts atomic.Uint64
+	// partitionRestarts counts whole-sample restarts of the Partition helper
+	// separately from point/scan restarts: a partition retry re-reads an
+	// entire level frontier, so the two signals have very different costs.
+	partitionRestarts atomic.Uint64
 }
 
 // New returns an empty tree.
@@ -139,6 +143,10 @@ func (t *Tree[V]) Len() int { return int(t.size.Load()) }
 // Restarts returns the cumulative number of optimistic restarts, an
 // observability hook for contention experiments.
 func (t *Tree[V]) Restarts() uint64 { return t.restarts.Load() }
+
+// PartitionRestarts returns the cumulative number of whole-sample restarts
+// taken by Partition, surfaced separately from Restarts for observability.
+func (t *Tree[V]) PartitionRestarts() uint64 { return t.partitionRestarts.Load() }
 
 // Get returns the value stored under key. ctx may be nil; when set, the
 // traversal polls it at every node, making lookups preemptible.

@@ -1,0 +1,205 @@
+package index
+
+import (
+	"bytes"
+	"sort"
+
+	"preemptdb/internal/pcontext"
+)
+
+// Range is one half-open key range [From, To) produced by Partition. A nil
+// From or To keeps the corresponding bound open, matching Scan's convention.
+type Range struct {
+	From, To []byte
+}
+
+// partitionMaxAttempts bounds how many whole-sample restarts Partition takes
+// before falling back to a single range: under heavy structural churn a
+// degenerate (unpartitioned) answer is still correct, just unbalanced.
+const partitionMaxAttempts = 8
+
+// partitionMaxFrontier caps how many nodes of one level the sampler reads.
+// The sample only needs enough separators for a few dozen morsels; reading an
+// entire wide level (or the leaf level) would turn a hint computation into a
+// scan.
+const partitionMaxFrontier = 64
+
+// Partition splits [from, to) into up to n balanced half-open ranges by
+// sampling separator keys from the upper B+tree levels, for fan-out to
+// parallel scan morsels. Each sampled node is copied under a briefly-held
+// per-node latch that is released before the next node — no latch is ever
+// held across node boundaries, polls, or the sample as a whole — and a node
+// that turned obsolete restarts the whole sample (counted in
+// PartitionRestarts). The returned ranges always form an exact contiguous
+// cover of [from, to); under churn or on small trees there may be fewer than
+// n of them, down to the single input range.
+//
+// Separators are only balance hints: a key sampled from an inner node is a
+// valid range bound whether or not it still exists as a live row, so the
+// cover is correct even when the sampled node has since split. Like Scan's
+// emitted keys, the returned bounds reference the tree's immutable key
+// allocations and must not be modified.
+func (t *Tree[V]) Partition(ctx *pcontext.Context, from, to []byte, n int) []Range {
+	single := []Range{{From: from, To: to}}
+	if n <= 1 {
+		return single
+	}
+	var seps [][]byte
+	for attempt := 0; ; attempt++ {
+		var ok bool
+		seps, ok = t.sampleSeparators(ctx, from, to, n-1)
+		if ok {
+			break
+		}
+		t.partitionRestarts.Add(1)
+		if attempt >= partitionMaxAttempts {
+			return single
+		}
+	}
+	if len(seps) == 0 {
+		return single
+	}
+	sort.Slice(seps, func(i, j int) bool { return bytes.Compare(seps[i], seps[j]) < 0 })
+	seps = compactKeys(seps)
+	// Pick n-1 evenly spaced separators from the sorted candidate set.
+	if len(seps) > n-1 {
+		picked := make([][]byte, 0, n-1)
+		for i := 1; i < n; i++ {
+			picked = append(picked, seps[i*len(seps)/n])
+		}
+		seps = compactKeys(picked)
+	}
+	ranges := make([]Range, 0, len(seps)+1)
+	lo := from
+	for _, s := range seps {
+		ranges = append(ranges, Range{From: lo, To: s})
+		lo = s
+	}
+	return append(ranges, Range{From: lo, To: to})
+}
+
+// compactKeys removes adjacent duplicates from a sorted key list in place.
+func compactKeys(keys [][]byte) [][]byte {
+	out := keys[:0]
+	for _, k := range keys {
+		if len(out) == 0 || !bytes.Equal(out[len(out)-1], k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// sampleSeparators performs one level-by-level descent collecting keys
+// strictly inside (from, to) from the upper levels, stopping as soon as it
+// has `want` candidates or the frontier grows past the sampling budget.
+// ok=false requests a restart (a sampled node turned obsolete, or the root
+// moved under us).
+func (t *Tree[V]) sampleSeparators(ctx *pcontext.Context, from, to []byte, want int) ([][]byte, bool) {
+	root := t.root.Load()
+	keys, children, leaf, ok := t.sampleNode(ctx, root, from, to, true)
+	if !ok {
+		return nil, false
+	}
+	if leaf {
+		// Single-leaf tree: at most maxKeys rows, not worth splitting.
+		return nil, true
+	}
+	seps := keys
+	frontier := children
+	for len(seps) < want && len(frontier) > 0 && len(frontier) <= partitionMaxFrontier {
+		var next []*node[V]
+		atLeaves := false
+		for _, n := range frontier {
+			ctx.Poll()
+			keys, children, leaf, ok := t.sampleNode(ctx, n, from, to, false)
+			if !ok {
+				return nil, false
+			}
+			seps = append(seps, keys...)
+			if leaf {
+				atLeaves = true
+			} else {
+				next = append(next, children...)
+			}
+		}
+		if atLeaves {
+			break
+		}
+		frontier = next
+	}
+	return seps, true
+}
+
+// sampleNode copies node n's keys inside (from, to) — and, for inner nodes,
+// the child pointers whose subtrees intersect [from, to) — under a briefly
+// held latch, released before returning. The latched section runs
+// non-preemptibly like every other latched section in this tree (a
+// preemption while latched could deadlock a same-core transaction). The key
+// slice headers reference the tree's immutable key allocations, so retaining
+// them after the latch drops is safe (the same argument Scan makes for its
+// emitted keys).
+func (t *Tree[V]) sampleNode(ctx *pcontext.Context, n *node[V], from, to []byte, isRoot bool) (keys [][]byte, children []*node[V], leaf bool, ok bool) {
+	pcontext.NonPreemptible(ctx, func() {
+		if !n.latchForRead() {
+			return // obsolete: restart the sample
+		}
+		if isRoot && t.root.Load() != n {
+			n.unlatchForRead()
+			return // root grew between load and latch
+		}
+		leaf = n.leaf
+		for i := 0; i < n.numKeys; i++ {
+			k := n.keys[i]
+			if from != nil && bytes.Compare(k, from) <= 0 {
+				continue
+			}
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				break
+			}
+			keys = append(keys, k)
+		}
+		if !leaf {
+			lo := 0
+			if from != nil {
+				lo = n.childIndex(from)
+			}
+			hi := n.numKeys
+			if to != nil {
+				hi, _ = n.search(to)
+			}
+			for i := lo; i <= hi && i <= n.numKeys; i++ {
+				children = append(children, n.children[i])
+			}
+		}
+		n.unlatchForRead()
+		ok = true
+	})
+	return keys, children, leaf, ok
+}
+
+// latchForRead acquires n's latch for a pure read, spinning like writeLock
+// and failing only on obsolete nodes. Pair with unlatchForRead, which —
+// unlike writeUnlock — restores the version word unchanged: nothing was
+// modified, so concurrent optimistic readers must not be forced to restart
+// on account of a read-only sampler. Writers spin for the (nanoseconds-long)
+// hold; the latch is never held across node boundaries.
+func (n *node[V]) latchForRead() bool {
+	for {
+		v := n.version.Load()
+		if v&obsoleteBit != 0 {
+			return false
+		}
+		if v&lockedBit != 0 {
+			continue
+		}
+		if n.version.CompareAndSwap(v, v|lockedBit) {
+			return true
+		}
+	}
+}
+
+// unlatchForRead releases a latch taken by latchForRead without bumping the
+// version counter.
+func (n *node[V]) unlatchForRead() {
+	n.version.Add(^uint64(lockedBit) + 1)
+}

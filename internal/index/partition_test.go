@@ -1,0 +1,155 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// checkCover asserts ranges form an exact contiguous cover of [from, to).
+func checkCover(t *testing.T, ranges []Range, from, to []byte) {
+	t.Helper()
+	if len(ranges) == 0 {
+		t.Fatal("empty partition")
+	}
+	if !bytes.Equal(ranges[0].From, from) {
+		t.Fatalf("first range starts at %x, want %x", ranges[0].From, from)
+	}
+	if !bytes.Equal(ranges[len(ranges)-1].To, to) {
+		t.Fatalf("last range ends at %x, want %x", ranges[len(ranges)-1].To, to)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if !bytes.Equal(ranges[i-1].To, ranges[i].From) {
+			t.Fatalf("gap between range %d and %d: %x != %x", i-1, i, ranges[i-1].To, ranges[i].From)
+		}
+		if ranges[i].From == nil {
+			t.Fatalf("interior bound %d is nil", i)
+		}
+	}
+	for i, r := range ranges {
+		if r.From != nil && r.To != nil && bytes.Compare(r.From, r.To) >= 0 {
+			t.Fatalf("range %d not increasing: %x >= %x", i, r.From, r.To)
+		}
+	}
+}
+
+// scanCount counts keys the tree holds in [from, to).
+func scanCount(tr *Tree[int], from, to []byte) int {
+	n := 0
+	tr.Scan(nil, from, to, func([]byte, int) bool { n++; return true })
+	return n
+}
+
+func TestPartitionSmallTree(t *testing.T) {
+	tr := New[int]()
+	// Empty tree and single-leaf tree: one degenerate range.
+	for _, n := range []int{0, 5} {
+		for i := 0; i < n; i++ {
+			tr.Insert(nil, key(i), i)
+		}
+		ranges := tr.Partition(nil, nil, nil, 8)
+		if len(ranges) != 1 || ranges[0].From != nil || ranges[0].To != nil {
+			t.Fatalf("small tree (%d keys): got %d ranges %v", n, len(ranges), ranges)
+		}
+	}
+}
+
+func TestPartitionCoverAndBalance(t *testing.T) {
+	tr := New[int]()
+	const n = 20000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		tr.Insert(nil, key(i), i)
+	}
+	for _, want := range []int{2, 4, 8, 16, 64} {
+		ranges := tr.Partition(nil, nil, nil, want)
+		checkCover(t, ranges, nil, nil)
+		if len(ranges) < 2 || len(ranges) > want {
+			t.Fatalf("want up to %d ranges, got %d", want, len(ranges))
+		}
+		total := 0
+		max := 0
+		for _, r := range ranges {
+			c := scanCount(tr, r.From, r.To)
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		if total != n {
+			t.Fatalf("ranges cover %d keys, want %d", total, n)
+		}
+		// Balance: the largest morsel should be well under the whole range.
+		if len(ranges) >= 4 && max > n/2 {
+			t.Fatalf("unbalanced partition: largest morsel %d of %d keys over %d ranges", max, n, len(ranges))
+		}
+	}
+}
+
+func TestPartitionBoundedRange(t *testing.T) {
+	tr := New[int]()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Insert(nil, key(i), i)
+	}
+	from, to := key(3000), key(17000)
+	ranges := tr.Partition(nil, from, to, 8)
+	checkCover(t, ranges, from, to)
+	total := 0
+	for _, r := range ranges {
+		// Every interior bound must stay inside (from, to).
+		if r.From != nil && !bytes.Equal(r.From, from) {
+			if bytes.Compare(r.From, from) <= 0 || bytes.Compare(r.From, to) >= 0 {
+				t.Fatalf("separator %x outside (%x, %x)", r.From, from, to)
+			}
+		}
+		total += scanCount(tr, r.From, r.To)
+	}
+	if total != 14000 {
+		t.Fatalf("ranges cover %d keys, want 14000", total)
+	}
+}
+
+// TestPartitionConcurrent hammers Partition while writers churn the tree; the
+// result must stay a valid cover on every sample and the restart counter must
+// stay separate from the point-op counter.
+func TestPartitionConcurrent(t *testing.T) {
+	tr := New[int]()
+	const n = 8192
+	for i := 0; i < n; i++ {
+		tr.Insert(nil, key(i*2), i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := r.Intn(n * 2)
+			if k%2 == 1 {
+				// Odd keys churn: insert and delete to force splits.
+				tr.Insert(nil, key(k), k)
+				tr.Delete(nil, key(k))
+			} else {
+				tr.Insert(nil, key(k), k)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		ranges := tr.Partition(nil, nil, nil, 16)
+		checkCover(t, ranges, nil, nil)
+	}
+	close(stop)
+	wg.Wait()
+	// Partition under churn must never have bumped the point-op counter via
+	// its own restarts (they are tracked separately); just exercise both.
+	_ = tr.Restarts()
+	_ = tr.PartitionRestarts()
+}

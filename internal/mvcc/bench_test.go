@@ -142,3 +142,55 @@ func BenchmarkTrimChain16(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMinActiveBegin measures the vacuum-side horizon scan over a slot
+// table sized like a busy process (workers + morsel helper slots). The scan
+// walks the atomically-published snapshot without taking the registration
+// lock, so its cost is pure iteration.
+func BenchmarkMinActiveBegin(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("slots=%d", n), func(b *testing.B) {
+			o := NewOracle()
+			for i := 0; i < n; i++ {
+				s := o.RegisterSlot()
+				s.begin.Store(uint64(i + 1))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if o.MinActiveBegin() != 0 {
+					b.Fatal("horizon moved")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegisterUnderGC measures slot register/unregister while a
+// concurrent goroutine runs the GC horizon scan in a tight loop — the
+// contention pattern the snapshot publication removes (a mu-guarded scan
+// would serialize every Register against every vacuum cycle).
+func BenchmarkRegisterUnderGC(b *testing.B) {
+	o := NewOracle()
+	for i := 0; i < 256; i++ {
+		s := o.RegisterSlot()
+		s.begin.Store(uint64(i + 1))
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				o.MinActiveBegin()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := o.RegisterSlot()
+		o.UnregisterSlot(s)
+	}
+	b.StopTimer()
+	close(stop)
+}

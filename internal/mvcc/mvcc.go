@@ -307,8 +307,19 @@ type Oracle struct {
 	clock  atomic.Uint64
 	nextID atomic.Uint64
 
+	// slots is an atomically-published snapshot of the slot table. Writers
+	// (RegisterSlot growing the table) copy-on-write under mu and publish the
+	// new slice; MinActiveBegin — called on every vacuum cycle, and scanning
+	// a table that now also carries per-query morsel helper slots — iterates
+	// a loaded snapshot without taking mu, so GC never blocks registration.
+	// Slots are only ever appended, never removed (unregistration recycles
+	// them through freeSlots with begin=0), so a stale snapshot misses at
+	// most slots registered after the load — and any transaction on such a
+	// slot began at or after the clock value already loaded as the horizon
+	// bound, exactly the argument Begin's conservative advertisement makes.
+	slots atomic.Pointer[[]*ActiveSlot]
+
 	mu        sync.Mutex
-	slots     []*ActiveSlot
 	freeSlots []int // indexes of unregistered slots available for reuse
 
 	// commitMu serializes Serializable validation+publication (backward
@@ -351,7 +362,11 @@ func (s *ActiveSlot) newVersion() *Version {
 }
 
 // NewOracle returns an oracle with the clock at 0 (first commit gets ts 1).
-func NewOracle() *Oracle { return &Oracle{} }
+func NewOracle() *Oracle {
+	o := &Oracle{}
+	o.slots.Store(&[]*ActiveSlot{})
+	return o
+}
 
 // Clock returns the current value of the commit-timestamp counter.
 func (o *Oracle) Clock() uint64 { return o.clock.Load() }
@@ -394,6 +409,42 @@ func (o *Oracle) Begin(ctx *pcontext.Context, iso IsolationLevel, slot *ActiveSl
 	return t
 }
 
+// BeginAt starts a read-only helper transaction pinned at the snapshot
+// timestamp begin instead of the current clock — the entry point for morsel
+// helpers that share one analytical query's snapshot across contexts. The
+// slot advertises the shared begin so the vacuum horizon can never pass it
+// while the helper runs; there is no clock re-read race here because safety
+// comes from the parent, not from this store: the caller must guarantee that
+// the transaction whose begin this is stays active on its own slot for the
+// helper's whole lifetime, which keeps MinActiveBegin <= begin throughout,
+// so advertising the same value can never un-protect a version the parent
+// could still read. Read-only SI reads are latch-free, so several helpers
+// may read under one snapshot concurrently; the returned transaction must
+// not write (first-updater-wins checks assume a writer's begin came from the
+// live clock) and must finish with Abort, never Commit.
+func (o *Oracle) BeginAt(ctx *pcontext.Context, iso IsolationLevel, slot *ActiveSlot, begin uint64) *Txn {
+	var t *Txn
+	if slot != nil && slot.cached != nil {
+		t = slot.cached
+		slot.cached = nil
+		t.writes = t.writes[:0]
+		t.reads = t.reads[:0]
+	} else {
+		t = &Txn{}
+	}
+	t.id = o.nextID.Add(1)
+	t.begin = begin
+	if slot != nil {
+		slot.begin.Store(begin + 1)
+	}
+	t.iso = iso
+	t.ctx = ctx
+	t.oracle = o
+	t.slot = slot
+	t.state.Store(statusActive)
+	return t
+}
+
 // Release returns a finished transaction object to its slot's pool for reuse
 // by the next Begin on that slot. Call only after Commit or Abort returned
 // and only from the slot's owning context; the Txn must not be used again.
@@ -412,14 +463,20 @@ func (t *Txn) Release() {
 func (o *Oracle) RegisterSlot() *ActiveSlot {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	cur := *o.slots.Load()
 	if n := len(o.freeSlots); n > 0 {
-		s := o.slots[o.freeSlots[n-1]]
+		s := cur[o.freeSlots[n-1]]
 		o.freeSlots = o.freeSlots[:n-1]
 		s.registered = true
 		return s
 	}
-	s := &ActiveSlot{idx: len(o.slots), registered: true}
-	o.slots = append(o.slots, s)
+	s := &ActiveSlot{idx: len(cur), registered: true}
+	// Copy-on-write publication: concurrent MinActiveBegin scans keep
+	// iterating the old snapshot, which is safe (see the slots field doc).
+	grown := make([]*ActiveSlot, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = s
+	o.slots.Store(&grown)
 	return s
 }
 
@@ -445,17 +502,19 @@ func (o *Oracle) UnregisterSlot(s *ActiveSlot) {
 func (o *Oracle) SlotCount() (total, free int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return len(o.slots), len(o.freeSlots)
+	return len(*o.slots.Load()), len(o.freeSlots)
 }
 
 // MinActiveBegin returns the smallest active snapshot timestamp, or the
 // current clock when no transaction is active. Versions strictly older than
 // the version visible at this timestamp are unreachable and may be reclaimed.
+// It is lock-free: the scan walks the published slot snapshot, so a GC cycle
+// never blocks (or is blocked by) slot registration. The clock must be
+// loaded before the snapshot: a slot published after the load can only carry
+// begins at or after that clock value, which the result already bounds.
 func (o *Oracle) MinActiveBegin() uint64 {
 	min := o.clock.Load()
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	for _, s := range o.slots {
+	for _, s := range *o.slots.Load() {
 		if b := s.begin.Load(); b != 0 && b-1 < min {
 			min = b - 1
 		}

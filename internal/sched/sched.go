@@ -140,6 +140,9 @@ type Config struct {
 	// work). Values >= 1 effectively disable prevention; the paper's default
 	// is 100. Default 100.
 	StarvationThreshold float64
+	// MorselQueueSize caps the shared stealable morsel-task queue (parallel
+	// analytical sub-requests, see SubmitMorsel). Default 64.
+	MorselQueueSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +161,9 @@ func (c Config) withDefaults() Config {
 	if c.StarvationThreshold == 0 {
 		c.StarvationThreshold = 100
 	}
+	if c.MorselQueueSize == 0 {
+		c.MorselQueueSize = 64
+	}
 	return c
 }
 
@@ -169,10 +175,17 @@ type Scheduler struct {
 	workers []*Worker
 	rr      int // round-robin cursor for high-priority dispatch
 
+	// morselQ is the shared stealable work queue for parallel analytical
+	// sub-requests: any worker with nothing else to do pops a task and helps
+	// a neighbor's query. MPMC because every worker consumes and any context
+	// may produce.
+	morselQ *queue.MPMC[func(*pcontext.Context)]
+
 	interruptsSent  atomic.Uint64
 	starvationSkips atomic.Uint64
 	shedExpired     atomic.Uint64
 	shedCanceled    atomic.Uint64
+	morselsStolen   atomic.Uint64
 	started         bool
 }
 
@@ -205,7 +218,7 @@ func (w *Worker) ExecutedLow() uint64 { return w.executedLo.Load() }
 // New builds a scheduler; call Start to launch the workers.
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
-	s := &Scheduler{cfg: cfg}
+	s := &Scheduler{cfg: cfg, morselQ: queue.NewMPMC[func(*pcontext.Context)](cfg.MorselQueueSize)}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
 			id:   i,
@@ -240,6 +253,41 @@ func (s *Scheduler) ShedExpired() uint64 { return s.shedExpired.Load() }
 // ShedCanceled returns how many queued requests were dropped at dispatch
 // because their submitter canceled them before they ran.
 func (s *Scheduler) ShedCanceled() uint64 { return s.shedCanceled.Load() }
+
+// MorselsStolen returns how many morsel helper tasks idle workers picked up
+// from the shared queue.
+func (s *Scheduler) MorselsStolen() uint64 { return s.morselsStolen.Load() }
+
+// SubmitMorsel offers one stealable morsel helper task to the shared queue.
+// Unlike SubmitLow/SubmitHighBatch it is safe from any goroutine (the queue
+// is MPMC), because analytical transactions spawn helpers from whichever
+// worker context they run on. A worker claims a task only when both its
+// priority queues are empty — morsels are strictly lower priority than every
+// queued request — and runs it with the starvation meter armed, so a
+// high-priority burst preempts a stolen morsel exactly like any other
+// low-priority transaction. Returns false when the queue is full; the caller
+// simply runs more morsels itself.
+func (s *Scheduler) SubmitMorsel(fn func(ctx *pcontext.Context)) bool {
+	if fn == nil {
+		return false
+	}
+	return s.morselQ.Push(fn)
+}
+
+// MorselSpawner returns a spawn function that dispatches morsel helper tasks
+// to the scheduler owning ctx's core, or nil when ctx is detached (no
+// scheduler — callers then run their morsels inline). The signature matches
+// engine.ParallelScanConfig.Spawn.
+func MorselSpawner(ctx *pcontext.Context) func(fn func(ctx *pcontext.Context)) bool {
+	if ctx == nil || ctx.Core() == nil {
+		return nil
+	}
+	w, ok := ctx.Core().UserData().(*Worker)
+	if !ok {
+		return nil
+	}
+	return w.s.SubmitMorsel
+}
 
 // Start launches every worker's contexts and installs the policy hooks.
 func (s *Scheduler) Start() {
@@ -371,6 +419,15 @@ func (w *Worker) regularLoop(ctx *pcontext.Context) {
 			idle = 0
 			continue
 		}
+		// Both priority queues empty: help a neighbor's parallel scan before
+		// going idle. Morsel tasks run with the starvation meter armed, so a
+		// high-priority burst preempts the stolen work like any low-priority
+		// transaction.
+		if fn, ok := w.s.morselQ.Pop(); ok {
+			w.runMorsel(ctx, fn)
+			idle = 0
+			continue
+		}
 		// Idle: back off so other simulated cores get real CPU time.
 		idle++
 		if idle < 64 {
@@ -412,6 +469,16 @@ func (w *Worker) preemptiveLoop(ctx *pcontext.Context) {
 func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
 	w.core.BeginLowPrio()
 	w.execute(ctx, req)
+	w.core.EndLowPrio()
+}
+
+// runMorsel executes one stolen morsel helper task under low-priority
+// starvation accounting. The task arms/disarms its own lifecycle (the engine
+// helper does this), so the scheduler only brackets the starvation meter.
+func (w *Worker) runMorsel(ctx *pcontext.Context, fn func(*pcontext.Context)) {
+	w.s.morselsStolen.Add(1)
+	w.core.BeginLowPrio()
+	fn(ctx)
 	w.core.EndLowPrio()
 }
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -447,5 +448,70 @@ func TestManyWorkersRoundRobin(t *testing.T) {
 		if w.ExecutedHigh() == 0 {
 			t.Fatalf("worker %d executed nothing", w.ID())
 		}
+	}
+}
+
+// TestMorselStealing: an idle worker picks morsel helper tasks off the shared
+// queue while another worker's low-priority transaction is still running, and
+// the spawner resolves only for contexts attached to a scheduler worker.
+func TestMorselStealing(t *testing.T) {
+	s := New(Config{Policy: PolicyPreempt, Workers: 2})
+	s.Start()
+	defer s.Stop()
+
+	if MorselSpawner(pcontext.Detached()) != nil {
+		t.Fatal("detached context must not resolve a morsel spawner")
+	}
+	if MorselSpawner(nil) != nil {
+		t.Fatal("nil context must not resolve a morsel spawner")
+	}
+
+	var ran atomic.Int64
+	done := make(chan struct{})
+	s.SubmitLow(0, &Request{Work: func(ctx *pcontext.Context) error {
+		spawn := MorselSpawner(ctx)
+		if spawn == nil {
+			t.Error("worker context must resolve a morsel spawner")
+			return nil
+		}
+		const tasks = 4
+		for i := 0; i < tasks; i++ {
+			if !spawn(func(hctx *pcontext.Context) { ran.Add(1) }) {
+				t.Error("morsel queue rejected a task while nearly empty")
+			}
+		}
+		// The parent stays busy: only the idle worker 1 can steal.
+		for ran.Load() < tasks {
+			ctx.Poll()
+			runtime.Gosched()
+		}
+		close(done)
+		return nil
+	}})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("morsel tasks never executed")
+	}
+	if got := s.MorselsStolen(); got != 4 {
+		t.Fatalf("MorselsStolen = %d, want 4", got)
+	}
+}
+
+// TestSubmitMorselFull: a full morsel queue reports false instead of blocking,
+// and nil tasks are rejected outright.
+func TestSubmitMorselFull(t *testing.T) {
+	s := New(Config{Workers: 1, MorselQueueSize: 2})
+	// Not started: nothing drains the queue.
+	if s.SubmitMorsel(nil) {
+		t.Fatal("nil task accepted")
+	}
+	for i := 0; i < 2; i++ {
+		if !s.SubmitMorsel(func(ctx *pcontext.Context) {}) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if s.SubmitMorsel(func(ctx *pcontext.Context) {}) {
+		t.Fatal("push beyond capacity accepted")
 	}
 }

@@ -59,13 +59,36 @@ func NewClient(e *engine.Engine, cfg ScaleConfig) *Client {
 // Scale returns the loaded scale configuration.
 func (c *Client) Scale() ScaleConfig { return c.cfg }
 
+// Q2Exec controls how Q2 executes.
+type Q2Exec struct {
+	// YieldEvery > 0 places a handcrafted cooperative yield point after every
+	// YieldEvery nested query blocks (the paper's Cooperative (Handcrafted)
+	// baseline, §6.3); 0 disables it.
+	YieldEvery int
+	// Morsels > 1 partitions the outer PART scan into that many morsels and
+	// offers all but one to idle scheduler workers (morsel-driven
+	// parallelism); <= 1 runs the classic single-threaded plan. Either way
+	// every morsel executes under the same snapshot and the result is
+	// identical to the sequential query.
+	Morsels int
+}
+
 // Q2 runs the minimum-cost supplier query as one read-only snapshot
 // transaction. Every record access polls the transaction context, so the
 // whole query — scan, joins, nested subquery — is preemptible at record
-// granularity. yieldEvery > 0 additionally places a handcrafted cooperative
-// yield point after every yieldEvery nested query blocks (the paper's
-// Cooperative (Handcrafted) baseline, §6.3); pass 0 for the normal variant.
+// granularity. yieldEvery is Q2Exec.YieldEvery; use Q2Ex for the parallel
+// variant.
 func (c *Client) Q2(ctx *pcontext.Context, p Q2Params, yieldEvery int) ([]Q2Row, error) {
+	return c.Q2Ex(ctx, p, Q2Exec{YieldEvery: yieldEvery})
+}
+
+// Q2Ex runs Q2 with explicit execution options. The parallel plan fans the
+// outer PART scan out as morsels via engine.ParallelScan: each morsel —
+// including its nested partsupp/supplier/nation lookups — runs on a read-only
+// helper transaction pinned at the parent's snapshot, and idle scheduler
+// workers steal morsels through the shared queue. Helpers poll their own
+// contexts, so a high-priority burst preempts each of them independently.
+func (c *Client) Q2Ex(ctx *pcontext.Context, p Q2Params, exec Q2Exec) ([]Q2Row, error) {
 	tx := c.e.Begin(ctx)
 	defer tx.Abort()
 
@@ -87,67 +110,83 @@ func (c *Client) Q2(ctx *pcontext.Context, p Q2Params, yieldEvery int) ([]Q2Row,
 		return nil, engine.ErrNotFound
 	}
 
-	var out []Q2Row
-	nestedBlocks := 0
-	// Outer scan over PART with the size/type predicate. Decoding and
-	// predicate evaluation happen per record with polls in between.
-	err := tx.Scan(c.parts, nil, nil, func(_, row []byte) bool {
-		part := DecodePart(row)
-		if part.Size != p.Size || !strings.HasSuffix(part.Type, p.TypeSuffix) {
-			return true
-		}
+	// The morsel body: outer scan over one PART range with the size/type
+	// predicate, nested min-supplycost block per qualifying part. It only
+	// touches sub and morsel-local state, so morsels run concurrently. Rows
+	// accumulate in part-key order within each morsel, and morsels merge in
+	// range order, so the pre-sort row order matches the sequential plan.
+	body := func(sub *engine.Txn, m engine.Morsel) ([]Q2Row, error) {
+		var rows []Q2Row
+		nestedBlocks := 0
+		err := sub.Scan(c.parts, m.From, m.To, func(_, row []byte) bool {
+			part := DecodePart(row)
+			if part.Size != p.Size || !strings.HasSuffix(part.Type, p.TypeSuffix) {
+				return true
+			}
 
-		// --- nested query block: min supplycost within the region ---
-		nestedBlocks++
-		type cand struct {
-			supp Supplier
-			nat  Nation
-			cost int64
-		}
-		minCost := int64(-1)
-		var cands []cand
-		from := PartSuppKey(part.Key, 0)
-		to := PartSuppKey(part.Key+1, 0)
-		tx.Scan(c.partsupp, from, to, func(_, psRow []byte) bool {
-			ps := DecodePartSupp(psRow)
-			sRow, err := tx.Get(c.suppliers, SupplierKey(ps.SuppKey))
-			if err != nil {
+			// --- nested query block: min supplycost within the region ---
+			nestedBlocks++
+			type cand struct {
+				supp Supplier
+				nat  Nation
+				cost int64
+			}
+			minCost := int64(-1)
+			var cands []cand
+			from := PartSuppKey(part.Key, 0)
+			to := PartSuppKey(part.Key+1, 0)
+			sub.Scan(c.partsupp, from, to, func(_, psRow []byte) bool {
+				ps := DecodePartSupp(psRow)
+				sRow, err := sub.Get(c.suppliers, SupplierKey(ps.SuppKey))
+				if err != nil {
+					return true
+				}
+				supp := DecodeSupplier(sRow)
+				nRow, err := sub.Get(c.nations, NationKey(supp.NationKey))
+				if err != nil {
+					return true
+				}
+				nat := DecodeNation(nRow)
+				if nat.RegionKey != regionKey {
+					return true
+				}
+				if minCost < 0 || ps.SupplyCost < minCost {
+					minCost = ps.SupplyCost
+				}
+				cands = append(cands, cand{supp: supp, nat: nat, cost: ps.SupplyCost})
 				return true
+			})
+			// --- end nested query block ---
+
+			for _, cd := range cands {
+				if cd.cost == minCost {
+					rows = append(rows, Q2Row{
+						AcctBal: cd.supp.AcctBal, SuppName: cd.supp.Name,
+						Nation: cd.nat.Name, PartKey: part.Key, Mfgr: part.Mfgr,
+						Cost: cd.cost,
+					})
+				}
 			}
-			supp := DecodeSupplier(sRow)
-			nRow, err := tx.Get(c.nations, NationKey(supp.NationKey))
-			if err != nil {
-				return true
+
+			// Handcrafted yield point, placed exactly where the paper put it:
+			// right outside the nested query block, taken every YieldEvery
+			// blocks — on the context actually running this morsel.
+			if exec.YieldEvery > 0 && nestedBlocks%exec.YieldEvery == 0 {
+				sched.Yield(sub.Context())
 			}
-			nat := DecodeNation(nRow)
-			if nat.RegionKey != regionKey {
-				return true
-			}
-			if minCost < 0 || ps.SupplyCost < minCost {
-				minCost = ps.SupplyCost
-			}
-			cands = append(cands, cand{supp: supp, nat: nat, cost: ps.SupplyCost})
 			return true
 		})
-		// --- end nested query block ---
+		return rows, err
+	}
 
-		for _, cd := range cands {
-			if cd.cost == minCost {
-				out = append(out, Q2Row{
-					AcctBal: cd.supp.AcctBal, SuppName: cd.supp.Name,
-					Nation: cd.nat.Name, PartKey: part.Key, Mfgr: part.Mfgr,
-					Cost: cd.cost,
-				})
-			}
-		}
-
-		// Handcrafted yield point, placed exactly where the paper put it:
-		// right outside the nested query block, taken every yieldEvery blocks.
-		if yieldEvery > 0 && nestedBlocks%yieldEvery == 0 {
-			sched.Yield(ctx)
-		}
-		return true
-	})
+	morsels := exec.Morsels
+	if morsels < 1 {
+		morsels = 1
+	}
+	out, err := engine.ParallelScan(tx, c.parts, nil, nil,
+		engine.ParallelScanConfig{Morsels: morsels, Spawn: sched.MorselSpawner(ctx)},
+		body,
+		func(acc, part []Q2Row) []Q2Row { return append(acc, part...) })
 	if err != nil {
 		return nil, err
 	}

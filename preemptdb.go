@@ -33,6 +33,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"preemptdb/internal/admission"
@@ -828,6 +829,15 @@ type Stats struct {
 	// WALFailed reports that the write-ahead log has latched a permanent
 	// failure (see ReadOnly).
 	WALFailed bool
+	// IndexRestarts counts optimistic B+tree operation restarts (version
+	// validation failures under concurrent structural modification);
+	// PartitionRestarts counts restarts of the morsel partition sampler
+	// specifically. Both measure contention, not errors.
+	IndexRestarts     uint64
+	PartitionRestarts uint64
+	// MorselsStolen counts parallel-scan morsel tasks executed by idle
+	// workers on behalf of another worker's analytical transaction.
+	MorselsStolen uint64
 }
 
 // Stats returns current counters.
@@ -849,7 +859,10 @@ func (db *DB) Stats() Stats {
 		AbortsQueueFull:  db.aborts.Load(metrics.AbortQueueFull),
 		AbortsWALFailed:  db.aborts.Load(metrics.AbortWALFailed),
 		AbortsOther:      db.aborts.Load(metrics.AbortOther),
-		WALFailed:        db.eng.WALErr() != nil,
+		WALFailed:         db.eng.WALErr() != nil,
+		IndexRestarts:     db.eng.IndexRestarts(),
+		PartitionRestarts: db.eng.PartitionRestarts(),
+		MorselsStolen:     db.sch.MorselsStolen(),
 	}
 	for _, w := range db.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
@@ -952,6 +965,44 @@ func (t *Txn) ScanIndexDesc(table, index string, from, to []byte, fn func(key, v
 		return err
 	}
 	return t.inner.ScanIndexDesc(tab, index, from, to, fn)
+}
+
+// ParallelScan visits every visible row with from <= key < to, like Scan,
+// but partitions the range into morsels and lets idle workers execute them
+// concurrently as read-only helpers pinned at this transaction's snapshot —
+// morsel-driven parallelism for analytical scans. morsels is the target
+// fan-out (0 picks a default); the transaction must have no uncommitted
+// writes. fn may be called concurrently from several workers and must be
+// safe for that; rows arrive in key order within a morsel but morsels
+// interleave. fn returns false to stop the scan early (remaining morsels are
+// skipped at record granularity, so a few extra calls may still arrive).
+// Each helper is independently preemptible: a high-priority burst interrupts
+// every morsel at its next record access.
+func (t *Txn) ParallelScan(table string, from, to []byte, morsels int, fn func(key, value []byte) bool) error {
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	var stop atomic.Bool
+	_, err = engine.ParallelScan(t.inner, tab, from, to,
+		engine.ParallelScanConfig{Morsels: morsels, Spawn: sched.MorselSpawner(t.ctx)},
+		func(sub *engine.Txn, m engine.Morsel) (struct{}, error) {
+			if stop.Load() {
+				return struct{}{}, nil
+			}
+			return struct{}{}, sub.Scan(tab, m.From, m.To, func(k, v []byte) bool {
+				if stop.Load() {
+					return false
+				}
+				if !fn(k, v) {
+					stop.Store(true)
+					return false
+				}
+				return true
+			})
+		},
+		func(a, _ struct{}) struct{} { return a })
+	return err
 }
 
 // Yield is a handcrafted cooperative yield point (used with

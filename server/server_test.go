@@ -310,3 +310,83 @@ func TestServerCloseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPipelinedRequests drives the buffered write path: all K request frames
+// go out in a single write before ANY response is read, so the server parses
+// the whole batch off its read buffer, accumulates K responses in the write
+// buffer, and flushes once when the batch drains. Responses must come back
+// complete and in request order.
+func TestPipelinedRequests(t *testing.T) {
+	c, srv := startServer(t, preemptdb.Config{})
+	if err := c.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", srv.lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const K = 32
+	sendBatch := func(frames [][]byte) {
+		t.Helper()
+		var batch bytes.Buffer
+		for _, f := range frames {
+			if err := writeFrame(&batch, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One Write call: every frame is on the wire before the first read.
+		if _, err := conn.Write(batch.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batch 1: K inserts, pipelined.
+	frames := make([][]byte, K)
+	for i := range frames {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		val := []byte(fmt.Sprintf("v%d", i))
+		frames[i] = encodeScript(nil, 0, []ScriptOp{{Op: opInsert, Table: "kv", Key: key, Value: val}})
+	}
+	sendBatch(frames)
+	for i := 0; i < K; i++ {
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("insert response %d: %v", i, err)
+		}
+		status, msg, _, err := decodeResults(resp)
+		if err != nil || status != statusOK {
+			t.Fatalf("insert response %d: status=%d msg=%q err=%v", i, status, msg, err)
+		}
+	}
+
+	// Batch 2: K gets, pipelined; ordering is proven by each value matching
+	// its request's key.
+	for i := range frames {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		frames[i] = encodeScript(nil, 0, []ScriptOp{{Op: opGet, Table: "kv", Key: key}})
+	}
+	sendBatch(frames)
+	for i := 0; i < K; i++ {
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("get response %d: %v", i, err)
+		}
+		status, msg, results, err := decodeResults(resp)
+		if err != nil || status != statusOK {
+			t.Fatalf("get response %d: status=%d msg=%q err=%v", i, status, msg, err)
+		}
+		want := fmt.Sprintf("v%d", i)
+		if len(results) != 1 || string(results[0].Value) != want {
+			t.Fatalf("get response %d: got %q, want %q", i, results, want)
+		}
+	}
+
+	// The plain client still works on its own connection after the raw
+	// pipelined session (frame sync was never lost).
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
