@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"preemptdb/internal/bench"
+	"preemptdb/internal/pcontext"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
 		arrival    = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
 		scanout    = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
+		traceout   = flag.String("trace", "", "write the trace experiment's scheduling events as Chrome trace-event JSON (perfetto-loadable) to this path")
 	)
 	flag.Parse()
 
@@ -50,7 +52,13 @@ func main() {
 		case "switch":
 			_, err = bench.ContextSwitch(opt, 0)
 		case "trace":
-			_, err = bench.Trace(opt)
+			var cores []pcontext.CoreEvents
+			_, cores, err = bench.Trace(opt)
+			if err == nil && *traceout != "" {
+				if err = bench.WriteChromeTrace(*traceout, cores); err == nil {
+					fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceout)
+				}
+			}
 		case "fig8":
 			_, err = bench.Fig8(opt)
 		case "fig9":

@@ -1,0 +1,33 @@
+// Command validatetrace checks that a file is a well-formed Chrome
+// trace-event JSON document as produced by preemptbench -trace or
+// DB.TraceSnapshot: parseable, non-empty, known event phases, non-negative
+// durations, monotonic timestamps. CI uses it to validate the trace
+// artifact; it is also a quick sanity check before loading a trace into
+// ui.perfetto.dev.
+//
+// Usage: validatetrace trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"preemptdb/internal/pcontext"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: validatetrace <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validatetrace:", err)
+		os.Exit(1)
+	}
+	if err := pcontext.ValidateChromeTrace(data); err != nil {
+		fmt.Fprintf(os.Stderr, "validatetrace: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Chrome trace (%d bytes)\n", os.Args[1], len(data))
+}

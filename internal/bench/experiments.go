@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -446,15 +447,17 @@ func Fig13(opt Options) (map[string][]Fig13Point, error) {
 	return out, nil
 }
 
-// Trace runs a short preemptive mixed workload with an execution tracer on
-// worker 0 and prints the resulting scheduling timeline — a concrete
-// rendering of the paper's Figure 2/5 flow: interrupt recognition, passive
-// switch to the preemptive context, and the active switch back.
-func Trace(opt Options) ([]pcontext.Event, error) {
+// Trace runs a short preemptive mixed workload on a scheduler with its
+// default always-on tracers and prints the resulting scheduling timeline — a
+// concrete rendering of the paper's Figure 2/5 flow: interrupt recognition,
+// passive switch to the preemptive context, and the active switch back. The
+// per-core event rings come back alongside the flat worker-0 timeline so the
+// caller can export them (see WriteChromeTrace).
+func Trace(opt Options) ([]pcontext.Event, []pcontext.CoreEvents, error) {
 	opt = opt.withDefaults()
 	f, err := NewFixture(opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := sched.New(sched.Config{
 		Policy:      sched.PolicyPreempt,
@@ -462,8 +465,6 @@ func Trace(opt Options) ([]pcontext.Event, error) {
 		HiQueueSize: opt.HiQueueSize,
 		LoQueueSize: 1,
 	})
-	tracer := pcontext.NewTracer(256)
-	s.Workers()[0].Core().SetTracer(tracer)
 	s.Start()
 	defer s.Stop()
 
@@ -485,15 +486,30 @@ func Trace(opt Options) ([]pcontext.Event, error) {
 		select {
 		case <-hiDone:
 		case <-time.After(10 * time.Second):
-			return nil, fmt.Errorf("bench: traced high-priority txn never ran")
+			return nil, nil, fmt.Errorf("bench: traced high-priority txn never ran")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	<-done
-	events := tracer.Snapshot()
+	cores := s.TraceSnapshot()
+	var events []pcontext.Event
+	if len(cores) > 0 {
+		events = cores[0].Events
+	}
 	fmt.Fprintln(opt.Out, "Preemption timeline (worker 0, Q2 preempted by three Payments):")
 	fmt.Fprint(opt.Out, pcontext.Timeline(events))
-	return events, nil
+	return events, cores, nil
+}
+
+// WriteChromeTrace renders the per-core event rings as Chrome trace-event
+// JSON (loadable in ui.perfetto.dev / chrome://tracing) and writes the
+// document to path.
+func WriteChromeTrace(path string, cores []pcontext.CoreEvents) error {
+	data, err := pcontext.ChromeTrace(cores)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // SortedPolicies returns the policy names in canonical order, for stable

@@ -53,7 +53,12 @@ type ScanResult struct {
 	HiSeqP99Ns int64 `json:"hi_seq_p99_ns"`
 	HiParP50Ns int64 `json:"hi_par_p50_ns"`
 	HiParP99Ns int64 `json:"hi_par_p99_ns"`
-	NumCPU     int   `json:"num_cpu"`
+	// HiSeqPhases / HiParPhases decompose the high-priority latency above into
+	// scheduler phases (queue wait, exec, pauses, resume, WAL wait, total),
+	// from the always-on registry of each latency phase's scheduler.
+	HiSeqPhases metrics.PhaseSummaries `json:"hi_seq_phases"`
+	HiParPhases metrics.PhaseSummaries `json:"hi_par_phases"`
+	NumCPU      int                    `json:"num_cpu"`
 }
 
 // scanPhase runs the given Q2 queries one at a time at low priority and
@@ -63,7 +68,10 @@ type ScanResult struct {
 // opt.ArrivalInterval and their end-to-end latencies are recorded in hi; the
 // query list then repeats until the duration elapses (latency under steady
 // analytical load, not makespan, is the object there).
-func (f *Fixture) scanPhase(workers, morsels int, queries []tpch.Q2Params, duration time.Duration, hiTraffic bool) (makespan time.Duration, query, hi metrics.Histogram, stolen, restarts uint64) {
+func (f *Fixture) scanPhase(workers, morsels int, queries []tpch.Q2Params, duration time.Duration, hiTraffic bool, reg *metrics.Registry) (makespan time.Duration, query, hi metrics.Histogram, stolen, restarts uint64) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := sched.New(sched.Config{
 		Policy:              sched.PolicyPreempt,
 		Workers:             workers,
@@ -71,6 +79,7 @@ func (f *Fixture) scanPhase(workers, morsels int, queries []tpch.Q2Params, durat
 		LoQueueSize:         f.opts.LoQueueSize,
 		YieldInterval:       f.opts.YieldInterval,
 		StarvationThreshold: f.opts.StarvationThreshold,
+		Metrics:             reg,
 	})
 	restartsBefore := f.Engine.PartitionRestarts()
 	s.Start()
@@ -185,7 +194,7 @@ func ParallelScan(opt Options, workerCounts []int) (*ScanResult, error) {
 
 	// Single-threaded baseline: one morsel, so the whole scan runs inline on
 	// the submitting worker, on the same scheduler width as the widest point.
-	seqWall, seqQ, _, _, _ := f.scanPhase(maxW, 1, queries, opt.Duration, false)
+	seqWall, seqQ, _, _, _ := f.scanPhase(maxW, 1, queries, opt.Duration, false, nil)
 	seq := seqQ.Summarize()
 	res.Sequential.Workers = maxW
 	res.Sequential.Queries = seq.Count
@@ -197,7 +206,7 @@ func ParallelScan(opt Options, workerCounts []int) (*ScanResult, error) {
 	tbl.AddRow("sequential", maxW, 1, seq.Count, seqWall.Round(time.Millisecond), fmtNs(int64(seq.Mean)), fmtNs(seq.P50), "1.00x", 0, 0)
 	for _, w := range workerCounts {
 		morsels := 4 * w
-		wall, q, _, stolen, restarts := f.scanPhase(w, morsels, queries, opt.Duration, false)
+		wall, q, _, stolen, restarts := f.scanPhase(w, morsels, queries, opt.Duration, false, nil)
 		sum := q.Summarize()
 		pt := ScanPoint{
 			Workers: w, Morsels: morsels,
@@ -216,13 +225,18 @@ func ParallelScan(opt Options, workerCounts []int) (*ScanResult, error) {
 	fmt.Fprint(opt.Out, tbl.String())
 
 	// High-priority latency while scans run continuously: sequential vs
-	// parallel at the widest worker count, under PolicyPreempt.
-	_, _, hiSeq, _, _ := f.scanPhase(maxW, 1, queries, opt.Duration, true)
-	_, _, hiPar, _, _ := f.scanPhase(maxW, 4*maxW, queries, opt.Duration, true)
+	// parallel at the widest worker count, under PolicyPreempt. Each phase
+	// gets its own registry so the per-phase decomposition of the hi-prio
+	// latency lands beside the end-to-end summary in the artifact.
+	seqReg, parReg := metrics.NewRegistry(), metrics.NewRegistry()
+	_, _, hiSeq, _, _ := f.scanPhase(maxW, 1, queries, opt.Duration, true, seqReg)
+	_, _, hiPar, _, _ := f.scanPhase(maxW, 4*maxW, queries, opt.Duration, true, parReg)
 	res.HiSeq = hiSeq.Summarize()
 	res.HiPar = hiPar.Summarize()
 	res.HiSeqP50Ns, res.HiSeqP99Ns = res.HiSeq.P50, res.HiSeq.P99
 	res.HiParP50Ns, res.HiParP99Ns = res.HiPar.P50, res.HiPar.P99
+	res.HiSeqPhases = seqReg.Snapshot().Hi
+	res.HiParPhases = parReg.Snapshot().Hi
 
 	tbl2 := metrics.NewTable("scan mode", "hi n", "hi p50", "hi p99", "hi p99.9")
 	tbl2.AddRow("sequential", res.HiSeq.Count, fmtNs(res.HiSeq.P50), fmtNs(res.HiSeq.P99), fmtNs(res.HiSeq.P999))

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"preemptdb/internal/pcontext"
 	"preemptdb/internal/tpch"
 
 	"os"
@@ -54,5 +55,43 @@ func TestSmokeParallelScan(t *testing.T) {
 	}
 	if res.HiSeq.Count == 0 || res.HiPar.Count == 0 {
 		t.Fatal("hi-priority phases recorded nothing")
+	}
+	// The per-phase decomposition rides along in the artifact: end-to-end and
+	// queue-wait summaries must have samples in both scan modes.
+	if res.HiSeqPhases.Total.Count == 0 || res.HiParPhases.Total.Count == 0 {
+		t.Fatalf("hi-priority phase decomposition empty: seq=%d par=%d",
+			res.HiSeqPhases.Total.Count, res.HiParPhases.Total.Count)
+	}
+	if res.HiSeqPhases.QueueWait.Count == 0 || res.HiSeqPhases.Exec.Count == 0 {
+		t.Fatal("hi-priority phase decomposition missing queue_wait/exec samples")
+	}
+}
+
+// TestSmokeTraceExport: the trace experiment's per-core rings render to a
+// valid Chrome trace-event document on disk.
+func TestSmokeTraceExport(t *testing.T) {
+	opt := Options{
+		Workers:  1,
+		Duration: 100 * time.Millisecond,
+		TPCH:     tpch.ScaleConfig{Parts: 4000, Suppliers: 100},
+		Out:      os.Stderr,
+	}
+	events, cores, err := Trace(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || len(cores) == 0 {
+		t.Fatalf("trace empty: %d events, %d cores", len(events), len(cores))
+	}
+	path := t.TempDir() + "/trace.json"
+	if err := WriteChromeTrace(path, cores); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcontext.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
 	}
 }

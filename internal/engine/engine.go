@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"preemptdb/internal/index"
+	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
 	"preemptdb/internal/pcontext"
 	"preemptdb/internal/wal"
@@ -65,6 +66,10 @@ type Config struct {
 	// VacuumBatch is the number of records examined per vacuum tick
 	// (default 1024).
 	VacuumBatch int
+	// Metrics receives the commit path's WAL-wait latency observations.
+	// Default: a fresh registry; pass the scheduler's registry to get one
+	// combined per-phase decomposition.
+	Metrics *metrics.Registry
 }
 
 // Engine is the storage engine. Create with New; it is safe for concurrent
@@ -82,6 +87,7 @@ type Engine struct {
 	commits  atomic.Uint64
 	aborts   atomic.Uint64
 	vacuumed atomic.Uint64
+	metrics  *metrics.Registry
 
 	// Background vacuum lifecycle; cursor state lives in the goroutine.
 	vacStop chan struct{}
@@ -98,12 +104,16 @@ func New(cfg Config) *Engine {
 	if cfg.VacuumBatch == 0 {
 		cfg.VacuumBatch = 1024
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	e := &Engine{
 		cfg:      cfg,
 		oracle:   mvcc.NewOracle(),
 		log:      wal.NewManager(sink, cfg.SyncEachCommit),
 		tables:   make(map[string]*Table),
 		tableIDs: make(map[uint32]*Table),
+		metrics:  cfg.Metrics,
 	}
 	e.log.SetBatchLimits(cfg.MaxBatchBytes, cfg.MaxBatchDelay)
 	if cfg.VacuumInterval > 0 {
@@ -139,6 +149,9 @@ func (e *Engine) Log() *wal.Manager { return e.log }
 // commit with buffered writes fails fast with the same ErrWALFailed-wrapped
 // error, while reads and scans keep working off the in-memory versions.
 func (e *Engine) WALErr() error { return e.log.Err() }
+
+// Metrics returns the engine's latency registry (never nil).
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics }
 
 // Commits returns the number of committed transactions.
 func (e *Engine) Commits() uint64 { return e.commits.Load() }

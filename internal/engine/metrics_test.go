@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/pcontext"
+)
+
+// TestCommitRecordsWALWait: the sampled WAL-wait probe must land
+// observations in the engine's registry once enough commits have passed the
+// 1-in-2^walSampleShift gate.
+func TestCommitRecordsWALWait(t *testing.T) {
+	e := New(Config{})
+	ctx := pcontext.Detached()
+	tbl := e.CreateTable("t")
+	const commits = 4 << walSampleShift
+	for i := 0; i < commits; i++ {
+		tx := e.Begin(ctx)
+		if err := tx.Put(tbl, []byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := e.Metrics().Phase(metrics.ClassLo, metrics.PhaseWALWait).Count()
+	if want := uint64(commits >> walSampleShift); n != want {
+		t.Fatalf("wal_wait samples = %d, want %d (1 in %d of %d commits)",
+			n, want, 1<<walSampleShift, commits)
+	}
+}
+
+// TestCommitClassFromCLS: a context flagged high-priority (as the scheduler
+// does around each request) must have its WAL wait attributed to the hi class.
+func TestCommitClassFromCLS(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := New(Config{Metrics: reg})
+	if e.Metrics() != reg {
+		t.Fatal("engine must adopt the provided registry")
+	}
+	ctx := pcontext.Detached()
+	ctx.CLS().HighPrio = true
+	tbl := e.CreateTable("t")
+	for i := 0; i < 1<<walSampleShift; i++ {
+		tx := e.Begin(ctx)
+		if err := tx.Put(tbl, []byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := reg.Phase(metrics.ClassHi, metrics.PhaseWALWait).Count(); n != 1 {
+		t.Fatalf("hi wal_wait samples = %d, want 1", n)
+	}
+	if n := reg.Phase(metrics.ClassLo, metrics.PhaseWALWait).Count(); n != 0 {
+		t.Fatalf("lo wal_wait samples = %d, want 0", n)
+	}
+}
+
+// TestReadOnlyCommitNotSampled: commits that staged nothing have no WAL wait
+// and must not pollute the distribution with zeros.
+func TestReadOnlyCommitNotSampled(t *testing.T) {
+	e := New(Config{})
+	ctx := pcontext.Detached()
+	for i := 0; i < 4<<walSampleShift; i++ {
+		tx := e.Begin(ctx)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.Metrics().Phase(metrics.ClassLo, metrics.PhaseWALWait).Count(); n != 0 {
+		t.Fatalf("read-only commits recorded %d wal_wait samples", n)
+	}
+}
+
+// TestCommitAllocsWithMetrics guards the instrumented steady-state commit
+// path: with metrics always on, the pooled Update+Commit cycle must stay
+// allocation-free (the acceptance bar for BenchmarkCommitSI).
+func TestCommitAllocsWithMetrics(t *testing.T) {
+	e := New(Config{})
+	ctx := pcontext.Detached()
+	tbl := e.CreateTable("t")
+	key, val := []byte("key"), []byte("value")
+	{
+		tx := e.Begin(ctx)
+		if err := tx.Put(tbl, key, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit := func() {
+		tx := e.Begin(ctx)
+		if err := tx.Update(tbl, key, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		commit() // warm the pool, the version chain, and the WAL batch buffer
+	}
+	if avg := testing.AllocsPerRun(256, commit); avg >= 1 {
+		t.Fatalf("instrumented commit allocates %.2f allocs/op, want 0", avg)
+	}
+}

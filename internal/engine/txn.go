@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"preemptdb/internal/clock"
 	"preemptdb/internal/index"
+	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
 	"preemptdb/internal/pcontext"
 	"preemptdb/internal/wal"
@@ -33,7 +35,26 @@ type Txn struct {
 	staged  bool
 	leader  bool
 	stageFn func(cts uint64) error
+
+	// hint is the owning core's id, the metrics stripe selector. walTick
+	// counts this pooled transaction's commits to subsample the WAL-wait
+	// probe (see walSampleShift).
+	hint    int
+	walTick uint64
 }
+
+// walSampleShift subsamples the commit path's WAL-wait probe to 1 in
+// 2^walSampleShift commits per pooled transaction. The probe (two clock
+// reads plus one striped-histogram record) measures ~100ns hot but ~0.5µs in
+// the steady-state commit loop, where the histogram's bucket lines are
+// always cold — always-on it would double the ~400ns in-memory commit, while
+// 1-in-32 amortizes to a measured 3-4%, under the 5% budget. Leaders and
+// followers share the same per-Txn tick, so neither path is
+// over-represented in the distribution.
+const (
+	walSampleShift = 5
+	walSampleMask  = 1<<walSampleShift - 1
+)
 
 // Begin starts a transaction on ctx at the engine's configured isolation
 // level. ctx may be nil (tests, loaders), in which case logging still works
@@ -61,6 +82,9 @@ func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
 	if t == nil || !t.done || t.eng != e {
 		t = &Txn{eng: e, ctx: ctx}
 		t.stageFn = t.stage
+		if core := ctx.Core(); core != nil {
+			t.hint = core.ID()
+		}
 		cls.Set(pcontext.SlotScratch, t)
 	}
 	buf.Reset()
@@ -322,6 +346,9 @@ func (t *Txn) Commit() error {
 	}
 	t.done = true
 	t.staged, t.leader = false, false
+	t.walTick++
+	sampled := t.walTick&walSampleMask == 0
+	var walNs int64
 	var mvccErr, ioErr error
 	pcontext.NonPreemptible(t.ctx, func() {
 		_, mvccErr = t.inner.Commit(t.stageFn)
@@ -333,7 +360,13 @@ func (t *Txn) Commit() error {
 			t.eng.log.Published()
 		}
 		if t.leader {
-			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+			if sampled {
+				t0 := clock.Nanos()
+				_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+				walNs = clock.Nanos() - t0
+			} else {
+				_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+			}
 		}
 	})
 	if t.staged && !t.leader {
@@ -341,7 +374,20 @@ func (t *Txn) Commit() error {
 		// latch and its versions are already published, so this is the
 		// natural low-priority wait point of §4.4.
 		t.ctx.Poll()
-		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+		if sampled {
+			t0 := clock.Nanos()
+			_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+			walNs = clock.Nanos() - t0
+		} else {
+			_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+		}
+	}
+	if sampled && t.staged {
+		class := metrics.ClassLo
+		if t.ctx != nil && t.ctx.CLS().HighPrio {
+			class = metrics.ClassHi
+		}
+		t.eng.metrics.Observe(class, metrics.PhaseWALWait, t.hint, walNs)
 	}
 	t.logBuf.Reset()
 	t.inner.Release()

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// numStripes is the stripe count of a ConcurrentHistogram (power of two).
+// Writers spread across stripes by a caller-supplied hint (worker/core id),
+// so concurrent recorders touch disjoint cache lines in the common case.
+const numStripes = 8
+
+// stripe is one writer lane: the same log-bucketed layout as Histogram, with
+// every counter atomic. min is stored biased by +1 so the zero value means
+// "unset" (samples are non-negative, so v+1 >= 1 always).
+type stripe struct {
+	counts [numBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	minP   atomic.Int64 // min+1; 0 = no samples yet
+	max    atomic.Int64
+}
+
+func (s *stripe) record(v int64) {
+	s.counts[bucketIndex(v)].Add(1)
+	s.total.Add(1)
+	s.sum.Add(v)
+	for {
+		old := s.minP.Load()
+		if old != 0 && old <= v+1 {
+			break
+		}
+		if s.minP.CompareAndSwap(old, v+1) {
+			break
+		}
+	}
+	for {
+		old := s.max.Load()
+		if old >= v {
+			break
+		}
+		if s.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// ConcurrentHistogram is a striped, mergeable variant of Histogram that is
+// safe for concurrent writers and concurrent snapshotting, cheap enough to
+// stay on during benchmarks (a record is a handful of uncontended atomic adds;
+// the min/max checks are plain loads in the steady state). The zero value is
+// ready to use.
+//
+// Unlike Histogram it does not maintain an exact log-sum: Snapshot derives the
+// geometric mean from bucket midpoints, which inherits the histogram's ~1.5%
+// worst-case relative error. Everything else (count, sum, min, max,
+// percentiles) is exact modulo bucket resolution, as in Histogram.
+type ConcurrentHistogram struct {
+	stripes [numStripes]stripe
+}
+
+// Record adds one sample. hint selects the writer's stripe (any int; callers
+// pass a worker or core id so concurrent writers take disjoint lanes — an
+// arbitrary value is correct, just possibly contended).
+func (h *ConcurrentHistogram) Record(hint int, v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.stripes[uint(hint)%numStripes].record(v)
+}
+
+// Count returns the total number of recorded samples across all stripes.
+func (h *ConcurrentHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.stripes {
+		n += h.stripes[i].total.Load()
+	}
+	return n
+}
+
+// Snapshot merges every stripe into a plain Histogram. Concurrent recording
+// may continue; the result is a consistent-enough point-in-time view (a
+// sample racing the snapshot is either wholly included or wholly excluded per
+// counter, so derived statistics can be off by the samples in flight).
+func (h *ConcurrentHistogram) Snapshot() Histogram {
+	var out Histogram
+	if h == nil {
+		return out
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		t := s.total.Load()
+		if t == 0 {
+			continue
+		}
+		for b := range s.counts {
+			out.counts[b] += s.counts[b].Load()
+		}
+		if mp := s.minP.Load(); mp != 0 {
+			if out.total == 0 || mp-1 < out.min {
+				out.min = mp - 1
+			}
+		}
+		if m := s.max.Load(); m > out.max {
+			out.max = m
+		}
+		out.total += t
+		out.sum += float64(s.sum.Load())
+	}
+	// Geomean support: reconstruct the log-sum from bucket midpoints.
+	for b, c := range out.counts {
+		if c == 0 {
+			continue
+		}
+		if v := value(b); v > 0 {
+			out.logSum += float64(c) * math.Log(float64(v))
+		}
+	}
+	return out
+}
+
+// Summarize is shorthand for Snapshot().Summarize().
+func (h *ConcurrentHistogram) Summarize() Summary {
+	s := h.Snapshot()
+	return s.Summarize()
+}
+
+// Reset discards all samples. Not atomic with respect to concurrent writers:
+// samples recorded during the reset may survive or vanish.
+func (h *ConcurrentHistogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := range s.counts {
+			s.counts[b].Store(0)
+		}
+		s.total.Store(0)
+		s.sum.Store(0)
+		s.minP.Store(0)
+		s.max.Store(0)
+	}
+}

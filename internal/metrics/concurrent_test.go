@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"preemptdb/internal/clock"
+)
+
+// TestConcurrentHistogramMatchesSequential: the striped histogram must agree
+// with the single-writer Histogram on every exact statistic, regardless of
+// which stripes the samples landed in.
+func TestConcurrentHistogramMatchesSequential(t *testing.T) {
+	var ch ConcurrentHistogram
+	var h Histogram
+	vals := []int64{0, 1, 17, 63, 64, 65, 999, 12345, 1 << 20, 1 << 33, 7}
+	for i, v := range vals {
+		ch.Record(i, v) // spread across stripes
+		h.Record(v)
+	}
+	snap := ch.Snapshot()
+	if snap.Count() != h.Count() {
+		t.Fatalf("count = %d, want %d", snap.Count(), h.Count())
+	}
+	if snap.Min() != h.Min() || snap.Max() != h.Max() {
+		t.Fatalf("min/max = %d/%d, want %d/%d", snap.Min(), snap.Max(), h.Min(), h.Max())
+	}
+	if snap.Mean() != h.Mean() {
+		t.Fatalf("mean = %v, want %v", snap.Mean(), h.Mean())
+	}
+	for _, p := range []float64{0, 50, 90, 99, 99.9, 100} {
+		if got, want := snap.Percentile(p), h.Percentile(p); got != want {
+			t.Fatalf("p%v = %d, want %d", p, got, want)
+		}
+	}
+	// Geomean is approximated from bucket midpoints: within the histogram's
+	// relative-error bound.
+	if g, want := snap.Geomean(), h.Geomean(); math.Abs(g-want)/want > 0.05 {
+		t.Fatalf("geomean = %v, want ~%v", g, want)
+	}
+}
+
+func TestConcurrentHistogramNilSafe(t *testing.T) {
+	var ch *ConcurrentHistogram
+	ch.Record(0, 5)
+	if ch.Count() != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+	if s := ch.Snapshot(); s.Count() != 0 {
+		t.Fatal("nil snapshot must be empty")
+	}
+	var reg *Registry
+	reg.Observe(ClassHi, PhaseTotal, 0, 1)
+	reg.ObserveDelivery(0, 1)
+	if s := reg.Snapshot(); s.Hi.Total.Count != 0 {
+		t.Fatal("nil registry must be inert")
+	}
+}
+
+func TestConcurrentHistogramNegativeClampsToZero(t *testing.T) {
+	var ch ConcurrentHistogram
+	ch.Record(0, -5)
+	s := ch.Snapshot()
+	if s.Min() != 0 || s.Max() != 0 || s.Count() != 1 {
+		t.Fatalf("negative sample: min=%d max=%d n=%d", s.Min(), s.Max(), s.Count())
+	}
+}
+
+// TestConcurrentHistogramParallel hammers one histogram from many goroutines
+// (run under -race in CI) while snapshots are drawn concurrently, then checks
+// the final aggregate is exact.
+func TestConcurrentHistogramParallel(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var ch ConcurrentHistogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshotting must be safe and tear-free per counter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := ch.Snapshot()
+			if s.Count() > writers*perG {
+				t.Error("snapshot over-counted")
+				return
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				ch.Record(g, int64(i%1000)+1)
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := ch.Snapshot()
+	if s.Count() != writers*perG {
+		t.Fatalf("count = %d, want %d", s.Count(), writers*perG)
+	}
+	if s.Min() != 1 || s.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", s.Min(), s.Max())
+	}
+}
+
+func TestConcurrentHistogramReset(t *testing.T) {
+	var ch ConcurrentHistogram
+	for i := 0; i < 10; i++ {
+		ch.Record(i, int64(i))
+	}
+	ch.Reset()
+	if s := ch.Snapshot(); s.Count() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("after reset: %+v", s.Summarize())
+	}
+	ch.Record(0, 42)
+	if s := ch.Snapshot(); s.Count() != 1 || s.Min() != 42 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(ClassHi, PhaseTotal, 0, 1000)
+	r.Observe(ClassHi, PhaseQueueWait, 0, 50)
+	r.Observe(ClassLo, PhaseWALWait, 1, 200)
+	r.ObserveDelivery(0, 80)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"hi"`, `"lo"`, `"queue_wait"`, `"exec"`, `"pause"`, `"pause_total"`,
+		`"resume"`, `"wal_wait"`, `"total"`, `"uintr_delivery"`,
+		`"p50_ns"`, `"p90_ns"`, `"p99_ns"`, `"p999_ns"`, `"count"`,
+	} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("snapshot JSON missing %s:\n%s", key, b)
+		}
+	}
+	var back RegistrySnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Hi.Total.Count != 1 || back.Hi.Total.P50 == 0 {
+		t.Fatalf("round-trip lost data: %+v", back.Hi.Total)
+	}
+	if back.UintrDelivery.Count != 1 {
+		t.Fatalf("delivery lost: %+v", back.UintrDelivery)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(ClassHi, PhaseTotal, 0, 1000)
+	r.ObserveDelivery(0, 77)
+	var b strings.Builder
+	r.Snapshot().WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE preemptdb_phase_latency_nanoseconds summary",
+		`preemptdb_phase_latency_nanoseconds{class="hi",phase="total",quantile="0.5"}`,
+		`preemptdb_phase_latency_nanoseconds_count{class="hi",phase="total"} 1`,
+		`preemptdb_uintr_delivery_nanoseconds{quantile="0.99"} 77`,
+		"preemptdb_uintr_delivery_nanoseconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseClassStrings(t *testing.T) {
+	if ClassHi.String() != "hi" || ClassLo.String() != "lo" {
+		t.Fatal("class names")
+	}
+	if PhaseWALWait.String() != "wal_wait" || PhaseQueueWait.String() != "queue_wait" {
+		t.Fatal("phase names")
+	}
+	if Phase(200).String() == "" {
+		t.Fatal("unknown phase must format")
+	}
+}
+
+// BenchmarkConcurrentRecord measures the bare record cost (the always-on
+// budget: the commit path adds one of these plus two clock reads).
+func BenchmarkConcurrentRecord(b *testing.B) {
+	var ch ConcurrentHistogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch.Record(3, int64(i&1023))
+	}
+}
+
+// BenchmarkObserveWithClock is the full per-commit instrumentation unit: two
+// clock reads bracketing work plus one registry observation.
+func BenchmarkObserveWithClock(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := clock.Nanos()
+		r.Observe(ClassLo, PhaseWALWait, 3, clock.Nanos()-t0)
+	}
+}

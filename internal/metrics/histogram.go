@@ -183,10 +183,18 @@ func (h *Histogram) Merge(o *Histogram) {
 func (h *Histogram) Reset() { *h = Histogram{} }
 
 // Summary is a fixed set of latency statistics extracted from a histogram.
+// All values are nanoseconds; the JSON tags are the artifact/export schema
+// (BENCH_*.json, DB.Metrics, the server Metrics frame).
 type Summary struct {
-	Count                  uint64
-	Mean, Geomean          float64
-	Min, P50, P90, P99, P999, Max int64
+	Count   uint64  `json:"count"`
+	Mean    float64 `json:"mean_ns"`
+	Geomean float64 `json:"geomean_ns"`
+	Min     int64   `json:"min_ns"`
+	P50     int64   `json:"p50_ns"`
+	P90     int64   `json:"p90_ns"`
+	P99     int64   `json:"p99_ns"`
+	P999    int64   `json:"p999_ns"`
+	Max     int64   `json:"max_ns"`
 }
 
 // Summarize extracts the standard statistics the paper reports (50/90/99/99.9

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Class is the scheduling priority class a latency observation belongs to.
+type Class uint8
+
+// Priority classes (matching the scheduler's two-level design).
+const (
+	ClassLo Class = iota
+	ClassHi
+	NumClasses
+)
+
+func (c Class) String() string {
+	if c == ClassHi {
+		return "hi"
+	}
+	return "lo"
+}
+
+// Phase names one component of a transaction's end-to-end latency. The
+// decomposition follows the request's life: admission-queue wait, execution
+// (on-core time, pauses excluded), preempted-pause time (per pause and per
+// transaction), resume latency (preemptive context's hand-back to the paused
+// context), group-commit/WAL wait, and the end-to-end total.
+type Phase uint8
+
+// Latency phases.
+const (
+	// PhaseQueueWait is EnqueuedAt → StartedAt: time spent in the admission
+	// queue before a worker picked the request up.
+	PhaseQueueWait Phase = iota
+	// PhaseExec is StartedAt → FinishedAt minus preempted-pause time: the
+	// request's own on-core execution time.
+	PhaseExec
+	// PhasePause is one preempted pause: from the switch away from the paused
+	// context until it holds the core again. Recorded once per pause.
+	PhasePause
+	// PhasePauseTotal is the sum of a request's pauses, recorded once per
+	// request that was paused at least once (unpaused requests do not record,
+	// so the count is "requests ever paused").
+	PhasePauseTotal
+	// PhaseResume is the hand-back latency: from the preemptive context's
+	// decision to return the core until the paused context actually runs.
+	PhaseResume
+	// PhaseWALWait is the group-commit wait: a leader's batch write+sync, or
+	// a follower's park until its batch is durable.
+	PhaseWALWait
+	// PhaseTotal is EnqueuedAt → FinishedAt: the end-to-end commit latency the
+	// paper's figures report.
+	PhaseTotal
+	NumPhases
+)
+
+// phaseNames are the stable exposition names (JSON tags, Prometheus labels).
+var phaseNames = [NumPhases]string{
+	"queue_wait", "exec", "pause", "pause_total", "resume", "wal_wait", "total",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Registry is the always-on observability surface shared by the scheduler and
+// the engine: one ConcurrentHistogram per (class, phase) plus one for uintr
+// delivery latency (SendUIPI post → handler recognition). A nil *Registry is
+// inert, so instrumented code never branches on configuration.
+type Registry struct {
+	hists    [NumClasses][NumPhases]ConcurrentHistogram
+	delivery ConcurrentHistogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Observe records one latency sample for (class, phase). hint spreads
+// concurrent writers across stripes (pass the worker/core id).
+func (r *Registry) Observe(c Class, p Phase, hint int, v int64) {
+	if r == nil {
+		return
+	}
+	r.hists[c][p].Record(hint, v)
+}
+
+// ObserveDelivery records one uintr delivery-latency sample.
+func (r *Registry) ObserveDelivery(hint int, v int64) {
+	if r == nil {
+		return
+	}
+	r.delivery.Record(hint, v)
+}
+
+// Phase returns the histogram for (class, phase) — snapshot/inspection use.
+func (r *Registry) Phase(c Class, p Phase) *ConcurrentHistogram {
+	if r == nil {
+		return nil
+	}
+	return &r.hists[c][p]
+}
+
+// Delivery returns the uintr delivery-latency histogram.
+func (r *Registry) Delivery() *ConcurrentHistogram {
+	if r == nil {
+		return nil
+	}
+	return &r.delivery
+}
+
+// PhaseSummaries is the per-class latency decomposition: one Summary per
+// phase, in nanoseconds.
+type PhaseSummaries struct {
+	QueueWait  Summary `json:"queue_wait"`
+	Exec       Summary `json:"exec"`
+	Pause      Summary `json:"pause"`
+	PauseTotal Summary `json:"pause_total"`
+	Resume     Summary `json:"resume"`
+	WALWait    Summary `json:"wal_wait"`
+	Total      Summary `json:"total"`
+}
+
+// byPhase exposes the summaries positionally, mirroring the Phase constants.
+func (ps *PhaseSummaries) byPhase() [NumPhases]*Summary {
+	return [NumPhases]*Summary{
+		&ps.QueueWait, &ps.Exec, &ps.Pause, &ps.PauseTotal,
+		&ps.Resume, &ps.WALWait, &ps.Total,
+	}
+}
+
+// RegistrySnapshot is a point-in-time structured view of a Registry,
+// JSON-serializable (preemptdb.DB.Metrics, the server Metrics frame, and the
+// /metrics.json HTTP endpoint all expose exactly this shape).
+type RegistrySnapshot struct {
+	Hi            PhaseSummaries `json:"hi"`
+	Lo            PhaseSummaries `json:"lo"`
+	UintrDelivery Summary        `json:"uintr_delivery"`
+}
+
+// Snapshot summarizes every (class, phase) histogram plus delivery latency.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var snap RegistrySnapshot
+	if r == nil {
+		return snap
+	}
+	for _, cp := range []struct {
+		c  Class
+		ps *PhaseSummaries
+	}{{ClassHi, &snap.Hi}, {ClassLo, &snap.Lo}} {
+		dst := cp.ps.byPhase()
+		for p := Phase(0); p < NumPhases; p++ {
+			*dst[p] = r.hists[cp.c][p].Summarize()
+		}
+	}
+	snap.UintrDelivery = r.delivery.Summarize()
+	return snap
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: one summary-style family for the per-phase latencies (labelled by
+// class and phase) and one for uintr delivery latency, all in nanoseconds.
+func (s RegistrySnapshot) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP preemptdb_phase_latency_nanoseconds Per-phase transaction latency by priority class.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_phase_latency_nanoseconds summary\n")
+	for _, cp := range []struct {
+		c  Class
+		ps PhaseSummaries
+	}{{ClassHi, s.Hi}, {ClassLo, s.Lo}} {
+		src := cp.ps.byPhase()
+		for p := Phase(0); p < NumPhases; p++ {
+			writePromSummary(w, "preemptdb_phase_latency_nanoseconds",
+				fmt.Sprintf(`class=%q,phase=%q`, cp.c.String(), p.String()), *src[p])
+		}
+	}
+	fmt.Fprintf(w, "# HELP preemptdb_uintr_delivery_nanoseconds Userspace-interrupt latency from SendUIPI post to handler recognition.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_uintr_delivery_nanoseconds summary\n")
+	writePromSummary(w, "preemptdb_uintr_delivery_nanoseconds", "", s.UintrDelivery)
+}
+
+func writePromSummary(w io.Writer, name, labels string, sum Summary) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range []struct {
+		q string
+		v int64
+	}{{"0.5", sum.P50}, {"0.9", sum.P90}, {"0.99", sum.P99}, {"0.999", sum.P999}} {
+		fmt.Fprintf(w, "%s{%s%squantile=%q} %d\n", name, labels, sep, q.q, q.v)
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, sum.Mean*float64(sum.Count))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, sum.Count)
+}

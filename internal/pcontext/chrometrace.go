@@ -1,0 +1,171 @@
+package pcontext
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Chrome trace-event export: renders tracer snapshots in the JSON schema
+// understood by Perfetto (ui.perfetto.dev) and chrome://tracing. Each core
+// becomes a process, each context a thread; intervals where a context held
+// the core become complete ("X") spans, and interrupt recognitions /
+// NPR-deferred deliveries become instant ("i") markers.
+
+// CoreEvents pairs a core id with that core's tracer snapshot.
+type CoreEvents struct {
+	Core   int
+	Events []Event
+}
+
+// chromeEvent is one trace-event record. Field names follow the format spec;
+// timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace converts per-core tracer snapshots into a Chrome trace-event
+// JSON document. Timestamps are rebased so the earliest event across all
+// cores is t=0.
+func ChromeTrace(cores []CoreEvents) ([]byte, error) {
+	base := int64(0)
+	haveBase := false
+	for _, ce := range cores {
+		for _, e := range ce.Events {
+			if !haveBase || e.At < base {
+				base, haveBase = e.At, true
+			}
+		}
+	}
+	us := func(at int64) float64 { return float64(at-base) / 1e3 }
+
+	var out []chromeEvent
+	for _, ce := range cores {
+		if len(ce.Events) == 0 {
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: ce.Core,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", ce.Core)},
+		})
+		seenCtx := map[int8]bool{}
+		thread := func(id int8) {
+			if id < 0 || seenCtx[id] {
+				return
+			}
+			seenCtx[id] = true
+			role := "regular"
+			if id > 0 {
+				role = "preemptive"
+			}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: ce.Core, Tid: int(id),
+				Args: map[string]any{"name": fmt.Sprintf("ctx%d (%s)", id, role)},
+			})
+		}
+
+		// Occupancy spans: between consecutive switch events the outgoing
+		// context (the switch's From edge) held the core. The tracer ring may
+		// have dropped events (wrap, seqlock skip), so resynchronize the
+		// running context from each switch's From edge instead of trusting
+		// the previous To edge.
+		cur := int8(-1)
+		curStart := ce.Events[0].At
+		emitSpan := func(ctx int8, start, end int64, tag uint64) {
+			if ctx < 0 || end < start {
+				return
+			}
+			thread(ctx)
+			name := fmt.Sprintf("ctx%d", ctx)
+			var args map[string]any
+			if tag != 0 {
+				name = fmt.Sprintf("txn %d", tag)
+				args = map[string]any{"txn": tag}
+			}
+			d := us(end) - us(start)
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", Ts: us(start), Dur: &d,
+				Pid: ce.Core, Tid: int(ctx), Args: args,
+			})
+		}
+		lastAt := ce.Events[0].At
+		for _, e := range ce.Events {
+			lastAt = e.At
+			switch e.Kind {
+			case EvPassiveSwitch, EvActiveSwitch:
+				emitSpan(e.From, curStart, e.At, e.Tag)
+				cur, curStart = e.To, e.At
+			case EvRecognized, EvSuppressed:
+				thread(e.From)
+				name := "uintr recognized"
+				if e.Kind == EvSuppressed {
+					name = "uintr deferred (NPR)"
+				}
+				var args map[string]any
+				if e.Tag != 0 {
+					args = map[string]any{"txn": e.Tag}
+				}
+				out = append(out, chromeEvent{
+					Name: name, Ph: "i", Ts: us(e.At), S: "t",
+					Pid: ce.Core, Tid: int(e.From), Args: args,
+				})
+			}
+		}
+		// Close the trailing occupancy span at the last event time.
+		emitSpan(cur, curStart, lastAt, 0)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi // metadata first
+		}
+		return out[i].Ts < out[j].Ts
+	})
+	return json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"}, "", " ")
+}
+
+// ValidateChromeTrace parses a Chrome trace-event JSON document and checks it
+// is well-formed: non-empty, every event carries a known phase, durations are
+// non-negative, and non-metadata timestamps are monotonically non-decreasing.
+func ValidateChromeTrace(data []byte) error {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("chrometrace: parse: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return errors.New("chrometrace: no events")
+	}
+	prev := float64(0)
+	first := true
+	for i, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "X", "i":
+		default:
+			return fmt.Errorf("chrometrace: event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Dur != nil && *e.Dur < 0 {
+			return fmt.Errorf("chrometrace: event %d: negative duration %g", i, *e.Dur)
+		}
+		if !first && e.Ts < prev {
+			return fmt.Errorf("chrometrace: event %d: ts %g < previous %g", i, e.Ts, prev)
+		}
+		prev, first = e.Ts, false
+	}
+	return nil
+}

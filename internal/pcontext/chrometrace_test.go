@@ -1,0 +1,130 @@
+package pcontext
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"preemptdb/internal/uintr"
+)
+
+func traceFixture() []CoreEvents {
+	return []CoreEvents{{
+		Core: 0,
+		Events: []Event{
+			{At: 1000, Kind: EvRecognized, From: 0, To: -1, Tag: 7},
+			{At: 1500, Kind: EvPassiveSwitch, From: 0, To: 1, Tag: 7},
+			{At: 4000, Kind: EvActiveSwitch, From: 1, To: 0, Tag: 9},
+			{At: 6000, Kind: EvSuppressed, From: 0, To: -1},
+		},
+	}, {
+		Core: 1,
+		Events: []Event{
+			{At: 2000, Kind: EvActiveSwitch, From: 1, To: 0},
+		},
+	}}
+}
+
+func TestChromeTraceValidAndMonotonic(t *testing.T) {
+	data, err := ChromeTrace(traceFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(data); err != nil {
+		t.Fatalf("generated trace fails validation: %v\n%s", err, data)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var spans, instants, meta int
+	sawTxn := false
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["name"] == "txn 7" {
+				sawTxn = true
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans == 0 || instants == 0 || meta == 0 {
+		t.Fatalf("spans=%d instants=%d meta=%d\n%s", spans, instants, meta, data)
+	}
+	if !sawTxn {
+		t.Fatalf("no span named after its transaction tag:\n%s", data)
+	}
+	for _, want := range []string{`"displayTimeUnit"`, "core 0", "core 1", "preemptive"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("trace missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	data, err := ChromeTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(data); err == nil {
+		t.Fatal("empty trace must fail validation")
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	if err := ValidateChromeTrace([]byte("{not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	bad := []byte(`{"traceEvents":[{"ph":"X","ts":5},{"ph":"X","ts":1}]}`)
+	if err := ValidateChromeTrace(bad); err == nil {
+		t.Fatal("non-monotonic ts must fail")
+	}
+	bad = []byte(`{"traceEvents":[{"ph":"Q","ts":1}]}`)
+	if err := ValidateChromeTrace(bad); err == nil {
+		t.Fatal("unknown phase must fail")
+	}
+}
+
+// TestChromeTraceFromLiveCore runs a real preemption cycle and exports it.
+func TestChromeTraceFromLiveCore(t *testing.T) {
+	core := NewCore(0, 2)
+	tr := NewTracer(64)
+	core.SetTracer(tr)
+	core.SetHandler(func(cur *Context, vectors uint64) {
+		cur.SwitchTo(core.Context(1))
+	})
+	done := make(chan struct{})
+	core.Start([]func(*Context){
+		func(ctx *Context) {
+			ctx.SetTraceTag(42)
+			uintr.SendUIPI(core.Receiver().UPID(), uintr.VecPreempt)
+			for ctx.TCB().PassiveSwitches() == 0 {
+				ctx.Poll()
+			}
+			close(done)
+		},
+		func(ctx *Context) {
+			for !core.Done() {
+				ctx.SwapContext(core.Context(0))
+			}
+		},
+	})
+	<-done
+	core.Shutdown()
+	data, err := ChromeTrace([]CoreEvents{{Core: 0, Events: tr.Snapshot()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(data); err != nil {
+		t.Fatalf("live trace invalid: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), `"txn": 42`) {
+		t.Fatalf("trace tag not exported:\n%s", data)
+	}
+}

@@ -23,6 +23,13 @@ type CLS struct {
 	// yield, so the policy yields every (Accesses - LastYield) ≥ interval.
 	LastYield uint64
 
+	// HighPrio marks the context as currently executing a high-priority
+	// request (set/cleared by the scheduler around each request), letting
+	// lower layers — the engine's commit path — attribute their latency
+	// observations to the right priority class without plumbing a flag
+	// through every call.
+	HighPrio bool
+
 	// Slots carries typed per-context objects owned by higher layers.
 	Slots [NumSlots]any
 }

@@ -86,6 +86,9 @@ type Core struct {
 	// updated only from the core's running context.
 	deliveryCount atomic.Uint64
 	deliverySum   atomic.Int64
+	// deliveryObs, when set, additionally receives each delivery-latency
+	// sample (set once before Start; the metrics registry hangs off it).
+	deliveryObs func(nanos int64)
 
 	// userData lets the embedding scheduler attach its per-worker state
 	// (set once before Start; read-only afterwards).
@@ -100,6 +103,11 @@ func (c *Core) SetUserData(v any) { c.userData = v }
 
 // UserData returns the state attached with SetUserData.
 func (c *Core) UserData() any { return c.userData }
+
+// SetDeliveryObserver registers a callback invoked with every sampled
+// post-to-recognition latency (nanoseconds). Call before Start; the callback
+// runs on the core's running context and must not block.
+func (c *Core) SetDeliveryObserver(fn func(nanos int64)) { c.deliveryObs = fn }
 
 // NewCore creates a core with n transaction contexts (the paper uses two: the
 // regular context and the preemptive context). Contexts are created parked;
@@ -251,11 +259,15 @@ func (c *Core) poll(cur *Context) {
 	}
 	// Latency sample: time from senduipi to handler entry.
 	if post := c.recv.UPID().LastPostNanos(); post != 0 {
-		c.deliverySum.Add(clock.Nanos() - post)
+		lat := clock.Nanos() - post
+		c.deliverySum.Add(lat)
 		c.deliveryCount.Add(1)
+		if c.deliveryObs != nil {
+			c.deliveryObs(lat)
+		}
 	}
 	cur.tcb.passiveSwitchEligible++
-	c.tracer.record(EvRecognized, int8(cur.id), -1)
+	c.tracer.record(EvRecognized, int8(cur.id), -1, cur.traceTag)
 	c.handler(cur, bitmap)
 	c.recv.UIRET()
 }
@@ -270,6 +282,10 @@ type Context struct {
 	// lc is the request lifecycle descriptor (deadline + cancel reason),
 	// checked by Poll at instruction granularity; see lifecycle.go.
 	lc lifecycle
+	// traceTag annotates trace events emitted while this context runs
+	// (the scheduler stamps a request sequence number here). Written only
+	// by the context's own goroutine.
+	traceTag uint64
 }
 
 func newContext(id int, core *Core) *Context {
@@ -294,6 +310,24 @@ func (x *Context) TCB() *TCB { return &x.tcb }
 
 // CLS returns the context-local storage area.
 func (x *Context) CLS() *CLS { return &x.cls }
+
+// SetTraceTag sets the transaction annotation stamped on subsequent trace
+// events from this context (0 clears it). Call only from the context's own
+// goroutine.
+func (x *Context) SetTraceTag(tag uint64) {
+	if x == nil {
+		return
+	}
+	x.traceTag = tag
+}
+
+// TraceTag returns the current trace annotation.
+func (x *Context) TraceTag() uint64 {
+	if x == nil {
+		return 0
+	}
+	return x.traceTag
+}
 
 // String implements fmt.Stringer for diagnostics.
 func (x *Context) String() string {
@@ -322,7 +356,7 @@ func (x *Context) Poll() {
 		// Unlock. Cooperative hooks are also suppressed here.
 		x.tcb.suppressedPolls++
 		if core.recv.UIF() && core.recv.UPID().Pending() {
-			core.tracer.record(EvSuppressed, int8(x.id), -1)
+			core.tracer.record(EvSuppressed, int8(x.id), -1, x.traceTag)
 		}
 		return
 	}
@@ -362,7 +396,7 @@ func (x *Context) SwitchTo(target *Context) {
 		return
 	}
 	x.tcb.passiveSwitches++
-	x.core.tracer.record(EvPassiveSwitch, int8(x.id), int8(target.id))
+	x.core.tracer.record(EvPassiveSwitch, int8(x.id), int8(target.id), x.traceTag)
 	x.core.active.Store(target)
 	x.core.recv.STUI()
 	target.unpark()
@@ -387,7 +421,7 @@ func (x *Context) SwapContext(target *Context) {
 	recv := x.core.recv
 	recv.CLUI() // .swap_context_start
 	x.tcb.activeSwitches++
-	x.core.tracer.record(EvActiveSwitch, int8(x.id), int8(target.id))
+	x.core.tracer.record(EvActiveSwitch, int8(x.id), int8(target.id), x.traceTag)
 	x.core.active.Store(target)
 	recv.STUI() // re-enable before the indirect jump, as in Algorithm 2
 	target.unpark()

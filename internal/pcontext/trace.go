@@ -43,17 +43,45 @@ func (k EventKind) String() string {
 
 // Event is one trace record.
 type Event struct {
-	At       int64 // clock.Nanos
-	Kind     EventKind
-	From, To int8 // context ids (-1 when not applicable)
+	At   int64     `json:"at"`  // clock.Nanos
+	Tag  uint64    `json:"tag"` // transaction annotation (request sequence; 0 = none)
+	Kind EventKind `json:"kind"`
+	From int8      `json:"from"` // context ids (-1 when not applicable)
+	To   int8      `json:"to"`
 }
 
-// Tracer is a fixed-capacity ring of events. Writers are the core's
-// contexts (serialized by the core); readers may snapshot concurrently.
+// slot is one ring entry, laid out as a per-slot seqlock: the writer
+// invalidates seq, stores the payload words, then publishes seq as the
+// event's 1-based sequence number. A reader accepts a slot only when seq
+// reads the expected sequence before AND after loading the payload — any
+// concurrent overwrite passes through seq=0 or a different sequence and is
+// detected. All fields are atomics, so snapshots under concurrent writers
+// are race-clean as well as tear-free.
+type slot struct {
+	seq  atomic.Uint64 // eventIndex+1 when valid; 0 while being written
+	at   atomic.Int64
+	tag  atomic.Uint64
+	meta atomic.Uint64 // kind<<16 | (from+128)<<8 | (to+128)
+}
+
+func packMeta(kind EventKind, from, to int8) uint64 {
+	return uint64(kind)<<16 | uint64(uint8(from)+128)<<8 | uint64(uint8(to)+128)
+}
+
+func unpackMeta(m uint64) (kind EventKind, from, to int8) {
+	return EventKind(m >> 16), int8(uint8(m>>8) - 128), int8(uint8(m) - 128)
+}
+
+// Tracer is a fixed-capacity ring of events. Writers are the core's contexts
+// (serialized by the core); readers may snapshot concurrently, even while the
+// ring wraps mid-snapshot. A snapshot has bounded staleness: a slot
+// overwritten (or mid-write) while it is being read is skipped rather than
+// returned torn, so the result is always a consistent subset of the retained
+// window.
 type Tracer struct {
-	buf  []Event
-	mask uint64
-	next atomic.Uint64
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
 }
 
 // NewTracer returns a tracer holding the most recent `capacity` events
@@ -63,16 +91,21 @@ func NewTracer(capacity int) *Tracer {
 	for n < capacity {
 		n <<= 1
 	}
-	return &Tracer{buf: make([]Event, n), mask: uint64(n - 1)}
+	return &Tracer{slots: make([]slot, n), mask: uint64(n - 1)}
 }
 
 // record appends one event.
-func (t *Tracer) record(kind EventKind, from, to int8) {
+func (t *Tracer) record(kind EventKind, from, to int8, tag uint64) {
 	if t == nil {
 		return
 	}
 	i := t.next.Add(1) - 1
-	t.buf[i&t.mask] = Event{At: clock.Nanos(), Kind: kind, From: from, To: to}
+	s := &t.slots[i&t.mask]
+	s.seq.Store(0) // invalidate while the payload is inconsistent
+	s.at.Store(clock.Nanos())
+	s.tag.Store(tag)
+	s.meta.Store(packMeta(kind, from, to))
+	s.seq.Store(i + 1) // publish
 }
 
 // Len returns the number of events recorded (cumulative, may exceed
@@ -84,20 +117,33 @@ func (t *Tracer) Len() uint64 {
 	return t.next.Load()
 }
 
-// Snapshot returns the retained events in chronological order.
+// Snapshot returns the retained events in chronological order. Safe against
+// concurrent writers: slots that wrap (or are mid-write) during the snapshot
+// are skipped, never returned torn.
 func (t *Tracer) Snapshot() []Event {
 	if t == nil {
 		return nil
 	}
 	n := t.next.Load()
-	size := uint64(len(t.buf))
+	size := uint64(len(t.slots))
 	start := uint64(0)
 	if n > size {
 		start = n - size
 	}
 	out := make([]Event, 0, n-start)
 	for i := start; i < n; i++ {
-		out = append(out, t.buf[i&t.mask])
+		s := &t.slots[i&t.mask]
+		if s.seq.Load() != i+1 {
+			continue // not yet published, or already overwritten
+		}
+		at := s.at.Load()
+		tag := s.tag.Load()
+		meta := s.meta.Load()
+		if s.seq.Load() != i+1 {
+			continue // overwritten while reading: payload may be torn
+		}
+		kind, from, to := unpackMeta(meta)
+		out = append(out, Event{At: at, Tag: tag, Kind: kind, From: from, To: to})
 	}
 	return out
 }
@@ -112,11 +158,15 @@ func Timeline(events []Event) string {
 	var b strings.Builder
 	for _, e := range events {
 		rel := time.Duration(e.At - base)
+		txn := ""
+		if e.Tag != 0 {
+			txn = fmt.Sprintf("  txn=%d", e.Tag)
+		}
 		switch e.Kind {
 		case EvPassiveSwitch, EvActiveSwitch:
-			fmt.Fprintf(&b, "%12v  %-9s ctx%d -> ctx%d\n", rel, e.Kind, e.From, e.To)
+			fmt.Fprintf(&b, "%12v  %-9s ctx%d -> ctx%d%s\n", rel, e.Kind, e.From, e.To, txn)
 		default:
-			fmt.Fprintf(&b, "%12v  %-9s ctx%d\n", rel, e.Kind, e.From)
+			fmt.Fprintf(&b, "%12v  %-9s ctx%d%s\n", rel, e.Kind, e.From, txn)
 		}
 	}
 	return b.String()

@@ -2,6 +2,7 @@ package pcontext
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 
 func TestTracerNilSafe(t *testing.T) {
 	var tr *Tracer
-	tr.record(EvPassiveSwitch, 0, 1)
+	tr.record(EvPassiveSwitch, 0, 1, 0)
 	if tr.Len() != 0 || tr.Snapshot() != nil {
 		t.Fatal("nil tracer must be inert")
 	}
@@ -118,7 +119,7 @@ func TestTracerSuppressedInNPR(t *testing.T) {
 func TestTracerRingWrap(t *testing.T) {
 	tr := NewTracer(4) // power of two
 	for i := 0; i < 10; i++ {
-		tr.record(EvActiveSwitch, int8(i%2), int8((i+1)%2))
+		tr.record(EvActiveSwitch, int8(i%2), int8((i+1)%2), uint64(i))
 	}
 	if tr.Len() != 10 {
 		t.Fatalf("len = %d", tr.Len())
@@ -127,6 +128,40 @@ func TestTracerRingWrap(t *testing.T) {
 	if len(snap) != 4 {
 		t.Fatalf("snapshot = %d events, want 4 (capacity)", len(snap))
 	}
+}
+
+// TestTracerSnapshotNoTornReads hammers a tiny ring from a writer while
+// readers snapshot continuously (run under -race in CI). Every event the
+// writer records has fields derivable from its tag; the per-slot seqlock must
+// never let a snapshot observe a mix of two writes.
+func TestTracerSnapshotNoTornReads(t *testing.T) {
+	tr := NewTracer(8) // tiny ring so wraps race with reads constantly
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range tr.Snapshot() {
+					if e.Kind != EvActiveSwitch || e.From != int8(e.Tag%100) || e.To != int8((e.Tag+7)%100) {
+						t.Errorf("torn event: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := uint64(0); i < 200000; i++ {
+		tr.record(EvActiveSwitch, int8(i%100), int8((i+7)%100), i)
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestTimelineEmpty(t *testing.T) {

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/pcontext"
+)
+
+// TestPhaseMetricsOnPreemption drives one preemption cycle and checks the
+// per-phase decomposition lands in the right (class, phase) histograms.
+func TestPhaseMetricsOnPreemption(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Policy: PolicyPreempt, Workers: 1, Metrics: reg})
+	if s.Metrics() != reg {
+		t.Fatal("scheduler must adopt the provided registry")
+	}
+	s.Start()
+	defer s.Stop()
+
+	loDone := make(chan *Request, 1)
+	hiDone := make(chan *Request, 1)
+	s.SubmitLow(0, &Request{Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, 50*time.Millisecond)
+		return nil
+	}, OnDone: func(r *Request) { loDone <- r }})
+	time.Sleep(5 * time.Millisecond)
+	s.SubmitHighBatch([]*Request{{Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, time.Millisecond)
+		return nil
+	}, OnDone: func(r *Request) { hiDone <- r }}})
+
+	for _, ch := range []chan *Request{hiDone, loDone} {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("request did not complete")
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Hi.Total.Count != 1 || snap.Hi.QueueWait.Count != 1 || snap.Hi.Exec.Count != 1 {
+		t.Fatalf("hi counts: total=%d queue=%d exec=%d",
+			snap.Hi.Total.Count, snap.Hi.QueueWait.Count, snap.Hi.Exec.Count)
+	}
+	if snap.Lo.Total.Count != 1 || snap.Lo.Exec.Count != 1 {
+		t.Fatalf("lo counts: total=%d exec=%d", snap.Lo.Total.Count, snap.Lo.Exec.Count)
+	}
+	// The low-priority transaction was preempted at least once: it must have
+	// pause, pause-total, and resume observations, and its exec time must
+	// exclude the pause (total = queue + exec + pause to within clock skew).
+	if snap.Lo.Pause.Count == 0 || snap.Lo.PauseTotal.Count != 1 || snap.Lo.Resume.Count == 0 {
+		t.Fatalf("lo pause phases: pause=%d pause_total=%d resume=%d",
+			snap.Lo.Pause.Count, snap.Lo.PauseTotal.Count, snap.Lo.Resume.Count)
+	}
+	if snap.Lo.PauseTotal.Min < int64(500*time.Microsecond) {
+		t.Fatalf("pause total %v shorter than the hi txn that caused it",
+			time.Duration(snap.Lo.PauseTotal.Min))
+	}
+	sumOfParts := snap.Lo.QueueWait.Max + snap.Lo.Exec.Max + snap.Lo.PauseTotal.Max
+	if total := snap.Lo.Total.Max; sumOfParts > total+total/4 {
+		t.Fatalf("decomposition inconsistent: parts=%v total=%v",
+			time.Duration(sumOfParts), time.Duration(total))
+	}
+	// The preemption interrupt's delivery latency must have been sampled.
+	if snap.UintrDelivery.Count == 0 {
+		t.Fatal("no uintr delivery latency samples")
+	}
+	// The hi transaction never pauses in this scenario.
+	if snap.Hi.PauseTotal.Count != 0 {
+		t.Fatalf("hi pause_total count = %d, want 0", snap.Hi.PauseTotal.Count)
+	}
+}
+
+// TestTraceOnByDefault: a scheduler built with a zero Config must come up
+// with per-core tracers attached and annotate events with transaction tags.
+func TestTraceOnByDefault(t *testing.T) {
+	s := New(Config{Policy: PolicyPreempt, Workers: 1})
+	s.Start()
+	defer s.Stop()
+
+	loDone := make(chan struct{})
+	hiDone := make(chan struct{})
+	s.SubmitLow(0, &Request{Work: func(ctx *pcontext.Context) error {
+		spinFor(ctx, 50*time.Millisecond)
+		return nil
+	}, OnDone: func(*Request) { close(loDone) }})
+	time.Sleep(5 * time.Millisecond)
+	s.SubmitHighBatch([]*Request{{Work: func(ctx *pcontext.Context) error { return nil },
+		OnDone: func(*Request) { close(hiDone) }}})
+	<-hiDone
+	<-loDone
+
+	cores := s.TraceSnapshot()
+	if len(cores) != 1 {
+		t.Fatalf("trace cores = %d, want 1", len(cores))
+	}
+	var switches, tagged int
+	for _, e := range cores[0].Events {
+		if e.Kind == pcontext.EvPassiveSwitch || e.Kind == pcontext.EvActiveSwitch {
+			switches++
+		}
+		if e.Tag != 0 {
+			tagged++
+		}
+	}
+	if switches < 2 {
+		t.Fatalf("expected a preemption round-trip in the trace, got %d switches: %v",
+			switches, cores[0].Events)
+	}
+	if tagged == 0 {
+		t.Fatal("no trace events carry a transaction tag")
+	}
+	data, err := pcontext.ChromeTrace(cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcontext.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("scheduler trace fails Chrome export validation: %v", err)
+	}
+}
+
+// TestTraceDisabled: negative capacity must switch tracing off.
+func TestTraceDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, TraceCapacity: -1})
+	if got := s.TraceSnapshot(); got != nil {
+		t.Fatalf("tracing disabled but snapshot = %v", got)
+	}
+}

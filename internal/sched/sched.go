@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"preemptdb/internal/clock"
+	"preemptdb/internal/metrics"
 	"preemptdb/internal/pcontext"
 	"preemptdb/internal/queue"
 	"preemptdb/internal/uintr"
@@ -143,6 +144,15 @@ type Config struct {
 	// MorselQueueSize caps the shared stealable morsel-task queue (parallel
 	// analytical sub-requests, see SubmitMorsel). Default 64.
 	MorselQueueSize int
+	// Metrics receives the per-phase latency decomposition (queue wait,
+	// execution, pauses, resume, end-to-end) and uintr delivery latency.
+	// Default: a fresh registry — instrumentation is always on; pass a shared
+	// registry to aggregate with the engine's WAL-wait observations.
+	Metrics *metrics.Registry
+	// TraceCapacity sizes the always-on per-core scheduling-event ring
+	// (events retained per core, rounded up to a power of two). Default 4096;
+	// negative disables tracing.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +173,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MorselQueueSize == 0 {
 		c.MorselQueueSize = 64
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 4096
 	}
 	return c
 }
@@ -187,6 +203,12 @@ type Scheduler struct {
 	shedCanceled    atomic.Uint64
 	morselsStolen   atomic.Uint64
 	started         bool
+
+	// metrics is the shared phase-latency registry (never nil after New).
+	metrics *metrics.Registry
+	// traceSeq issues the per-request trace tags stamped on the executing
+	// context so trace events can be attributed to a transaction.
+	traceSeq atomic.Uint64
 }
 
 // Worker is one simulated core with its two transaction contexts and queues.
@@ -201,6 +223,15 @@ type Worker struct {
 
 	executedHi atomic.Uint64
 	executedLo atomic.Uint64
+
+	// Pause accounting for the request currently occupying the regular
+	// context. Plain fields: every access happens either on the context that
+	// holds the core or across the park/unpark handoff, which orders them.
+	// execute saves/restores them so a high-priority request running on the
+	// preemptive context doesn't clobber the paused request's state.
+	pauseNs  int64         // preempted-pause nanoseconds accumulated so far
+	resumeAt int64         // stamped by the preemptive loop just before handing the core back
+	curClass metrics.Class // class of the request the accumulator belongs to
 }
 
 // ID returns the worker index.
@@ -218,7 +249,11 @@ func (w *Worker) ExecutedLow() uint64 { return w.executedLo.Load() }
 // New builds a scheduler; call Start to launch the workers.
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
-	s := &Scheduler{cfg: cfg, morselQ: queue.NewMPMC[func(*pcontext.Context)](cfg.MorselQueueSize)}
+	s := &Scheduler{
+		cfg:     cfg,
+		morselQ: queue.NewMPMC[func(*pcontext.Context)](cfg.MorselQueueSize),
+		metrics: cfg.Metrics,
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
 			id:   i,
@@ -228,9 +263,29 @@ func New(cfg Config) *Scheduler {
 			loQ:  queue.NewSPSC[*Request](cfg.LoQueueSize),
 		}
 		w.core.SetUserData(w)
+		if cfg.TraceCapacity > 0 {
+			w.core.SetTracer(pcontext.NewTracer(cfg.TraceCapacity))
+		}
+		id := i
+		w.core.SetDeliveryObserver(func(ns int64) { s.metrics.ObserveDelivery(id, ns) })
 		s.workers = append(s.workers, w)
 	}
 	return s
+}
+
+// Metrics returns the scheduler's phase-latency registry (never nil).
+func (s *Scheduler) Metrics() *metrics.Registry { return s.metrics }
+
+// TraceSnapshot collects every worker's scheduling-event trace. Safe while
+// the scheduler runs; see Tracer.Snapshot for the staleness contract.
+func (s *Scheduler) TraceSnapshot() []pcontext.CoreEvents {
+	var out []pcontext.CoreEvents
+	for _, w := range s.workers {
+		if tr := w.core.Tracer(); tr != nil {
+			out = append(out, pcontext.CoreEvents{Core: w.id, Events: tr.Snapshot()})
+		}
+	}
+	return out
 }
 
 // Config returns the effective configuration.
@@ -357,7 +412,24 @@ func (w *Worker) handlePreempt(cur *pcontext.Context) {
 	if w.hiQ.Empty() {
 		return // spurious or raced: nothing to do (fig8's overhead path)
 	}
+	pauseStart := clock.Nanos()
 	cur.SwitchTo(hp)
+	w.notePauseEnd(pauseStart)
+}
+
+// notePauseEnd runs on the regular context the instant it holds the core
+// again after a preemption: it accumulates the pause into the paused
+// request's total and records the per-pause and resume-latency phases.
+func (w *Worker) notePauseEnd(pauseStart int64) {
+	now := clock.Nanos()
+	pause := now - pauseStart
+	w.pauseNs += pause
+	m := w.s.metrics
+	m.Observe(w.curClass, metrics.PhasePause, w.id, pause)
+	if w.resumeAt != 0 {
+		m.Observe(w.curClass, metrics.PhaseResume, w.id, now-w.resumeAt)
+		w.resumeAt = 0
+	}
 }
 
 // yieldPoint implements the cooperative check: if high-priority work is
@@ -370,7 +442,9 @@ func (w *Worker) yieldPoint(cur *pcontext.Context) {
 	if w.hiQ.Empty() {
 		return
 	}
+	pauseStart := clock.Nanos()
 	cur.SwapContext(w.core.Context(1))
+	w.notePauseEnd(pauseStart)
 }
 
 // Yield is the workload-visible yield point for handcrafted cooperative
@@ -459,6 +533,9 @@ func (w *Worker) preemptiveLoop(ctx *pcontext.Context) {
 			w.execute(ctx, req)
 			w.core.AddHighPrioNanos(clock.Nanos() - start)
 		}
+		// Stamp the hand-back decision instant so the paused context can
+		// report its resume latency once it actually runs.
+		w.resumeAt = clock.Nanos()
 		ctx.SwapContext(w.core.Context(0))
 	}
 }
@@ -477,9 +554,12 @@ func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
 // helper does this), so the scheduler only brackets the starvation meter.
 func (w *Worker) runMorsel(ctx *pcontext.Context, fn func(*pcontext.Context)) {
 	w.s.morselsStolen.Add(1)
+	savedPause, savedClass := w.pauseNs, w.curClass
+	w.pauseNs, w.curClass = 0, metrics.ClassLo
 	w.core.BeginLowPrio()
 	fn(ctx)
 	w.core.EndLowPrio()
+	w.pauseNs, w.curClass = savedPause, savedClass
 }
 
 // shed completes a request without running it — the dispatch-side drop for
@@ -514,6 +594,21 @@ func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 	if w.shed(req) {
 		return
 	}
+	class := metrics.ClassLo
+	if req.HighPriority {
+		class = metrics.ClassHi
+	}
+	// Fresh pause accumulator for this request; save the paused request's
+	// state (a high-priority request executing on the preemptive context
+	// interleaves with a paused one on the regular context).
+	savedPause, savedClass := w.pauseNs, w.curClass
+	w.pauseNs, w.curClass = 0, class
+	// Annotate trace events and engine-side observations (the commit path
+	// reads CLS.HighPrio to classify its WAL wait) for the duration of Work.
+	cls := ctx.CLS()
+	savedHi, savedTag := cls.HighPrio, ctx.TraceTag()
+	cls.HighPrio = req.HighPriority
+	ctx.SetTraceTag(w.s.traceSeq.Add(1))
 	gen := ctx.Arm(req.Deadline)
 	req.execGen.Store(gen)
 	req.execCtx.Store(ctx)
@@ -528,6 +623,19 @@ func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 	req.FinishedAt = clock.Nanos()
 	req.execCtx.Store(nil)
 	ctx.Disarm()
+	ctx.SetTraceTag(savedTag)
+	cls.HighPrio = savedHi
+	pause := w.pauseNs
+	w.pauseNs, w.curClass = savedPause, savedClass
+	m := w.s.metrics
+	m.Observe(class, metrics.PhaseExec, w.id, req.FinishedAt-req.StartedAt-pause)
+	if pause > 0 {
+		m.Observe(class, metrics.PhasePauseTotal, w.id, pause)
+	}
+	if req.EnqueuedAt != 0 {
+		m.Observe(class, metrics.PhaseQueueWait, w.id, req.StartedAt-req.EnqueuedAt)
+		m.Observe(class, metrics.PhaseTotal, w.id, req.FinishedAt-req.EnqueuedAt)
+	}
 	if req.HighPriority {
 		w.executedHi.Add(1)
 	} else {

@@ -1,0 +1,161 @@
+package preemptdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"preemptdb/internal/pcontext"
+)
+
+// metricsWorkload commits a few transactions at both priorities so every
+// always-on surface has something to report.
+func metricsWorkload(t *testing.T, db *DB) {
+	t.Helper()
+	db.CreateTable("kv")
+	for i := 0; i < 8; i++ {
+		p := Low
+		if i%2 == 0 {
+			p = High
+		}
+		key := []byte(fmt.Sprintf("k%d", i))
+		if err := db.Exec(p, func(tx *Txn) error {
+			return tx.Put("kv", key, []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDBMetricsSnapshot(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyPreempt})
+	metricsWorkload(t, db)
+	snap := db.Metrics()
+	if snap.Hi.Total.Count == 0 || snap.Lo.Total.Count == 0 {
+		t.Fatalf("missing end-to-end samples: hi=%d lo=%d",
+			snap.Hi.Total.Count, snap.Lo.Total.Count)
+	}
+	for _, s := range []struct {
+		name  string
+		count uint64
+	}{
+		{"hi queue_wait", snap.Hi.QueueWait.Count},
+		{"hi exec", snap.Hi.Exec.Count},
+		{"lo queue_wait", snap.Lo.QueueWait.Count},
+		{"lo exec", snap.Lo.Exec.Count},
+	} {
+		if s.count == 0 {
+			t.Fatalf("no %s samples", s.name)
+		}
+	}
+	if snap.Hi.Total.P50 <= 0 || snap.Hi.Total.P999 < snap.Hi.Total.P50 {
+		t.Fatalf("hi total percentiles inconsistent: %+v", snap.Hi.Total)
+	}
+	// The snapshot must round-trip through JSON with its schema intact.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"hi"`, `"lo"`, `"wal_wait"`, `"uintr_delivery"`, `"p99_ns"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("metrics JSON missing %s", key)
+		}
+	}
+}
+
+func TestDBTraceSnapshot(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyPreempt})
+	metricsWorkload(t, db)
+	data, err := db.TraceSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcontext.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+}
+
+func TestTraceDisabledByConfig(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, TraceCapacity: -1})
+	if _, err := db.TraceSnapshot(); err == nil {
+		t.Fatal("TraceSnapshot must fail when tracing is disabled")
+	}
+}
+
+func TestMetricsHTTPEndpoints(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyPreempt, MetricsAddr: "127.0.0.1:0"})
+	metricsWorkload(t, db)
+	addr := db.MetricsAddr()
+	if addr == nil {
+		t.Fatal("no metrics listener address")
+	}
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	prom, _ := get("/metrics")
+	for _, want := range []string{
+		"preemptdb_phase_latency_nanoseconds{class=\"hi\",phase=\"total\",quantile=\"0.5\"}",
+		"preemptdb_uintr_delivery_nanoseconds_count",
+		"preemptdb_commits_total",
+		"preemptdb_interrupts_sent_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom[:min(len(prom), 2000)])
+		}
+	}
+
+	js, ct := get("/metrics.json")
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("/metrics.json content-type %q", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(js), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if _, ok := snap["uintr_delivery"]; !ok {
+		t.Fatalf("/metrics.json missing uintr_delivery: %s", js)
+	}
+
+	tr, _ := get("/trace")
+	if err := pcontext.ValidateChromeTrace([]byte(tr)); err != nil {
+		t.Fatalf("/trace invalid: %v", err)
+	}
+}
+
+func TestMetricsListenerStopsOnClose(t *testing.T) {
+	db, err := Open("", Config{Workers: 1, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := db.MetricsAddr().String()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("metrics listener still serving after Close")
+	}
+}
+
+func TestMetricsAddrBindFailure(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, MetricsAddr: "127.0.0.1:0"})
+	// Binding the same concrete port again must fail and not leak a half-open DB.
+	if _, err := Open("", Config{Workers: 1, MetricsAddr: db.MetricsAddr().String()}); err == nil {
+		t.Fatal("expected bind failure on occupied port")
+	}
+}

@@ -1,0 +1,111 @@
+package preemptdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/pcontext"
+)
+
+// Metrics export surface: the structured snapshot behind DB.Metrics, the
+// Chrome trace export behind DB.TraceSnapshot, and the optional
+// Config.MetricsAddr HTTP listener that serves both.
+
+// Metrics returns a point-in-time snapshot of the per-phase latency
+// decomposition: for each priority class, Summary percentiles for admission
+// queue wait, execution, preempted pauses (per pause and per transaction),
+// resume latency, group-commit WAL wait, and end-to-end latency — plus the
+// uintr delivery latency from SendUIPI post to handler recognition. The
+// snapshot JSON-serializes with stable field names.
+func (db *DB) Metrics() metrics.RegistrySnapshot { return db.reg.Snapshot() }
+
+// TraceSnapshot renders the per-core scheduling-event rings as a Chrome
+// trace-event JSON document (loadable in ui.perfetto.dev or
+// chrome://tracing). Safe to call while the database runs; events
+// overwritten mid-snapshot are skipped, not torn. Returns an error only when
+// tracing is disabled (Config.TraceCapacity < 0).
+func (db *DB) TraceSnapshot() ([]byte, error) {
+	cores := db.sch.TraceSnapshot()
+	if cores == nil {
+		return nil, fmt.Errorf("preemptdb: tracing disabled (TraceCapacity < 0)")
+	}
+	return pcontext.ChromeTrace(cores)
+}
+
+// MetricsAddr returns the bound address of the Config.MetricsAddr HTTP
+// listener, or nil when no listener is running. With "host:0" in the config
+// this is how the chosen port is discovered.
+func (db *DB) MetricsAddr() net.Addr {
+	if db.mln == nil {
+		return nil
+	}
+	return db.mln.Addr()
+}
+
+// startMetricsServer binds addr and serves the export endpoints until Close.
+func (db *DB) startMetricsServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		db.Metrics().WritePrometheus(w)
+		writePromCounters(w, db.Stats())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(db.Metrics())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := db.TraceSnapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	db.mln, db.msrv = ln, srv
+	go srv.Serve(ln)
+	return nil
+}
+
+// stopMetricsServer tears the listener down; idempotent.
+func (db *DB) stopMetricsServer() {
+	if db.msrv != nil {
+		db.msrv.Close()
+		db.msrv, db.mln = nil, nil
+	}
+}
+
+// writePromCounters renders the Stats counters as Prometheus counter/gauge
+// families alongside the latency summaries.
+func writePromCounters(w http.ResponseWriter, st Stats) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP preemptdb_%s %s\n# TYPE preemptdb_%s counter\npreemptdb_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("commits_total", "Committed transactions.", st.Commits)
+	counter("aborts_total", "Aborted transactions.", st.Aborts)
+	counter("interrupts_sent_total", "User interrupts issued by the scheduler.", st.InterruptsSent)
+	counter("passive_switches_total", "Interrupt-driven context switches.", st.PassiveSwitches)
+	counter("active_switches_total", "Voluntary context switches.", st.ActiveSwitches)
+	counter("starvation_skips_total", "Dispatches withheld by starvation prevention.", st.StarvationSkips)
+	counter("log_bytes_total", "Framed WAL bytes written.", st.LogBytes)
+	counter("log_batches_total", "Group-commit batches written.", st.LogBatches)
+	counter("morsels_stolen_total", "Parallel-scan morsels run by idle workers.", st.MorselsStolen)
+	walFailed := 0
+	if st.WALFailed {
+		walFailed = 1
+	}
+	fmt.Fprintf(w, "# HELP preemptdb_wal_failed Whether the WAL has latched a permanent failure.\n# TYPE preemptdb_wal_failed gauge\npreemptdb_wal_failed %d\n", walFailed)
+}

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -173,6 +175,15 @@ type Config struct {
 	AdmissionBurst int
 	// MaxInFlight, when > 0, caps admitted-but-unfinished requests.
 	MaxInFlight int
+	// MetricsAddr, when non-empty, starts an HTTP listener (e.g.
+	// "127.0.0.1:9090") serving /metrics (Prometheus text exposition),
+	// /metrics.json (the DB.Metrics snapshot), and /trace (Chrome trace-event
+	// JSON, loadable in Perfetto). The listener stops on Close; the bound
+	// address is available from DB.MetricsAddr (useful with ":0").
+	MetricsAddr string
+	// TraceCapacity sizes the per-core scheduling-trace rings (default 4096
+	// events per core; negative disables tracing).
+	TraceCapacity int
 }
 
 // ErrClosed reports use of a closed DB.
@@ -230,7 +241,9 @@ type DB struct {
 	sch    *sched.Scheduler
 	adm    *admission.Controller
 	aborts metrics.AbortCounters
-	rrLow  int
+	// rrLow round-robins low-priority submissions across workers; atomic
+	// because concurrent submitters (e.g. server connections) share it.
+	rrLow  atomic.Uint32
 	closed bool
 	// dir and dlog are set on file-backed databases: the data directory and
 	// the segmented WAL log the engine appends to.
@@ -243,6 +256,11 @@ type DB struct {
 	// calls reuse one oracle slot and one pooled transaction instead of
 	// registering a fresh slot per call.
 	ctxPool sync.Pool
+	// reg is the phase-latency registry shared by the scheduler and the
+	// engine; msrv/mln are the optional MetricsAddr HTTP export listener.
+	reg  *metrics.Registry
+	msrv *http.Server
+	mln  net.Listener
 }
 
 // Open creates a database and starts its workers.
@@ -317,6 +335,10 @@ func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 	if dlog != nil {
 		sink = dlog
 	}
+	// One registry across the engine and the scheduler, so DB.Metrics reports
+	// the full per-phase decomposition (scheduler phases + WAL wait) in one
+	// snapshot.
+	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
 		Isolation:      cfg.Isolation.toMVCC(),
 		LogSink:        sink,
@@ -324,6 +346,7 @@ func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 		MaxBatchBytes:  cfg.MaxBatchBytes,
 		MaxBatchDelay:  cfg.MaxBatchDelay,
 		VacuumInterval: cfg.VacuumInterval,
+		Metrics:        reg,
 	})
 	s := sched.New(sched.Config{
 		Policy:              cfg.Policy.toSched(),
@@ -332,13 +355,22 @@ func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 		LoQueueSize:         cfg.LoQueueSize,
 		YieldInterval:       cfg.YieldInterval,
 		StarvationThreshold: cfg.StarvationThreshold,
+		Metrics:             reg,
+		TraceCapacity:       cfg.TraceCapacity,
 	})
 	s.Start()
 	// The admission controller is always present: with the rate and
 	// in-flight knobs at zero it admits everything, but it still tracks the
 	// queue-delay estimate that lets AdmitDeadline shed doomed requests.
 	adm := admission.New(cfg.AdmissionRate, cfg.AdmissionBurst, cfg.MaxInFlight)
-	return &DB{cfg: cfg, eng: eng, sch: s, adm: adm, dlog: dlog}, nil
+	db := &DB{cfg: cfg, eng: eng, sch: s, adm: adm, dlog: dlog, reg: reg}
+	if cfg.MetricsAddr != "" {
+		if err := db.startMetricsServer(cfg.MetricsAddr); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("preemptdb: metrics listener: %w", err)
+		}
+	}
+	return db, nil
 }
 
 // tryOpenDir attempts a full file-backed open against one recovery candidate
@@ -410,6 +442,7 @@ func (db *DB) Close() error {
 		return ErrClosed
 	}
 	db.closed = true
+	db.stopMetricsServer()
 	db.sch.Stop()
 	for _, w := range db.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
@@ -590,8 +623,8 @@ func (db *DB) submit(p Priority, deadline int64, fn func(tx *Txn) error, onDone 
 		ok = db.sch.SubmitHighBatch([]*sched.Request{req}) == 1
 	} else {
 		for i := 0; i < db.cfg.Workers && !ok; i++ {
-			db.rrLow = (db.rrLow + 1) % db.cfg.Workers
-			ok = db.sch.SubmitLow(db.rrLow, req)
+			wid := int(db.rrLow.Add(1)) % db.cfg.Workers
+			ok = db.sch.SubmitLow(wid, req)
 		}
 	}
 	if !ok {

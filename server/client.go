@@ -1,12 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"preemptdb"
+	"preemptdb/internal/metrics"
 )
 
 // Client is a connection to a PreemptDB server. Safe for concurrent use;
@@ -63,6 +65,24 @@ func (c *Client) CreateTable(name string) error {
 		return err
 	}
 	return statusErr(status, msg)
+}
+
+// Metrics fetches the server's structured latency snapshot: per-class
+// per-phase Summary percentiles plus uintr delivery latency, decoded from
+// the JSON document the server ships in the response message.
+func (c *Client) Metrics() (metrics.RegistrySnapshot, error) {
+	var snap metrics.RegistrySnapshot
+	status, msg, _, err := c.roundTrip([]byte{reqMetrics})
+	if err != nil {
+		return snap, err
+	}
+	if err := statusErr(status, msg); err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal([]byte(msg), &snap); err != nil {
+		return snap, fmt.Errorf("server: decoding metrics: %w", err)
+	}
+	return snap, nil
 }
 
 // Stats returns the server's counter summary line.

@@ -40,6 +40,10 @@ const (
 	// microseconds (relative so the two machines' clocks never have to
 	// agree); the server arms it as an absolute deadline on receipt.
 	reqTxnDeadline
+	// reqMetrics asks for the structured latency snapshot (DB.Metrics); the
+	// response carries the JSON document in the message string. The request
+	// body is empty — trailing bytes are malformed.
+	reqMetrics
 )
 
 // Response status codes.

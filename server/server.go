@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -179,6 +180,17 @@ func (s *Server) dispatch(b, frame []byte) ([]byte, error) {
 		}
 		s.db.CreateTable(name)
 		return encodeResults(b, statusOK, "", nil), nil
+
+	case reqMetrics:
+		if !r.empty() {
+			return nil, fmt.Errorf("%w: trailing bytes after metrics request", ErrMalformed)
+		}
+		snap := s.db.Metrics()
+		js, err := json.Marshal(&snap)
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding metrics: %w", err)
+		}
+		return encodeResults(b, statusOK, string(js), nil), nil
 
 	case reqStats:
 		st := s.db.Stats()
