@@ -49,7 +49,7 @@ func TestCheckpointDiskConcurrent(t *testing.T) {
 		}()
 	}
 	cg.Wait()
-	cks, err := db.dir.Checkpoints()
+	cks, err := db.shards[0].dir.Checkpoints()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -248,12 +248,21 @@ func ParallelScan(opt Options, workerCounts []int) (*ScanResult, error) {
 
 // WriteScanJSON emits a ScanResult in the same envelope as BENCH_commit.json.
 func WriteScanJSON(path, command string, res *ScanResult, notes []string) error {
+	return WriteBenchJSON(path, command, res, notes)
+}
+
+// WriteBenchJSON emits any experiment result in the standard artifact
+// envelope (BENCH_*.json): date, cpu model, go platform, the exact command,
+// and num_cpu — the host's CPU count, so single-CPU-host caveats are
+// machine-checkable rather than prose.
+func WriteBenchJSON(path, command string, results any, notes []string) error {
 	doc := map[string]any{
 		"date":    time.Now().Format("2006-01-02"),
 		"cpu":     cpuModel(),
+		"num_cpu": runtime.NumCPU(),
 		"go":      runtime.GOOS + "/" + runtime.GOARCH,
 		"command": command,
-		"results": res,
+		"results": results,
 		"notes":   notes,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")

@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"preemptdb"
+	"preemptdb/internal/clock"
+	"preemptdb/internal/dtx"
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/rng"
+)
+
+// ShardPoint is one single-shard-transaction scaling data point: a closed-loop
+// point workload (read-modify-write of one key, routed by hash) against a
+// database with a given shard count.
+type ShardPoint struct {
+	Shards     int     `json:"shards"`
+	Txns       uint64  `json:"txns"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	MeanNs     float64 `json:"mean_ns"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+}
+
+// ShardXPoint is one cross-shard-ratio data point at a fixed shard count: a
+// mix where cross_pct percent of transactions touch two keys on different
+// shards (committing through 2PC) and the rest stay single-shard.
+type ShardXPoint struct {
+	CrossPct   int     `json:"cross_pct"`
+	Txns       uint64  `json:"txns"`
+	CrossTxns  uint64  `json:"cross_txns"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	CrossP50Ns int64   `json:"cross_p50_ns"`
+	CrossP99Ns int64   `json:"cross_p99_ns"`
+}
+
+// ShardHiPoint is one shard's high-priority end-to-end latency summary under
+// PolicyPreempt while low-priority load runs on every shard — each shard has
+// its own scheduler cores, so hi-prio isolation must hold per shard.
+type ShardHiPoint struct {
+	Shard int    `json:"shard"`
+	Count uint64 `json:"hi_count"`
+	P50Ns int64  `json:"hi_p50_ns"`
+	P99Ns int64  `json:"hi_p99_ns"`
+}
+
+// ShardResult is the full shardbench experiment output (BENCH_shard.json).
+type ShardResult struct {
+	WorkersPerShard int            `json:"workers_per_shard"`
+	Keys            int            `json:"keys"`
+	Clients         int            `json:"clients"`
+	Scaling         []ShardPoint   `json:"scaling"`
+	CrossSweep      []ShardXPoint  `json:"cross_sweep_4_shards"`
+	HiPerShard      []ShardHiPoint `json:"hi_per_shard_4_shards"`
+	NumCPU          int            `json:"num_cpu"`
+}
+
+const shardBenchKeys = 4096
+
+// openShardBenchDB opens an in-memory database with n shards, preloads the
+// key space, and returns the per-shard key pools (bucketed by the same hash
+// the facade routes with).
+func openShardBenchDB(n, workers int) (*preemptdb.DB, [][][]byte, error) {
+	db, err := preemptdb.Open("", preemptdb.Config{
+		Shards:  n,
+		Workers: workers,
+		Policy:  preemptdb.PolicyPreempt,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	db.CreateTable("kv")
+	pools := make([][][]byte, n)
+	var val [8]byte
+	for i := 0; i < shardBenchKeys; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		s := dtx.ShardOf(k, n)
+		pools[s] = append(pools[s], k)
+		if err := db.Run(func(tx *preemptdb.Txn) error {
+			return tx.Put("kv", k, val[:])
+		}); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
+	return db, pools, nil
+}
+
+// shardLoad drives a closed-loop point workload: clients goroutines each keep
+// one transaction outstanding for the duration. crossPct percent of
+// transactions read-modify-write two keys on two different shards (2PC); the
+// rest touch one hash-routed key. Conflicted attempts retry without being
+// recorded; latencies are wall-clock from submission to completion.
+func shardLoad(db *preemptdb.DB, pools [][][]byte, crossPct, clients int, dur time.Duration) (txns, cross uint64, lat, crossLat metrics.Histogram) {
+	n := len(pools)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	deadline := clock.Nanos() + int64(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := rng.New(uint64(0xd1ce + c*7919))
+			var myTxns, myCross uint64
+			var myLat, myCrossLat metrics.Histogram
+			var val [8]byte
+			for clock.Nanos() < deadline {
+				isCross := n > 1 && gen.Intn(100) < crossPct
+				start := clock.Nanos()
+				var err error
+				if isCross {
+					sa := gen.Intn(n)
+					sb := (sa + 1 + gen.Intn(n-1)) % n
+					ka := pools[sa][gen.Intn(len(pools[sa]))]
+					kb := pools[sb][gen.Intn(len(pools[sb]))]
+					err = db.ExecOpts(preemptdb.TxnOptions{RouteKey: ka}, func(tx *preemptdb.Txn) error {
+						for _, k := range [][]byte{ka, kb} {
+							if _, err := tx.Get("kv", k); err != nil {
+								return err
+							}
+							if err := tx.Put("kv", k, val[:]); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				} else {
+					s := gen.Intn(n)
+					k := pools[s][gen.Intn(len(pools[s]))]
+					err = db.ExecOpts(preemptdb.TxnOptions{RouteKey: k}, func(tx *preemptdb.Txn) error {
+						if _, err := tx.Get("kv", k); err != nil {
+							return err
+						}
+						return tx.Put("kv", k, val[:])
+					})
+				}
+				if err != nil {
+					continue // conflict: retry, unrecorded
+				}
+				d := clock.Nanos() - start
+				myTxns++
+				myLat.Record(d)
+				if isCross {
+					myCross++
+					myCrossLat.Record(d)
+				}
+			}
+			mu.Lock()
+			txns += myTxns
+			cross += myCross
+			lat.Merge(&myLat)
+			crossLat.Merge(&myCrossLat)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return txns, cross, lat, crossLat
+}
+
+// ShardBench measures the hash-sharded engine: single-shard-transaction
+// throughput vs shard count, throughput and latency across a cross-shard
+// transaction ratio sweep at 4 shards, and per-shard high-priority p99 under
+// PolicyPreempt with background low-priority load. Every shard carries its
+// own scheduler cores, timestamp oracle, and WAL stream, so single-shard
+// points have zero cross-shard coordination; wall-clock scaling additionally
+// requires spare physical CPUs (see NumCPU in the result).
+func ShardBench(opt Options) (*ShardResult, error) {
+	opt = opt.withDefaults()
+	const workers = 2
+	res := &ShardResult{
+		WorkersPerShard: workers,
+		Keys:            shardBenchKeys,
+		NumCPU:          runtime.NumCPU(),
+	}
+
+	// Phase A: single-shard-txn throughput vs shard count.
+	tbl := metrics.NewTable("shards", "txns", "txns/s", "mean", "p50", "p99")
+	for _, n := range []int{1, 2, 4} {
+		db, pools, err := openShardBenchDB(n, workers)
+		if err != nil {
+			return nil, err
+		}
+		clients := 2 * n
+		if res.Clients < clients {
+			res.Clients = clients
+		}
+		txns, _, lat, _ := shardLoad(db, pools, 0, clients, opt.Duration)
+		db.Close()
+		sum := lat.Summarize()
+		pt := ShardPoint{
+			Shards: n, Txns: txns,
+			TxnsPerSec: float64(txns) / opt.Duration.Seconds(),
+			MeanNs:     sum.Mean, P50Ns: sum.P50, P99Ns: sum.P99,
+		}
+		res.Scaling = append(res.Scaling, pt)
+		tbl.AddRow(n, txns, fmt.Sprintf("%.0f", pt.TxnsPerSec), fmtNs(int64(sum.Mean)), fmtNs(sum.P50), fmtNs(sum.P99))
+	}
+	fmt.Fprintf(opt.Out, "Single-shard txn throughput vs shard count (closed loop, NumCPU=%d)\n", res.NumCPU)
+	fmt.Fprint(opt.Out, tbl.String())
+
+	// Phase B: cross-shard ratio sweep at 4 shards.
+	tbl2 := metrics.NewTable("cross%", "txns", "cross", "txns/s", "p50", "p99", "cross p50", "cross p99")
+	for _, pct := range []int{0, 10, 50} {
+		db, pools, err := openShardBenchDB(4, workers)
+		if err != nil {
+			return nil, err
+		}
+		txns, cross, lat, crossLat := shardLoad(db, pools, pct, 8, opt.Duration)
+		db.Close()
+		sum, xsum := lat.Summarize(), crossLat.Summarize()
+		pt := ShardXPoint{
+			CrossPct: pct, Txns: txns, CrossTxns: cross,
+			TxnsPerSec: float64(txns) / opt.Duration.Seconds(),
+			P50Ns:      sum.P50, P99Ns: sum.P99,
+			CrossP50Ns: xsum.P50, CrossP99Ns: xsum.P99,
+		}
+		res.CrossSweep = append(res.CrossSweep, pt)
+		tbl2.AddRow(pct, txns, cross, fmt.Sprintf("%.0f", pt.TxnsPerSec),
+			fmtNs(sum.P50), fmtNs(sum.P99), fmtNs(xsum.P50), fmtNs(xsum.P99))
+	}
+	fmt.Fprintln(opt.Out, "Cross-shard 2PC ratio sweep, 4 shards")
+	fmt.Fprint(opt.Out, tbl2.String())
+
+	// Phase C: per-shard high-priority latency under background low load.
+	// Low-priority clients hammer every shard; one high-priority client per
+	// shard submits hash-routed point transactions at the arrival interval.
+	// Per-shard preemption isolation shows up in each shard's own registry.
+	db, pools, err := openShardBenchDB(4, workers)
+	if err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	var loWG sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		loWG.Add(1)
+		go func(c int) {
+			defer loWG.Done()
+			gen := rng.New(uint64(0x10ad + c))
+			var val [8]byte
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := gen.Intn(len(pools))
+				k := pools[s][gen.Intn(len(pools[s]))]
+				db.ExecOpts(preemptdb.TxnOptions{RouteKey: k}, func(tx *preemptdb.Txn) error {
+					if _, err := tx.Get("kv", k); err != nil {
+						return err
+					}
+					return tx.Put("kv", k, val[:])
+				})
+			}
+		}(c)
+	}
+	var hiWG sync.WaitGroup
+	hiDeadline := clock.Nanos() + int64(opt.Duration)
+	for s := 0; s < 4; s++ {
+		hiWG.Add(1)
+		go func(s int) {
+			defer hiWG.Done()
+			gen := rng.New(uint64(0x41 + s))
+			for clock.Nanos() < hiDeadline {
+				k := pools[s][gen.Intn(len(pools[s]))]
+				db.ExecOpts(preemptdb.TxnOptions{Priority: preemptdb.High, RouteKey: k}, func(tx *preemptdb.Txn) error {
+					_, err := tx.Get("kv", k)
+					return err
+				})
+				time.Sleep(opt.ArrivalInterval)
+			}
+		}(s)
+	}
+	hiWG.Wait()
+	close(stop)
+	loWG.Wait()
+	tbl3 := metrics.NewTable("shard", "hi n", "hi p50", "hi p99")
+	for s := 0; s < 4; s++ {
+		hi := db.ShardMetrics(s).Hi.Total
+		pt := ShardHiPoint{Shard: s, Count: hi.Count, P50Ns: hi.P50, P99Ns: hi.P99}
+		res.HiPerShard = append(res.HiPerShard, pt)
+		tbl3.AddRow(s, hi.Count, fmtNs(hi.P50), fmtNs(hi.P99))
+	}
+	db.Close()
+	fmt.Fprintln(opt.Out, "High-priority point-read latency per shard under low-priority load (PolicyPreempt)")
+	fmt.Fprint(opt.Out, tbl3.String())
+	return res, nil
+}

@@ -36,10 +36,12 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"sort"
 	"sync"
 	"testing"
 
 	"preemptdb"
+	"preemptdb/internal/dtx"
 	"preemptdb/internal/engine"
 	"preemptdb/internal/iofault"
 	"preemptdb/internal/store"
@@ -334,6 +336,230 @@ func inflictDamage(tb testing.TB, seed uint64, rng *rand.Rand, dir string, check
 	case 4:
 		// Clean restart: no damage at all.
 	}
+}
+
+// Run2PC is the cross-shard torture: it lays down a multi-shard directory the
+// way a sharded preemptdb.DB would, drives completed cross-shard transactions
+// plus a seeded set of *in-flight* two-phase commits cut at a seeded protocol
+// step — after some prepares, after the decision, or after a partial resolve —
+// then "crashes" and reopens through the public sharded Open. The recovered
+// database must resolve every in-doubt transaction the same way on every
+// participant: a durable coordinator decision means the transaction's writes
+// appear on all its shards, no decision means none appear anywhere.
+func Run2PC(tb testing.TB, p Plan) {
+	rng := p.rng()
+	dir := tb.TempDir()
+	const nShards = 3
+	segBytes := int64(256 + rng.IntN(512))
+
+	type shardEnv struct {
+		dlog *store.Log
+		eng  *engine.Engine
+		tab  *engine.Table
+	}
+	envs := make([]*shardEnv, nShards)
+	for i := range envs {
+		d, err := store.Open(fmt.Sprintf("%s/shard-%d", dir, i))
+		if err != nil {
+			tb.Fatalf("seed %d: open shard %d: %v", p.Seed, i, err)
+		}
+		dlog := d.NewLog(segBytes)
+		eng := engine.New(engine.Config{LogSink: dlog, SyncEachCommit: true})
+		// Same creation order as the facade's recovery: user schema first,
+		// decision table second, so table ids match the reopened database.
+		tab := eng.CreateTable("counters")
+		dtx.EnsureTable(eng)
+		envs[i] = &shardEnv{dlog: dlog, eng: eng, tab: tab}
+	}
+
+	// Per-shard key pools: keys are bucketed by the same hash the facade
+	// routes with, so the reopened DB reads each key from the shard that
+	// logged it.
+	pools := make([][][]byte, nShards)
+	for i := 0; len(pools[0]) < p.Keys || len(pools[1]) < p.Keys || len(pools[2]) < p.Keys; i++ {
+		k := []byte(fmt.Sprintf("c%05d", i))
+		s := dtx.ShardOf(k, nShards)
+		if len(pools[s]) < p.Keys {
+			pools[s] = append(pools[s], k)
+		}
+	}
+	vals := make(map[string]uint64) // expected post-recovery counter per key
+
+	pickShards := func(n int) []int {
+		perm := rng.Perm(nShards)
+		s := append([]int(nil), perm[:n]...)
+		sort.Ints(s)
+		return s
+	}
+	var gidSeq uint64
+	nextGID := func() uint64 { gidSeq++; return dtx.GIDBit | gidSeq }
+
+	// beginCross opens one participant per chosen shard and stages a counter
+	// increment on one key from that shard's pool, avoiding keys in `used`.
+	type inflight struct {
+		parts []dtx.Participant
+		keys  [][]byte
+	}
+	beginCross := func(shardSet []int, used map[string]bool) *inflight {
+		in := &inflight{}
+		for _, s := range shardSet {
+			var key []byte
+			for {
+				key = pools[s][rng.IntN(len(pools[s]))]
+				if used == nil || !used[string(key)] {
+					break
+				}
+			}
+			if used != nil {
+				used[string(key)] = true
+			}
+			tx := envs[s].eng.Begin(nil)
+			if err := tx.Put(envs[s].tab, key, counterValue(vals[string(key)]+1)); err != nil {
+				tb.Fatalf("seed %d: stage put %s: %v", p.Seed, key, err)
+			}
+			in.parts = append(in.parts, dtx.Participant{Shard: s, Txn: tx, Eng: envs[s].eng})
+			in.keys = append(in.keys, key)
+		}
+		return in
+	}
+
+	// Completed workload: cross-shard commits interleaved with single-shard
+	// commits (the latter also stress replay around prepare frames).
+	for op := 0; op < p.Ops; op++ {
+		in := beginCross(pickShards(2+rng.IntN(nShards-1)), nil)
+		if err := dtx.CommitCrossShard(nextGID(), in.parts); err != nil {
+			tb.Fatalf("seed %d: cross-shard commit: %v", p.Seed, err)
+		}
+		for _, k := range in.keys {
+			vals[string(k)]++
+		}
+		for j := rng.IntN(3); j > 0; j-- {
+			s := rng.IntN(nShards)
+			key := pools[s][rng.IntN(len(pools[s]))]
+			tx := envs[s].eng.Begin(nil)
+			if err := tx.Put(envs[s].tab, key, counterValue(vals[string(key)]+1)); err != nil {
+				tb.Fatalf("seed %d: put %s: %v", p.Seed, key, err)
+			}
+			if err := tx.Commit(); err != nil {
+				tb.Fatalf("seed %d: commit %s: %v", p.Seed, key, err)
+			}
+			vals[string(key)]++
+		}
+	}
+
+	// In-flight transactions cut mid-protocol. Keys are disjoint across them
+	// so one stalled prepare can't conflict another's.
+	used := make(map[string]bool)
+	for n := rng.IntN(3); n > 0; n-- {
+		in := beginCross(pickShards(2+rng.IntN(nShards-1)), used)
+		gid := nextGID()
+		// Participants are already shard-sorted; the lowest shard would be
+		// the coordinator, matching dtx.CommitCrossShard.
+		scenario := rng.IntN(3)
+		nprep := len(in.parts)
+		if scenario == 0 {
+			nprep = 1 + rng.IntN(len(in.parts)) // may be all — still undecided
+		}
+		for i := 0; i < nprep; i++ {
+			if err := in.parts[i].Txn.PrepareCommit(gid); err != nil {
+				tb.Fatalf("seed %d: prepare: %v", p.Seed, err)
+			}
+		}
+		switch scenario {
+		case 0:
+			// Crash before the decision: presumed abort everywhere.
+		case 1:
+			// Decision durable, no participant resolved yet.
+			if err := dtx.WriteDecision(in.parts[0].Eng, gid); err != nil {
+				tb.Fatalf("seed %d: decision: %v", p.Seed, err)
+			}
+		case 2:
+			// Decision durable, a strict subset of participants resolved —
+			// their logs carry resolution records, the rest stay in doubt.
+			if err := dtx.WriteDecision(in.parts[0].Eng, gid); err != nil {
+				tb.Fatalf("seed %d: decision: %v", p.Seed, err)
+			}
+			for i := 0; i < rng.IntN(len(in.parts)); i++ {
+				if err := in.parts[i].Txn.ResolveCommit(); err != nil {
+					tb.Fatalf("seed %d: resolve: %v", p.Seed, err)
+				}
+			}
+		}
+		if scenario != 0 {
+			for _, k := range in.keys {
+				vals[string(k)]++
+			}
+		}
+	}
+
+	// Crash: abandon everything mid-protocol. With SyncEachCommit every
+	// acked frame is already durable; Close only stops background work.
+	for _, env := range envs {
+		env.eng.Close()
+		env.dlog.Close()
+	}
+
+	cfg := preemptdb.Config{
+		Shards:         nShards,
+		Workers:        1,
+		SyncEachCommit: true,
+		Schema:         func(db *preemptdb.DB) error { db.CreateTable("counters"); return nil },
+	}
+	verify := func(db *preemptdb.DB, phase string) {
+		tb.Helper()
+		if err := db.Run(func(tx *preemptdb.Txn) error {
+			for s := range pools {
+				for _, key := range pools[s] {
+					want := vals[string(key)]
+					v, err := tx.Get("counters", key)
+					switch {
+					case err == nil:
+						if got := binary.BigEndian.Uint64(v); got != want {
+							tb.Errorf("seed %d: %s: key %s: recovered %d, want %d",
+								p.Seed, phase, key, got, want)
+						}
+					case preemptdb.IsNotFound(err):
+						if want != 0 {
+							tb.Errorf("seed %d: %s: key %s: missing, want %d", p.Seed, phase, key, want)
+						}
+					default:
+						return fmt.Errorf("get %s: %w", key, err)
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			tb.Fatalf("seed %d: %s: verify: %v", p.Seed, phase, err)
+		}
+	}
+	db, err := preemptdb.Open(dir, cfg)
+	if err != nil {
+		tb.Fatalf("seed %d: sharded reopen: %v", p.Seed, err)
+	}
+	verify(db, "first reopen")
+	// Write past the recovered tail — including a fresh cross-shard commit —
+	// then prove a second recovery (which re-resolves the still-logged
+	// prepares against the decision tables) is idempotent.
+	ka, kb := pools[0][0], pools[1][0]
+	if err := db.Run(func(tx *preemptdb.Txn) error {
+		if err := tx.Put("counters", ka, counterValue(vals[string(ka)]+1)); err != nil {
+			return err
+		}
+		return tx.Put("counters", kb, counterValue(vals[string(kb)]+1))
+	}); err != nil {
+		tb.Fatalf("seed %d: post-recovery cross-shard put: %v", p.Seed, err)
+	}
+	vals[string(ka)]++
+	vals[string(kb)]++
+	if err := db.Close(); err != nil {
+		tb.Fatalf("seed %d: close: %v", p.Seed, err)
+	}
+	db2, err := preemptdb.Open(dir, cfg)
+	if err != nil {
+		tb.Fatalf("seed %d: second sharded reopen: %v", p.Seed, err)
+	}
+	defer db2.Close()
+	verify(db2, "second reopen")
 }
 
 func verifyFileCounters(tb testing.TB, seed uint64, db *preemptdb.DB, states []keyState) {

@@ -27,3 +27,12 @@ func TestTortureFile(t *testing.T) {
 		})
 	}
 }
+
+func TestTorture2PC(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			Run2PC(t, Plan{Seed: seed, Keys: 6, Ops: 20})
+		})
+	}
+}

@@ -29,3 +29,12 @@ func TestTortureSweepFile(t *testing.T) {
 		})
 	}
 }
+
+func TestTortureSweep2PC(t *testing.T) {
+	for seed := uint64(1000); seed < 1300; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			Run2PC(t, Plan{Seed: seed, Keys: 8, Ops: 40})
+		})
+	}
+}

@@ -1,0 +1,196 @@
+// Package dtx implements the distributed-transaction layer of a hash-sharded
+// PreemptDB: key→shard routing, the coordinator's durable decision table, and
+// the lightweight two-phase commit protocol layered on each shard's
+// group-commit WAL.
+//
+// Protocol (presumed abort):
+//
+//  1. Every participant with writes stages its redo as a *prepare* frame in
+//     its own shard's WAL (engine.Txn.PrepareCommit) — validated, durable,
+//     still unpublished and write-locked.
+//  2. The coordinator (the lowest participating shard) durably records the
+//     commit decision as an ordinary single-shard transaction inserting the
+//     gid into its decision table. This commit point is what recovery
+//     consults: decision present → commit everywhere; absent → abort
+//     everywhere.
+//  3. Each participant publishes (engine.Txn.ResolveCommit), writing a
+//     resolution record — a committed frame under the gid — that takes the
+//     prepare out of doubt for future replays.
+//
+// A crash between steps leaves in-doubt prepares in one or more shards'
+// logs; recovery collects them (engine.RecoverPrepared) and ResolveInDoubt
+// settles each against the decision tables. With SyncEachCommit, step 2's
+// commit is durable before any step-3 resolution runs, so the decision can
+// never postdate a resolution on disk.
+package dtx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/wal"
+)
+
+// DecisionTable is the per-shard table holding coordinator commit decisions.
+// It is created on every shard (any shard can be a coordinator) after the
+// user schema, so user table ids are unaffected. Decision rows are never
+// deleted: under presumed abort the absence of a row must keep meaning
+// "aborted", and gids are unique across restarts (see GIDs), so the table
+// grows by one tiny row per cross-shard commit.
+const DecisionTable = "__preemptdb_2pc_decisions"
+
+// EnsureTable creates the decision table on e (idempotent).
+func EnsureTable(e *engine.Engine) { e.CreateTable(DecisionTable) }
+
+// GIDBit is set in every global transaction id, keeping gids disjoint from
+// oracle-assigned local transaction ids (small counters) in the shared
+// frame-id namespace — a resolution record must never collide with an
+// ordinary commit's id.
+const GIDBit = uint64(1) << 63
+
+// DecisionKey encodes gid as the decision table's primary key.
+func DecisionKey(gid uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], gid)
+	return k[:]
+}
+
+// WriteDecision durably records the commit decision for gid on the
+// coordinator engine, via an ordinary single-shard transaction so the
+// decision rides the existing group-commit/checkpoint/recovery machinery.
+// It runs on a private nil-context transaction: the caller's context is
+// mid-2PC on this engine, and its pooled CLS state must not be disturbed.
+func WriteDecision(e *engine.Engine, gid uint64) error {
+	tab, err := e.Table(DecisionTable)
+	if err != nil {
+		return err
+	}
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	if err := tx.Put(tab, DecisionKey(gid), []byte{1}); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// HasDecision reports whether a commit decision for gid is recorded on e.
+func HasDecision(e *engine.Engine, gid uint64) (bool, error) {
+	tab, err := e.Table(DecisionTable)
+	if err != nil {
+		return false, err
+	}
+	tx := e.Begin(nil)
+	defer tx.Abort()
+	_, err = tx.Get(tab, DecisionKey(gid))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, engine.ErrNotFound) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Participant is one shard's leg of a cross-shard transaction.
+type Participant struct {
+	Shard int
+	Txn   *engine.Txn
+	// Coord is the participant's shard engine, used for coordinator
+	// selection and the decision write.
+	Eng *engine.Engine
+}
+
+// CommitCrossShard commits a multi-writer cross-shard transaction under gid.
+// parts must be the write-bearing participants (read-only legs are committed
+// by the caller beforehand — their serializable validation still gates the
+// decision). On return every participant is finished: committed on success,
+// aborted on error. The first prepare failure aborts the whole transaction
+// and is returned (conflicts satisfy engine.IsConflict for retry); an error
+// after the decision was durably written means the transaction IS committed
+// but a resolution could not be fully recorded — recovery settles it.
+func CommitCrossShard(gid uint64, parts []Participant) error {
+	if len(parts) < 2 {
+		return errors.New("dtx: cross-shard commit needs at least two participants")
+	}
+	// Deterministic prepare order (and coordinator choice) by shard.
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Shard < parts[j].Shard })
+	for i, p := range parts {
+		if err := p.Txn.PrepareCommit(gid); err != nil {
+			// p was aborted by the failed prepare; release the holds taken
+			// so far and the not-yet-prepared rest.
+			for _, q := range parts[:i] {
+				q.Txn.ResolveAbort()
+			}
+			for _, q := range parts[i+1:] {
+				q.Txn.ResolveAbort()
+			}
+			return err
+		}
+	}
+	if err := WriteDecision(parts[0].Eng, gid); err != nil {
+		// No decision durable → presumed abort: roll every hold back.
+		for _, p := range parts {
+			p.Txn.ResolveAbort()
+		}
+		return fmt.Errorf("dtx: decision write failed, transaction aborted: %w", err)
+	}
+	var firstErr error
+	for _, p := range parts {
+		if err := p.Txn.ResolveCommit(); err != nil && firstErr == nil {
+			firstErr = err // committed, resolution not durable (WAL failed)
+		}
+	}
+	return firstErr
+}
+
+// ResolveInDoubt settles one shard's recovered in-doubt prepares against the
+// decision tables of all shards: a gid with a recorded decision anywhere is
+// committed into eng at its prepare timestamp (no live snapshot ever saw the
+// window, so the provisional timestamp is safe to publish at recovery);
+// anything else is discarded — presumed abort. Returns how many were
+// committed. Call after every shard has finished its own replay and before
+// the database accepts work, so decisions written just before the crash are
+// all visible.
+func ResolveInDoubt(eng *engine.Engine, pending []wal.PreparedTxn, shards []*engine.Engine) (int, error) {
+	committed := 0
+	for _, p := range pending {
+		decided := false
+		for _, se := range shards {
+			ok, err := HasDecision(se, p.GID)
+			if err != nil {
+				return committed, err
+			}
+			if ok {
+				decided = true
+				break
+			}
+		}
+		if !decided {
+			continue // presumed abort
+		}
+		if err := eng.ApplyRecovered(wal.CommittedTxn{TxnID: p.GID, CTS: p.CTS, Records: p.Records}); err != nil {
+			return committed, err
+		}
+		committed++
+	}
+	return committed, nil
+}
+
+// ShardOf routes a key to one of n shards by FNV-1a hash; n must be a
+// positive count. With n == 1 it is always 0 (no hashing cost on the
+// single-shard path — callers special-case it).
+func ShardOf(key []byte, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}

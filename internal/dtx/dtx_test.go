@@ -1,0 +1,156 @@
+package dtx
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"preemptdb/internal/engine"
+	"preemptdb/internal/wal"
+)
+
+func TestShardOf(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		counts := make([]int, n)
+		for i := 0; i < 4096; i++ {
+			k := []byte(fmt.Sprintf("key-%06d", i))
+			s := ShardOf(k, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", k, n, s)
+			}
+			if s2 := ShardOf(k, n); s2 != s {
+				t.Fatalf("ShardOf not deterministic: %d vs %d", s, s2)
+			}
+			counts[s]++
+		}
+		// Rough balance: no shard should be empty or hold the vast majority.
+		for s, c := range counts {
+			if c == 0 {
+				t.Fatalf("n=%d: shard %d got no keys", n, s)
+			}
+			if n > 1 && c > 4096*3/n {
+				t.Fatalf("n=%d: shard %d got %d of 4096 keys (badly skewed)", n, s, c)
+			}
+		}
+	}
+}
+
+func TestDecisionRoundTrip(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	defer eng.Close()
+	EnsureTable(eng)
+	gid := GIDBit | 42
+	ok, err := HasDecision(eng, gid)
+	if err != nil || ok {
+		t.Fatalf("fresh table: HasDecision = %v, %v", ok, err)
+	}
+	if err := WriteDecision(eng, gid); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = HasDecision(eng, gid)
+	if err != nil || !ok {
+		t.Fatalf("after write: HasDecision = %v, %v", ok, err)
+	}
+	ok, err = HasDecision(eng, GIDBit|43)
+	if err != nil || ok {
+		t.Fatalf("other gid: HasDecision = %v, %v", ok, err)
+	}
+}
+
+// TestCommitCrossShardAndRecovery drives the full protocol across two
+// engines, then replays each engine's log into a fresh engine and resolves
+// in-doubt prepares: a decided gid commits, an undecided one vanishes.
+func TestCommitCrossShardAndRecovery(t *testing.T) {
+	var sinks [2]bytes.Buffer
+	var engs [2]*engine.Engine
+	var tabs [2]*engine.Table
+	for i := range engs {
+		engs[i] = engine.New(engine.Config{LogSink: &sinks[i], SyncEachCommit: true})
+		defer engs[i].Close()
+		tabs[i] = engs[i].CreateTable("kv")
+		EnsureTable(engs[i])
+	}
+
+	// Committed cross-shard transaction.
+	gidC := GIDBit | 1
+	var parts []Participant
+	for i := range engs {
+		tx := engs[i].Begin(nil)
+		if err := tx.Put(tabs[i], []byte("committed"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, Participant{Shard: i, Txn: tx, Eng: engs[i]})
+	}
+	if err := CommitCrossShard(gidC, parts); err != nil {
+		t.Fatalf("cross-shard commit: %v", err)
+	}
+
+	// In-doubt, undecided: prepares on both engines, no decision, no resolve.
+	gidU := GIDBit | 2
+	for i := range engs {
+		tx := engs[i].Begin(nil)
+		if err := tx.Put(tabs[i], []byte("undecided"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.PrepareCommit(gidU); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// In-doubt, decided: prepares on both, decision durable, no resolve.
+	gidD := GIDBit | 3
+	for i := range engs {
+		tx := engs[i].Begin(nil)
+		if err := tx.Put(tabs[i], []byte("decided"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.PrepareCommit(gidD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteDecision(engs[0], gidD); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": replay both logs into fresh engines.
+	var recs [2]*engine.Engine
+	var rtabs [2]*engine.Table
+	var pends [2][]wal.PreparedTxn
+	for i := range recs {
+		recs[i] = engine.New(engine.Config{})
+		defer recs[i].Close()
+		rtabs[i] = recs[i].CreateTable("kv")
+		EnsureTable(recs[i])
+		_, pending, err := recs[i].RecoverPrepared(bytes.NewReader(sinks[i].Bytes()))
+		if err != nil {
+			t.Fatalf("engine %d: recover: %v", i, err)
+		}
+		pends[i] = pending
+		if len(pending) != 2 {
+			t.Fatalf("engine %d: %d in-doubt prepares, want 2 (gidU, gidD)", i, len(pending))
+		}
+	}
+	all := []*engine.Engine{recs[0], recs[1]}
+	for i := range recs {
+		n, err := ResolveInDoubt(recs[i], pends[i], all)
+		if err != nil {
+			t.Fatalf("engine %d: resolve: %v", i, err)
+		}
+		if n != 1 {
+			t.Fatalf("engine %d: resolved %d in-doubt commits, want 1 (gidD)", i, n)
+		}
+	}
+	for i := range recs {
+		tx := recs[i].Begin(nil)
+		for key, want := range map[string]bool{"committed": true, "decided": true, "undecided": false} {
+			v, err := tx.Get(rtabs[i], []byte(key))
+			if want && (err != nil || !bytes.Equal(v, []byte{byte(i)})) {
+				t.Errorf("engine %d: key %s: got %v, %v; want present", i, key, v, err)
+			}
+			if !want && err == nil {
+				t.Errorf("engine %d: key %s recovered despite no decision (presumed abort violated)", i, key)
+			}
+		}
+		tx.Abort()
+	}
+}

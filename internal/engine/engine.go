@@ -89,6 +89,14 @@ type Engine struct {
 	vacuumed atomic.Uint64
 	metrics  *metrics.Registry
 
+	// prepMu/prepLSN track in-flight 2PC prepares: gid → a conservative LSN
+	// lower bound captured BEFORE the prepare frame was staged. A disk
+	// checkpoint must clamp its replay LSN below the oldest entry, or
+	// truncation could drop the only durable copy of an in-doubt
+	// transaction's redo.
+	prepMu  sync.Mutex
+	prepLSN map[uint64]uint64
+
 	// Background vacuum lifecycle; cursor state lives in the goroutine.
 	vacStop chan struct{}
 	vacWG   sync.WaitGroup
@@ -306,12 +314,20 @@ func (t *Table) forEachSecondary(fn func(*secondaryIndex)) {
 
 // AttachContext prepares a transaction context for running transactions on
 // this engine: a private WAL buffer and a snapshot-tracking slot are placed
-// in its CLS. Idempotent; called implicitly by Begin when needed.
+// in its CLS, and the engine records itself as the context's owner.
+// Idempotent; called implicitly by Begin when needed. A context already owned
+// by ANOTHER engine is left untouched — its CLS snapshot slot belongs to the
+// other engine's oracle, so this engine must not reuse (or overwrite) it;
+// Begin detects the foreign owner and falls back to a guest transaction.
 func (e *Engine) AttachContext(ctx *pcontext.Context) {
 	if ctx == nil {
 		return
 	}
 	cls := ctx.CLS()
+	if owner := cls.Get(pcontext.SlotOwner); owner != nil {
+		return // ours (idempotent) or another engine's (guest path)
+	}
+	cls.Set(pcontext.SlotOwner, e)
 	if cls.Get(pcontext.SlotLog) == nil {
 		cls.Set(pcontext.SlotLog, wal.NewBuffer())
 	}
@@ -320,22 +336,37 @@ func (e *Engine) AttachContext(ctx *pcontext.Context) {
 	}
 }
 
+// Owns reports whether this engine is the context's CLS owner (the engine
+// whose oracle registered the context's snapshot slot).
+func (e *Engine) Owns(ctx *pcontext.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	return ctx.CLS().Get(pcontext.SlotOwner) == e
+}
+
 // DetachContext tears down what AttachContext installed: the snapshot slot
 // is returned to the oracle's free list (so the MinActiveBegin scan set stays
 // bounded by the number of live contexts) and the CLS entries are cleared.
 // Call it when a context will no longer run transactions on this engine; a
-// never-attached or nil context is a no-op.
+// never-attached or nil context is a no-op, as is a context owned by a
+// different engine (unregistering a foreign slot into this oracle's free
+// list would corrupt both slot tables).
 func (e *Engine) DetachContext(ctx *pcontext.Context) {
 	if ctx == nil {
 		return
 	}
 	cls := ctx.CLS()
+	if owner := cls.Get(pcontext.SlotOwner); owner != nil && owner != e {
+		return
+	}
 	if s, ok := cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot); ok {
 		e.oracle.UnregisterSlot(s)
 	}
 	cls.Set(pcontext.SlotSnapshot, nil)
 	cls.Set(pcontext.SlotLog, nil)
 	cls.Set(pcontext.SlotScratch, nil)
+	cls.Set(pcontext.SlotOwner, nil)
 }
 
 // Vacuum trims version chains across all tables down to what the oldest
@@ -453,45 +484,132 @@ func (e *Engine) vacuumSlice(ctx *pcontext.Context, table uint32, afterKey []byt
 func (e *Engine) Recover(r io.Reader) (wal.ReplayResult, error) {
 	ctx := pcontext.Detached()
 	return wal.ReplayStream(r, func(tx wal.CommittedTxn) error {
-		// Resolve table ids under a single engine lock per committed
-		// transaction instead of re-locking for every record; consecutive
-		// records for the same table (the common log shape) skip the map
-		// lookup entirely.
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		var table *Table
-		for i := range tx.Records {
-			rec := &tx.Records[i]
-			if table == nil || table.id != rec.Table {
-				t, ok := e.tableIDs[rec.Table]
-				if !ok {
-					return fmt.Errorf("engine: recovery references unknown table id %d", rec.Table)
+		return e.applyTxn(ctx, tx)
+	})
+}
+
+// RecoverPrepared is Recover for a sharded, 2PC-capable log: it additionally
+// collects the stream's unresolved prepare records. A prepare frame whose gid
+// later reappears as a committed frame (the resolution record) is resolved;
+// the leftovers are the in-doubt set the caller must settle against the
+// coordinator's decision table — ApplyRecovered to commit, drop to abort
+// (presumed abort: no decision anywhere means the coordinator never decided
+// to commit).
+func (e *Engine) RecoverPrepared(r io.Reader) (wal.ReplayResult, []wal.PreparedTxn, error) {
+	ctx := pcontext.Detached()
+	pending := make(map[uint64]int) // gid → index in order
+	var order []wal.PreparedTxn
+	res, err := wal.ReplayStreamPrepared(r,
+		func(tx wal.CommittedTxn) error {
+			if len(pending) > 0 {
+				if i, ok := pending[tx.TxnID]; ok {
+					// Resolution record: the prepare committed before the
+					// crash; the committed frame carries the authoritative
+					// redo, so the prepare itself is fully superseded.
+					delete(pending, tx.TxnID)
+					order[i].Records = nil // mark resolved
 				}
-				table = t
 			}
-			mrec, _ := table.primary.GetOrInsert(ctx, rec.Key, mvcc.NewRecord())
-			if tx.CTS <= mvcc.NewestCommittedTS(mrec) {
-				// Already present — the restored checkpoint included this
-				// version (or a newer one). Skipping keeps replay idempotent
-				// and preserves InstallCommitted's non-decreasing-cts rule;
-				// the checkpoint restored the secondary-index entry too.
-				continue
+			return e.applyTxn(ctx, tx)
+		},
+		func(p wal.PreparedTxn) error {
+			pending[p.GID] = len(order)
+			order = append(order, p)
+			return nil
+		})
+	var inDoubt []wal.PreparedTxn
+	for _, p := range order {
+		if _, ok := pending[p.GID]; ok {
+			inDoubt = append(inDoubt, p)
+		}
+	}
+	return res, inDoubt, err
+}
+
+// ApplyRecovered applies one transaction's redo records with apply-if-newer
+// semantics and advances the oracle. Recovery-only: the facade uses it to
+// commit an in-doubt 2PC participant once the coordinator's decision record
+// has been found.
+func (e *Engine) ApplyRecovered(tx wal.CommittedTxn) error {
+	return e.applyTxn(pcontext.Detached(), tx)
+}
+
+// applyTxn installs one recovered transaction's records.
+func (e *Engine) applyTxn(ctx *pcontext.Context, tx wal.CommittedTxn) error {
+	// Resolve table ids under a single engine lock per committed
+	// transaction instead of re-locking for every record; consecutive
+	// records for the same table (the common log shape) skip the map
+	// lookup entirely.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var table *Table
+	for i := range tx.Records {
+		rec := &tx.Records[i]
+		if table == nil || table.id != rec.Table {
+			t, ok := e.tableIDs[rec.Table]
+			if !ok {
+				return fmt.Errorf("engine: recovery references unknown table id %d", rec.Table)
 			}
-			switch rec.Type {
-			case wal.RecDelete:
-				mvcc.InstallCommitted(mrec, nil, tx.CTS)
-			default:
-				mvcc.InstallCommitted(mrec, rec.Value, tx.CTS)
-				if rec.Type == wal.RecInsert {
-					table.forEachSecondary(func(si *secondaryIndex) {
-						if sk := si.extract(rec.Key, rec.Value); sk != nil {
-							si.tree.Insert(ctx, secondaryKey(sk, rec.Key), mrec)
-						}
-					})
-				}
+			table = t
+		}
+		mrec, _ := table.primary.GetOrInsert(ctx, rec.Key, mvcc.NewRecord())
+		if tx.CTS <= mvcc.NewestCommittedTS(mrec) {
+			// Already present — the restored checkpoint included this
+			// version (or a newer one). Skipping keeps replay idempotent
+			// and preserves InstallCommitted's non-decreasing-cts rule;
+			// the checkpoint restored the secondary-index entry too.
+			continue
+		}
+		switch rec.Type {
+		case wal.RecDelete:
+			mvcc.InstallCommitted(mrec, nil, tx.CTS)
+		default:
+			mvcc.InstallCommitted(mrec, rec.Value, tx.CTS)
+			if rec.Type == wal.RecInsert {
+				table.forEachSecondary(func(si *secondaryIndex) {
+					if sk := si.extract(rec.Key, rec.Value); sk != nil {
+						si.tree.Insert(ctx, secondaryKey(sk, rec.Key), mrec)
+					}
+				})
 			}
 		}
-		e.oracle.AdvanceTo(tx.CTS)
-		return nil
-	})
+	}
+	e.oracle.AdvanceTo(tx.CTS)
+	return nil
+}
+
+// registerPrepare records gid's conservative redo LSN lower bound. Called
+// BEFORE the prepare frame is staged so the bound can never land past the
+// frame.
+func (e *Engine) registerPrepare(gid uint64) {
+	e.prepMu.Lock()
+	if e.prepLSN == nil {
+		e.prepLSN = make(map[uint64]uint64)
+	}
+	e.prepLSN[gid] = e.log.LSN()
+	e.prepMu.Unlock()
+}
+
+// unregisterPrepare drops gid from the prepare registry (resolved or rolled
+// back).
+func (e *Engine) unregisterPrepare(gid uint64) {
+	e.prepMu.Lock()
+	delete(e.prepLSN, gid)
+	e.prepMu.Unlock()
+}
+
+// OldestPrepareLSN returns the smallest LSN bound among in-flight prepares,
+// and whether any exist. Disk checkpoints clamp their replay LSN to it so WAL
+// truncation never discards an unresolved prepare's only durable redo.
+func (e *Engine) OldestPrepareLSN() (uint64, bool) {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	var min uint64
+	found := false
+	for _, lsn := range e.prepLSN {
+		if !found || lsn < min {
+			min, found = lsn, true
+		}
+	}
+	return min, found
 }

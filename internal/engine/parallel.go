@@ -265,6 +265,18 @@ func ParallelScan[P any](tx *Txn, table *Table, from, to []byte, cfg ParallelSca
 // query for as long as any helper is reading.
 func (e *Engine) beginMorselReader(hctx *pcontext.Context, begin uint64) *Txn {
 	e.AttachContext(hctx)
+	if !e.Owns(hctx) {
+		// Foreign-owned helper context (cross-shard ParallelScan): the CLS
+		// slots belong to another engine's oracle, so the reader runs as a
+		// guest — a private slot registered in THIS oracle advertises the
+		// pinned begin, keeping this engine's vacuum horizon behind the query.
+		slot := e.oracle.RegisterSlot()
+		t := &Txn{eng: e, ctx: hctx, logBuf: wal.NewBuffer(), guestSlot: slot}
+		t.stageFn = t.stage
+		t.readonly = true
+		t.inner = e.oracle.BeginAt(hctx, mvcc.SnapshotIsolation, slot, begin)
+		return t
+	}
 	cls := hctx.CLS()
 	buf := cls.Get(pcontext.SlotLog).(*wal.Buffer)
 	slot := cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot)
@@ -294,4 +306,5 @@ func (e *Engine) finishMorselReader(t *Txn) {
 	t.readonly = false
 	t.inner.Abort()
 	t.inner.Release()
+	t.releaseGuest()
 }

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"preemptdb/internal/mvcc"
+	"preemptdb/internal/pcontext"
+)
+
+// Two-phase commit participant methods. A cross-shard transaction's
+// per-shard participants each PrepareCommit under a shared global id (gid),
+// the coordinator durably records the commit decision, and every participant
+// then ResolveCommits (or ResolveAborts when any prepare failed). The
+// prepare stages the participant's redo as a prepare frame through the same
+// group-commit pipeline as ordinary commits; the versions stay in-flight —
+// invisible to readers, blocking conflicting writers — until resolution.
+
+// PrepareCommit runs the first phase of a cross-shard commit on this
+// participant: validation, staging the redo as a prepare frame under gid,
+// and waiting for the frame's batch I/O. On success the transaction remains
+// open and held; finish it with exactly one of ResolveCommit or
+// ResolveAbort. On any failure the transaction is fully aborted (nothing was
+// published) and the error returned — conflict errors satisfy IsConflict as
+// usual.
+func (t *Txn) PrepareCommit(gid uint64) error {
+	if t.readonly {
+		return ErrTxnReadOnly
+	}
+	if t.done {
+		return mvcc.ErrTxnDone
+	}
+	if t.prepGID != 0 {
+		return mvcc.ErrAlreadyPrepared
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.Abort()
+		return err
+	}
+	// Register the checkpoint clamp BEFORE staging: the recorded LSN bound
+	// must never land past the prepare frame, or a concurrent disk
+	// checkpoint could truncate the in-doubt redo's only durable copy.
+	t.eng.registerPrepare(gid)
+	t.staged, t.leader = false, false
+	var mvccErr, ioErr error
+	stage := func(cts uint64) error {
+		if t.logBuf.Len() == 0 {
+			return nil // read-only participant: validation only
+		}
+		leader, err := t.eng.log.StagePrepare(gid, cts, t.logBuf)
+		if err != nil {
+			return err
+		}
+		t.leader, t.staged = leader, true
+		return nil
+	}
+	// Same latch discipline as Commit (paper §4.4): validation + staging and
+	// any leader I/O inside one non-preemptible region, follower parking
+	// outside it with no latch held.
+	pcontext.NonPreemptible(t.ctx, func() {
+		_, mvccErr = t.inner.Prepare(stage)
+		if t.leader {
+			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+		}
+	})
+	if t.staged && !t.leader {
+		t.ctx.Poll()
+		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+	}
+	if mvccErr != nil {
+		// mvcc.Prepare already aborted the transaction; finish the engine
+		// teardown.
+		t.eng.unregisterPrepare(gid)
+		t.done = true
+		t.logBuf.Reset()
+		t.inner.Release()
+		t.releaseGuest()
+		t.eng.aborts.Add(1)
+		return mvccErr
+	}
+	if ioErr != nil {
+		// The prepare frame never became durable, so the prepare never
+		// happened; roll the hold back.
+		t.eng.unregisterPrepare(gid)
+		t.done = true
+		pcontext.NonPreemptible(t.ctx, func() { t.inner.Abort() })
+		t.logBuf.Reset()
+		t.inner.Release()
+		t.releaseGuest()
+		t.eng.aborts.Add(1)
+		return ioErr
+	}
+	t.prepGID = gid
+	return nil
+}
+
+// ResolveCommit publishes a prepared participant after the coordinator's
+// decision record is durable. The in-memory commit is unconditional — the
+// decision already binds the outcome, and recovery would commit this
+// participant from its prepare frame plus the decision — so like Commit, a
+// non-nil return after a successful prepare means "committed here, the
+// resolution record is not durable", which only matters if the WAL has
+// failed (the database degrades to read-only then anyway).
+func (t *Txn) ResolveCommit() error {
+	if t.done {
+		return mvcc.ErrTxnDone
+	}
+	if t.prepGID == 0 {
+		return mvcc.ErrNotPrepared
+	}
+	gid := t.prepGID
+	t.prepGID = 0
+	t.done = true
+	t.staged, t.leader = false, false
+	var mvccErr, ioErr error
+	// The resolution record: an ordinary committed frame whose id is the
+	// gid. Replay matches it against the prepare frame to take the
+	// transaction out of doubt, and applies it (not the prepare) as the
+	// authoritative redo.
+	stage := func(cts uint64) error {
+		if t.logBuf.Len() == 0 {
+			return nil
+		}
+		leader, err := t.eng.log.Stage(gid, cts, t.logBuf)
+		if err != nil {
+			return err
+		}
+		t.leader, t.staged = leader, true
+		return nil
+	}
+	pcontext.NonPreemptible(t.ctx, func() {
+		_, mvccErr = t.inner.CommitPrepared(stage)
+		if t.staged {
+			t.eng.log.Published()
+		}
+		if t.leader {
+			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+		}
+	})
+	if t.staged && !t.leader {
+		t.ctx.Poll()
+		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+	}
+	t.eng.unregisterPrepare(gid)
+	t.logBuf.Reset()
+	t.inner.Release()
+	t.releaseGuest()
+	t.eng.commits.Add(1)
+	if mvccErr != nil {
+		return mvccErr
+	}
+	return ioErr
+}
+
+// ResolveAbort rolls a prepared participant back: its versions become
+// invisible and no resolution record is written — under presumed abort, the
+// absence of a coordinator decision is the abort, and recovery discards the
+// prepare frame. Also safe on a never-prepared or already-finished
+// transaction (it degrades to Abort's no-op).
+func (t *Txn) ResolveAbort() { t.Abort() }

@@ -29,6 +29,17 @@ type Txn struct {
 	// no-op.
 	readonly bool
 
+	// guestSlot is non-nil on guest transactions — transactions begun on a
+	// context owned by a different engine (cross-shard participants). The
+	// slot was registered with THIS engine's oracle just for this
+	// transaction and is unregistered when it finishes; guests use none of
+	// the context's pooled CLS state.
+	guestSlot *mvcc.ActiveSlot
+
+	// prepGID is the global 2PC id between PrepareCommit and
+	// ResolveCommit/ResolveAbort; zero otherwise.
+	prepGID uint64
+
 	// Group-commit state for the Commit in flight. stageFn is bound once at
 	// construction so handing it to mvcc.Commit does not allocate a closure
 	// per commit.
@@ -63,7 +74,13 @@ func (e *Engine) Begin(ctx *pcontext.Context) *Txn {
 	return e.BeginIso(ctx, e.cfg.Isolation)
 }
 
-// BeginIso starts a transaction with an explicit isolation level.
+// BeginIso starts a transaction with an explicit isolation level. On a
+// context owned by another engine (a sharded database routing one context's
+// operations across several engines) it transparently begins a *guest*
+// transaction: a freshly allocated Txn with a throwaway buffer and its own
+// just-registered oracle slot, none of the foreign context's pooled CLS
+// state. Guests poll the context normally, so they stay preemptible; they
+// just skip the zero-allocation pooling that belongs to the owning engine.
 func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
 	if ctx == nil {
 		t := &Txn{eng: e, logBuf: wal.NewBuffer()}
@@ -72,6 +89,16 @@ func (e *Engine) BeginIso(ctx *pcontext.Context, iso mvcc.IsolationLevel) *Txn {
 		return t
 	}
 	e.AttachContext(ctx)
+	if !e.Owns(ctx) {
+		slot := e.oracle.RegisterSlot()
+		t := &Txn{eng: e, ctx: ctx, logBuf: wal.NewBuffer(), guestSlot: slot}
+		t.stageFn = t.stage
+		if core := ctx.Core(); core != nil {
+			t.hint = core.ID()
+		}
+		t.inner = e.oracle.Begin(ctx, iso, slot)
+		return t
+	}
 	cls := ctx.CLS()
 	buf := cls.Get(pcontext.SlotLog).(*wal.Buffer)
 	slot := cls.Get(pcontext.SlotSnapshot).(*mvcc.ActiveSlot)
@@ -114,8 +141,21 @@ func (t *Txn) stage(cts uint64) error {
 	return nil
 }
 
+// releaseGuest returns a guest transaction's private oracle slot; a no-op for
+// pooled (owner-context) and nil-context transactions.
+func (t *Txn) releaseGuest() {
+	if t.guestSlot != nil {
+		t.eng.oracle.UnregisterSlot(t.guestSlot)
+		t.guestSlot = nil
+	}
+}
+
 // Context returns the transaction's context.
 func (t *Txn) Context() *pcontext.Context { return t.ctx }
+
+// Pending returns the number of redo records buffered so far — non-zero means
+// the transaction has writes to log at commit.
+func (t *Txn) Pending() int { return t.logBuf.Len() }
 
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.inner.ID() }
@@ -391,6 +431,7 @@ func (t *Txn) Commit() error {
 	}
 	t.logBuf.Reset()
 	t.inner.Release()
+	t.releaseGuest()
 	if mvccErr != nil {
 		t.eng.aborts.Add(1)
 		return mvccErr
@@ -408,11 +449,20 @@ func (t *Txn) Abort() {
 		return
 	}
 	t.done = true
+	if gid := t.prepGID; gid != 0 {
+		// Abort of a prepared participant: roll the hold back and drop the
+		// checkpoint clamp. No abort record is written — absence of a
+		// decision IS the abort (presumed abort), so recovery discards the
+		// prepare.
+		t.prepGID = 0
+		t.eng.unregisterPrepare(gid)
+	}
 	pcontext.NonPreemptible(t.ctx, func() {
 		t.inner.Abort()
 	})
 	t.logBuf.Reset()
 	t.inner.Release()
+	t.releaseGuest()
 	t.eng.aborts.Add(1)
 }
 

@@ -69,6 +69,11 @@ var (
 	ErrReadValidation = errors.New("mvcc: serializable read validation failed")
 	// ErrTxnDone reports use of a committed or aborted transaction.
 	ErrTxnDone = errors.New("mvcc: transaction already finished")
+	// ErrNotPrepared reports CommitPrepared on a transaction that never ran
+	// Prepare (or whose prepare was already consumed).
+	ErrNotPrepared = errors.New("mvcc: transaction not prepared")
+	// ErrAlreadyPrepared reports a second Prepare on the same transaction.
+	ErrAlreadyPrepared = errors.New("mvcc: transaction already prepared")
 )
 
 // Transaction status values packed into Txn.state.
@@ -93,6 +98,13 @@ type Txn struct {
 	state  atomic.Uint64
 	oracle *Oracle
 	slot   *ActiveSlot
+
+	// prepared marks a transaction between Prepare and CommitPrepared/Abort:
+	// validated (under Serializable) and logged, still Active — its in-flight
+	// versions keep blocking conflicting writers and stay invisible to
+	// readers, which is exactly the hold a 2PC participant needs while the
+	// coordinator decides.
+	prepared bool
 
 	writes []writeEntry
 	reads  []readEntry
@@ -405,6 +417,7 @@ func (o *Oracle) Begin(ctx *pcontext.Context, iso IsolationLevel, slot *ActiveSl
 	t.ctx = ctx
 	t.oracle = o
 	t.slot = slot
+	t.prepared = false
 	t.state.Store(statusActive)
 	return t
 }
@@ -441,6 +454,7 @@ func (o *Oracle) BeginAt(ctx *pcontext.Context, iso IsolationLevel, slot *Active
 	t.ctx = ctx
 	t.oracle = o
 	t.slot = slot
+	t.prepared = false
 	t.state.Store(statusActive)
 	return t
 }
@@ -584,6 +598,108 @@ func (t *Txn) Commit(logFn func(cts uint64) error) (uint64, error) {
 	return finish()
 }
 
+// Prepare runs the first phase of a two-phase commit: validation (under
+// Serializable, inside the commit critical section) and logging via logFn,
+// which receives a provisional timestamp drawn from the clock. On success the
+// transaction stays Active and marked prepared — its versions remain
+// in-flight, blocking conflicting writers and invisible to readers, until
+// CommitPrepared publishes them or Abort rolls them back. On any failure
+// (lifecycle error, validation, logFn) the transaction aborts cleanly and
+// nothing was published.
+//
+// Serializable caveat: read validation happens here, not at CommitPrepared —
+// between the two, the participant holds no latch, so a local serializable
+// transaction can commit in the window. Write-write conflicts are still
+// excluded (the prepared versions stay in-flight); only read-antidependencies
+// across the window are unchecked, the classic 2PC-over-OCC relaxation.
+func (t *Txn) Prepare(logFn func(cts uint64) error) (uint64, error) {
+	if !t.Active() {
+		return 0, ErrTxnDone
+	}
+	if t.prepared {
+		return 0, ErrAlreadyPrepared
+	}
+	release := func() {
+		if t.slot != nil {
+			t.slot.begin.Store(0)
+		}
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.abortLocked()
+		release()
+		return 0, err
+	}
+	prep := func() (uint64, error) {
+		cts := t.oracle.clock.Add(1)
+		if logFn != nil {
+			if err := logFn(cts); err != nil {
+				t.abortLocked()
+				release()
+				return 0, err
+			}
+		}
+		t.prepared = true
+		return cts, nil
+	}
+	if t.iso != Serializable {
+		return prep()
+	}
+	t.oracle.commitMu.Lock()
+	defer t.oracle.commitMu.Unlock()
+	if err := t.validateReads(); err != nil {
+		t.abortLocked()
+		release()
+		return 0, err
+	}
+	return prep()
+}
+
+// CommitPrepared publishes a prepared transaction. It draws a FRESH commit
+// timestamp — not the prepare-time one — because the in-doubt window is
+// unbounded: publishing the stale prepare timestamp would make the versions
+// visible retroactively to snapshots taken mid-window, breaking snapshot
+// isolation. (The prepare timestamp is used only when recovery itself
+// resolves an in-doubt transaction, where no live snapshot ever observed the
+// intermediate state.) logFn stages the resolution record; unlike Commit, a
+// logFn error does NOT abort — the coordinator's decision is already durable,
+// so recovery would commit this transaction anyway, and the in-memory state
+// must agree. The error is returned alongside the published timestamp with
+// "committed here, resolution not durable" semantics.
+func (t *Txn) CommitPrepared(logFn func(cts uint64) error) (uint64, error) {
+	if !t.Active() {
+		return 0, ErrTxnDone
+	}
+	if !t.prepared {
+		return 0, ErrNotPrepared
+	}
+	t.prepared = false
+	finish := func() (uint64, error) {
+		cts := t.oracle.clock.Add(1)
+		var lerr error
+		if logFn != nil {
+			lerr = logFn(cts)
+		}
+		t.state.Store(statusCommitted | cts<<statusBits)
+		for i := range t.writes {
+			v := t.writes[i].ver
+			v.cts.CompareAndSwap(0, cts)
+			v.writer.Store(nil)
+		}
+		if t.slot != nil {
+			t.slot.begin.Store(0)
+		}
+		return cts, lerr
+	}
+	if t.iso != Serializable {
+		return finish()
+	}
+	// Publication still serializes with local serializable commits so their
+	// validation scans never race our stamping.
+	t.oracle.commitMu.Lock()
+	defer t.oracle.commitMu.Unlock()
+	return finish()
+}
+
 // validateReads implements backward OCC: every record read must still expose
 // the same version as the newest committed one. Runs under commitMu, so no
 // concurrent serializable transaction can publish in between.
@@ -671,6 +787,7 @@ func (t *Txn) Abort() error {
 }
 
 func (t *Txn) abortLocked() {
+	t.prepared = false
 	t.state.Store(statusAborted)
 	for i := range t.writes {
 		w := t.writes[i]

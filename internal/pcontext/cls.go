@@ -44,6 +44,13 @@ const (
 	SlotSnapshot
 	// SlotScratch holds a reusable scratch allocation area.
 	SlotScratch
+	// SlotOwner holds the *engine.Engine that attached this context: the CLS
+	// log buffer and snapshot slot in SlotLog/SlotSnapshot belong to exactly
+	// one engine, and in a sharded database a context may touch several. An
+	// engine that is not the owner must not use the pooled CLS state (its
+	// oracle did not register the snapshot slot) and begins guest
+	// transactions instead.
+	SlotOwner
 	// SlotUser is free for applications embedding the engine.
 	SlotUser
 	// NumSlots is the CLS slot count.

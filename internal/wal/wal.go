@@ -76,6 +76,16 @@ type Record struct {
 // txnMagic frames each committed transaction in the log stream.
 const txnMagic uint32 = 0x7072444c // "prDL"
 
+// prepMagic frames a 2PC prepare record: the redo of a cross-shard
+// participant that has passed validation but whose commit decision belongs to
+// the distributed transaction's coordinator. The frame layout is identical to
+// a committed frame (the txn-id field carries the global transaction id, the
+// cts field the provisional prepare timestamp); only the magic differs, so
+// replay can keep the transaction in-doubt instead of applying it. A prepare
+// resolves when a later committed frame carries the same global id — the
+// participant's resolution record.
+const prepMagic uint32 = 0x70725052 // "prPR"
+
 // frameHdrLen is the size of the fixed per-transaction frame header:
 // magic + txn id + commit ts + record count + payload length + payload CRC.
 const frameHdrLen = 4 + 8 + 8 + 4 + 4 + 4
@@ -107,8 +117,8 @@ func NewBuffer() *Buffer {
 }
 
 // frame fills the buffer's header scratch for the given identity.
-func (b *Buffer) frame(txnID, cts uint64) {
-	binary.LittleEndian.PutUint32(b.hdr[0:], txnMagic)
+func (b *Buffer) frame(magic uint32, txnID, cts uint64) {
+	binary.LittleEndian.PutUint32(b.hdr[0:], magic)
 	binary.LittleEndian.PutUint64(b.hdr[4:], txnID)
 	binary.LittleEndian.PutUint64(b.hdr[12:], cts)
 	binary.LittleEndian.PutUint32(b.hdr[20:], uint32(b.recs))
@@ -267,15 +277,34 @@ func (m *Manager) SetBatchLimits(maxBytes int, delay time.Duration) {
 // matched by exactly one Published call once the transaction's commit state is
 // visible, or PublishBarrier wedges.
 func (m *Manager) Stage(txnID, cts uint64, b *Buffer) (leader bool, err error) {
+	return m.stageFrame(txnMagic, txnID, cts, b, true)
+}
+
+// StagePrepare enrolls the buffer as a 2PC *prepare* frame under the global
+// transaction id gid and provisional timestamp cts. It shares the group-commit
+// pipeline with Stage — the same LeaderFinish/FollowerWait contract applies —
+// but the frame is written with the prepare magic and is NOT counted toward
+// the publish barrier: a prepared transaction publishes nothing until its
+// decision arrives (possibly only at recovery), and counting it would wedge
+// every checkpoint taken during the in-doubt window.
+func (m *Manager) StagePrepare(gid, cts uint64, b *Buffer) (leader bool, err error) {
+	return m.stageFrame(prepMagic, gid, cts, b, false)
+}
+
+// stageFrame is the shared enrollment path behind Stage and StagePrepare;
+// counted selects whether the frame participates in the publish barrier.
+func (m *Manager) stageFrame(magic uint32, txnID, cts uint64, b *Buffer, counted bool) (leader bool, err error) {
 	if err := m.Err(); err != nil {
 		return false, err
 	}
-	b.frame(txnID, cts)
+	b.frame(magic, txnID, cts)
 	if b.done == nil {
 		b.done = make(chan struct{}, 1)
 	}
 	m.stageMu.Lock()
-	m.stagedTxns.Add(1)
+	if counted {
+		m.stagedTxns.Add(1)
+	}
 	bt := m.open
 	if bt == nil {
 		bt = m.pool.Get().(*batch)
@@ -511,6 +540,20 @@ type CommittedTxn struct {
 	Records    []Record
 }
 
+// PreparedTxn is a recovered 2PC prepare record: redo that was durable at the
+// crash but whose commit decision was not found in this shard's stream. The
+// caller resolves it against the coordinator's decision record — commit by
+// applying Records at CTS, or discard (presumed abort) when no decision
+// exists anywhere.
+type PreparedTxn struct {
+	// GID is the distributed transaction's global id (shared by every
+	// participant shard and by the coordinator's decision record).
+	GID uint64
+	// CTS is the provisional timestamp assigned at prepare.
+	CTS     uint64
+	Records []Record
+}
+
 // ReplayResult reports how far a replay got through the stream — the
 // information recovery needs to distinguish a benign torn tail (truncate and
 // keep appending at Offset) from mid-stream damage (ErrCorrupt, do not trust
@@ -548,8 +591,20 @@ func Replay(r io.Reader, apply func(CommittedTxn) error) error {
 // transaction in log order, and reports how far it got. A truncated final
 // frame terminates replay cleanly with Torn set; bad magic, a checksum
 // mismatch, or a malformed payload return ErrCorrupt alongside the result for
-// the valid prefix.
+// the valid prefix. Prepare frames (2PC) are consumed and skipped; use
+// ReplayStreamPrepared to observe them.
 func ReplayStream(r io.Reader, apply func(CommittedTxn) error) (ReplayResult, error) {
+	return ReplayStreamPrepared(r, apply, nil)
+}
+
+// ReplayStreamPrepared is ReplayStream with a second callback receiving each
+// 2PC prepare frame in log order. Prepare frames advance Offset (they are
+// whole, CRC-verified frames and appending must resume past them) but do not
+// count in Txns or LastCTS — their effects are not applied here. onPrepare may
+// be nil to skip them. The caller is responsible for matching prepares against
+// later committed frames with the same id (the resolution records) to find
+// the in-doubt set.
+func ReplayStreamPrepared(r io.Reader, apply func(CommittedTxn) error, onPrepare func(PreparedTxn) error) (ReplayResult, error) {
 	br := bufio.NewReader(r)
 	var res ReplayResult
 	for {
@@ -564,7 +619,8 @@ func ReplayStream(r io.Reader, apply func(CommittedTxn) error) (ReplayResult, er
 			}
 			return res, err
 		}
-		if binary.LittleEndian.Uint32(hdr[0:]) != txnMagic {
+		magic := binary.LittleEndian.Uint32(hdr[0:])
+		if magic != txnMagic && magic != prepMagic {
 			return res, fmt.Errorf("%w: bad magic at offset %d", ErrCorrupt, res.Offset)
 		}
 		txn := CommittedTxn{
@@ -591,6 +647,15 @@ func ReplayStream(r io.Reader, apply func(CommittedTxn) error) (ReplayResult, er
 		recs, err := decodePayload(payload, int(nrec))
 		if err != nil {
 			return res, err
+		}
+		if magic == prepMagic {
+			if onPrepare != nil {
+				if err := onPrepare(PreparedTxn{GID: txn.TxnID, CTS: txn.CTS, Records: recs}); err != nil {
+					return res, err
+				}
+			}
+			res.Offset += uint64(frameHdrLen) + uint64(plen)
+			continue
 		}
 		txn.Records = recs
 		if err := apply(txn); err != nil {

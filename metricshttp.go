@@ -20,20 +20,49 @@ import (
 // queue wait, execution, preempted pauses (per pause and per transaction),
 // resume latency, group-commit WAL wait, and end-to-end latency — plus the
 // uintr delivery latency from SendUIPI post to handler recognition. The
-// snapshot JSON-serializes with stable field names.
-func (db *DB) Metrics() metrics.RegistrySnapshot { return db.reg.Snapshot() }
+// snapshot JSON-serializes with stable field names. On a sharded database
+// the per-shard histograms merge exactly (bucket counts sum), so percentiles
+// are those of the combined sample population, never averages of per-shard
+// percentiles.
+func (db *DB) Metrics() metrics.RegistrySnapshot {
+	if len(db.shards) == 1 {
+		return db.shards[0].reg.Snapshot()
+	}
+	regs := make([]*metrics.Registry, len(db.shards))
+	for i, sh := range db.shards {
+		regs[i] = sh.reg
+	}
+	return metrics.MergedSnapshot(regs)
+}
+
+// ShardMetrics returns shard si's own latency snapshot — the per-shard view
+// behind the Metrics aggregate (hi-prio p99 per shard, etc.).
+func (db *DB) ShardMetrics(si int) metrics.RegistrySnapshot {
+	return db.shards[si].reg.Snapshot()
+}
+
+// NumShards reports the configured shard count.
+func (db *DB) NumShards() int { return len(db.shards) }
 
 // TraceSnapshot renders the per-core scheduling-event rings as a Chrome
 // trace-event JSON document (loadable in ui.perfetto.dev or
 // chrome://tracing). Safe to call while the database runs; events
-// overwritten mid-snapshot are skipped, not torn. Returns an error only when
-// tracing is disabled (Config.TraceCapacity < 0).
+// overwritten mid-snapshot are skipped, not torn. On a sharded database the
+// shards' cores appear side by side, renumbered shard*Workers+core. Returns
+// an error only when tracing is disabled (Config.TraceCapacity < 0).
 func (db *DB) TraceSnapshot() ([]byte, error) {
-	cores := db.sch.TraceSnapshot()
-	if cores == nil {
-		return nil, fmt.Errorf("preemptdb: tracing disabled (TraceCapacity < 0)")
+	var all []pcontext.CoreEvents
+	for si, sh := range db.shards {
+		cores := sh.sch.TraceSnapshot()
+		if cores == nil {
+			return nil, fmt.Errorf("preemptdb: tracing disabled (TraceCapacity < 0)")
+		}
+		for _, ce := range cores {
+			ce.Core += si * db.cfg.Workers
+			all = append(all, ce)
+		}
 	}
-	return pcontext.ChromeTrace(cores)
+	return pcontext.ChromeTrace(all)
 }
 
 // MetricsAddr returns the bound address of the Config.MetricsAddr HTTP

@@ -26,20 +26,19 @@
 package preemptdb
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net"
 	"net/http"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"preemptdb/internal/admission"
 	"preemptdb/internal/clock"
+	"preemptdb/internal/dtx"
 	"preemptdb/internal/engine"
 	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
@@ -120,8 +119,19 @@ const (
 
 // Config controls Open.
 type Config struct {
-	// Workers is the number of simulated cores. Default: 2.
+	// Workers is the number of simulated cores PER SHARD. Default: 2.
 	Workers int
+	// Shards is the number of hash shards the database is partitioned into
+	// (default 1). Each shard owns a full engine instance — B+tree/MVCC
+	// state, timestamp oracle, scheduler with its own preemption cores and
+	// queues, and WAL stream (under dir/shard-<i>/ when file-backed) — behind
+	// this one facade. Keys route to shards by hash; transactions confined to
+	// one shard commit exactly as in a single-shard database, while
+	// transactions that write to several shards commit atomically via an
+	// internal two-phase commit (see DESIGN.md §12). Shards is part of a
+	// file-backed database's on-disk layout and must not change across opens
+	// of the same directory.
+	Shards int
 	// Policy is the scheduling discipline. Default PolicyWait.
 	Policy Policy
 	// Isolation is the isolation level for all transactions.
@@ -234,31 +244,52 @@ func IsDeadlineExceeded(err error) bool { return errors.Is(err, ErrDeadlineExcee
 // the database is read-only.
 func IsWALFailed(err error) bool { return errors.Is(err, ErrWALFailed) }
 
+// shard is one hash partition of the database: a complete engine instance —
+// MVCC state and indexes, timestamp oracle, WAL stream — plus its own
+// scheduler (preemption cores, steal queue, per-class histograms) and
+// per-shard counters. With Config.Shards == 1 the facade degenerates to
+// exactly the pre-sharding wiring: one shard, flat directory layout, pooled
+// zero-allocation transactions.
+type shard struct {
+	eng *engine.Engine
+	sch *sched.Scheduler
+	// reg is the phase-latency registry shared by this shard's scheduler and
+	// engine; DB.Metrics merges the per-shard registries.
+	reg *metrics.Registry
+	// aborts classifies this shard's failed requests by reason.
+	aborts metrics.AbortCounters
+	// rrLow round-robins low-priority submissions across this shard's
+	// workers; atomic because concurrent submitters share it.
+	rrLow atomic.Uint32
+	// dir and dlog are set on file-backed databases: the shard's data
+	// directory (dir/shard-<i>, or the root directory when Shards == 1) and
+	// the segmented WAL log its engine appends to.
+	dir  *store.Dir
+	dlog *store.Log
+	// ckMu serializes CheckpointDisk on this shard: concurrent calls would
+	// race the write/prune/truncate sequence over the same directory listing.
+	ckMu sync.Mutex
+}
+
 // DB is a PreemptDB instance.
 type DB struct {
 	cfg    Config
-	eng    *engine.Engine
-	sch    *sched.Scheduler
+	shards []*shard
 	adm    *admission.Controller
-	aborts metrics.AbortCounters
-	// rrLow round-robins low-priority submissions across workers; atomic
-	// because concurrent submitters (e.g. server connections) share it.
-	rrLow  atomic.Uint32
 	closed bool
-	// dir and dlog are set on file-backed databases: the data directory and
-	// the segmented WAL log the engine appends to.
-	dir  *store.Dir
-	dlog *store.Log
-	// ckMu serializes CheckpointDisk: concurrent calls would race the
-	// write/prune/truncate sequence over the same directory listing.
-	ckMu sync.Mutex
+	// rrShard round-robins transactions without a routing key across shards.
+	rrShard atomic.Uint32
+	// gidBase/gidCtr generate globally-unique 2PC transaction ids: a random
+	// 63-bit base per Open plus a counter, with dtx.GIDBit set to keep gids
+	// disjoint from oracle-assigned local ids. Decision-table rows are keyed
+	// by gid and never deleted, so ids must not repeat across restarts.
+	gidBase uint64
+	gidCtr  atomic.Uint64
 	// ctxPool recycles detached contexts for Run so repeated loader/admin
 	// calls reuse one oracle slot and one pooled transaction instead of
 	// registering a fresh slot per call.
 	ctxPool sync.Pool
-	// reg is the phase-latency registry shared by the scheduler and the
-	// engine; msrv/mln are the optional MetricsAddr HTTP export listener.
-	reg  *metrics.Registry
+	// msrv/mln are the optional MetricsAddr HTTP export listener.
 	msrv *http.Server
 	mln  net.Listener
 }
@@ -275,6 +306,13 @@ type DB struct {
 // replayed records; set Config.SyncEachCommit for commits to be durable at
 // the moment they return.
 func Open(dir string, cfg Config) (*DB, error) {
+	switch {
+	case cfg.Shards == 0:
+		cfg.Shards = 1
+	case cfg.Shards < 0 || cfg.Shards > maxShards:
+		return nil, fmt.Errorf("preemptdb: Shards must be in [1,%d], got %d", maxShards, cfg.Shards)
+	}
+	applyDefaults(&cfg)
 	if dir == "" {
 		db, err := newDB(cfg, nil)
 		if err != nil {
@@ -286,7 +324,11 @@ func Open(dir string, cfg Config) (*DB, error) {
 				return nil, err
 			}
 		}
+		db.ensureDecisionTables()
 		return db, nil
+	}
+	if cfg.Shards > 1 {
+		return openSharded(dir, cfg)
 	}
 	d, err := store.Open(dir)
 	if err != nil {
@@ -318,10 +360,26 @@ func Open(dir string, cfg Config) (*DB, error) {
 	return nil, fmt.Errorf("preemptdb: open %s: %w", dir, errors.Join(errs...))
 }
 
-// newDB builds the database around its engine, scheduler, and admission
-// controller. dlog, when non-nil, becomes the engine's log sink (file-backed
-// mode); it is still unpositioned, so constructing the engine writes nothing.
-func newDB(cfg Config, dlog *store.Log) (*DB, error) {
+// newDB builds the database: one shard stack (engine, scheduler, registry)
+// per Config.Shards, plus the shared admission controller. dlogs, when
+// non-nil, holds one segmented log per shard (file-backed mode); the logs are
+// still unpositioned, so constructing the engines writes nothing.
+func newDB(cfg Config, dlogs []*store.Log) (*DB, error) {
+	applyDefaults(&cfg)
+	shs := make([]*shard, cfg.Shards)
+	for i := range shs {
+		var dlog *store.Log
+		if dlogs != nil {
+			dlog = dlogs[i]
+		}
+		shs[i] = newShard(cfg, i, dlog)
+	}
+	return assembleDB(cfg, shs)
+}
+
+// applyDefaults normalizes the zero-value config knobs shared by every open
+// path.
+func applyDefaults(cfg *Config) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
@@ -331,13 +389,24 @@ func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 100
 	}
+}
+
+// newShard builds one shard's engine (no scheduler yet — recovery runs
+// before workers exist; see startShard). si selects the shard's slice of the
+// optional in-memory LogSink: only shard 0 receives it, because interleaving
+// several shards' frames into one observational stream would make it
+// unreplayable.
+func newShard(cfg Config, si int, dlog *store.Log) *shard {
 	sink := cfg.LogSink
+	if si > 0 {
+		sink = nil
+	}
 	if dlog != nil {
 		sink = dlog
 	}
-	// One registry across the engine and the scheduler, so DB.Metrics reports
-	// the full per-phase decomposition (scheduler phases + WAL wait) in one
-	// snapshot.
+	// One registry across the shard's engine and scheduler, so its slice of
+	// DB.Metrics reports the full per-phase decomposition (scheduler phases
+	// + WAL wait) in one snapshot.
 	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
 		Isolation:      cfg.Isolation.toMVCC(),
@@ -348,22 +417,43 @@ func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 		VacuumInterval: cfg.VacuumInterval,
 		Metrics:        reg,
 	})
-	s := sched.New(sched.Config{
+	return &shard{eng: eng, reg: reg, dlog: dlog}
+}
+
+// startShard attaches and starts the shard's scheduler. Worker contexts are
+// pre-attached to the shard's own engine so it owns their CLS state: pooled
+// zero-allocation transactions for same-shard work, with other shards'
+// engines transparently beginning guest transactions on the same contexts.
+func (sh *shard) startShard(cfg Config) {
+	sh.sch = sched.New(sched.Config{
 		Policy:              cfg.Policy.toSched(),
 		Workers:             cfg.Workers,
 		HiQueueSize:         cfg.HiQueueSize,
 		LoQueueSize:         cfg.LoQueueSize,
 		YieldInterval:       cfg.YieldInterval,
 		StarvationThreshold: cfg.StarvationThreshold,
-		Metrics:             reg,
+		Metrics:             sh.reg,
 		TraceCapacity:       cfg.TraceCapacity,
 	})
-	s.Start()
+	for _, w := range sh.sch.Workers() {
+		for i := 0; i < w.Core().NumContexts(); i++ {
+			sh.eng.AttachContext(w.Core().Context(i))
+		}
+	}
+	sh.sch.Start()
+}
+
+// assembleDB wires recovered (or fresh) shards into a DB and starts their
+// schedulers.
+func assembleDB(cfg Config, shs []*shard) (*DB, error) {
+	for _, sh := range shs {
+		sh.startShard(cfg)
+	}
 	// The admission controller is always present: with the rate and
 	// in-flight knobs at zero it admits everything, but it still tracks the
 	// queue-delay estimate that lets AdmitDeadline shed doomed requests.
 	adm := admission.New(cfg.AdmissionRate, cfg.AdmissionBurst, cfg.MaxInFlight)
-	db := &DB{cfg: cfg, eng: eng, sch: s, adm: adm, dlog: dlog, reg: reg}
+	db := &DB{cfg: cfg, shards: shs, adm: adm, gidBase: rand.Uint64() &^ dtx.GIDBit}
 	if cfg.MetricsAddr != "" {
 		if err := db.startMetricsServer(cfg.MetricsAddr); err != nil {
 			db.Close()
@@ -373,69 +463,22 @@ func newDB(cfg Config, dlog *store.Log) (*DB, error) {
 	return db, nil
 }
 
-// tryOpenDir attempts a full file-backed open against one recovery candidate
-// (a checkpoint, or nil for log-only replay). Any failure closes the
-// half-recovered database and is reported to the caller for fallback.
+// tryOpenDir attempts a full single-shard file-backed open against one
+// recovery candidate (a checkpoint, or nil for log-only replay). Any failure
+// closes the half-recovered shard and is reported to the caller for
+// fallback.
 func tryOpenDir(d *store.Dir, cfg Config, ck *store.Checkpoint) (*DB, error) {
-	db, err := newDB(cfg, d.NewLog(cfg.SegmentBytes))
-	if err != nil {
+	sh := newShard(cfg, 0, d.NewLog(cfg.SegmentBytes))
+	sh.dir = d
+	if _, err := sh.recover(cfg, ck); err != nil {
+		sh.close()
 		return nil, err
 	}
-	db.dir = d
-	if err := db.recoverDir(ck); err != nil {
-		db.Close()
-		return nil, err
-	}
-	return db, nil
-}
-
-// recoverDir rebuilds the in-memory state from ck (when non-nil) plus the WAL
-// suffix past it, truncates the log's torn tail, and positions the segmented
-// log and the LSN counter at the verified stream end.
-func (db *DB) recoverDir(ck *store.Checkpoint) error {
-	if db.cfg.Schema != nil {
-		if err := db.cfg.Schema(db); err != nil {
-			return err
-		}
-	}
-	start := uint64(0)
-	if ck != nil {
-		f, err := os.Open(ck.Path)
-		if err != nil {
-			return err
-		}
-		err = db.eng.RestoreCheckpoint(bufio.NewReader(f))
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("checkpoint at LSN %d: %w", ck.LSN, err)
-		}
-		start = ck.LSN
-	}
-	r, err := db.dir.OpenReplay(start)
-	if err != nil {
-		return err
-	}
-	res, rerr := db.eng.Recover(r)
-	r.Close()
-	if rerr != nil {
-		return fmt.Errorf("replay from LSN %d: %w", start, rerr)
-	}
-	validEnd := start + res.Offset
-	if err := db.dir.TruncateTail(validEnd); err != nil {
-		return err
-	}
-	// Reposition also cross-checks validEnd against the on-disk stream: a
-	// checkpoint whose LSN the log never durably reached fails here and falls
-	// back to an older candidate.
-	if err := db.dlog.Reposition(validEnd); err != nil {
-		return err
-	}
-	db.eng.Log().SetLSN(validEnd)
-	return nil
+	return assembleDB(cfg, []*shard{sh})
 }
 
 // Close stops the workers, releases their engine resources (oracle slots,
-// CLS buffers), stops the background vacuum, and flushes the log. In-flight
+// CLS buffers), stops the background vacuum, and flushes the logs. In-flight
 // transactions finish; queued but unstarted requests are dropped.
 func (db *DB) Close() error {
 	if db.closed {
@@ -443,37 +486,51 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.stopMetricsServer()
-	db.sch.Stop()
-	for _, w := range db.sch.Workers() {
-		for i := 0; i < w.Core().NumContexts(); i++ {
-			db.eng.DetachContext(w.Core().Context(i))
+	var err error
+	for _, sh := range db.shards {
+		if sh.sch != nil {
+			sh.sch.Stop()
+			for _, w := range sh.sch.Workers() {
+				for i := 0; i < w.Core().NumContexts(); i++ {
+					// Owner-guarded: each engine only detaches contexts it
+					// attached, so this is safe even though cross-shard work
+					// ran foreign transactions on these contexts.
+					sh.eng.DetachContext(w.Core().Context(i))
+				}
+			}
 		}
-	}
-	err := db.eng.Close()
-	if db.dlog != nil {
-		// The engine's close flushed the WAL manager into the segmented log;
-		// close the log file after it.
-		if cerr := db.dlog.Close(); err == nil {
+		if cerr := sh.eng.Close(); err == nil {
 			err = cerr
+		}
+		if sh.dlog != nil {
+			// The engine's close flushed the WAL manager into the segmented
+			// log; close the log file after it.
+			if cerr := sh.dlog.Close(); err == nil {
+				err = cerr
+			}
 		}
 	}
 	return err
 }
 
-// CreateTable creates a table (idempotent).
+// CreateTable creates a table on every shard (idempotent).
 func (db *DB) CreateTable(name string) {
-	db.eng.CreateTable(name)
+	for _, sh := range db.shards {
+		sh.eng.CreateTable(name)
+	}
 }
 
 // CreateIndex adds a secondary index computed by extract (see
 // engine.KeyExtractor semantics: non-unique, keys must be immutable per
 // row). Create indexes before inserting rows.
 func (db *DB) CreateIndex(table, index string, extract func(key, row []byte) []byte) error {
-	t, err := db.eng.Table(table)
-	if err != nil {
-		return err
+	for _, sh := range db.shards {
+		t, err := sh.eng.Table(table)
+		if err != nil {
+			return err
+		}
+		t.CreateIndex(index, extract)
 	}
-	t.CreateIndex(index, extract)
 	return nil
 }
 
@@ -506,13 +563,25 @@ func (db *DB) runOn(ctx *pcontext.Context, fn func(tx *Txn) error) error {
 }
 
 func (db *DB) attempt(ctx *pcontext.Context, fn func(tx *Txn) error) error {
-	inner := db.eng.Begin(ctx)
-	tx := &Txn{db: db, inner: inner, ctx: ctx}
-	defer inner.Abort()
+	if len(db.shards) == 1 {
+		// Single-shard fast path: identical to the pre-sharding wiring —
+		// eager pooled transaction, no routing, no participant tracking.
+		inner := db.shards[0].eng.Begin(ctx)
+		tx := &Txn{db: db, inner: inner, ctx: ctx}
+		defer inner.Abort()
+		if err := fn(tx); err != nil {
+			return err
+		}
+		return inner.Commit()
+	}
+	// Multi-shard: participants begin lazily as keys route to shards; commit
+	// picks plain commit or 2PC by how many shards were written.
+	tx := &Txn{db: db, ctx: ctx, parts: make([]*engine.Txn, len(db.shards))}
+	defer tx.abortParts()
 	if err := fn(tx); err != nil {
 		return err
 	}
-	return inner.Commit()
+	return tx.commitParts()
 }
 
 // TxnOptions carries per-request lifecycle options. The zero value means
@@ -529,6 +598,11 @@ type TxnOptions struct {
 	// Timeout is a relative deadline measured from submission (0 = none).
 	// When both are set the earlier instant wins.
 	Timeout time.Duration
+	// RouteKey, on a sharded database, steers the request to the shard owning
+	// this key, so a transaction confined to that key's shard runs on its own
+	// scheduler with zero cross-shard coordination. Nil round-robins across
+	// shards. Ignored when Shards == 1.
+	RouteKey []byte
 }
 
 // deadlineNanos converts the options' deadline to the scheduler's absolute
@@ -573,35 +647,51 @@ func (p *Pending) Wait() error { return <-p.ch }
 // Done exposes the single-delivery outcome channel.
 func (p *Pending) Done() <-chan error { return p.ch }
 
-// classify buckets a finished request's error into the per-reason abort
-// counters surfaced by Stats.
-func (db *DB) classify(err error) {
+// classify buckets a finished request's error into the shard's per-reason
+// abort counters surfaced by Stats. Cross-shard transactions count once, on
+// their routing shard.
+func (sh *shard) classify(err error) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrDeadlineExceeded):
-		db.aborts.Inc(metrics.AbortDeadline)
+		sh.aborts.Inc(metrics.AbortDeadline)
 	case errors.Is(err, ErrCanceled):
-		db.aborts.Inc(metrics.AbortCanceled)
+		sh.aborts.Inc(metrics.AbortCanceled)
 	case IsWALFailed(err):
-		db.aborts.Inc(metrics.AbortWALFailed)
+		sh.aborts.Inc(metrics.AbortWALFailed)
 	case IsConflict(err):
-		db.aborts.Inc(metrics.AbortConflict)
+		sh.aborts.Inc(metrics.AbortConflict)
 	case errors.Is(err, ErrQueueFull):
-		db.aborts.Inc(metrics.AbortQueueFull)
+		sh.aborts.Inc(metrics.AbortQueueFull)
 	default:
-		db.aborts.Inc(metrics.AbortOther)
+		sh.aborts.Inc(metrics.AbortOther)
 	}
 }
 
+// routeShard picks a request's home shard: by key hash when the submitter
+// supplied a routing key, round-robin otherwise. The transaction executes on
+// that shard's scheduler; its data accesses still reach whatever shards its
+// keys hash to.
+func (db *DB) routeShard(route []byte) *shard {
+	if len(db.shards) == 1 {
+		return db.shards[0]
+	}
+	if route != nil {
+		return db.shards[dtx.ShardOf(route, len(db.shards))]
+	}
+	return db.shards[int(db.rrShard.Add(1))%len(db.shards)]
+}
+
 // submit is the single scheduling entry point every public Submit/Exec
-// variant funnels through: admission, lifecycle wiring, dispatch, and
-// per-reason accounting in one place.
-func (db *DB) submit(p Priority, deadline int64, fn func(tx *Txn) error, onDone func(*sched.Request)) (*sched.Request, error) {
+// variant funnels through: admission, shard routing, lifecycle wiring,
+// dispatch, and per-reason accounting in one place.
+func (db *DB) submit(p Priority, deadline int64, route []byte, fn func(tx *Txn) error, onDone func(*sched.Request)) (*sched.Request, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	sh := db.routeShard(route)
 	if !db.adm.AdmitDeadline(deadline) {
-		db.aborts.Inc(metrics.AbortQueueFull)
+		sh.aborts.Inc(metrics.AbortQueueFull)
 		return nil, ErrQueueFull
 	}
 	req := &sched.Request{
@@ -613,23 +703,23 @@ func (db *DB) submit(p Priority, deadline int64, fn func(tx *Txn) error, onDone 
 	req.OnDone = func(r *sched.Request) {
 		db.adm.ObserveQueueDelay(r.SchedulingLatency())
 		db.adm.Release()
-		db.classify(r.Err)
+		sh.classify(r.Err)
 		if onDone != nil {
 			onDone(r)
 		}
 	}
 	ok := false
 	if p == High {
-		ok = db.sch.SubmitHighBatch([]*sched.Request{req}) == 1
+		ok = sh.sch.SubmitHighBatch([]*sched.Request{req}) == 1
 	} else {
 		for i := 0; i < db.cfg.Workers && !ok; i++ {
-			wid := int(db.rrLow.Add(1)) % db.cfg.Workers
-			ok = db.sch.SubmitLow(wid, req)
+			wid := int(sh.rrLow.Add(1)) % db.cfg.Workers
+			ok = sh.sch.SubmitLow(wid, req)
 		}
 	}
 	if !ok {
 		db.adm.Release()
-		db.aborts.Inc(metrics.AbortQueueFull)
+		sh.aborts.Inc(metrics.AbortQueueFull)
 		return nil, ErrQueueFull
 	}
 	return req, nil
@@ -644,7 +734,7 @@ func (db *DB) Submit(p Priority, fn func(tx *Txn) error, done func(error)) error
 	if done != nil {
 		onDone = func(r *sched.Request) { done(r.Err) }
 	}
-	_, err := db.submit(p, 0, fn, onDone)
+	_, err := db.submit(p, 0, nil, fn, onDone)
 	return err
 }
 
@@ -652,7 +742,7 @@ func (db *DB) Submit(p Priority, fn func(tx *Txn) error, done func(error)) error
 // Pending handle for waiting on — or canceling — the request.
 func (db *DB) SubmitOpts(opts TxnOptions, fn func(tx *Txn) error) (*Pending, error) {
 	ch := make(chan error, 1)
-	req, err := db.submit(opts.Priority, opts.deadlineNanos(), fn, func(r *sched.Request) {
+	req, err := db.submit(opts.Priority, opts.deadlineNanos(), opts.RouteKey, fn, func(r *sched.Request) {
 		ch <- r.Err
 	})
 	if err != nil {
@@ -738,7 +828,7 @@ func (db *DB) SubmitTimed(p Priority, fn func(tx *Txn) error, done func(Timing, 
 			}, r.Err)
 		}
 	}
-	_, err := db.submit(p, 0, fn, onDone)
+	_, err := db.submit(p, 0, nil, fn, onDone)
 	return err
 }
 
@@ -759,19 +849,40 @@ func (db *DB) ExecTimed(p Priority, fn func(tx *Txn) error) (Timing, error) {
 	return out.timing, out.err
 }
 
-// Vacuum trims record version chains no active snapshot can reach and
-// returns the number of versions reclaimed.
-func (db *DB) Vacuum() int { return db.eng.Vacuum(pcontext.Detached()) }
+// Vacuum trims record version chains no active snapshot can reach on any
+// shard and returns the number of versions reclaimed.
+func (db *DB) Vacuum() int {
+	n := 0
+	for _, sh := range db.shards {
+		n += sh.eng.Vacuum(pcontext.Detached())
+	}
+	return n
+}
+
+// errSharded reports a single-stream checkpoint operation on a sharded
+// database (each shard checkpoints its own stream; use CheckpointDisk).
+var errSharded = errors.New("preemptdb: streaming Checkpoint/RestoreCheckpoint requires Shards == 1; use CheckpointDisk on sharded databases")
 
 // Checkpoint writes a transactionally consistent snapshot of all tables to
 // w. Restoring it and replaying a redo log started at checkpoint time
-// reproduces the database; see RestoreCheckpoint.
-func (db *DB) Checkpoint(w io.Writer) error { return db.eng.Checkpoint(w) }
+// reproduces the database; see RestoreCheckpoint. Requires Shards == 1 —
+// a sharded database has one checkpoint stream per shard (CheckpointDisk).
+func (db *DB) Checkpoint(w io.Writer) error {
+	if len(db.shards) > 1 {
+		return errSharded
+	}
+	return db.shards[0].eng.Checkpoint(w)
+}
 
 // RestoreCheckpoint loads a checkpoint stream produced by Checkpoint into
 // this database. Tables and indexes must already be created, matching the
-// schema at checkpoint time.
-func (db *DB) RestoreCheckpoint(r io.Reader) error { return db.eng.RestoreCheckpoint(r) }
+// schema at checkpoint time. Requires Shards == 1.
+func (db *DB) RestoreCheckpoint(r io.Reader) error {
+	if len(db.shards) > 1 {
+		return errSharded
+	}
+	return db.shards[0].eng.RestoreCheckpoint(r)
+}
 
 // checkpointsKept is how many disk checkpoints CheckpointDisk retains. Two
 // lets recovery fall back to the previous checkpoint when the newest fails
@@ -790,41 +901,65 @@ var errNotFileBacked = errors.New("preemptdb: database is not file-backed (opene
 // apply-if-newer replay makes the overlap idempotent. Safe for concurrent
 // use; calls are serialized.
 func (db *DB) CheckpointDisk() error {
-	if db.dir == nil {
+	if db.shards[0].dir == nil {
 		return errNotFileBacked
 	}
-	db.ckMu.Lock()
-	defer db.ckMu.Unlock()
+	for _, sh := range db.shards {
+		if err := sh.checkpointDisk(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointDisk checkpoints one shard's stream into its directory.
+func (sh *shard) checkpointDisk() error {
+	sh.ckMu.Lock()
+	defer sh.ckMu.Unlock()
 	// Capture the replay start before the snapshot begins, then make the log
 	// durable through it: a checkpoint must never name a replay position its
 	// own log has not reached on disk.
-	lsn0 := db.eng.Log().LSN()
+	lsn0 := sh.eng.Log().LSN()
+	// An in-doubt 2PC prepare is older than the log tip but must survive
+	// truncation: its prepare frame is the only durable copy of its redo until
+	// a resolution lands. Clamp the replay position below the oldest live
+	// prepare so segment truncation can never strand an in-doubt transaction.
+	if plsn, ok := sh.eng.OldestPrepareLSN(); ok && plsn < lsn0 {
+		lsn0 = plsn
+	}
 	// Every transaction lsn0 covers must have published before the snapshot
 	// scan starts, or the checkpoint could miss a commit that replay-from-lsn0
 	// will never revisit. engine.Checkpoint runs this barrier itself (before
 	// drawing its snapshot timestamp); doing it here too keeps the invariant
 	// local to the lsn0 capture it protects.
-	db.eng.Log().PublishBarrier()
-	if err := db.eng.Log().Sync(); err != nil {
+	sh.eng.Log().PublishBarrier()
+	if err := sh.eng.Log().Sync(); err != nil {
 		return err
 	}
-	if err := db.dir.WriteCheckpoint(lsn0, db.eng.Checkpoint); err != nil {
+	if err := sh.dir.WriteCheckpoint(lsn0, sh.eng.Checkpoint); err != nil {
 		return err
 	}
-	if err := db.dir.PruneCheckpoints(checkpointsKept); err != nil {
+	if err := sh.dir.PruneCheckpoints(checkpointsKept); err != nil {
 		return err
 	}
-	cks, err := db.dir.Checkpoints()
+	cks, err := sh.dir.Checkpoints()
 	if err != nil {
 		return err
 	}
-	return db.dir.TruncateSegments(cks[0].LSN)
+	return sh.dir.TruncateSegments(cks[0].LSN)
 }
 
 // ReadOnly reports whether the database has degraded to read-only because
-// the write-ahead log latched a permanent failure. Reads and scans keep
-// working; writes fail with an error satisfying IsWALFailed.
-func (db *DB) ReadOnly() bool { return db.eng.WALErr() != nil }
+// any shard's write-ahead log latched a permanent failure. Reads and scans
+// keep working; writes fail with an error satisfying IsWALFailed.
+func (db *DB) ReadOnly() bool {
+	for _, sh := range db.shards {
+		if sh.eng.WALErr() != nil {
+			return true
+		}
+	}
+	return false
+}
 
 // Stats is a point-in-time snapshot of engine and scheduler counters.
 type Stats struct {
@@ -873,31 +1008,32 @@ type Stats struct {
 	MorselsStolen uint64
 }
 
-// Stats returns current counters.
-func (db *DB) Stats() Stats {
+// stats snapshots one shard's counters. Each counter is read exactly once
+// per call; DeadlineRejected is facade-global (admission control runs before
+// routing) and appears only in the DB-level aggregate.
+func (sh *shard) stats() Stats {
 	st := Stats{
-		Commits:          db.eng.Commits(),
-		Aborts:           db.eng.Aborts(),
-		InterruptsSent:   db.sch.InterruptsSent(),
-		StarvationSkips:  db.sch.StarvationSkips(),
-		LogBytes:         db.eng.Log().LSN(),
-		LogBatches:       db.eng.Log().Batches(),
-		VacuumedVersions: db.eng.Vacuumed(),
-		ShedExpired:      db.sch.ShedExpired(),
-		ShedCanceled:     db.sch.ShedCanceled(),
-		DeadlineRejected: db.adm.DeadlineRejected(),
-		AbortsConflict:   db.aborts.Load(metrics.AbortConflict),
-		AbortsDeadline:   db.aborts.Load(metrics.AbortDeadline),
-		AbortsCanceled:   db.aborts.Load(metrics.AbortCanceled),
-		AbortsQueueFull:  db.aborts.Load(metrics.AbortQueueFull),
-		AbortsWALFailed:  db.aborts.Load(metrics.AbortWALFailed),
-		AbortsOther:      db.aborts.Load(metrics.AbortOther),
-		WALFailed:         db.eng.WALErr() != nil,
-		IndexRestarts:     db.eng.IndexRestarts(),
-		PartitionRestarts: db.eng.PartitionRestarts(),
-		MorselsStolen:     db.sch.MorselsStolen(),
+		Commits:           sh.eng.Commits(),
+		Aborts:            sh.eng.Aborts(),
+		InterruptsSent:    sh.sch.InterruptsSent(),
+		StarvationSkips:   sh.sch.StarvationSkips(),
+		LogBytes:          sh.eng.Log().LSN(),
+		LogBatches:        sh.eng.Log().Batches(),
+		VacuumedVersions:  sh.eng.Vacuumed(),
+		ShedExpired:       sh.sch.ShedExpired(),
+		ShedCanceled:      sh.sch.ShedCanceled(),
+		AbortsConflict:    sh.aborts.Load(metrics.AbortConflict),
+		AbortsDeadline:    sh.aborts.Load(metrics.AbortDeadline),
+		AbortsCanceled:    sh.aborts.Load(metrics.AbortCanceled),
+		AbortsQueueFull:   sh.aborts.Load(metrics.AbortQueueFull),
+		AbortsWALFailed:   sh.aborts.Load(metrics.AbortWALFailed),
+		AbortsOther:       sh.aborts.Load(metrics.AbortOther),
+		WALFailed:         sh.eng.WALErr() != nil,
+		IndexRestarts:     sh.eng.IndexRestarts(),
+		PartitionRestarts: sh.eng.PartitionRestarts(),
+		MorselsStolen:     sh.sch.MorselsStolen(),
 	}
-	for _, w := range db.sch.Workers() {
+	for _, w := range sh.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
 			st.PassiveSwitches += w.Core().Context(i).TCB().PassiveSwitches()
 			st.ActiveSwitches += w.Core().Context(i).TCB().ActiveSwitches()
@@ -906,98 +1042,194 @@ func (db *DB) Stats() Stats {
 	return st
 }
 
-// Txn is a transaction handle passed to user functions. It is only valid
-// for the duration of the function call.
-type Txn struct {
-	db    *DB
-	inner *engine.Txn
-	ctx   *pcontext.Context
+// add accumulates o into st (counters sum; WALFailed ORs).
+func (st *Stats) add(o Stats) {
+	st.Commits += o.Commits
+	st.Aborts += o.Aborts
+	st.InterruptsSent += o.InterruptsSent
+	st.StarvationSkips += o.StarvationSkips
+	st.PassiveSwitches += o.PassiveSwitches
+	st.ActiveSwitches += o.ActiveSwitches
+	st.LogBytes += o.LogBytes
+	st.LogBatches += o.LogBatches
+	st.VacuumedVersions += o.VacuumedVersions
+	st.ShedExpired += o.ShedExpired
+	st.ShedCanceled += o.ShedCanceled
+	st.DeadlineRejected += o.DeadlineRejected
+	st.AbortsConflict += o.AbortsConflict
+	st.AbortsDeadline += o.AbortsDeadline
+	st.AbortsCanceled += o.AbortsCanceled
+	st.AbortsQueueFull += o.AbortsQueueFull
+	st.AbortsWALFailed += o.AbortsWALFailed
+	st.AbortsOther += o.AbortsOther
+	st.WALFailed = st.WALFailed || o.WALFailed
+	st.IndexRestarts += o.IndexRestarts
+	st.PartitionRestarts += o.PartitionRestarts
+	st.MorselsStolen += o.MorselsStolen
 }
 
-func (t *Txn) table(name string) (*engine.Table, error) {
-	return t.db.eng.Table(name)
+// ShardStats returns one Stats per shard, each shard's counters snapshotted
+// exactly once. The global DeadlineRejected counter is not attributable to a
+// shard and is reported only by Stats.
+func (db *DB) ShardStats() []Stats {
+	out := make([]Stats, len(db.shards))
+	for i, sh := range db.shards {
+		out[i] = sh.stats()
+	}
+	return out
+}
+
+// Stats returns current counters, aggregated across shards. Every per-shard
+// counter is read exactly once per call (a single snapshot per shard, then
+// summed), so the aggregate never double-counts or skews against the
+// per-shard view returned by ShardStats.
+func (db *DB) Stats() Stats {
+	var agg Stats
+	for _, sh := range db.shards {
+		agg.add(sh.stats())
+	}
+	agg.DeadlineRejected = db.adm.DeadlineRejected()
+	return agg
+}
+
+// Txn is a transaction handle passed to user functions. It is only valid
+// for the duration of the function call. On a sharded database each key
+// access transparently routes to the owning shard; writes that land on more
+// than one shard commit atomically through an internal two-phase commit.
+type Txn struct {
+	db  *DB
+	ctx *pcontext.Context
+	// inner is the single-shard fast path: set iff Shards == 1.
+	inner *engine.Txn
+	// parts are the lazily-begun per-shard participants (multi-shard only).
+	parts []*engine.Txn
+}
+
+// part returns the participant transaction for shard si, beginning it on
+// first touch. On a context owned by another shard's engine the participant
+// begins as a guest (own oracle slot, private log buffer) — see
+// engine.Engine.BeginIso.
+func (t *Txn) part(si int) *engine.Txn {
+	if t.inner != nil {
+		return t.inner
+	}
+	p := t.parts[si]
+	if p == nil {
+		p = t.db.shards[si].eng.Begin(t.ctx)
+		t.parts[si] = p
+	}
+	return p
+}
+
+// at resolves a keyed access: the owning shard's participant and its handle
+// for the named table.
+func (t *Txn) at(table string, key []byte) (*engine.Txn, *engine.Table, error) {
+	si := 0
+	if t.inner == nil {
+		si = dtx.ShardOf(key, len(t.db.shards))
+	}
+	tab, err := t.db.shards[si].eng.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.part(si), tab, nil
 }
 
 // Get returns the visible row under key in table.
 func (t *Txn) Get(table string, key []byte) ([]byte, error) {
-	tab, err := t.table(table)
+	p, tab, err := t.at(table, key)
 	if err != nil {
 		return nil, err
 	}
-	return t.inner.Get(tab, key)
+	return p.Get(tab, key)
 }
 
 // Insert creates a new row; it fails on a visible duplicate key.
 func (t *Txn) Insert(table string, key, value []byte) error {
-	tab, err := t.table(table)
+	p, tab, err := t.at(table, key)
 	if err != nil {
 		return err
 	}
-	return t.inner.Insert(tab, key, value)
+	return p.Insert(tab, key, value)
 }
 
 // Update overwrites an existing visible row.
 func (t *Txn) Update(table string, key, value []byte) error {
-	tab, err := t.table(table)
+	p, tab, err := t.at(table, key)
 	if err != nil {
 		return err
 	}
-	return t.inner.Update(tab, key, value)
+	return p.Update(tab, key, value)
 }
 
 // Put inserts or overwrites (upsert).
 func (t *Txn) Put(table string, key, value []byte) error {
-	tab, err := t.table(table)
+	p, tab, err := t.at(table, key)
 	if err != nil {
 		return err
 	}
-	return t.inner.Put(tab, key, value)
+	return p.Put(tab, key, value)
 }
 
 // Delete removes a visible row.
 func (t *Txn) Delete(table string, key []byte) error {
-	tab, err := t.table(table)
+	p, tab, err := t.at(table, key)
 	if err != nil {
 		return err
 	}
-	return t.inner.Delete(tab, key)
+	return p.Delete(tab, key)
 }
 
 // Scan visits visible rows with from <= key < to in key order; fn returns
-// false to stop. The scan is preemptible at every record.
+// false to stop. The scan is preemptible at every record. On a sharded
+// database the per-shard scans are merged into one global key order.
 func (t *Txn) Scan(table string, from, to []byte, fn func(key, value []byte) bool) error {
-	tab, err := t.table(table)
-	if err != nil {
-		return err
+	if t.inner != nil {
+		tab, err := t.db.shards[0].eng.Table(table)
+		if err != nil {
+			return err
+		}
+		return t.inner.Scan(tab, from, to, fn)
 	}
-	return t.inner.Scan(tab, from, to, fn)
+	return t.mergeScan(table, "", from, to, false, fn)
 }
 
 // ScanDesc is Scan in descending key order.
 func (t *Txn) ScanDesc(table string, from, to []byte, fn func(key, value []byte) bool) error {
-	tab, err := t.table(table)
-	if err != nil {
-		return err
+	if t.inner != nil {
+		tab, err := t.db.shards[0].eng.Table(table)
+		if err != nil {
+			return err
+		}
+		return t.inner.ScanDesc(tab, from, to, fn)
 	}
-	return t.inner.ScanDesc(tab, from, to, fn)
+	return t.mergeScan(table, "", from, to, true, fn)
 }
 
-// ScanIndex is Scan over a secondary index; fn receives the index key.
+// ScanIndex is Scan over a secondary index; fn receives the index key. On a
+// sharded database rows merge in index-key order; rows sharing an index key
+// may interleave across shards in arbitrary order.
 func (t *Txn) ScanIndex(table, index string, from, to []byte, fn func(key, value []byte) bool) error {
-	tab, err := t.table(table)
-	if err != nil {
-		return err
+	if t.inner != nil {
+		tab, err := t.db.shards[0].eng.Table(table)
+		if err != nil {
+			return err
+		}
+		return t.inner.ScanIndex(tab, index, from, to, fn)
 	}
-	return t.inner.ScanIndex(tab, index, from, to, fn)
+	return t.mergeScan(table, index, from, to, false, fn)
 }
 
 // ScanIndexDesc is ScanIndex in descending index-key order.
 func (t *Txn) ScanIndexDesc(table, index string, from, to []byte, fn func(key, value []byte) bool) error {
-	tab, err := t.table(table)
-	if err != nil {
-		return err
+	if t.inner != nil {
+		tab, err := t.db.shards[0].eng.Table(table)
+		if err != nil {
+			return err
+		}
+		return t.inner.ScanIndexDesc(tab, index, from, to, fn)
 	}
-	return t.inner.ScanIndexDesc(tab, index, from, to, fn)
+	return t.mergeScan(table, index, from, to, true, fn)
 }
 
 // ParallelScan visits every visible row with from <= key < to, like Scan,
@@ -1011,31 +1243,52 @@ func (t *Txn) ScanIndexDesc(table, index string, from, to []byte, fn func(key, v
 // skipped at record granularity, so a few extra calls may still arrive).
 // Each helper is independently preemptible: a high-priority burst interrupts
 // every morsel at its next record access.
+// On a sharded database the range is scanned shard by shard, each shard's
+// morsels fanned out to this request's worker pool; its own engine serves the
+// reads, pinned at the shard participant's snapshot.
 func (t *Txn) ParallelScan(table string, from, to []byte, morsels int, fn func(key, value []byte) bool) error {
-	tab, err := t.table(table)
-	if err != nil {
+	var stop atomic.Bool
+	scanShard := func(p *engine.Txn, tab *engine.Table) error {
+		_, err := engine.ParallelScan(p, tab, from, to,
+			engine.ParallelScanConfig{Morsels: morsels, Spawn: sched.MorselSpawner(t.ctx)},
+			func(sub *engine.Txn, m engine.Morsel) (struct{}, error) {
+				if stop.Load() {
+					return struct{}{}, nil
+				}
+				return struct{}{}, sub.Scan(tab, m.From, m.To, func(k, v []byte) bool {
+					if stop.Load() {
+						return false
+					}
+					if !fn(k, v) {
+						stop.Store(true)
+						return false
+					}
+					return true
+				})
+			},
+			func(a, _ struct{}) struct{} { return a })
 		return err
 	}
-	var stop atomic.Bool
-	_, err = engine.ParallelScan(t.inner, tab, from, to,
-		engine.ParallelScanConfig{Morsels: morsels, Spawn: sched.MorselSpawner(t.ctx)},
-		func(sub *engine.Txn, m engine.Morsel) (struct{}, error) {
-			if stop.Load() {
-				return struct{}{}, nil
-			}
-			return struct{}{}, sub.Scan(tab, m.From, m.To, func(k, v []byte) bool {
-				if stop.Load() {
-					return false
-				}
-				if !fn(k, v) {
-					stop.Store(true)
-					return false
-				}
-				return true
-			})
-		},
-		func(a, _ struct{}) struct{} { return a })
-	return err
+	if t.inner != nil {
+		tab, err := t.db.shards[0].eng.Table(table)
+		if err != nil {
+			return err
+		}
+		return scanShard(t.inner, tab)
+	}
+	for si := range t.db.shards {
+		if stop.Load() {
+			return nil
+		}
+		tab, err := t.db.shards[si].eng.Table(table)
+		if err != nil {
+			return err
+		}
+		if err := scanShard(t.part(si), tab); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Yield is a handcrafted cooperative yield point (used with
