@@ -7,31 +7,152 @@
 //	preemptbench -experiment fig10 -duration 3s -workers 2
 //	preemptbench -experiment all
 //
-// Experiments: fig1, uintr, switch, fig8, fig9, fig10, fig11, fig12, fig13,
-// shed, parallelscan, shardbench, all. parallelscan and shardbench also write
-// their results to -scanout (BENCH_scan.json) and -shardout (BENCH_shard.json)
-// in the same envelope as BENCH_commit.json.
+// Run -experiment help (or any unknown name) for the experiment list; it is
+// generated from the same registry that drives dispatch, so the help text,
+// the dispatch switch, and the "all" sequence cannot drift apart.
+// parallelscan, shardbench, and interleave also write their results to
+// -scanout (BENCH_scan.json), -shardout (BENCH_shard.json), and
+// -interleaveout (BENCH_interleave.json) in the same envelope as
+// BENCH_commit.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"preemptdb/internal/bench"
-	"preemptdb/internal/pcontext"
 )
+
+// flags shared by the experiment runners (parsed once in main).
+type flags struct {
+	duration      time.Duration
+	scanout       string
+	shardout      string
+	interleaveout string
+	traceout      string
+}
+
+// experiment is one registry entry: the -experiment id, a one-line help
+// string, whether "all" includes it, and the runner itself. The registry is
+// the single source of truth for the help text, the dispatch, and the "all"
+// sequence.
+type experiment struct {
+	id    string
+	help  string
+	inAll bool
+	run   func(opt bench.Options, fl flags) error
+}
+
+// experiments lists every runnable experiment in "all" order (entries with
+// inAll=false keep their position for help purposes only).
+var experiments = []experiment{
+	{"uintr", "user-interrupt delivery latency microbenchmark (§6.1)", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.UintrLatency(opt, 0); return err }},
+	{"switch", "context switch round-trip microbenchmark (§6.1)", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.ContextSwitch(opt, 0); return err }},
+	{"fig1", "scheduling latency of high-priority NewOrder by policy", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig1(opt); return err }},
+	{"trace", "scheduling-event timeline (figure 2); -trace writes Chrome trace JSON", false,
+		func(opt bench.Options, fl flags) error {
+			_, cores, err := bench.Trace(opt)
+			if err == nil && fl.traceout != "" {
+				if err = bench.WriteChromeTrace(fl.traceout, cores); err == nil {
+					fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", fl.traceout)
+				}
+			}
+			return err
+		}},
+	{"fig8", "uintr machinery overhead on standard TPC-C", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig8(opt); return err }},
+	{"fig9", "end-to-end latency decomposition by policy", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig9(opt); return err }},
+	{"fig10", "high-priority latency vs arrival rate", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig10(opt); return err }},
+	{"fig11", "low-priority (Q2) throughput cost by policy", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig11(opt); return err }},
+	{"fig12", "starvation threshold sweep", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig12(opt); return err }},
+	{"fig13", "yield interval sweep (cooperative)", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Fig13(opt); return err }},
+	{"shed", "deadline-based load shedding under overload", true,
+		func(opt bench.Options, fl flags) error { _, err := bench.Shed(opt); return err }},
+	{"parallelscan", "morsel-parallel Q2 scaling; writes -scanout", true,
+		func(opt bench.Options, fl flags) error {
+			res, err := bench.ParallelScan(opt, nil)
+			if err != nil || fl.scanout == "" {
+				return err
+			}
+			cmd := fmt.Sprintf("preemptbench -experiment parallelscan -duration %v", fl.duration)
+			notes := []string{
+				fmt.Sprintf("Host exposes %d CPU(s); wall-clock speedup from morsel parallelism requires spare physical cores — on a single-CPU host helpers timeshare one core and speedup is bounded at ~1x.", res.NumCPU),
+				"hi_* latencies: end-to-end Payment latency under PolicyPreempt while scans run continuously; parallel scans must keep p99 within noise of sequential (every helper is independently preemptible).",
+			}
+			return bench.WriteScanJSON(fl.scanout, cmd, res, notes)
+		}},
+	{"shardbench", "hash-sharded scaling and 2PC cross-shard sweep; writes -shardout", true,
+		func(opt bench.Options, fl flags) error {
+			res, err := bench.ShardBench(opt)
+			if err != nil || fl.shardout == "" {
+				return err
+			}
+			cmd := fmt.Sprintf("preemptbench -experiment shardbench -duration %v", fl.duration)
+			notes := []string{
+				fmt.Sprintf("Host exposes %d CPU(s); per-shard scheduler cores are goroutines, so throughput scaling with shard count requires spare physical CPUs — on a single-CPU host all shards timeshare one core and the scaling curve is expected to be flat (the per-shard isolation and 2PC overhead shapes, not absolute scaling, are the reproduction target).", res.NumCPU),
+				"scaling: closed-loop single-shard read-modify-write txns, hash-routed; zero cross-shard coordination on this path.",
+				"cross_sweep_4_shards: the listed percentage of txns touch two keys on different shards and commit via prepare frames + a coordinator decision record on the existing group-commit WAL (2PC, presumed abort).",
+				"hi_per_shard_4_shards: end-to-end latency of high-priority point reads routed to each shard under PolicyPreempt while low-priority load runs on all shards — per-shard preemption isolation.",
+			}
+			return bench.WriteBenchJSON(fl.shardout, cmd, res, notes)
+		}},
+	{"interleave", "K-way context multiplexing sweep (K=2/4/8); writes -interleaveout", true,
+		func(opt bench.Options, fl flags) error {
+			res, err := bench.Interleave(opt)
+			if err != nil || fl.interleaveout == "" {
+				return err
+			}
+			cmd := fmt.Sprintf("preemptbench -experiment interleave -duration %v", fl.duration)
+			notes := []string{
+				fmt.Sprintf("Host exposes %d CPU(s); the simulated stall boundaries carry no real memory-stall latency, so on CPU-starved hosts K-way rotation is pure switch overhead and q2_tps is expected flat-to-slightly-down as K grows — the reproduction target is the flat hi_p99_ns column (interleaving must not move the high-priority tail) plus non-zero stall_yields/interleave_switches only at K>2.", res.NumCPU),
+				"Each point: mixed TP/AP load under PolicyPreempt — low-priority Q2 batch work filling K-1 slots per core, batched high-priority NewOrder/Payment arrivals preempting via the distinct preemptive context.",
+			}
+			return bench.WriteInterleaveJSON(fl.interleaveout, cmd, res, notes)
+		}},
+}
+
+// experimentIDs renders the -experiment value list (registry order + all).
+func experimentIDs() string {
+	ids := make([]string, 0, len(experiments)+1)
+	for _, e := range experiments {
+		ids = append(ids, e.id)
+	}
+	return strings.Join(append(ids, "all"), "|")
+}
+
+func usage(w *os.File) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range experiments {
+		all := ""
+		if !e.inAll {
+			all = " (not in 'all')"
+		}
+		fmt.Fprintf(w, "  %-13s %s%s\n", e.id, e.help, all)
+	}
+	fmt.Fprintf(w, "  %-13s every experiment marked above, in order\n", "all")
+}
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig1|uintr|switch|trace|fig8|fig9|fig10|fig11|fig12|fig13|shed|parallelscan|shardbench|all)")
-		duration   = flag.Duration("duration", 3*time.Second, "measurement window per data point")
-		workers    = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
-		arrival    = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
-		scanout    = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
-		shardout   = flag.String("shardout", "BENCH_shard.json", "output path for the shardbench experiment's JSON ('' disables)")
-		traceout   = flag.String("trace", "", "write the trace experiment's scheduling events as Chrome trace-event JSON (perfetto-loadable) to this path")
+		experimentFlag = flag.String("experiment", "all", "which experiment to run ("+experimentIDs()+")")
+		duration       = flag.Duration("duration", 3*time.Second, "measurement window per data point")
+		workers        = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
+		arrival        = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
+		scanout        = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
+		shardout       = flag.String("shardout", "BENCH_shard.json", "output path for the shardbench experiment's JSON ('' disables)")
+		interleaveout  = flag.String("interleaveout", "BENCH_interleave.json", "output path for the interleave experiment's JSON ('' disables)")
+		traceout       = flag.String("trace", "", "write the trace experiment's scheduling events as Chrome trace-event JSON (perfetto-loadable) to this path")
 	)
 	flag.Parse()
 
@@ -41,80 +162,51 @@ func main() {
 		ArrivalInterval: *arrival,
 		Out:             os.Stdout,
 	}
+	fl := flags{
+		duration:      *duration,
+		scanout:       *scanout,
+		shardout:      *shardout,
+		interleaveout: *interleaveout,
+		traceout:      *traceout,
+	}
 
-	run := func(id string) error {
-		fmt.Printf("\n=== %s ===\n", id)
+	byID := make(map[string]experiment, len(experiments))
+	for _, e := range experiments {
+		byID[e.id] = e
+	}
+
+	run := func(e experiment) error {
+		fmt.Printf("\n=== %s ===\n", e.id)
 		start := time.Now()
-		var err error
-		switch id {
-		case "fig1":
-			_, err = bench.Fig1(opt)
-		case "uintr":
-			_, err = bench.UintrLatency(opt, 0)
-		case "switch":
-			_, err = bench.ContextSwitch(opt, 0)
-		case "trace":
-			var cores []pcontext.CoreEvents
-			_, cores, err = bench.Trace(opt)
-			if err == nil && *traceout != "" {
-				if err = bench.WriteChromeTrace(*traceout, cores); err == nil {
-					fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceout)
-				}
-			}
-		case "fig8":
-			_, err = bench.Fig8(opt)
-		case "fig9":
-			_, err = bench.Fig9(opt)
-		case "fig10":
-			_, err = bench.Fig10(opt)
-		case "fig11":
-			_, err = bench.Fig11(opt)
-		case "fig12":
-			_, err = bench.Fig12(opt)
-		case "fig13":
-			_, err = bench.Fig13(opt)
-		case "shed":
-			_, err = bench.Shed(opt)
-		case "parallelscan":
-			var res *bench.ScanResult
-			res, err = bench.ParallelScan(opt, nil)
-			if err == nil && *scanout != "" {
-				cmd := fmt.Sprintf("preemptbench -experiment parallelscan -duration %v", *duration)
-				notes := []string{
-					fmt.Sprintf("Host exposes %d CPU(s); wall-clock speedup from morsel parallelism requires spare physical cores — on a single-CPU host helpers timeshare one core and speedup is bounded at ~1x.", res.NumCPU),
-					"hi_* latencies: end-to-end Payment latency under PolicyPreempt while scans run continuously; parallel scans must keep p99 within noise of sequential (every helper is independently preemptible).",
-				}
-				err = bench.WriteScanJSON(*scanout, cmd, res, notes)
-			}
-		case "shardbench":
-			var res *bench.ShardResult
-			res, err = bench.ShardBench(opt)
-			if err == nil && *shardout != "" {
-				cmd := fmt.Sprintf("preemptbench -experiment shardbench -duration %v", *duration)
-				notes := []string{
-					fmt.Sprintf("Host exposes %d CPU(s); per-shard scheduler cores are goroutines, so throughput scaling with shard count requires spare physical CPUs — on a single-CPU host all shards timeshare one core and the scaling curve is expected to be flat (the per-shard isolation and 2PC overhead shapes, not absolute scaling, are the reproduction target).", res.NumCPU),
-					"scaling: closed-loop single-shard read-modify-write txns, hash-routed; zero cross-shard coordination on this path.",
-					"cross_sweep_4_shards: the listed percentage of txns touch two keys on different shards and commit via prepare frames + a coordinator decision record on the existing group-commit WAL (2PC, presumed abort).",
-					"hi_per_shard_4_shards: end-to-end latency of high-priority point reads routed to each shard under PolicyPreempt while low-priority load runs on all shards — per-shard preemption isolation.",
-				}
-				err = bench.WriteBenchJSON(*shardout, cmd, res, notes)
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q", id)
+		if err := e.run(opt, fl); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		fmt.Printf("(%s took %v)\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n", e.id, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 
-	ids := []string{*experiment}
-	if *experiment == "all" {
-		ids = []string{"uintr", "switch", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shed", "parallelscan", "shardbench"}
+	var todo []experiment
+	switch *experimentFlag {
+	case "all":
+		for _, e := range experiments {
+			if e.inAll {
+				todo = append(todo, e)
+			}
+		}
+	case "help", "list":
+		usage(os.Stdout)
+		return
+	default:
+		e, ok := byID[*experimentFlag]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "preemptbench: unknown experiment %q\n", *experimentFlag)
+			usage(os.Stderr)
+			os.Exit(1)
+		}
+		todo = []experiment{e}
 	}
-	for _, id := range ids {
-		if err := run(id); err != nil {
+	for _, e := range todo {
+		if err := run(e); err != nil {
 			fmt.Fprintln(os.Stderr, "preemptbench:", err)
 			os.Exit(1)
 		}

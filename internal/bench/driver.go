@@ -150,6 +150,9 @@ type MixedResult struct {
 
 	// End-to-end latency (generation → completion).
 	Q2, NewOrder, Payment metrics.Summary
+	// Hi is the end-to-end latency across both high-priority kinds
+	// (NewOrder + Payment merged exactly, bucket-wise).
+	Hi metrics.Summary
 	// Scheduling latency (generation → first execution).
 	Q2Sched, NewOrderSched, PaymentSched metrics.Summary
 
@@ -160,7 +163,12 @@ type MixedResult struct {
 	StarvationSkips uint64
 	PassiveSwitches uint64
 	ActiveSwitches  uint64
-	DroppedHi       uint64 // generated but never admitted before the run ended
+	// StallYields / InterleaveSwitches count K-way stall-boundary rotations
+	// and resumptions of stall-parked transactions (zero at the default two
+	// contexts per core).
+	StallYields        uint64
+	InterleaveSwitches uint64
+	DroppedHi          uint64 // generated but never admitted before the run ended
 
 	// ShedExpired / ShedCanceled count queued requests the workers dropped
 	// at dispatch: deadline already passed / canceled by the submitter.
@@ -175,10 +183,10 @@ type MixedResult struct {
 // collector accumulates latencies; sharded per worker would be overkill at
 // single-host rates, so a mutex suffices.
 type collector struct {
-	mu                          sync.Mutex
-	q2, newOrder, payment       metrics.Histogram
-	q2S, newOrderS, paymentS    metrics.Histogram
-	q2N, newOrderN, paymentN    uint64
+	mu                       sync.Mutex
+	q2, newOrder, payment    metrics.Histogram
+	q2S, newOrderS, paymentS metrics.Histogram
+	q2N, newOrderN, paymentN uint64
 }
 
 type txKind uint8
@@ -235,6 +243,16 @@ type MixedConfig struct {
 	YieldInterval       uint64
 	StarvationThreshold float64
 	HiBatchPerInterval  int
+	// ContextsPerCore > 2 turns each worker into a K-way stall-hiding
+	// executor (the interleave experiment); 0 keeps the scheduler default.
+	ContextsPerCore int
+	// LoQueueSize overrides the fixture's low-priority queue depth (K-way
+	// runs need more than the default one queued Q2 per worker so the extra
+	// slots have work to pick up).
+	LoQueueSize int
+	// StallInterval overrides the stall-boundary rotation period (0: the
+	// scheduler default).
+	StallInterval uint64
 	// HandcraftedYieldEvery enables the workload-level Q2 yield point (the
 	// paper uses every 1000 nested blocks) when > 0.
 	HandcraftedYieldEvery int
@@ -271,6 +289,9 @@ func (m MixedConfig) withDefaults(opt Options) MixedConfig {
 	if m.HiBatchPerInterval == 0 {
 		m.HiBatchPerInterval = m.Workers * m.HiQueueSize
 	}
+	if m.LoQueueSize == 0 {
+		m.LoQueueSize = opt.LoQueueSize
+	}
 	return m
 }
 
@@ -282,10 +303,12 @@ func (f *Fixture) RunMixed(cfg MixedConfig) MixedResult {
 	s := sched.New(sched.Config{
 		Policy:              cfg.Policy,
 		Workers:             cfg.Workers,
+		ContextsPerCore:     cfg.ContextsPerCore,
 		HiQueueSize:         cfg.HiQueueSize,
-		LoQueueSize:         f.opts.LoQueueSize,
+		LoQueueSize:         cfg.LoQueueSize,
 		YieldInterval:       cfg.YieldInterval,
 		StarvationThreshold: cfg.StarvationThreshold,
+		StallInterval:       cfg.StallInterval,
 	})
 	col := &collector{}
 	warehouses := f.TPCC.Scale().Warehouses
@@ -403,24 +426,31 @@ func (f *Fixture) RunMixed(cfg MixedConfig) MixedResult {
 	s.Stop()
 
 	res := MixedResult{
-		Policy:           cfg.Policy.String(),
-		InterruptsSent:   s.InterruptsSent(),
-		StarvationSkips:  s.StarvationSkips(),
-		DroppedHi:        dropped,
-		ShedExpired:      s.ShedExpired(),
-		ShedCanceled:     s.ShedCanceled(),
-		HiDeadlineMisses: hiMisses.Load(),
+		Policy:             cfg.Policy.String(),
+		InterruptsSent:     s.InterruptsSent(),
+		StarvationSkips:    s.StarvationSkips(),
+		StallYields:        s.StallYields(),
+		InterleaveSwitches: s.InterleaveSwitches(),
+		DroppedHi:          dropped,
+		ShedExpired:        s.ShedExpired(),
+		ShedCanceled:       s.ShedCanceled(),
+		HiDeadlineMisses:   hiMisses.Load(),
 	}
 	for _, w := range s.Workers() {
-		res.PassiveSwitches += w.Core().Context(0).TCB().PassiveSwitches() +
-			w.Core().Context(1).TCB().PassiveSwitches()
-		res.ActiveSwitches += w.Core().Context(0).TCB().ActiveSwitches() +
-			w.Core().Context(1).TCB().ActiveSwitches()
+		for i := 0; i < w.Core().NumContexts(); i++ {
+			tcb := w.Core().Context(i).TCB()
+			res.PassiveSwitches += tcb.PassiveSwitches()
+			res.ActiveSwitches += tcb.ActiveSwitches()
+		}
 	}
 	col.mu.Lock()
 	res.Q2 = col.q2.Summarize()
 	res.NewOrder = col.newOrder.Summarize()
 	res.Payment = col.payment.Summarize()
+	var hi metrics.Histogram
+	hi.Merge(&col.newOrder)
+	hi.Merge(&col.payment)
+	res.Hi = hi.Summarize()
 	res.Q2Sched = col.q2S.Summarize()
 	res.NewOrderSched = col.newOrderS.Summarize()
 	res.PaymentSched = col.paymentS.Summarize()

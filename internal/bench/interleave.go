@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/sched"
+	"preemptdb/internal/tpch"
+)
+
+// InterleavePoint is one data point of the interleave experiment: the mixed
+// TP/AP workload under PolicyPreempt at a given contexts-per-core K.
+type InterleavePoint struct {
+	ContextsPerCore int `json:"contexts_per_core"`
+	// Q2TPS is the low-priority batch (analytical) throughput — the quantity
+	// K-way interleaving exists to raise by hiding stalls.
+	Q2TPS float64 `json:"q2_tps"`
+	// HiTPS and the latency fields cover both high-priority kinds
+	// (NewOrder + Payment): interleaving must not move the hi tail.
+	HiTPS    float64 `json:"hi_tps"`
+	HiP50Ns  int64   `json:"hi_p50_ns"`
+	HiP99Ns  int64   `json:"hi_p99_ns"`
+	HiP999Ns int64   `json:"hi_p999_ns"`
+	Q2P50Ns  int64   `json:"q2_p50_ns"`
+	Q2P99Ns  int64   `json:"q2_p99_ns"`
+	// StallYields counts rotations away at stall boundaries;
+	// InterleaveSwitches counts resumptions of stall-parked transactions.
+	// Both zero at K=2 by construction (the hook is never installed).
+	StallYields        uint64 `json:"stall_yields"`
+	InterleaveSwitches uint64 `json:"interleave_switches"`
+	InterruptsSent     uint64 `json:"interrupts_sent"`
+	PassiveSwitches    uint64 `json:"passive_switches"`
+	ActiveSwitches     uint64 `json:"active_switches"`
+	// DroppedHi counts generated high-priority requests never admitted
+	// before the next arrival interval. Comparable hi latency populations
+	// across K require this to stay near zero at every point.
+	DroppedHi uint64 `json:"dropped_hi"`
+}
+
+// InterleaveResult is the full interleave experiment output.
+type InterleaveResult struct {
+	Points []InterleavePoint `json:"points"`
+	// StallInterval is the rotation period used (stall boundaries between
+	// rotations); Workers the simulated core count per point.
+	StallInterval uint64 `json:"stall_interval"`
+	Workers       int    `json:"workers"`
+	NumCPU        int    `json:"num_cpu"`
+}
+
+// Interleave sweeps contexts-per-core K ∈ {2, 4, 8} over the paper's mixed
+// workload (low-priority Q2 + batched high-priority NewOrder/Payment,
+// PolicyPreempt) and reports batch throughput next to the high-priority tail.
+// K=2 is the paper's evaluated configuration and takes the exact two-context
+// code path (no stall hook installed); K>2 turns each worker into a
+// stall-hiding batch executor that rotates among K-1 low-priority slots at
+// simulated stall boundaries while the preemptive context keeps absolute
+// priority — so the acceptance shape is a flat hi-priority p99 across K.
+//
+// On hosts where the simulated stall carries no real memory-stall cost
+// (notably single-CPU containers), rotation is pure switch overhead and the
+// batch column is expected flat-to-slightly-down; the artifact records
+// num_cpu so that caveat is machine-checkable.
+func Interleave(opt Options) (*InterleaveResult, error) {
+	opt = opt.withDefaults()
+	if opt.TPCH.Parts == 0 || opt.TPCH.Parts == 60000 {
+		// A lighter analytical scale than the figures' default: Q2 of a few
+		// milliseconds instead of tens. The K=2 baseline (no rotation) must
+		// admit the full high-priority load on small hosts, or the per-K hi
+		// latency populations are not comparable; batch-throughput headroom
+		// is unaffected — every K runs the same queries.
+		opt.TPCH = tpch.ScaleConfig{Parts: 15000, Suppliers: 200}
+	}
+	f, err := NewFixture(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &InterleaveResult{
+		StallInterval: 32,
+		Workers:       opt.Workers,
+		NumCPU:        runtime.NumCPU(),
+	}
+	tbl := metrics.NewTable("K", "q2 tps", "hi tps", "hi p50", "hi p99", "hi p99.9", "stall yields", "interleaves", "dropped hi")
+	for _, k := range []int{2, 4, 8} {
+		r := f.RunMixed(MixedConfig{
+			Policy:          sched.PolicyPreempt,
+			ContextsPerCore: k,
+			// Keep every low-priority slot fed: the refill loop tops the
+			// queue up once per arrival interval, so depth ≥ K-1 lets a
+			// worker fill all slots between refills.
+			LoQueueSize:   2 * k,
+			StallInterval: res.StallInterval,
+			// A light high-priority load (one request per worker per
+			// arrival interval) that every K can admit in full: comparing
+			// the hi tail across K is only meaningful when the admitted
+			// population is the same — at saturating rates the K=2 point
+			// drops most arrivals at the full queue and its surviving
+			// latencies are not the same distribution. The deeper hi queue
+			// absorbs the coalesced arrival bursts a CPU-starved generator
+			// goroutine produces (it stamps one shared arrival time per
+			// burst, so admission — not latency — is what it changes).
+			HiBatchPerInterval: f.Options().Workers,
+			HiQueueSize:        16,
+		})
+		res.Points = append(res.Points, InterleavePoint{
+			ContextsPerCore:    k,
+			Q2TPS:              r.Q2TPS,
+			HiTPS:              r.NewOrderTPS + r.PaymentTPS,
+			HiP50Ns:            r.Hi.P50,
+			HiP99Ns:            r.Hi.P99,
+			HiP999Ns:           r.Hi.P999,
+			Q2P50Ns:            r.Q2.P50,
+			Q2P99Ns:            r.Q2.P99,
+			StallYields:        r.StallYields,
+			InterleaveSwitches: r.InterleaveSwitches,
+			InterruptsSent:     r.InterruptsSent,
+			PassiveSwitches:    r.PassiveSwitches,
+			ActiveSwitches:     r.ActiveSwitches,
+			DroppedHi:          r.DroppedHi,
+		})
+		p := res.Points[len(res.Points)-1]
+		tbl.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.1f", p.Q2TPS), fmt.Sprintf("%.0f", p.HiTPS),
+			fmtNs(p.HiP50Ns), fmtNs(p.HiP99Ns), fmtNs(p.HiP999Ns),
+			fmt.Sprintf("%d", p.StallYields), fmt.Sprintf("%d", p.InterleaveSwitches),
+			fmt.Sprintf("%d", p.DroppedHi))
+	}
+	fmt.Fprintln(opt.Out, "K-way context multiplexing: batch throughput vs high-priority tail (PolicyPreempt)")
+	fmt.Fprint(opt.Out, tbl.String())
+	return res, nil
+}
+
+// WriteInterleaveJSON emits an InterleaveResult in the standard artifact
+// envelope (BENCH_interleave.json).
+func WriteInterleaveJSON(path, command string, res *InterleaveResult, notes []string) error {
+	return WriteBenchJSON(path, command, res, notes)
+}

@@ -319,6 +319,13 @@ func (t *Table) forEachSecondary(fn func(*secondaryIndex)) {
 // by ANOTHER engine is left untouched — its CLS snapshot slot belongs to the
 // other engine's oracle, so this engine must not reuse (or overwrite) it;
 // Begin detects the foreign owner and falls back to a guest transaction.
+//
+// Because everything pooled here (WAL buffer, snapshot slot, and the pooled
+// Txn that Begin caches per context) hangs off the Context rather than the
+// core or worker, K-way multiplexing needs no extra engine state: a core
+// interleaving K transactions at stall boundaries runs each on its own
+// context, so each sees its own buffers — attach every slot of a K-way core
+// (the scheduler facade does) and the isolation falls out of CLS.
 func (e *Engine) AttachContext(ctx *pcontext.Context) {
 	if ctx == nil {
 		return

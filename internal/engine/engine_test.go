@@ -458,3 +458,43 @@ func TestSerializableEngineMode(t *testing.T) {
 		t.Fatalf("write skew admitted: %v", err)
 	}
 }
+
+func TestKWayContextPoolingIsolated(t *testing.T) {
+	// Every slot of a K-way core owns its own pooled state: attaching all
+	// contexts of one core must produce K distinct WAL buffers, snapshot
+	// slots, and cached transactions, and each context's pooled Txn must be
+	// reused by — and only by — that context.
+	e := newEngine()
+	tab := e.CreateTable("kv")
+	core := pcontext.NewCore(0, 4)
+	txns := make([]*Txn, core.NumContexts())
+	for i := 0; i < core.NumContexts(); i++ {
+		ctx := core.Context(i)
+		e.AttachContext(ctx)
+		tx := e.Begin(ctx)
+		for j := 0; j < i; j++ {
+			if tx == txns[j] {
+				t.Fatalf("contexts %d and %d share a pooled Txn", i, j)
+			}
+		}
+		txns[i] = tx
+		if err := tx.Insert(tab, []byte{byte(i)}, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tx := range txns {
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	// A finished pooled Txn is released back to its own context's CLS
+	// exactly once: the next Begin on the same context reuses it, while the
+	// siblings still get theirs.
+	for i := 0; i < core.NumContexts(); i++ {
+		tx := e.Begin(core.Context(i))
+		if tx != txns[i] {
+			t.Fatalf("context %d did not reuse its pooled Txn", i)
+		}
+		tx.Abort()
+	}
+}

@@ -190,6 +190,10 @@ restart:
 	}
 	for !n.leaf {
 		ctx.Poll()
+		// Each level of the descent dereferences a fresh node — the memory
+		// access the paper's hardware would stall on. Mark it so a K-way core
+		// can rotate to a sibling context instead of (simulated) waiting.
+		ctx.YieldStall()
 		child := n.children[n.childIndex(key)]
 		if !n.readUnlock(ver) {
 			t.noteRestart()
@@ -251,6 +255,7 @@ func (t *Tree[V]) insertOnce(ctx *pcontext.Context, key []byte, value V) (insert
 	var parentVer uint64
 	for !n.leaf {
 		ctx.Poll()
+		ctx.YieldStall()
 		if parent != nil && !parent.readUnlock(parentVer) {
 			return false, false
 		}
@@ -456,6 +461,7 @@ func (t *Tree[V]) insertAbsentOnce(ctx *pcontext.Context, key []byte, value V) (
 	}
 	for !n.leaf {
 		ctx.Poll()
+		ctx.YieldStall()
 		child := n.children[n.childIndex(key)]
 		if !n.readUnlock(ver) {
 			return false, false
@@ -594,6 +600,7 @@ func (t *Tree[V]) deleteOnce(ctx *pcontext.Context, key []byte) (deleted, ok boo
 	}
 	for !n.leaf {
 		ctx.Poll()
+		ctx.YieldStall()
 		child := n.children[n.childIndex(key)]
 		if !n.readUnlock(ver) {
 			return false, false
@@ -650,6 +657,7 @@ func (t *Tree[V]) Scan(ctx *pcontext.Context, from, to []byte, fn ScanFunc[V]) {
 		restart := false
 		for n != nil {
 			ctx.Poll()
+			ctx.YieldStall() // leaf-to-leaf hop: a fresh cache line per leaf
 			if ctx.Err() != nil {
 				// Lifecycle canceled or past deadline: abandon the scan at
 				// the leaf boundary; the caller observes ctx.Err itself.
@@ -718,6 +726,7 @@ func (t *Tree[V]) findLeaf(ctx *pcontext.Context, key []byte) (*node[V], bool) {
 	}
 	for !n.leaf {
 		ctx.Poll()
+		ctx.YieldStall()
 		var child *node[V]
 		if key == nil {
 			child = n.children[0]
@@ -767,6 +776,7 @@ func (t *Tree[V]) ScanDesc(ctx *pcontext.Context, from, to []byte, fn ScanFunc[V
 	upper := to // exclusive moving bound; nil = +∞
 	for {
 		ctx.Poll()
+		ctx.YieldStall() // leaf-to-leaf hop (descending)
 		if ctx.Err() != nil {
 			return // see Scan: unwind at the leaf boundary when canceled
 		}
@@ -838,6 +848,7 @@ func (t *Tree[V]) findLeafLess(ctx *pcontext.Context, upper []byte) (leaf *node[
 	leftmost = true
 	for !n.leaf {
 		ctx.Poll()
+		ctx.YieldStall()
 		var idx int
 		if upper == nil {
 			idx = n.numKeys // rightmost child

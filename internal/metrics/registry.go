@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Class is the scheduling priority class a latency observation belongs to.
@@ -47,6 +48,12 @@ const (
 	// PhaseResume is the hand-back latency: from the preemptive context's
 	// decision to return the core until the paused context actually runs.
 	PhaseResume
+	// PhaseStallOverlap is the total time a request spent parked at simulated
+	// stall boundaries (YieldStall) while sibling context slots ran on the
+	// same core — the interleaved portion of its lifetime. Recorded once per
+	// request that stall-yielded at least once; zero-context-switch requests
+	// do not record, so the count is "requests ever interleaved".
+	PhaseStallOverlap
 	// PhaseWALWait is the group-commit wait: a leader's batch write+sync, or
 	// a follower's park until its batch is durable.
 	PhaseWALWait
@@ -58,7 +65,7 @@ const (
 
 // phaseNames are the stable exposition names (JSON tags, Prometheus labels).
 var phaseNames = [NumPhases]string{
-	"queue_wait", "exec", "pause", "pause_total", "resume", "wal_wait", "total",
+	"queue_wait", "exec", "pause", "pause_total", "resume", "stall_overlap", "wal_wait", "total",
 }
 
 func (p Phase) String() string {
@@ -75,6 +82,14 @@ func (p Phase) String() string {
 type Registry struct {
 	hists    [NumClasses][NumPhases]ConcurrentHistogram
 	delivery ConcurrentHistogram
+
+	// Interleaving counters (K-way context multiplexing): stallYields counts
+	// rotations taken at a YieldStall boundary (a low-priority context parked
+	// mid-transaction in favor of a sibling slot); interleaveSwitches counts
+	// switches that resumed a stall-parked transaction. Two-context cores
+	// never rotate, so both stay zero at the default configuration.
+	stallYields        atomic.Uint64
+	interleaveSwitches atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -97,6 +112,38 @@ func (r *Registry) ObserveDelivery(hint int, v int64) {
 	r.delivery.Record(hint, v)
 }
 
+// IncStallYield counts one stall-boundary rotation away from a context.
+func (r *Registry) IncStallYield() {
+	if r == nil {
+		return
+	}
+	r.stallYields.Add(1)
+}
+
+// IncInterleaveSwitch counts one switch into a stall-parked context.
+func (r *Registry) IncInterleaveSwitch() {
+	if r == nil {
+		return
+	}
+	r.interleaveSwitches.Add(1)
+}
+
+// StallYields returns the stall-boundary rotation count.
+func (r *Registry) StallYields() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.stallYields.Load()
+}
+
+// InterleaveSwitches returns the resumed-interleaved-transaction count.
+func (r *Registry) InterleaveSwitches() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.interleaveSwitches.Load()
+}
+
 // Phase returns the histogram for (class, phase) — snapshot/inspection use.
 func (r *Registry) Phase(c Class, p Phase) *ConcurrentHistogram {
 	if r == nil {
@@ -116,20 +163,21 @@ func (r *Registry) Delivery() *ConcurrentHistogram {
 // PhaseSummaries is the per-class latency decomposition: one Summary per
 // phase, in nanoseconds.
 type PhaseSummaries struct {
-	QueueWait  Summary `json:"queue_wait"`
-	Exec       Summary `json:"exec"`
-	Pause      Summary `json:"pause"`
-	PauseTotal Summary `json:"pause_total"`
-	Resume     Summary `json:"resume"`
-	WALWait    Summary `json:"wal_wait"`
-	Total      Summary `json:"total"`
+	QueueWait    Summary `json:"queue_wait"`
+	Exec         Summary `json:"exec"`
+	Pause        Summary `json:"pause"`
+	PauseTotal   Summary `json:"pause_total"`
+	Resume       Summary `json:"resume"`
+	StallOverlap Summary `json:"stall_overlap"`
+	WALWait      Summary `json:"wal_wait"`
+	Total        Summary `json:"total"`
 }
 
 // byPhase exposes the summaries positionally, mirroring the Phase constants.
 func (ps *PhaseSummaries) byPhase() [NumPhases]*Summary {
 	return [NumPhases]*Summary{
 		&ps.QueueWait, &ps.Exec, &ps.Pause, &ps.PauseTotal,
-		&ps.Resume, &ps.WALWait, &ps.Total,
+		&ps.Resume, &ps.StallOverlap, &ps.WALWait, &ps.Total,
 	}
 }
 
@@ -140,6 +188,11 @@ type RegistrySnapshot struct {
 	Hi            PhaseSummaries `json:"hi"`
 	Lo            PhaseSummaries `json:"lo"`
 	UintrDelivery Summary        `json:"uintr_delivery"`
+	// StallYields / InterleaveSwitches are the K-way context-multiplexing
+	// counters: rotations away from a stalling context, and switches that
+	// resumed a stall-parked one. Zero on two-context (default) cores.
+	StallYields        uint64 `json:"stall_yields"`
+	InterleaveSwitches uint64 `json:"interleave_switches"`
 }
 
 // Snapshot summarizes every (class, phase) histogram plus delivery latency.
@@ -158,6 +211,8 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		}
 	}
 	snap.UintrDelivery = r.delivery.Summarize()
+	snap.StallYields = r.stallYields.Load()
+	snap.InterleaveSwitches = r.interleaveSwitches.Load()
 	return snap
 }
 
@@ -191,6 +246,10 @@ func MergedSnapshot(regs []*Registry) RegistrySnapshot {
 		}
 	}
 	snap.UintrDelivery = merge(func(r *Registry) *ConcurrentHistogram { return r.Delivery() })
+	for _, r := range regs {
+		snap.StallYields += r.StallYields()
+		snap.InterleaveSwitches += r.InterleaveSwitches()
+	}
 	return snap
 }
 
@@ -213,6 +272,12 @@ func (s RegistrySnapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP preemptdb_uintr_delivery_nanoseconds Userspace-interrupt latency from SendUIPI post to handler recognition.\n")
 	fmt.Fprintf(w, "# TYPE preemptdb_uintr_delivery_nanoseconds summary\n")
 	writePromSummary(w, "preemptdb_uintr_delivery_nanoseconds", "", s.UintrDelivery)
+	fmt.Fprintf(w, "# HELP preemptdb_stall_yields_total Stall-boundary rotations away from a low-priority context (K-way interleaving).\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_stall_yields_total counter\n")
+	fmt.Fprintf(w, "preemptdb_stall_yields_total %d\n", s.StallYields)
+	fmt.Fprintf(w, "# HELP preemptdb_interleave_switches_total Switches that resumed a stall-parked transaction (K-way interleaving).\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_interleave_switches_total counter\n")
+	fmt.Fprintf(w, "preemptdb_interleave_switches_total %d\n", s.InterleaveSwitches)
 }
 
 func writePromSummary(w io.Writer, name, labels string, sum Summary) {

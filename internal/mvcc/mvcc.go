@@ -250,6 +250,11 @@ func (t *Txn) readVersion(rec *Record) *Version {
 	var found *Version
 	for v := rec.head.Load(); v != nil; v = v.prev.Load() {
 		t.ctx.Poll()
+		// Version-chain hop: each older version is a pointer chase the
+		// paper's hardware would stall on — a K-way core may rotate here.
+		// Update's CAS loop deliberately carries no stall mark: parking
+		// mid-install would widen the write-conflict window for free.
+		t.ctx.YieldStall()
 		cts, committed, owner := v.resolve()
 		if visible(cts, committed, owner, t, t.begin, t.iso) {
 			found = v

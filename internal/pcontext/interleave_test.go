@@ -1,0 +1,115 @@
+package pcontext
+
+import (
+	"testing"
+	"time"
+)
+
+func TestYieldStallCountsWithoutHook(t *testing.T) {
+	// With no stall hook installed (the two-context configuration) YieldStall
+	// is a counter bump and two loads — no switch, no policy.
+	core := NewCore(0, 2)
+	ctx := core.Context(0)
+	for i := 0; i < 5; i++ {
+		ctx.YieldStall()
+	}
+	if got := ctx.CLS().Stalls; got != 5 {
+		t.Fatalf("Stalls = %d, want 5", got)
+	}
+	var nilCtx *Context
+	nilCtx.YieldStall() // must not panic
+}
+
+func TestYieldStallInvokesHook(t *testing.T) {
+	// On a hooked core YieldStall hands the running context to the policy.
+	core := NewCore(0, 3)
+	var calls []int
+	core.SetStallHook(func(cur *Context) { calls = append(calls, cur.ID()) })
+	done := make(chan struct{})
+	core.Start([]func(*Context){
+		func(ctx *Context) {
+			ctx.YieldStall()
+			NonPreemptible(ctx, func() {
+				ctx.YieldStall() // suppressed: rotation inside an NPR would
+				// park the core mid-critical-section
+			})
+			ctx.YieldStall()
+			close(done)
+		},
+		func(ctx *Context) {},
+		func(ctx *Context) {},
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+	core.Shutdown()
+	if len(calls) != 2 {
+		t.Fatalf("hook ran %d times (%v), want 2 (NPR call suppressed)", len(calls), calls)
+	}
+	for _, id := range calls {
+		if id != 0 {
+			t.Fatalf("hook saw context %d, want 0", id)
+		}
+	}
+	if got := core.Context(0).CLS().Stalls; got != 3 {
+		t.Fatalf("Stalls = %d, want 3 (suppressed boundaries still count)", got)
+	}
+}
+
+func TestYieldStallHookRotation(t *testing.T) {
+	// A hook that swaps to a sibling context models the scheduler's rotation:
+	// the stalling context parks mid-body and resumes when the sibling swaps
+	// back, with both bodies completing.
+	core := NewCore(0, 3)
+	core.SetStallHook(func(cur *Context) {
+		cur.SwapContext(core.Context(1 - cur.ID()))
+	})
+	var order []int
+	done := make(chan struct{})
+	core.Start([]func(*Context){
+		func(ctx *Context) {
+			order = append(order, 0)
+			ctx.YieldStall() // parks; context 1 runs
+			order = append(order, 0)
+			close(done)
+		},
+		func(ctx *Context) {
+			order = append(order, 1)
+			ctx.YieldStall() // parks; context 0 resumes
+		},
+		func(ctx *Context) {},
+	})
+	// Context 1 never runs until woken: unpark it through the hook's swap.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out; order=%v", order)
+	}
+	core.Shutdown()
+	want := []int{0, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBeginLowPrioSingleWriterPanicsUnderRace(t *testing.T) {
+	if !raceEnabled {
+		t.Skip("invariant check compiled in only under -race")
+	}
+	core := NewCore(0, 2)
+	slot := core.Context(0)
+	slot.BeginLowPrio()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double BeginLowPrio did not panic under -race")
+		}
+	}()
+	slot.BeginLowPrio()
+}

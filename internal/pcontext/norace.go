@@ -1,0 +1,7 @@
+//go:build !race
+
+package pcontext
+
+// raceEnabled gates invariant checks that are worth a branch only in -race
+// test builds (e.g. the BeginLowPrio single-writer check).
+const raceEnabled = false

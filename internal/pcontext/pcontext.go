@@ -2,7 +2,10 @@
 // the mechanism that lets one worker (a simulated hardware thread, Core)
 // time-share several transaction contexts and switch between them either
 // passively — when a user interrupt is recognized — or actively, via
-// SwapContext after a high-priority batch completes (paper §4.2).
+// SwapContext after a high-priority batch completes (paper §4.2), or at a
+// simulated stall boundary via YieldStall (CoroBase-style interleaving: a
+// core multiplexing K contexts rotates to the next runnable low-priority
+// context instead of waiting out a data stall).
 //
 // Mapping from the paper's x86 machinery to this package:
 //
@@ -49,6 +52,15 @@ type Handler func(cur *Context, vectors uint64)
 // it for cooperative yield checks. It runs before interrupt recognition.
 type PollHook func(cur *Context)
 
+// StallHook is invoked by YieldStall at simulated stall boundaries (B+tree
+// node descent, version-chain hops) when installed. The embedding scheduler's
+// hook typically rotates the core to the next runnable low-priority context
+// with SwapContext and returns once the core is handed back; returning
+// without switching keeps the current context running — the analogue of a
+// prefetch that hit. It runs on the stalling context's goroutine, outside
+// non-preemptible regions only.
+type StallHook func(cur *Context)
+
 // Core models one hardware thread time-sharing multiple transaction contexts.
 type Core struct {
 	id   int
@@ -66,20 +78,14 @@ type Core struct {
 	// nil-context check.
 	hooked atomic.Bool
 
+	// stallHook/stallHooked gate YieldStall the same way handler/hooked gate
+	// Poll: when no hook is installed (K=2 cores never install one) a stall
+	// boundary costs two loads and a branch.
+	stallHook   StallHook
+	stallHooked atomic.Bool
+
 	done atomic.Bool
 	wg   sync.WaitGroup
-
-	// Starvation accounting (paper §5): t0 is the start timestamp of the
-	// low-priority transaction currently paused or running on this core, th
-	// the nanoseconds spent on high-priority transactions since t0. Shared
-	// across both contexts, hence atomic. Between low-priority transactions
-	// the level is frozen at its final value (frozenL, float64 bits), so
-	// scheduler-side admission decisions keep seeing how much this worker
-	// ceded during its previous transaction instead of a decayed-to-zero
-	// reading.
-	t0      atomic.Int64
-	th      atomic.Int64
-	frozenL atomic.Uint64
 
 	// deliveryLatency accumulates recognition latency (nanos between post
 	// and handler entry) for the §6.1 microbenchmark; guarded by being
@@ -109,9 +115,11 @@ func (c *Core) UserData() any { return c.userData }
 // runs on the core's running context and must not block.
 func (c *Core) SetDeliveryObserver(fn func(nanos int64)) { c.deliveryObs = fn }
 
-// NewCore creates a core with n transaction contexts (the paper uses two: the
-// regular context and the preemptive context). Contexts are created parked;
-// call Start to launch them.
+// NewCore creates a core with n transaction contexts: a ring of n-1
+// low-priority slots plus one distinct preemptive context (the paper uses
+// two — one regular, one preemptive; K>2 turns the core into a stall-hiding
+// batch executor whose low slots rotate at YieldStall boundaries). Contexts
+// are created parked; call Start to launch them.
 func NewCore(id, n int) *Core {
 	if n < 1 {
 		panic("pcontext: core needs at least one context")
@@ -130,7 +138,9 @@ func (c *Core) ID() int { return c.id }
 // Receiver().UPID() and toggle UIF.
 func (c *Core) Receiver() *uintr.Receiver { return c.recv }
 
-// Context returns context i (0 = regular, 1 = preemptive in PreemptDB).
+// Context returns context i. PreemptDB's scheduler keeps contexts
+// 0..NumContexts-2 as low-priority slots (slot 0 is the paper's regular
+// context) and the last context preemptive.
 func (c *Core) Context(i int) *Context { return c.contexts[i] }
 
 // NumContexts returns the number of contexts on this core.
@@ -149,6 +159,14 @@ func (c *Core) SetHandler(h Handler) {
 func (c *Core) SetPollHook(h PollHook) {
 	c.pollHook = h
 	c.hooked.Store(h != nil || c.handler != nil)
+}
+
+// SetStallHook installs the hook YieldStall delegates to. Install before
+// Start; schedulers multiplexing more than two contexts per core install one
+// to rotate among their low-priority slots at stall boundaries.
+func (c *Core) SetStallHook(h StallHook) {
+	c.stallHook = h
+	c.stallHooked.Store(h != nil)
 }
 
 // Start launches one goroutine per context. entries[i] is the body for
@@ -186,44 +204,89 @@ func (c *Core) Shutdown() {
 	c.wg.Wait()
 }
 
-// BeginLowPrio records the start of a low-priority transaction for
-// starvation accounting, resetting the high-priority accumulator (paper §5:
-// "when each low-priority transaction starts execution, we record T0 and
-// reset Th").
-func (c *Core) BeginLowPrio() {
-	c.th.Store(0)
-	c.t0.Store(clock.Nanos())
-}
-
-// EndLowPrio marks that no low-priority transaction is in progress,
-// freezing the starvation level at its final value until the next
-// BeginLowPrio.
-func (c *Core) EndLowPrio() {
-	c.frozenL.Store(math.Float64bits(c.liveStarvation()))
-	c.t0.Store(0)
-}
-
 // AddHighPrioNanos accumulates time spent executing high-priority
-// transactions while a low-priority transaction is paused on this core.
-func (c *Core) AddHighPrioNanos(d int64) { c.th.Add(d) }
+// transactions into every low-priority transaction currently paused or
+// running on this core: while the preemptive context runs for d nanoseconds,
+// every occupied low-priority slot on the core is being starved for those
+// same d nanoseconds.
+func (c *Core) AddHighPrioNanos(d int64) {
+	for _, ctx := range c.contexts {
+		if ctx.t0.Load() != 0 {
+			ctx.th.Add(d)
+		}
+	}
+}
+
+// LowPrioActive reports whether any low-priority transaction is currently
+// running or paused on this core.
+func (c *Core) LowPrioActive() bool {
+	for _, ctx := range c.contexts {
+		if ctx.t0.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StarvationLevel returns the core's effective starvation level for
+// admission decisions: the maximum L = Th / (T1 - T0) across the core's
+// context slots (see Context.StarvationLevel). With one low-priority slot
+// (the paper's two-context core) this is exactly the per-transaction level;
+// with K-way multiplexing it is the most-starved slot, the conservative
+// choice for the scheduler's skip-and-hold-back decisions (§5).
+func (c *Core) StarvationLevel() float64 {
+	var max float64
+	for _, ctx := range c.contexts {
+		if l := ctx.StarvationLevel(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// BeginLowPrio records the start of a low-priority transaction on this
+// context's slot, resetting the high-priority accumulator (paper §5: "when
+// each low-priority transaction starts execution, we record T0 and reset
+// Th").
+//
+// Single-writer invariant: each slot tracks exactly one low-priority
+// transaction at a time, begun and ended by the context's own goroutine
+// (Core.AddHighPrioNanos is the only cross-context writer, and only ever
+// touches Th of occupied slots, which is atomic). A second BeginLowPrio
+// without an intervening EndLowPrio means two transactions' accounting would
+// share one slot; race builds panic on it.
+func (x *Context) BeginLowPrio() {
+	if raceEnabled && x.t0.Load() != 0 {
+		panic("pcontext: BeginLowPrio on a slot whose low-priority transaction never ended (single-writer invariant)")
+	}
+	x.th.Store(0)
+	x.t0.Store(clock.Nanos())
+}
+
+// EndLowPrio marks the end of the slot's low-priority transaction, freezing
+// the starvation level at its final value until the next BeginLowPrio.
+func (x *Context) EndLowPrio() {
+	x.frozenL.Store(math.Float64bits(x.liveStarvation()))
+	x.t0.Store(0)
+}
 
 // LowPrioActive reports whether a low-priority transaction is currently
-// running or paused on this core.
-func (c *Core) LowPrioActive() bool { return c.t0.Load() != 0 }
+// running or paused on this context's slot.
+func (x *Context) LowPrioActive() bool { return x.t0.Load() != 0 }
 
-// StarvationLevel returns L = Th / (T1 - T0): the fraction of the paused
-// low-priority transaction's wall-clock lifetime consumed by high-priority
-// work. Between low-priority transactions it returns the frozen final level
-// of the previous one (0 before any ran).
-func (c *Core) StarvationLevel() float64 {
-	if c.t0.Load() == 0 {
-		return math.Float64frombits(c.frozenL.Load())
+// StarvationLevel returns L = Th / (T1 - T0) for this slot: the fraction of
+// the paused low-priority transaction's wall-clock lifetime consumed by
+// high-priority work. Between low-priority transactions it returns the
+// frozen final level of the slot's previous one (0 before any ran).
+func (x *Context) StarvationLevel() float64 {
+	if x.t0.Load() == 0 {
+		return math.Float64frombits(x.frozenL.Load())
 	}
-	return c.liveStarvation()
+	return x.liveStarvation()
 }
 
-func (c *Core) liveStarvation() float64 {
-	t0 := c.t0.Load()
+func (x *Context) liveStarvation() float64 {
+	t0 := x.t0.Load()
 	if t0 == 0 {
 		return 0
 	}
@@ -231,7 +294,7 @@ func (c *Core) liveStarvation() float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(c.th.Load()) / float64(elapsed)
+	return float64(x.th.Load()) / float64(elapsed)
 }
 
 // DeliveryStats returns the number of recognized interrupts whose latency was
@@ -286,6 +349,17 @@ type Context struct {
 	// (the scheduler stamps a request sequence number here). Written only
 	// by the context's own goroutine.
 	traceTag uint64
+
+	// Per-slot starvation accounting (paper §5, generalized to K contexts):
+	// t0 is the start timestamp of the low-priority transaction occupying
+	// this context (0 when none), th the nanoseconds of high-priority work
+	// that ran on the core since t0, frozenL the level frozen at EndLowPrio
+	// (float64 bits). th is atomic because the preemptive context adds to it
+	// while this context is parked; t0/frozenL are written only under the
+	// single-writer invariant documented on BeginLowPrio.
+	t0      atomic.Int64
+	th      atomic.Int64
+	frozenL atomic.Uint64
 }
 
 func newContext(id int, core *Core) *Context {
@@ -428,6 +502,29 @@ func (x *Context) SwapContext(target *Context) {
 	x.park()
 	// Resumed: we hold the core again; UIF was re-enabled by whoever
 	// switched back to us.
+}
+
+// YieldStall marks a simulated stall boundary: an instruction the paper's
+// hardware would spend a cache miss on (a B+tree node descent, a
+// version-chain hop). CoroBase hides such stalls by switching to another
+// in-flight transaction; here the installed StallHook rotates the core to
+// the next runnable low-priority context, so one core overlaps a batch of
+// K-1 transactions. Without a hook (two-context cores) it costs an increment
+// and two loads; inside non-preemptible regions it is suppressed like Poll.
+// Safe on nil and detached contexts.
+func (x *Context) YieldStall() {
+	if x == nil {
+		return
+	}
+	x.cls.Stalls++
+	core := x.core
+	if core == nil || !core.stallHooked.Load() {
+		return
+	}
+	if x.tcb.npr > 0 {
+		return
+	}
+	core.stallHook(x)
 }
 
 // Yield re-checks for pending work by delivering any recognized interrupt on

@@ -224,10 +224,11 @@ func TestCLUIMasksPassiveSwitch(t *testing.T) {
 
 func TestStarvationLevel(t *testing.T) {
 	core := NewCore(0, 1)
+	slot := core.Context(0)
 	if l := core.StarvationLevel(); l != 0 {
 		t.Fatalf("idle level = %v", l)
 	}
-	core.BeginLowPrio()
+	slot.BeginLowPrio()
 	time.Sleep(2 * time.Millisecond)
 	// Claim half the elapsed time was high-priority work.
 	elapsed := int64(2 * time.Millisecond)
@@ -237,7 +238,7 @@ func TestStarvationLevel(t *testing.T) {
 		t.Fatalf("starvation level = %v, want in (0,1]", l)
 	}
 	// The level freezes at its final value when the transaction ends...
-	core.EndLowPrio()
+	slot.EndLowPrio()
 	if frozen := core.StarvationLevel(); frozen <= 0 || frozen > 1.0 {
 		t.Fatalf("frozen level = %v, want in (0,1]", frozen)
 	}
@@ -245,12 +246,44 @@ func TestStarvationLevel(t *testing.T) {
 		t.Fatal("LowPrioActive after end")
 	}
 	// ...and resets when the next low-priority transaction begins.
-	core.BeginLowPrio()
+	slot.BeginLowPrio()
 	if l := core.StarvationLevel(); l > 0.01 {
 		t.Fatalf("level after new begin = %v", l)
 	}
 	if !core.LowPrioActive() {
 		t.Fatal("LowPrioActive not set")
+	}
+}
+
+func TestStarvationLevelPerSlot(t *testing.T) {
+	// On a K-way core every paused slot starves while high-priority work
+	// runs: AddHighPrioNanos feeds each active slot, and the core-level
+	// StarvationLevel is the max over slots (conservative admission).
+	core := NewCore(0, 4)
+	a, b := core.Context(0), core.Context(1)
+	a.BeginLowPrio()
+	time.Sleep(2 * time.Millisecond)
+	b.BeginLowPrio()
+	core.AddHighPrioNanos(int64(time.Millisecond))
+	la, lb := a.StarvationLevel(), b.StarvationLevel()
+	if la <= 0 || lb <= 0 {
+		t.Fatalf("active slots not starved: a=%v b=%v", la, lb)
+	}
+	// b began later, so the same Th divides by a smaller T1-T0: Lb >= La.
+	if lb < la {
+		t.Fatalf("younger slot less starved: a=%v b=%v", la, lb)
+	}
+	if got := core.StarvationLevel(); got != lb && got < la {
+		t.Fatalf("core level %v not the max of (%v, %v)", got, la, lb)
+	}
+	// Idle slots contribute their frozen level only.
+	if l := core.Context(2).StarvationLevel(); l != 0 {
+		t.Fatalf("never-started slot level = %v", l)
+	}
+	a.EndLowPrio()
+	b.EndLowPrio()
+	if core.LowPrioActive() {
+		t.Fatal("LowPrioActive after all slots ended")
 	}
 }
 

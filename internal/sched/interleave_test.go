@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"preemptdb/internal/clock"
+	"preemptdb/internal/pcontext"
+)
+
+// stallSpin simulates a stall-marked transaction body: n batches of polls,
+// each followed by a stall boundary (the shape btree descents produce).
+func stallSpin(ctx *pcontext.Context, n int) {
+	for i := 0; i < n; i++ {
+		ctx.Poll()
+		ctx.YieldStall()
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func TestConfigContextsPerCoreClamped(t *testing.T) {
+	if c := (Config{}).withDefaults(); c.ContextsPerCore != 2 {
+		t.Fatalf("default ContextsPerCore = %d, want 2", c.ContextsPerCore)
+	}
+	if c := (Config{ContextsPerCore: 1}).withDefaults(); c.ContextsPerCore != 2 {
+		t.Fatalf("ContextsPerCore=1 clamped to %d, want 2", c.ContextsPerCore)
+	}
+	if c := (Config{ContextsPerCore: 99}).withDefaults(); c.ContextsPerCore != MaxContextsPerCore {
+		t.Fatalf("ContextsPerCore=99 clamped to %d, want %d", c.ContextsPerCore, MaxContextsPerCore)
+	}
+	if c := (Config{}).withDefaults(); c.StallInterval != 64 {
+		t.Fatalf("default StallInterval = %d, want 64", c.StallInterval)
+	}
+}
+
+func TestTwoContextCoreNeverRotates(t *testing.T) {
+	// K=2 is the paper's configuration and must take the exact pre-K-way
+	// path: the stall hook is not installed, so stall marks are counters
+	// only and the interleave counters stay zero.
+	s := New(Config{Policy: PolicyPreempt, Workers: 1, LoQueueSize: 8, StallInterval: 1})
+	s.Start()
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		ok := s.SubmitLow(0, &Request{
+			Work:   func(ctx *pcontext.Context) error { stallSpin(ctx, 256); return nil },
+			OnDone: func(*Request) { done.Add(1) },
+		})
+		if !ok {
+			t.Fatalf("SubmitLow %d refused", i)
+		}
+	}
+	waitFor(t, func() bool { return done.Load() == 4 }, 5*time.Second, "lo requests never drained")
+	s.Stop()
+	if y, sw := s.StallYields(), s.InterleaveSwitches(); y != 0 || sw != 0 {
+		t.Fatalf("two-context core rotated: stallYields=%d interleaveSwitches=%d", y, sw)
+	}
+}
+
+func TestKWayStallRotation(t *testing.T) {
+	// A 4-context core with stall-marked work and a fed low-priority queue
+	// must interleave: rotations away at stall boundaries and resumptions of
+	// stall-parked transactions, with every request still completing.
+	s := New(Config{Policy: PolicyPreempt, Workers: 1, ContextsPerCore: 4,
+		LoQueueSize: 16, StallInterval: 1})
+	s.Start()
+	const n = 12
+	var done atomic.Int64
+	for i := 0; i < n; i++ {
+		ok := s.SubmitLow(0, &Request{
+			Work:   func(ctx *pcontext.Context) error { stallSpin(ctx, 512); return nil },
+			OnDone: func(*Request) { done.Add(1) },
+		})
+		if !ok {
+			t.Fatalf("SubmitLow %d refused", i)
+		}
+	}
+	waitFor(t, func() bool { return done.Load() == n }, 10*time.Second, "lo requests never drained")
+	s.Stop()
+	if s.StallYields() == 0 {
+		t.Fatal("no stall-boundary rotations on a 4-context core")
+	}
+	if s.InterleaveSwitches() == 0 {
+		t.Fatal("no stall-parked transaction was ever resumed")
+	}
+}
+
+func TestKWayHiPreemptsInterleavedSlots(t *testing.T) {
+	// High-priority work must preempt a K-way core exactly as it does a
+	// two-context one: the preemptive context always wins, regardless of
+	// which low slot happens to hold the core.
+	s := New(Config{Policy: PolicyPreempt, Workers: 1, ContextsPerCore: 4,
+		LoQueueSize: 16, HiQueueSize: 4, StallInterval: 1})
+	s.Start()
+	var stop atomic.Bool
+	var loDone, hiDone atomic.Int64
+	var relo func() *Request
+	relo = func() *Request {
+		return &Request{
+			Work: func(ctx *pcontext.Context) error { stallSpin(ctx, 256); return nil },
+			OnDone: func(*Request) {
+				loDone.Add(1)
+				if !stop.Load() {
+					s.SubmitLow(0, relo())
+				}
+			},
+		}
+	}
+	for i := 0; i < 6; i++ {
+		s.SubmitLow(0, relo())
+	}
+	const hiN = 40
+	for i := 0; i < hiN; i++ {
+		reqs := []*Request{{
+			Work:   func(ctx *pcontext.Context) error { return nil },
+			OnDone: func(*Request) { hiDone.Add(1) },
+		}}
+		for s.SubmitHighBatch(reqs) == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	waitFor(t, func() bool { return hiDone.Load() == hiN }, 10*time.Second, "hi requests never drained")
+	stop.Store(true)
+	s.Stop()
+	if s.InterruptsSent() == 0 {
+		t.Fatal("no interrupts sent under PolicyPreempt")
+	}
+	if loDone.Load() == 0 {
+		t.Fatal("interleaved lo work starved out entirely")
+	}
+}
+
+// TestKWayIsolationTorture is the -race torture for K-way multiplexing:
+// K low slots interleaving at stall boundaries × preemptive hi traffic ×
+// mid-flight Cancel × deadline expiry. Each body stamps its CLS user slot
+// and trace tag and re-checks them at every stall boundary — rotation and
+// preemption must never bleed either across slots — and every request's
+// OnDone must fire exactly once.
+func TestKWayIsolationTorture(t *testing.T) {
+	s := New(Config{Policy: PolicyPreempt, Workers: 2, ContextsPerCore: 4,
+		LoQueueSize: 32, HiQueueSize: 4, StallInterval: 1})
+	s.Start()
+
+	type tracked struct {
+		req  *Request
+		done atomic.Int64
+	}
+	var bad atomic.Int64
+	newBody := func(id uint64) func(ctx *pcontext.Context) error {
+		return func(ctx *pcontext.Context) error {
+			cls := ctx.CLS()
+			cls.Set(pcontext.SlotUser, id)
+			tag := ctx.TraceTag()
+			for i := 0; i < 300; i++ {
+				ctx.Poll()
+				ctx.YieldStall()
+				if v, _ := cls.Get(pcontext.SlotUser).(uint64); v != id {
+					bad.Add(1)
+					return nil
+				}
+				if ctx.TraceTag() != tag {
+					bad.Add(1)
+					return nil
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	const n = 120
+	reqs := make([]*tracked, n)
+	var next atomic.Uint64
+	for i := range reqs {
+		tr := &tracked{}
+		tr.req = &Request{
+			Work:   newBody(next.Add(1)),
+			OnDone: func(*Request) { tr.done.Add(1) },
+		}
+		switch i % 3 {
+		case 1: // deadline mid-flight (some expire queued, some running)
+			tr.req.Deadline = clock.Nanos() + int64(time.Duration(200+i)*time.Microsecond)
+		}
+		reqs[i] = tr
+	}
+
+	// Feed the low queues from a producer while canceling every third
+	// request from outside and hammering both workers with hi batches.
+	go func() {
+		for i, tr := range reqs {
+			for !s.SubmitLow(i%2, tr.req) {
+				time.Sleep(20 * time.Microsecond)
+			}
+			if i%3 == 2 {
+				go tr.req.Cancel()
+			}
+		}
+	}()
+	hiStop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-hiStop:
+				return
+			default:
+			}
+			s.SubmitHighBatch([]*Request{
+				{Work: func(ctx *pcontext.Context) error { return nil }},
+				{Work: func(ctx *pcontext.Context) error { return nil }},
+			})
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	waitFor(t, func() bool {
+		for _, tr := range reqs {
+			if tr.done.Load() == 0 {
+				return false
+			}
+		}
+		return true
+	}, 20*time.Second, "torture requests never drained")
+	close(hiStop)
+	s.Stop()
+
+	if bad.Load() != 0 {
+		t.Fatalf("%d context-local bleeds across slots", bad.Load())
+	}
+	for i, tr := range reqs {
+		if c := tr.done.Load(); c != 1 {
+			t.Fatalf("request %d OnDone ran %d times", i, c)
+		}
+	}
+}

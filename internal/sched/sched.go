@@ -1,8 +1,10 @@
 // Package sched implements PreemptDB's transaction scheduling layer
 // (paper §4.1, §5): a scheduling thread dispatches priority-tagged
 // transaction requests into per-worker high- and low-priority queues, and
-// each worker — a simulated core hosting two transaction contexts — executes
-// them under one of the competing policies the paper evaluates:
+// each worker — a simulated core hosting K transaction contexts (K-1
+// low-priority slots plus one preemptive context; default K=2, the paper's
+// layout) — executes them under one of the competing policies the paper
+// evaluates:
 //
 //   - Wait: non-preemptive. A worker runs a transaction to completion, then
 //     exhausts the high-priority queue before taking the next low-priority
@@ -21,6 +23,15 @@
 // skips workers whose starvation level exceeds the threshold, and the
 // preemptive context returns the core early when the threshold is crossed
 // mid-batch.
+//
+// With ContextsPerCore > 2 each worker additionally becomes a CoroBase-style
+// stall-hiding batch executor: its K-1 low-priority slots each pull requests
+// from the queues, and at simulated stall boundaries (YieldStall — B+tree
+// node descents, version-chain hops) the running slot rotates the core to
+// the next runnable sibling instead of waiting the stall out. Every slot
+// stays independently preemptible (the preemptive context always wins and
+// hands the core back to the slot it interrupted), cancelable (lifecycle
+// descriptors are per-context), and starvation-accounted (per-slot t0/th).
 package sched
 
 import (
@@ -35,6 +46,11 @@ import (
 	"preemptdb/internal/queue"
 	"preemptdb/internal/uintr"
 )
+
+// MaxContextsPerCore bounds Config.ContextsPerCore (per-slot state arrays
+// and rotation scans are sized/paced for small K; the paper's hardware has
+// a handful of outstanding-miss slots, not hundreds).
+const MaxContextsPerCore = 16
 
 // Policy selects the scheduling discipline.
 type Policy uint8
@@ -144,6 +160,18 @@ type Config struct {
 	// MorselQueueSize caps the shared stealable morsel-task queue (parallel
 	// analytical sub-requests, see SubmitMorsel). Default 64.
 	MorselQueueSize int
+	// ContextsPerCore is the number of transaction contexts K each worker
+	// core multiplexes: K-1 low-priority slots plus the preemptive context.
+	// Default 2 — the paper's layout and the exact pre-K-way code path (no
+	// stall hook is installed, so YieldStall boundaries cost two loads).
+	// Values above 2 enable stall-boundary rotation among the low slots.
+	// Clamped to [2, MaxContextsPerCore].
+	ContextsPerCore int
+	// StallInterval is the number of simulated stall boundaries (YieldStall
+	// calls: node descents, version hops) a low-priority slot passes between
+	// rotation attempts when ContextsPerCore > 2. Default 64 — rotating at
+	// every boundary would pay a context switch per node access.
+	StallInterval uint64
 	// Metrics receives the per-phase latency decomposition (queue wait,
 	// execution, pauses, resume, end-to-end) and uintr delivery latency.
 	// Default: a fresh registry — instrumentation is always on; pass a shared
@@ -173,6 +201,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MorselQueueSize == 0 {
 		c.MorselQueueSize = 64
+	}
+	if c.ContextsPerCore < 2 {
+		c.ContextsPerCore = 2
+	}
+	if c.ContextsPerCore > MaxContextsPerCore {
+		c.ContextsPerCore = MaxContextsPerCore
+	}
+	if c.StallInterval == 0 {
+		c.StallInterval = 64
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
@@ -211,27 +248,54 @@ type Scheduler struct {
 	traceSeq atomic.Uint64
 }
 
-// Worker is one simulated core with its two transaction contexts and queues.
+// Worker is one simulated core with its K transaction contexts and queues.
 type Worker struct {
 	id   int
 	s    *Scheduler
 	core *pcontext.Core
-	// hiQ is multi-consumer: both the regular and the preemptive context pop
-	// from it (never truly concurrently, but across the park/unpark handoff).
+	// hiQ is multi-consumer: the low-priority slots and the preemptive
+	// context all pop from it (never truly concurrently, but across the
+	// park/unpark handoff).
 	hiQ *queue.MPMC[*Request]
 	loQ *queue.SPSC[*Request]
 
 	executedHi atomic.Uint64
 	executedLo atomic.Uint64
 
-	// Pause accounting for the request currently occupying the regular
-	// context. Plain fields: every access happens either on the context that
-	// holds the core or across the park/unpark handoff, which orders them.
-	// execute saves/restores them so a high-priority request running on the
-	// preemptive context doesn't clobber the paused request's state.
+	// slots[i] is the request accounting for context i — one entry per
+	// context, so a request on any slot (or the preemptive context) never
+	// clobbers a paused sibling's state. Plain fields: every access happens
+	// on the context that currently holds the core, and core ownership only
+	// transfers through park/unpark handoffs, which order them (the same
+	// argument the two-context code made for its single shared pair).
+	slots []slotState
+
+	// resumeTo is the context the preemptive loop hands the core back to:
+	// the last low slot it interrupted (via handler or cooperative yield).
+	// Written by the interrupted context just before switching away, read by
+	// the preemptive context after the handoff.
+	resumeTo *pcontext.Context
+}
+
+// slotState is one context's request accounting (the per-slot generalization
+// of the former per-worker pauseNs/resumeAt/curClass triple).
+type slotState struct {
 	pauseNs  int64         // preempted-pause nanoseconds accumulated so far
 	resumeAt int64         // stamped by the preemptive loop just before handing the core back
-	curClass metrics.Class // class of the request the accumulator belongs to
+	curClass metrics.Class // class of the request the accumulators belong to
+
+	stallNs    int64 // stall-parked (interleaved-out) nanoseconds accumulated so far
+	stallStart int64 // non-zero while the slot is parked at a stall boundary
+
+	// stallParked marks a slot parked mid-transaction at a YieldStall
+	// boundary: it is runnable and waiting for a sibling to rotate the core
+	// back. idle marks a slot parked with no request in flight: handing it
+	// the core makes it pull new work from the queues (that is how the
+	// dispatcher fills a worker's K-1 slots). A slot with neither flag is
+	// either running or preempt-parked (owed a resume by the preemptive
+	// loop) and must not be switched to.
+	stallParked bool
+	idle        bool
 }
 
 // ID returns the worker index.
@@ -256,11 +320,15 @@ func New(cfg Config) *Scheduler {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
-			id:   i,
-			s:    s,
-			core: pcontext.NewCore(i, 2),
-			hiQ:  queue.NewMPMC[*Request](cfg.HiQueueSize),
-			loQ:  queue.NewSPSC[*Request](cfg.LoQueueSize),
+			id:    i,
+			s:     s,
+			core:  pcontext.NewCore(i, cfg.ContextsPerCore),
+			hiQ:   queue.NewMPMC[*Request](cfg.HiQueueSize),
+			loQ:   queue.NewSPSC[*Request](cfg.LoQueueSize),
+			slots: make([]slotState, cfg.ContextsPerCore),
+		}
+		for si := range w.slots {
+			w.slots[si].idle = true // every slot starts parked with no request
 		}
 		w.core.SetUserData(w)
 		if cfg.TraceCapacity > 0 {
@@ -313,6 +381,15 @@ func (s *Scheduler) ShedCanceled() uint64 { return s.shedCanceled.Load() }
 // from the shared queue.
 func (s *Scheduler) MorselsStolen() uint64 { return s.morselsStolen.Load() }
 
+// StallYields returns how many times a low-priority slot rotated the core
+// away at a simulated stall boundary (K-way interleaving; zero when
+// ContextsPerCore is 2).
+func (s *Scheduler) StallYields() uint64 { return s.metrics.StallYields() }
+
+// InterleaveSwitches returns how many switches resumed a stall-parked
+// transaction (from a rotating sibling or an idle slot handing over).
+func (s *Scheduler) InterleaveSwitches() uint64 { return s.metrics.InterleaveSwitches() }
+
 // SubmitMorsel offers one stealable morsel helper task to the shared queue.
 // Unlike SubmitLow/SubmitHighBatch it is safe from any goroutine (the queue
 // is MPMC), because analytical transactions spawn helpers from whichever
@@ -352,7 +429,14 @@ func (s *Scheduler) Start() {
 	s.started = true
 	for _, w := range s.workers {
 		w.install()
-		w.core.Start([]func(*pcontext.Context){w.regularLoop, w.preemptiveLoop})
+		// Contexts 0..K-2 are interchangeable low-priority slots; the last
+		// context is the distinct preemptive one (always wins, never rotates).
+		entries := make([]func(*pcontext.Context), w.core.NumContexts())
+		for i := 0; i < len(entries)-1; i++ {
+			entries[i] = w.slotLoop
+		}
+		entries[len(entries)-1] = w.preemptiveLoop
+		w.core.Start(entries)
 	}
 }
 
@@ -369,8 +453,23 @@ func (s *Scheduler) Stop() {
 	}
 }
 
+// lowSlots returns the number of low-priority context slots (K-1; the last
+// context is the preemptive one).
+func (w *Worker) lowSlots() int { return w.core.NumContexts() - 1 }
+
+// preemptiveCtx returns the worker's distinct preemptive context.
+func (w *Worker) preemptiveCtx() *pcontext.Context {
+	return w.core.Context(w.core.NumContexts() - 1)
+}
+
 // install wires the policy-specific handler/hook on the worker's core.
 func (w *Worker) install() {
+	if w.lowSlots() > 1 {
+		// K-way multiplexing: rotate among the low slots at simulated stall
+		// boundaries, under every policy (interleaving is orthogonal to how
+		// high-priority work preempts).
+		w.core.SetStallHook(w.stallPoint)
+	}
 	switch w.s.cfg.Policy {
 	case PolicyPreempt:
 		w.core.SetHandler(func(cur *pcontext.Context, vectors uint64) {
@@ -395,14 +494,15 @@ func (w *Worker) install() {
 	}
 }
 
-// handlePreempt is the user-interrupt handler body: switch the regular
-// context to the preemptive one if there is work and no reason to hold back.
-// It runs with interrupts disabled (UIF clear), like a hardware handler.
+// handlePreempt is the user-interrupt handler body: switch the interrupted
+// low slot to the preemptive context if there is work and no reason to hold
+// back. It runs with interrupts disabled (UIF clear), like a hardware
+// handler.
 func (w *Worker) handlePreempt(cur *pcontext.Context) {
 	if w.core.Done() {
 		return
 	}
-	hp := w.core.Context(1)
+	hp := w.preemptiveCtx()
 	if cur == hp {
 		// The paper does not interrupt an in-progress high-priority
 		// transaction; drop the interrupt (the queue will be drained by the
@@ -412,23 +512,25 @@ func (w *Worker) handlePreempt(cur *pcontext.Context) {
 	if w.hiQ.Empty() {
 		return // spurious or raced: nothing to do (fig8's overhead path)
 	}
+	w.resumeTo = cur
 	pauseStart := clock.Nanos()
 	cur.SwitchTo(hp)
-	w.notePauseEnd(pauseStart)
+	w.notePauseEnd(cur, pauseStart)
 }
 
-// notePauseEnd runs on the regular context the instant it holds the core
-// again after a preemption: it accumulates the pause into the paused
-// request's total and records the per-pause and resume-latency phases.
-func (w *Worker) notePauseEnd(pauseStart int64) {
+// notePauseEnd runs on the interrupted context the instant it holds the core
+// again after a preemption: it accumulates the pause into its slot's request
+// total and records the per-pause and resume-latency phases.
+func (w *Worker) notePauseEnd(cur *pcontext.Context, pauseStart int64) {
+	st := &w.slots[cur.ID()]
 	now := clock.Nanos()
 	pause := now - pauseStart
-	w.pauseNs += pause
+	st.pauseNs += pause
 	m := w.s.metrics
-	m.Observe(w.curClass, metrics.PhasePause, w.id, pause)
-	if w.resumeAt != 0 {
-		m.Observe(w.curClass, metrics.PhaseResume, w.id, now-w.resumeAt)
-		w.resumeAt = 0
+	m.Observe(st.curClass, metrics.PhasePause, w.id, pause)
+	if st.resumeAt != 0 {
+		m.Observe(st.curClass, metrics.PhaseResume, w.id, now-st.resumeAt)
+		st.resumeAt = 0
 	}
 }
 
@@ -436,15 +538,97 @@ func (w *Worker) notePauseEnd(pauseStart int64) {
 // queued, voluntarily swap to the preemptive context (which drains the queue
 // and swaps back).
 func (w *Worker) yieldPoint(cur *pcontext.Context) {
-	if w.core.Done() || cur != w.core.Context(0) {
+	hp := w.preemptiveCtx()
+	if w.core.Done() || cur == hp {
 		return
 	}
 	if w.hiQ.Empty() {
 		return
 	}
+	w.resumeTo = cur
 	pauseStart := clock.Nanos()
-	cur.SwapContext(w.core.Context(1))
-	w.notePauseEnd(pauseStart)
+	cur.SwapContext(hp)
+	w.notePauseEnd(cur, pauseStart)
+}
+
+// stallPoint is the stall hook (installed when ContextsPerCore > 2): every
+// StallInterval simulated stall boundaries it rotates the core from the
+// stalling low slot to the next runnable sibling — a slot parked
+// mid-transaction at its own stall boundary, or an idle slot when
+// low-priority work is queued (that is how the batch dispatcher keeps K-1
+// slots filled). The stalling transaction parks and resumes when a sibling
+// rotates back; the time parked is recorded as its stall_overlap phase, not
+// its execution time.
+func (w *Worker) stallPoint(cur *pcontext.Context) {
+	id := cur.ID()
+	if w.core.Done() || id >= w.lowSlots() {
+		return // the preemptive context never rotates; hi p99 stays flat in K
+	}
+	cls := cur.CLS()
+	if cls.HighPrio {
+		// A low slot draining the hi queue between transactions is running
+		// high-priority work in place: rotating away would park that request
+		// behind batch work — a priority inversion. Hi-class occupancy runs
+		// straight through its stall boundaries.
+		return
+	}
+	if cls.Stalls-cls.LastStallYield < w.s.cfg.StallInterval {
+		return
+	}
+	cls.LastStallYield = cls.Stalls
+	target := w.rotationTarget(id)
+	if target == nil {
+		return // no runnable sibling: keep running (the "prefetch hit" path)
+	}
+	st := &w.slots[id]
+	st.stallParked = true
+	st.stallStart = clock.Nanos()
+	w.s.metrics.IncStallYield()
+	if w.slots[target.ID()].stallParked {
+		w.s.metrics.IncInterleaveSwitch()
+	}
+	cur.SwapContext(target)
+	// Resumed: a sibling rotated back (or handed over before going idle).
+	st.stallParked = false
+	st.stallNs += clock.Nanos() - st.stallStart
+	st.stallStart = 0
+}
+
+// rotationTarget picks the next runnable low slot after `from` in ring
+// order: a stall-parked sibling resumes its in-flight transaction; an idle
+// sibling is chosen only when the low-priority queue has work for it to
+// pull. Returns nil when no sibling is runnable.
+func (w *Worker) rotationTarget(from int) *pcontext.Context {
+	n := w.lowSlots()
+	wantIdle := !w.loQ.Empty()
+	for i := 1; i < n; i++ {
+		j := from + i
+		if j >= n {
+			j -= n
+		}
+		st := &w.slots[j]
+		if st.stallParked || (wantIdle && st.idle) {
+			return w.core.Context(j)
+		}
+	}
+	return nil
+}
+
+// stallParkedSibling returns the next low slot after `from` parked at a
+// stall boundary, or nil. Idle slots use it to hand the core to in-flight
+// work before backing off.
+func (w *Worker) stallParkedSibling(from int) *pcontext.Context {
+	n := w.lowSlots()
+	for i := 1; i < n; i++ {
+		j := from + i
+		if j >= n {
+			j -= n
+		}
+		if w.slots[j].stallParked {
+			return w.core.Context(j)
+		}
+	}
+	return nil
 }
 
 // Yield is the workload-visible yield point for handcrafted cooperative
@@ -462,11 +646,15 @@ func Yield(ctx *pcontext.Context) {
 	w.yieldPoint(ctx)
 }
 
-// regularLoop is context 0's body: the regular scheduling path. It prefers
+// slotLoop is the body of every low-priority context slot: the regular
+// scheduling path, generalized from the two-context regular loop. It prefers
 // the high-priority queue between transactions (all policies do, per §6.1's
 // Wait definition), then runs low-priority transactions with starvation
-// accounting armed.
-func (w *Worker) regularLoop(ctx *pcontext.Context) {
+// accounting armed. With nothing queued it hands the core to a stall-parked
+// sibling before backing off, so an idle slot never sits on core time an
+// interleaved transaction could use.
+func (w *Worker) slotLoop(ctx *pcontext.Context) {
+	st := &w.slots[ctx.ID()]
 	idle := 0
 	ranLow := false
 	for !w.core.Done() {
@@ -476,19 +664,25 @@ func (w *Worker) regularLoop(ctx *pcontext.Context) {
 		// before any admission decision is taken against this worker.
 		if !ranLow {
 			if req, ok := w.loQ.Pop(); ok {
+				st.idle = false
 				w.runLow(ctx, req)
+				st.idle = true
 				ranLow = true
 				idle = 0
 				continue
 			}
 		}
 		if req, ok := w.hiQ.Pop(); ok {
+			st.idle = false
 			w.execute(ctx, req)
+			st.idle = true
 			idle = 0
 			continue
 		}
 		if req, ok := w.loQ.Pop(); ok {
+			st.idle = false
 			w.runLow(ctx, req)
+			st.idle = true
 			ranLow = true
 			idle = 0
 			continue
@@ -498,7 +692,17 @@ func (w *Worker) regularLoop(ctx *pcontext.Context) {
 		// high-priority burst preempts the stolen work like any low-priority
 		// transaction.
 		if fn, ok := w.s.morselQ.Pop(); ok {
+			st.idle = false
 			w.runMorsel(ctx, fn)
+			st.idle = true
+			idle = 0
+			continue
+		}
+		// Nothing queued for this slot: resume a sibling parked mid-flight at
+		// a stall boundary rather than spinning while its transaction waits.
+		if target := w.stallParkedSibling(ctx.ID()); target != nil {
+			w.s.metrics.IncInterleaveSwitch()
+			ctx.SwapContext(target)
 			idle = 0
 			continue
 		}
@@ -512,9 +716,10 @@ func (w *Worker) regularLoop(ctx *pcontext.Context) {
 	}
 }
 
-// preemptiveLoop is context 1's body: it wakes when switched to, drains the
-// high-priority queue (stopping early if the starvation threshold is
-// crossed, §5), and actively swaps the core back to the paused context.
+// preemptiveLoop is the last context's body: it wakes when switched to,
+// drains the high-priority queue (stopping early if the starvation threshold
+// is crossed, §5), and actively swaps the core back to the low slot it
+// interrupted.
 func (w *Worker) preemptiveLoop(ctx *pcontext.Context) {
 	thr := w.s.cfg.StarvationThreshold
 	for !w.core.Done() {
@@ -533,20 +738,24 @@ func (w *Worker) preemptiveLoop(ctx *pcontext.Context) {
 			w.execute(ctx, req)
 			w.core.AddHighPrioNanos(clock.Nanos() - start)
 		}
-		// Stamp the hand-back decision instant so the paused context can
-		// report its resume latency once it actually runs.
-		w.resumeAt = clock.Nanos()
-		ctx.SwapContext(w.core.Context(0))
+		back := w.resumeTo
+		if back == nil {
+			back = w.core.Context(0) // woken before any interrupt (shutdown ping)
+		}
+		// Stamp the hand-back decision instant so the paused slot can report
+		// its resume latency once it actually runs.
+		w.slots[back.ID()].resumeAt = clock.Nanos()
+		ctx.SwapContext(back)
 	}
 }
 
-// runLow executes a low-priority request with starvation accounting armed:
-// the meter resets at transaction start and freezes its final level at the
-// end (paper §5).
+// runLow executes a low-priority request with the executing slot's
+// starvation accounting armed: the meter resets at transaction start and
+// freezes its final level at the end (paper §5, per-slot).
 func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
-	w.core.BeginLowPrio()
+	ctx.BeginLowPrio()
 	w.execute(ctx, req)
-	w.core.EndLowPrio()
+	ctx.EndLowPrio()
 }
 
 // runMorsel executes one stolen morsel helper task under low-priority
@@ -554,12 +763,13 @@ func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
 // helper does this), so the scheduler only brackets the starvation meter.
 func (w *Worker) runMorsel(ctx *pcontext.Context, fn func(*pcontext.Context)) {
 	w.s.morselsStolen.Add(1)
-	savedPause, savedClass := w.pauseNs, w.curClass
-	w.pauseNs, w.curClass = 0, metrics.ClassLo
-	w.core.BeginLowPrio()
+	st := &w.slots[ctx.ID()]
+	savedPause, savedClass, savedStall := st.pauseNs, st.curClass, st.stallNs
+	st.pauseNs, st.curClass, st.stallNs = 0, metrics.ClassLo, 0
+	ctx.BeginLowPrio()
 	fn(ctx)
-	w.core.EndLowPrio()
-	w.pauseNs, w.curClass = savedPause, savedClass
+	ctx.EndLowPrio()
+	st.pauseNs, st.curClass, st.stallNs = savedPause, savedClass, savedStall
 }
 
 // shed completes a request without running it — the dispatch-side drop for
@@ -598,11 +808,14 @@ func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 	if req.HighPriority {
 		class = metrics.ClassHi
 	}
-	// Fresh pause accumulator for this request; save the paused request's
-	// state (a high-priority request executing on the preemptive context
-	// interleaves with a paused one on the regular context).
-	savedPause, savedClass := w.pauseNs, w.curClass
-	w.pauseNs, w.curClass = 0, class
+	// Fresh pause/stall accumulators for this request in the executing
+	// context's own slot; save/restore so nested occupancy of the same slot
+	// (the preemptive context draining several requests back to back, a
+	// morsel task) never bleeds accounting across requests. Cross-slot
+	// isolation needs no saving at all — each context indexes its own entry.
+	st := &w.slots[ctx.ID()]
+	savedPause, savedClass, savedStall := st.pauseNs, st.curClass, st.stallNs
+	st.pauseNs, st.curClass, st.stallNs = 0, class, 0
 	// Annotate trace events and engine-side observations (the commit path
 	// reads CLS.HighPrio to classify its WAL wait) for the duration of Work.
 	cls := ctx.CLS()
@@ -625,12 +838,15 @@ func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 	ctx.Disarm()
 	ctx.SetTraceTag(savedTag)
 	cls.HighPrio = savedHi
-	pause := w.pauseNs
-	w.pauseNs, w.curClass = savedPause, savedClass
+	pause, stall := st.pauseNs, st.stallNs
+	st.pauseNs, st.curClass, st.stallNs = savedPause, savedClass, savedStall
 	m := w.s.metrics
-	m.Observe(class, metrics.PhaseExec, w.id, req.FinishedAt-req.StartedAt-pause)
+	m.Observe(class, metrics.PhaseExec, w.id, req.FinishedAt-req.StartedAt-pause-stall)
 	if pause > 0 {
 		m.Observe(class, metrics.PhasePauseTotal, w.id, pause)
+	}
+	if stall > 0 {
+		m.Observe(class, metrics.PhaseStallOverlap, w.id, stall)
 	}
 	if req.EnqueuedAt != 0 {
 		m.Observe(class, metrics.PhaseQueueWait, w.id, req.StartedAt-req.EnqueuedAt)

@@ -289,7 +289,7 @@ func TestSchedulerSideStarvationSkip(t *testing.T) {
 	// Drive the core's starvation meter directly for determinism.
 	s := New(Config{Policy: PolicyPreempt, Workers: 1, StarvationThreshold: 0.5, HiQueueSize: 4})
 	w := s.Workers()[0] // not started: queues and meters are inert
-	w.Core().BeginLowPrio()
+	w.Core().Context(0).BeginLowPrio()
 	time.Sleep(2 * time.Millisecond)
 	w.Core().AddHighPrioNanos(int64(time.Hour)) // L ≫ 0.5
 
@@ -310,12 +310,12 @@ func TestSchedulerSideStarvationSkip(t *testing.T) {
 	// The level freezes at transaction end — the worker keeps refusing
 	// traffic between low-priority transactions (§5 semantics that give
 	// fig12's thr=0 its maximum-Q2 behaviour)...
-	w.Core().EndLowPrio()
+	w.Core().Context(0).EndLowPrio()
 	if accepted := s.SubmitHighBatch(reqs); accepted != 0 {
 		t.Fatalf("frozen-starved worker accepted %d", accepted)
 	}
 	// ...and resets when the next low-priority transaction starts.
-	w.Core().BeginLowPrio()
+	w.Core().Context(0).BeginLowPrio()
 	if accepted := s.SubmitHighBatch(reqs); accepted != 2 {
 		t.Fatalf("recovered worker accepted %d", accepted)
 	}

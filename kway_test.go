@@ -1,0 +1,122 @@
+package preemptdb
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// TestKWayMultiplexedDB drives a 4-context-per-core database through the
+// public API: concurrent low-priority read transactions whose B+tree
+// descents hit real stall boundaries (so workers rotate among slots), with
+// high-priority point reads preempting throughout, and verifies the
+// interleave counters surface in Stats while everything still commits and
+// the database closes cleanly.
+func TestKWayMultiplexedDB(t *testing.T) {
+	db := openTest(t, Config{
+		Workers:         2,
+		ContextsPerCore: 4,
+		Policy:          PolicyPreempt,
+		LoQueueSize:     32,
+	})
+	db.CreateTable("rows")
+	const n = 4096
+	if err := db.Run(func(tx *Txn) error {
+		for i := 0; i < n; i++ {
+			var k [4]byte
+			binary.BigEndian.PutUint32(k[:], uint32(i))
+			if err := tx.Insert("rows", k[:], k[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			err := db.Exec(Low, func(tx *Txn) error {
+				// Hundreds of descents: enough stall boundaries to cross the
+				// rotation interval several times per transaction.
+				for i := 0; i < 600; i++ {
+					var k [4]byte
+					binary.BigEndian.PutUint32(k[:], uint32((g*131+i*17)%n))
+					if _, err := tx.Get("rows", k[:]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var k [4]byte
+		binary.BigEndian.PutUint32(k[:], uint32(i))
+		if err := db.Exec(High, func(tx *Txn) error {
+			_, err := tx.Get("rows", k[:])
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	st := db.Stats()
+	if st.Commits == 0 {
+		t.Fatal("nothing committed")
+	}
+	if st.StallYields == 0 {
+		t.Fatal("4-context cores never rotated at a stall boundary")
+	}
+	if st.InterleaveSwitches == 0 {
+		t.Fatal("no stall-parked transaction was resumed")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultConfigNeverInterleaves pins the acceptance criterion that the
+// default two-context configuration takes the exact pre-K-way path: the
+// stall hook is never installed, so the counters stay zero even though the
+// B+tree emits stall marks on every descent.
+func TestDefaultConfigNeverInterleaves(t *testing.T) {
+	db := openTest(t, Config{Workers: 1, Policy: PolicyPreempt})
+	db.CreateTable("kv")
+	if err := db.Run(func(tx *Txn) error {
+		for i := 0; i < 512; i++ {
+			var k [4]byte
+			binary.BigEndian.PutUint32(k[:], uint32(i))
+			if err := tx.Insert("kv", k[:], k[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(Low, func(tx *Txn) error {
+		for i := 0; i < 512; i++ {
+			var k [4]byte
+			binary.BigEndian.PutUint32(k[:], uint32(i))
+			if _, err := tx.Get("kv", k[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.StallYields != 0 || st.InterleaveSwitches != 0 {
+		t.Fatalf("default config interleaved: yields=%d switches=%d",
+			st.StallYields, st.InterleaveSwitches)
+	}
+}

@@ -4,11 +4,13 @@
 // Userspace Interrupts: Why Wait or Yield When You Can Preempt?" (SIGMOD
 // 2025).
 //
-// A DB owns a set of worker cores, each hosting two transaction contexts.
-// Transactions are submitted with a priority; under PolicyPreempt, a
-// high-priority transaction interrupts an in-progress low-priority one at
-// the next instruction boundary, runs on the worker's second context, and
-// then resumes the paused transaction — it is paused, never aborted.
+// A DB owns a set of worker cores, each hosting two transaction contexts by
+// default (Config.ContextsPerCore raises this to a K-way ring that hides
+// simulated stalls by interleaving low-priority transactions). Transactions
+// are submitted with a priority; under PolicyPreempt, a high-priority
+// transaction interrupts an in-progress low-priority one at the next
+// instruction boundary, runs on the worker's preemptive context, and then
+// resumes the paused transaction — it is paused, never aborted.
 //
 // Quick start:
 //
@@ -132,6 +134,15 @@ type Config struct {
 	// file-backed database's on-disk layout and must not change across opens
 	// of the same directory.
 	Shards int
+	// ContextsPerCore is the number of execution contexts each simulated
+	// core multiplexes (default 2: one regular plus one preemptive, the
+	// paper's evaluated configuration — and the exact pre-K-way code path).
+	// Values above 2 add low-priority slots that a worker interleaves at
+	// simulated stall boundaries (B+tree node descents, version-chain hops):
+	// when one transaction "stalls", the core rotates to a sibling slot
+	// instead of waiting, CoroBase-style, while the preemptive context keeps
+	// absolute priority. Clamped to [2, 16].
+	ContextsPerCore int
 	// Policy is the scheduling discipline. Default PolicyWait.
 	Policy Policy
 	// Isolation is the isolation level for all transactions.
@@ -428,6 +439,7 @@ func (sh *shard) startShard(cfg Config) {
 	sh.sch = sched.New(sched.Config{
 		Policy:              cfg.Policy.toSched(),
 		Workers:             cfg.Workers,
+		ContextsPerCore:     cfg.ContextsPerCore,
 		HiQueueSize:         cfg.HiQueueSize,
 		LoQueueSize:         cfg.LoQueueSize,
 		YieldInterval:       cfg.YieldInterval,
@@ -1006,6 +1018,12 @@ type Stats struct {
 	// MorselsStolen counts parallel-scan morsel tasks executed by idle
 	// workers on behalf of another worker's analytical transaction.
 	MorselsStolen uint64
+	// StallYields counts stall-boundary rotations: a low-priority context
+	// parked mid-transaction in favor of a sibling slot (K-way interleaving;
+	// zero at the default ContextsPerCore of 2). InterleaveSwitches counts
+	// switches that resumed such a stall-parked transaction.
+	StallYields        uint64
+	InterleaveSwitches uint64
 }
 
 // stats snapshots one shard's counters. Each counter is read exactly once
@@ -1013,25 +1031,27 @@ type Stats struct {
 // routing) and appears only in the DB-level aggregate.
 func (sh *shard) stats() Stats {
 	st := Stats{
-		Commits:           sh.eng.Commits(),
-		Aborts:            sh.eng.Aborts(),
-		InterruptsSent:    sh.sch.InterruptsSent(),
-		StarvationSkips:   sh.sch.StarvationSkips(),
-		LogBytes:          sh.eng.Log().LSN(),
-		LogBatches:        sh.eng.Log().Batches(),
-		VacuumedVersions:  sh.eng.Vacuumed(),
-		ShedExpired:       sh.sch.ShedExpired(),
-		ShedCanceled:      sh.sch.ShedCanceled(),
-		AbortsConflict:    sh.aborts.Load(metrics.AbortConflict),
-		AbortsDeadline:    sh.aborts.Load(metrics.AbortDeadline),
-		AbortsCanceled:    sh.aborts.Load(metrics.AbortCanceled),
-		AbortsQueueFull:   sh.aborts.Load(metrics.AbortQueueFull),
-		AbortsWALFailed:   sh.aborts.Load(metrics.AbortWALFailed),
-		AbortsOther:       sh.aborts.Load(metrics.AbortOther),
-		WALFailed:         sh.eng.WALErr() != nil,
-		IndexRestarts:     sh.eng.IndexRestarts(),
-		PartitionRestarts: sh.eng.PartitionRestarts(),
-		MorselsStolen:     sh.sch.MorselsStolen(),
+		Commits:            sh.eng.Commits(),
+		Aborts:             sh.eng.Aborts(),
+		InterruptsSent:     sh.sch.InterruptsSent(),
+		StarvationSkips:    sh.sch.StarvationSkips(),
+		LogBytes:           sh.eng.Log().LSN(),
+		LogBatches:         sh.eng.Log().Batches(),
+		VacuumedVersions:   sh.eng.Vacuumed(),
+		ShedExpired:        sh.sch.ShedExpired(),
+		ShedCanceled:       sh.sch.ShedCanceled(),
+		AbortsConflict:     sh.aborts.Load(metrics.AbortConflict),
+		AbortsDeadline:     sh.aborts.Load(metrics.AbortDeadline),
+		AbortsCanceled:     sh.aborts.Load(metrics.AbortCanceled),
+		AbortsQueueFull:    sh.aborts.Load(metrics.AbortQueueFull),
+		AbortsWALFailed:    sh.aborts.Load(metrics.AbortWALFailed),
+		AbortsOther:        sh.aborts.Load(metrics.AbortOther),
+		WALFailed:          sh.eng.WALErr() != nil,
+		IndexRestarts:      sh.eng.IndexRestarts(),
+		PartitionRestarts:  sh.eng.PartitionRestarts(),
+		MorselsStolen:      sh.sch.MorselsStolen(),
+		StallYields:        sh.sch.StallYields(),
+		InterleaveSwitches: sh.sch.InterleaveSwitches(),
 	}
 	for _, w := range sh.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
@@ -1066,6 +1086,8 @@ func (st *Stats) add(o Stats) {
 	st.IndexRestarts += o.IndexRestarts
 	st.PartitionRestarts += o.PartitionRestarts
 	st.MorselsStolen += o.MorselsStolen
+	st.StallYields += o.StallYields
+	st.InterleaveSwitches += o.InterleaveSwitches
 }
 
 // ShardStats returns one Stats per shard, each shard's counters snapshotted
