@@ -32,6 +32,7 @@ type flags struct {
 	scanout       string
 	shardout      string
 	interleaveout string
+	frontendout   string
 	traceout      string
 }
 
@@ -120,6 +121,20 @@ var experiments = []experiment{
 			}
 			return bench.WriteInterleaveJSON(fl.interleaveout, cmd, res, notes)
 		}},
+	{"frontend", "network front-end: hot-key cache A/B and edge-admission flood; writes -frontendout", true,
+		func(opt bench.Options, fl flags) error {
+			res, err := bench.Frontend(opt)
+			if err != nil || fl.frontendout == "" {
+				return err
+			}
+			cmd := fmt.Sprintf("preemptbench -experiment frontend -duration %v", fl.duration)
+			notes := []string{
+				fmt.Sprintf("Host exposes %d CPU(s); both phases are closed-loop over loopback TCP, so absolute throughput/latency track the host — the reproduction targets are the shapes: cache hit rate >=80%% on the Zipf(0.99) read workload, cached reads faster than uncached, and high-priority p99 no worse with edge admission on than off under the low-priority flood.", res.NumCPU),
+				"cache_sweep: single-key Gets over the wire, Zipfian keys; cache=true serves hits from the front-end's read-through cache without entering a scheduler core (hit_rate from DB cache counters).",
+				"admission_flood: paced high-priority point reads sharing the server with a closed-loop low-priority RMW flood; admission=true bounds low-priority in-flight requests at the edge (LoInFlightLimit) and sheds with typed statusQueueFull frames (lo_shed counts client-observed sheds, conns_shed the server counter).",
+			}
+			return bench.WriteBenchJSON(fl.frontendout, cmd, res, notes)
+		}},
 }
 
 // experimentIDs renders the -experiment value list (registry order + all).
@@ -152,6 +167,7 @@ func main() {
 		scanout        = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
 		shardout       = flag.String("shardout", "BENCH_shard.json", "output path for the shardbench experiment's JSON ('' disables)")
 		interleaveout  = flag.String("interleaveout", "BENCH_interleave.json", "output path for the interleave experiment's JSON ('' disables)")
+		frontendout    = flag.String("frontendout", "BENCH_frontend.json", "output path for the frontend experiment's JSON ('' disables)")
 		traceout       = flag.String("trace", "", "write the trace experiment's scheduling events as Chrome trace-event JSON (perfetto-loadable) to this path")
 	)
 	flag.Parse()
@@ -167,6 +183,7 @@ func main() {
 		scanout:       *scanout,
 		shardout:      *shardout,
 		interleaveout: *interleaveout,
+		frontendout:   *frontendout,
 		traceout:      *traceout,
 	}
 

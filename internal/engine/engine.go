@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"preemptdb/internal/hotcache"
 	"preemptdb/internal/index"
 	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
@@ -70,6 +71,13 @@ type Config struct {
 	// Default: a fresh registry; pass the scheduler's registry to get one
 	// combined per-phase decomposition.
 	Metrics *metrics.Registry
+	// Cache, when non-nil, is the hot-key read-through cache in front of the
+	// MVCC read path: snapshot-isolation point reads consult it before walking
+	// a version chain, and every commit invalidates its written keys inside
+	// the publication window (hotcache.BeginWrites before the MVCC
+	// commit-point store, EndWrites after). Serializable transactions bypass
+	// it — a cache hit would skip read-set registration.
+	Cache *hotcache.Cache
 }
 
 // Engine is the storage engine. Create with New; it is safe for concurrent
@@ -88,6 +96,7 @@ type Engine struct {
 	aborts   atomic.Uint64
 	vacuumed atomic.Uint64
 	metrics  *metrics.Registry
+	cache    *hotcache.Cache
 
 	// prepMu/prepLSN track in-flight 2PC prepares: gid → a conservative LSN
 	// lower bound captured BEFORE the prepare frame was staged. A disk
@@ -122,6 +131,7 @@ func New(cfg Config) *Engine {
 		tables:   make(map[string]*Table),
 		tableIDs: make(map[uint32]*Table),
 		metrics:  cfg.Metrics,
+		cache:    cfg.Cache,
 	}
 	e.log.SetBatchLimits(cfg.MaxBatchBytes, cfg.MaxBatchDelay)
 	if cfg.VacuumInterval > 0 {
@@ -269,6 +279,26 @@ func (e *Engine) Table(name string) (*Table, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
 	return t, nil
+}
+
+// CachedGet serves a point read straight from the hot-key cache — no
+// transaction, no oracle slot, no MVCC chain walk. A present entry is always
+// the newest committed version (committers remove entries before publishing a
+// newer one), so a hit reads as "current committed value at some instant
+// during the call". ok is false on a miss or when no cache is configured; the
+// caller falls back to a transactional read. The returned slice is shared and
+// must be treated as read-only.
+func (e *Engine) CachedGet(table string, key []byte) ([]byte, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	t, err := e.Table(table)
+	if err != nil {
+		return nil, false
+	}
+	// ^uint64(0) as the begin timestamp: a fast-path read has no snapshot, and
+	// any cached (committed) entry is covered by "now".
+	return e.cache.Peek(t.id, key, ^uint64(0))
 }
 
 // MustTable returns the named table, panicking if absent; for workload code

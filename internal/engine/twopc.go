@@ -53,8 +53,16 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 	}
 	// Same latch discipline as Commit (paper §4.4): validation + staging and
 	// any leader I/O inside one non-preemptible region, follower parking
-	// outside it with no latch held.
+	// outside it with no latch held. A writing participant also opens the
+	// hot-key cache's write window here — the in-doubt versions block
+	// conflicting writers, and the open window blocks colliding cache fills
+	// for the same span, until ResolveCommit/ResolveAbort closes it.
+	invalidate := t.eng.cache != nil && t.logBuf.Len() > 0
 	pcontext.NonPreemptible(t.ctx, func() {
+		if invalidate {
+			t.eng.cache.BeginWrites(t.logBuf)
+			t.cacheHeld = true
+		}
 		_, mvccErr = t.inner.Prepare(stage)
 		if t.leader {
 			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
@@ -64,9 +72,16 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 		t.ctx.Poll()
 		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
 	}
+	closeWindow := func() {
+		if t.cacheHeld {
+			t.cacheHeld = false
+			t.eng.cache.EndWrites(t.logBuf)
+		}
+	}
 	if mvccErr != nil {
 		// mvcc.Prepare already aborted the transaction; finish the engine
 		// teardown.
+		closeWindow()
 		t.eng.unregisterPrepare(gid)
 		t.done = true
 		t.logBuf.Reset()
@@ -81,6 +96,7 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 		t.eng.unregisterPrepare(gid)
 		t.done = true
 		pcontext.NonPreemptible(t.ctx, func() { t.inner.Abort() })
+		closeWindow()
 		t.logBuf.Reset()
 		t.inner.Release()
 		t.releaseGuest()
@@ -127,6 +143,12 @@ func (t *Txn) ResolveCommit() error {
 	}
 	pcontext.NonPreemptible(t.ctx, func() {
 		_, mvccErr = t.inner.CommitPrepared(stage)
+		if t.cacheHeld {
+			// Publication just happened inside CommitPrepared (or the failed
+			// resolve aborted): close the write window opened at prepare.
+			t.cacheHeld = false
+			t.eng.cache.EndWrites(t.logBuf)
+		}
 		if t.staged {
 			t.eng.log.Published()
 		}

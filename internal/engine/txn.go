@@ -40,6 +40,12 @@ type Txn struct {
 	// ResolveCommit/ResolveAbort; zero otherwise.
 	prepGID uint64
 
+	// cacheHeld marks a prepared 2PC participant that entered the hot-key
+	// cache's write window (hotcache.BeginWrites) at PrepareCommit and has not
+	// yet left it; ResolveCommit and Abort balance it with EndWrites. Plain
+	// commits open and close the window within one Commit call instead.
+	cacheHeld bool
+
 	// Group-commit state for the Commit in flight. stageFn is bound once at
 	// construction so handing it to mvcc.Commit does not allocate a closure
 	// per commit.
@@ -163,10 +169,39 @@ func (t *Txn) ID() uint64 { return t.inner.ID() }
 // Snapshot returns the begin timestamp.
 func (t *Txn) Snapshot() uint64 { return t.inner.Begin() }
 
-// Get returns the row visible to this transaction under key.
+// Get returns the row visible to this transaction under key. With a hot-key
+// cache configured, snapshot-isolation point reads consult it first — a hit
+// returns the exact version this snapshot would have read from the MVCC chain
+// (entries are stamped with their version's commit timestamp and only hit
+// when begin-ts covers them) without touching the index or version chain.
 func (t *Txn) Get(table *Table, key []byte) ([]byte, error) {
 	if err := t.ctx.Err(); err != nil {
 		return nil, err
+	}
+	// The cache serves committed state only, so it is bypassed once this
+	// transaction has buffered writes (an own uncommitted write to the key
+	// must win) and under serializable isolation (a hit would skip read-set
+	// registration and blind the commit-time validation).
+	if c := t.eng.cache; c != nil && t.logBuf.Len() == 0 && t.inner.Isolation() == mvcc.SnapshotIsolation {
+		if v, ok := c.Lookup(table.id, key, t.inner.Begin()); ok {
+			return v, nil
+		}
+		// Miss: capture the fill token BEFORE the MVCC read so a writer
+		// publishing during the read discards the fill instead of letting a
+		// pre-publication value shadow the new version.
+		tok := c.FillBegin(table.id, key)
+		rec, ok := table.primary.Get(t.ctx, key)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		data, cts, newest, ok := t.inner.ReadForCache(rec)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		if newest {
+			c.TryFill(tok, table.id, key, data, cts)
+		}
+		return data, nil
 	}
 	rec, ok := table.primary.Get(t.ctx, key)
 	if !ok {
@@ -390,8 +425,20 @@ func (t *Txn) Commit() error {
 	sampled := t.walTick&walSampleMask == 0
 	var walNs int64
 	var mvccErr, ioErr error
+	// Hot-key cache write window: opened strictly before the MVCC
+	// commit-point store and closed after it (and before the commit is
+	// acknowledged), on success and failure alike. Both hooks run inside the
+	// non-preemptible region — they take only short per-shard cache locks, no
+	// I/O — so the window cannot be stretched by a preemption.
+	invalidate := t.eng.cache != nil && t.logBuf.Len() > 0
 	pcontext.NonPreemptible(t.ctx, func() {
+		if invalidate {
+			t.eng.cache.BeginWrites(t.logBuf)
+		}
 		_, mvccErr = t.inner.Commit(t.stageFn)
+		if invalidate {
+			t.eng.cache.EndWrites(t.logBuf)
+		}
 		if t.staged {
 			// The commit-point store has run (mvcc.Commit publishes
 			// unconditionally after a successful logFn): tell the WAL so
@@ -459,6 +506,13 @@ func (t *Txn) Abort() {
 	}
 	pcontext.NonPreemptible(t.ctx, func() {
 		t.inner.Abort()
+		if t.cacheHeld {
+			// A prepared participant held the cache's write window across the
+			// in-doubt period; the abort closes it (nothing was published, so
+			// colliding fills may resume with the old values).
+			t.cacheHeld = false
+			t.eng.cache.EndWrites(t.logBuf)
+		}
 	})
 	t.logBuf.Reset()
 	t.inner.Release()

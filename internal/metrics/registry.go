@@ -90,6 +90,16 @@ type Registry struct {
 	// never rotate, so both stay zero at the default configuration.
 	stallYields        atomic.Uint64
 	interleaveSwitches atomic.Uint64
+
+	// Front-end counters: hot-key cache traffic (hits served without entering
+	// a scheduler core, misses that fell through to MVCC, entries invalidated
+	// by commits) and connections/requests shed by edge admission. connsOpen
+	// is a gauge — the number of currently open server connections.
+	cacheHits          atomic.Uint64
+	cacheMisses        atomic.Uint64
+	cacheInvalidations atomic.Uint64
+	connsShed          atomic.Uint64
+	connsOpen          atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -144,6 +154,86 @@ func (r *Registry) InterleaveSwitches() uint64 {
 	return r.interleaveSwitches.Load()
 }
 
+// IncCacheHits counts one hot-key cache hit.
+func (r *Registry) IncCacheHits() {
+	if r == nil {
+		return
+	}
+	r.cacheHits.Add(1)
+}
+
+// IncCacheMisses counts one hot-key cache miss.
+func (r *Registry) IncCacheMisses() {
+	if r == nil {
+		return
+	}
+	r.cacheMisses.Add(1)
+}
+
+// IncCacheInvalidations counts one cache entry removed by a committing writer.
+func (r *Registry) IncCacheInvalidations() {
+	if r == nil {
+		return
+	}
+	r.cacheInvalidations.Add(1)
+}
+
+// IncConnsShed counts one connection or request shed by edge admission.
+func (r *Registry) IncConnsShed() {
+	if r == nil {
+		return
+	}
+	r.connsShed.Add(1)
+}
+
+// AddConnsOpen moves the open-connections gauge by delta (+1 accept, -1 close).
+func (r *Registry) AddConnsOpen(delta int64) {
+	if r == nil {
+		return
+	}
+	r.connsOpen.Add(delta)
+}
+
+// CacheHits returns the hot-key cache hit count.
+func (r *Registry) CacheHits() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cacheHits.Load()
+}
+
+// CacheMisses returns the hot-key cache miss count.
+func (r *Registry) CacheMisses() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cacheMisses.Load()
+}
+
+// CacheInvalidations returns the commit-time cache invalidation count.
+func (r *Registry) CacheInvalidations() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cacheInvalidations.Load()
+}
+
+// ConnsShed returns the edge-admission shed count.
+func (r *Registry) ConnsShed() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.connsShed.Load()
+}
+
+// ConnsOpen returns the open-connections gauge.
+func (r *Registry) ConnsOpen() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.connsOpen.Load()
+}
+
 // Phase returns the histogram for (class, phase) — snapshot/inspection use.
 func (r *Registry) Phase(c Class, p Phase) *ConcurrentHistogram {
 	if r == nil {
@@ -193,6 +283,13 @@ type RegistrySnapshot struct {
 	// resumed a stall-parked one. Zero on two-context (default) cores.
 	StallYields        uint64 `json:"stall_yields"`
 	InterleaveSwitches uint64 `json:"interleave_switches"`
+	// Front-end counters: hot-key cache traffic and edge-admission shedding.
+	// ConnsOpen is a point-in-time gauge, not a counter.
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	ConnsShed          uint64 `json:"conns_shed"`
+	ConnsOpen          int64  `json:"conns_open"`
 }
 
 // Snapshot summarizes every (class, phase) histogram plus delivery latency.
@@ -213,6 +310,11 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	snap.UintrDelivery = r.delivery.Summarize()
 	snap.StallYields = r.stallYields.Load()
 	snap.InterleaveSwitches = r.interleaveSwitches.Load()
+	snap.CacheHits = r.cacheHits.Load()
+	snap.CacheMisses = r.cacheMisses.Load()
+	snap.CacheInvalidations = r.cacheInvalidations.Load()
+	snap.ConnsShed = r.connsShed.Load()
+	snap.ConnsOpen = r.connsOpen.Load()
 	return snap
 }
 
@@ -249,6 +351,11 @@ func MergedSnapshot(regs []*Registry) RegistrySnapshot {
 	for _, r := range regs {
 		snap.StallYields += r.StallYields()
 		snap.InterleaveSwitches += r.InterleaveSwitches()
+		snap.CacheHits += r.CacheHits()
+		snap.CacheMisses += r.CacheMisses()
+		snap.CacheInvalidations += r.CacheInvalidations()
+		snap.ConnsShed += r.ConnsShed()
+		snap.ConnsOpen += r.ConnsOpen()
 	}
 	return snap
 }
@@ -278,6 +385,21 @@ func (s RegistrySnapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP preemptdb_interleave_switches_total Switches that resumed a stall-parked transaction (K-way interleaving).\n")
 	fmt.Fprintf(w, "# TYPE preemptdb_interleave_switches_total counter\n")
 	fmt.Fprintf(w, "preemptdb_interleave_switches_total %d\n", s.InterleaveSwitches)
+	fmt.Fprintf(w, "# HELP preemptdb_cache_hits_total Hot-key cache hits served without entering a scheduler core.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_cache_hits_total counter\n")
+	fmt.Fprintf(w, "preemptdb_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintf(w, "# HELP preemptdb_cache_misses_total Hot-key cache misses that fell through to the MVCC read path.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_cache_misses_total counter\n")
+	fmt.Fprintf(w, "preemptdb_cache_misses_total %d\n", s.CacheMisses)
+	fmt.Fprintf(w, "# HELP preemptdb_cache_invalidations_total Cache entries removed by committing writers.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_cache_invalidations_total counter\n")
+	fmt.Fprintf(w, "preemptdb_cache_invalidations_total %d\n", s.CacheInvalidations)
+	fmt.Fprintf(w, "# HELP preemptdb_conns_shed_total Connections and requests shed by edge admission.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_conns_shed_total counter\n")
+	fmt.Fprintf(w, "preemptdb_conns_shed_total %d\n", s.ConnsShed)
+	fmt.Fprintf(w, "# HELP preemptdb_conns_open Currently open server connections across connection shards.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_conns_open gauge\n")
+	fmt.Fprintf(w, "preemptdb_conns_open %d\n", s.ConnsOpen)
 }
 
 func writePromSummary(w io.Writer, name, labels string, sum Summary) {

@@ -26,6 +26,7 @@ package mvcc
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -81,6 +82,16 @@ const (
 	statusActive uint64 = iota
 	statusCommitted
 	statusAborted
+	// statusCommitting marks the publication window: the commit timestamp has
+	// been drawn from the clock but the versions are not yet published. A
+	// reader that began after the draw (begin >= cts) must not resolve the
+	// writer's versions as "active, invisible" — it would read the pre-commit
+	// value for one key and, after publication lands mid-walk, the
+	// post-commit value for another, observing half a transaction. resolve
+	// waits the window out instead; it contains no I/O (group-commit staging
+	// is a latch append, the batch write happens after publication), so the
+	// wait is bounded by a few hundred instructions of the committer.
+	statusCommitting
 	statusBits = 2
 	statusMask = 1<<statusBits - 1
 )
@@ -203,6 +214,16 @@ func (v *Version) resolve() (cts uint64, committed bool, owner *Txn) {
 		case statusAborted:
 			v.cts.CompareAndSwap(0, ctsAborted)
 			return 0, false, nil
+		case statusCommitting:
+			// Publication in flight: the writer has drawn its commit timestamp
+			// but not yet stored statusCommitted. Treating the version as
+			// active here would let a reader whose begin covers the pending
+			// timestamp tear the writer's transaction across keys, so wait the
+			// (I/O-free, few-hundred-instruction) window out. Gosched keeps
+			// this from livelocking a single-CPU host where the committer
+			// needs the processor to finish.
+			runtime.Gosched()
+			continue
 		default:
 			return 0, false, w
 		}
@@ -242,6 +263,47 @@ func (t *Txn) Read(rec *Record) (data []byte, ok bool) {
 		return nil, false
 	}
 	return v.data, true
+}
+
+// ReadForCache is Read plus the metadata a read-through cache needs to decide
+// whether the result is fillable: cts is the visible version's commit
+// timestamp, and newest reports that no *committed* version newer than the
+// visible one was skipped during the walk — i.e. the value is the newest
+// committed state of the record as of the walk. Reads that observe their own
+// in-flight write, a tombstone, or an older-than-newest snapshot version
+// return newest=false and must not be cached. Skipped *in-flight* foreign
+// versions do not clear newest: if their writer later commits, it does so
+// through the cache's invalidation protocol, which the fill's stripe capture
+// already races correctly against.
+func (t *Txn) ReadForCache(rec *Record) (data []byte, cts uint64, newest, ok bool) {
+	newest = true
+	for v := rec.head.Load(); v != nil; v = v.prev.Load() {
+		t.ctx.Poll()
+		t.ctx.YieldStall()
+		c, committed, owner := v.resolve()
+		if visible(c, committed, owner, t, t.begin, t.iso) {
+			if t.iso == Serializable {
+				t.reads = append(t.reads, readEntry{rec: rec, ver: v})
+			}
+			if v.data == nil {
+				return nil, 0, false, false // tombstone
+			}
+			if owner != nil {
+				return v.data, 0, false, true // own uncommitted write
+			}
+			return v.data, c, newest, true
+		}
+		if committed {
+			// A committed version newer than our snapshot sits above the one
+			// we will read: the eventual result is not the newest committed
+			// state and must not be cached.
+			newest = false
+		}
+	}
+	if t.iso == Serializable {
+		t.reads = append(t.reads, readEntry{rec: rec, ver: nil})
+	}
+	return nil, 0, false, false
 }
 
 // readVersion finds the visible version (nil if none) and records it in the
@@ -567,6 +629,11 @@ func (t *Txn) Commit(logFn func(cts uint64) error) (uint64, error) {
 		}
 	}
 	finish := func() (uint64, error) {
+		// Enter the publication window BEFORE drawing the commit timestamp:
+		// once the clock advances, any new reader's begin covers our (still
+		// unpublished) versions, and resolve must make such readers wait
+		// rather than read around them — see statusCommitting.
+		t.state.Store(statusCommitting)
 		cts := t.oracle.clock.Add(1)
 		if logFn != nil {
 			if err := logFn(cts); err != nil {
@@ -679,6 +746,10 @@ func (t *Txn) CommitPrepared(logFn func(cts uint64) error) (uint64, error) {
 	}
 	t.prepared = false
 	finish := func() (uint64, error) {
+		// Same publication-window discipline as Commit: readers that begin
+		// after the clock draw must wait out the store below, not read around
+		// the still-unpublished versions.
+		t.state.Store(statusCommitting)
 		cts := t.oracle.clock.Add(1)
 		var lerr error
 		if logFn != nil {

@@ -140,6 +140,39 @@ func (b *Buffer) Append(t RecordType, table uint32, key, value []byte) {
 // Len returns the number of buffered records.
 func (b *Buffer) Len() int { return b.recs }
 
+// NextRecord decodes one redo record from p, a tail of Buffer.Bytes(). key
+// and value are subslices of p (no copies — valid until the buffer is Reset);
+// rest is the remaining undecoded tail. ok is false at end of input or on a
+// truncated record. The commit path's cache-invalidation hook iterates a
+// transaction's touched keys with this, so it must stay allocation-free.
+func NextRecord(p []byte) (t RecordType, table uint32, key, value, rest []byte, ok bool) {
+	if len(p) == 0 {
+		return 0, 0, nil, nil, nil, false
+	}
+	tv, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, nil, nil, nil, false
+	}
+	p = p[n:]
+	tbl, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, nil, nil, nil, false
+	}
+	p = p[n:]
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < klen {
+		return 0, 0, nil, nil, nil, false
+	}
+	key = p[n : n+int(klen)]
+	p = p[n+int(klen):]
+	vlen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < vlen {
+		return 0, 0, nil, nil, nil, false
+	}
+	value = p[n : n+int(vlen)]
+	return RecordType(tv), uint32(tbl), key, value, p[n+int(vlen):], true
+}
+
 // Bytes returns the encoded payload (valid until the next Append/Reset).
 func (b *Buffer) Bytes() []byte { return b.buf }
 

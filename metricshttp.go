@@ -25,13 +25,14 @@ import (
 // are those of the combined sample population, never averages of per-shard
 // percentiles.
 func (db *DB) Metrics() metrics.RegistrySnapshot {
-	if len(db.shards) == 1 {
-		return db.shards[0].reg.Snapshot()
+	regs := make([]*metrics.Registry, 0, len(db.shards)+1)
+	for _, sh := range db.shards {
+		regs = append(regs, sh.reg)
 	}
-	regs := make([]*metrics.Registry, len(db.shards))
-	for i, sh := range db.shards {
-		regs[i] = sh.reg
-	}
+	// The front-end registry carries the network edge's counters (conns shed,
+	// open-connection gauge); counters sum and its empty histograms merge as
+	// zeros, so including it never skews the latency percentiles.
+	regs = append(regs, db.frontReg)
 	return metrics.MergedSnapshot(regs)
 }
 

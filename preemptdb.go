@@ -42,6 +42,7 @@ import (
 	"preemptdb/internal/clock"
 	"preemptdb/internal/dtx"
 	"preemptdb/internal/engine"
+	"preemptdb/internal/hotcache"
 	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
 	"preemptdb/internal/pcontext"
@@ -205,6 +206,31 @@ type Config struct {
 	// TraceCapacity sizes the per-core scheduling-trace rings (default 4096
 	// events per core; negative disables tracing).
 	TraceCapacity int
+	// ConnShards is the number of connection shards the network server (see
+	// package server) multiplexes its connections across — each shard runs
+	// one event-loop goroutine plus a small worker pool, with connections
+	// assigned at accept time by fd hash. 0 picks a default from GOMAXPROCS;
+	// negative selects the legacy goroutine-per-connection front-end.
+	ConnShards int
+	// CacheBytes, when > 0, enables the hot-key read-through cache in front
+	// of the MVCC read path with this total size budget (split evenly across
+	// engine shards). Skewed point reads at snapshot isolation hit the cache
+	// without entering a scheduler core; commits invalidate their written
+	// keys at the publication point. See internal/hotcache.
+	CacheBytes int64
+	// CacheTTL, when > 0, additionally expires hot-key cache entries this
+	// long after they were filled.
+	CacheTTL time.Duration
+	// HiConnLimit / LoConnLimit cap concurrently open server connections per
+	// priority class (0 = unlimited). A connection over its class limit is
+	// sent a typed queue-full frame and closed at classification time.
+	HiConnLimit, LoConnLimit int
+	// HiInFlightLimit / LoInFlightLimit cap in-flight server requests per
+	// priority class (0 = unlimited). Requests over the limit are shed at
+	// the edge with a typed queue-full frame — before consuming an engine
+	// admission slot — so a low-priority flood cannot queue in front of
+	// high-priority work.
+	HiInFlightLimit, LoInFlightLimit int
 }
 
 // ErrClosed reports use of a closed DB.
@@ -303,6 +329,11 @@ type DB struct {
 	// msrv/mln are the optional MetricsAddr HTTP export listener.
 	msrv *http.Server
 	mln  net.Listener
+	// frontReg collects the network front-end's counters (connections shed by
+	// edge admission, open-connection gauge). It merges into DB.Metrics and
+	// DB.Stats alongside the per-shard registries; the server package bumps it
+	// via FrontendRegistry.
+	frontReg *metrics.Registry
 }
 
 // Open creates a database and starts its workers.
@@ -419,6 +450,17 @@ func newShard(cfg Config, si int, dlog *store.Log) *shard {
 	// DB.Metrics reports the full per-phase decomposition (scheduler phases
 	// + WAL wait) in one snapshot.
 	reg := metrics.NewRegistry()
+	// The hot-key cache is per engine shard — cache shards align with engine
+	// shards, so a shard's committers only ever touch their own cache and the
+	// size budget splits evenly.
+	var cache *hotcache.Cache
+	if cfg.CacheBytes > 0 {
+		cache = hotcache.New(hotcache.Config{
+			MaxBytes: cfg.CacheBytes / int64(cfg.Shards),
+			TTL:      cfg.CacheTTL,
+			Metrics:  reg,
+		})
+	}
 	eng := engine.New(engine.Config{
 		Isolation:      cfg.Isolation.toMVCC(),
 		LogSink:        sink,
@@ -427,6 +469,7 @@ func newShard(cfg Config, si int, dlog *store.Log) *shard {
 		MaxBatchDelay:  cfg.MaxBatchDelay,
 		VacuumInterval: cfg.VacuumInterval,
 		Metrics:        reg,
+		Cache:          cache,
 	})
 	return &shard{eng: eng, reg: reg, dlog: dlog}
 }
@@ -465,7 +508,8 @@ func assembleDB(cfg Config, shs []*shard) (*DB, error) {
 	// in-flight knobs at zero it admits everything, but it still tracks the
 	// queue-delay estimate that lets AdmitDeadline shed doomed requests.
 	adm := admission.New(cfg.AdmissionRate, cfg.AdmissionBurst, cfg.MaxInFlight)
-	db := &DB{cfg: cfg, shards: shs, adm: adm, gidBase: rand.Uint64() &^ dtx.GIDBit}
+	db := &DB{cfg: cfg, shards: shs, adm: adm, gidBase: rand.Uint64() &^ dtx.GIDBit,
+		frontReg: metrics.NewRegistry()}
 	if cfg.MetricsAddr != "" {
 		if err := db.startMetricsServer(cfg.MetricsAddr); err != nil {
 			db.Close()
@@ -1024,6 +1068,19 @@ type Stats struct {
 	// switches that resumed such a stall-parked transaction.
 	StallYields        uint64
 	InterleaveSwitches uint64
+	// CacheHits / CacheMisses / CacheInvalidations count hot-key cache
+	// traffic: reads served without entering a scheduler core, reads that
+	// fell through to MVCC, and entries removed by committing writers. All
+	// zero unless Config.CacheBytes enables the cache.
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+	// ConnsShed counts connections and requests shed by the network
+	// front-end's per-priority edge admission; ConnsOpen is the current
+	// open-connection gauge. Both are facade-global (the front-end sits in
+	// front of shard routing) and appear only in the DB-level aggregate.
+	ConnsShed uint64
+	ConnsOpen int64
 }
 
 // stats snapshots one shard's counters. Each counter is read exactly once
@@ -1052,6 +1109,9 @@ func (sh *shard) stats() Stats {
 		MorselsStolen:      sh.sch.MorselsStolen(),
 		StallYields:        sh.sch.StallYields(),
 		InterleaveSwitches: sh.sch.InterleaveSwitches(),
+		CacheHits:          sh.reg.CacheHits(),
+		CacheMisses:        sh.reg.CacheMisses(),
+		CacheInvalidations: sh.reg.CacheInvalidations(),
 	}
 	for _, w := range sh.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
@@ -1088,6 +1148,11 @@ func (st *Stats) add(o Stats) {
 	st.MorselsStolen += o.MorselsStolen
 	st.StallYields += o.StallYields
 	st.InterleaveSwitches += o.InterleaveSwitches
+	st.CacheHits += o.CacheHits
+	st.CacheMisses += o.CacheMisses
+	st.CacheInvalidations += o.CacheInvalidations
+	st.ConnsShed += o.ConnsShed
+	st.ConnsOpen += o.ConnsOpen
 }
 
 // ShardStats returns one Stats per shard, each shard's counters snapshotted
@@ -1111,7 +1176,41 @@ func (db *DB) Stats() Stats {
 		agg.add(sh.stats())
 	}
 	agg.DeadlineRejected = db.adm.DeadlineRejected()
+	agg.ConnsShed = db.frontReg.ConnsShed()
+	agg.ConnsOpen = db.frontReg.ConnsOpen()
 	return agg
+}
+
+// Config returns the configuration the database was opened with (defaults
+// applied). The network server reads its front-end knobs — ConnShards, the
+// per-priority connection and in-flight limits — from here.
+func (db *DB) Config() Config { return db.cfg }
+
+// FrontendRegistry returns the registry the network front-end records its
+// edge counters into (connections shed, open-connection gauge). It merges
+// into Metrics and Stats alongside the per-shard registries.
+func (db *DB) FrontendRegistry() *metrics.Registry { return db.frontReg }
+
+// QueueDelayEstimate returns the admission controller's EWMA of observed
+// scheduling queue delay. The network front-end folds its edge shedding into
+// the same admission stats the engine uses for deadline-based shedding.
+func (db *DB) QueueDelayEstimate() time.Duration {
+	return time.Duration(db.adm.QueueDelayEstimate())
+}
+
+// CachedGet serves a point read straight from the hot-key cache, bypassing
+// transaction begin, shard scheduling, and the MVCC read path entirely. It
+// returns the newest committed value for the key iff it is cached (a cache
+// entry is removed before any newer version publishes, so a hit is always the
+// current committed value). ok is false on a miss — or always, when
+// Config.CacheBytes is zero — and the caller falls back to a transaction.
+// The returned slice is shared and must be treated as read-only.
+func (db *DB) CachedGet(table string, key []byte) ([]byte, bool) {
+	si := 0
+	if len(db.shards) > 1 {
+		si = dtx.ShardOf(key, len(db.shards))
+	}
+	return db.shards[si].eng.CachedGet(table, key)
 }
 
 // Txn is a transaction handle passed to user functions. It is only valid

@@ -1,0 +1,179 @@
+//go:build linux
+
+package server
+
+import (
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Linux event loop: each conn shard owns an epoll instance; the shard's loop
+// goroutine waits on it, reads ready connections into the shard's shared
+// read buffer, and parses frames zero-copy in place. Level-triggered epoll
+// keeps the loop simple — one read per readiness event, remaining bytes
+// re-arm the event — and pausing a connection for backpressure is a plain
+// EPOLL_CTL_MOD to an empty interest set.
+
+type poller struct {
+	epfd int
+	mu   sync.Mutex
+	fds  map[int32]*econn
+}
+
+func newPoller() *poller {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	return &poller{epfd: epfd, fds: make(map[int32]*econn)}
+}
+
+// dupForPoller extracts a dup'd, nonblocking fd for epoll registration. The
+// original conn keeps working for writes and deadlines; only reads move to
+// the event loop.
+func dupForPoller(nc net.Conn) (*os.File, int, bool) {
+	tc, ok := nc.(*net.TCPConn)
+	if !ok {
+		return nil, 0, false
+	}
+	f, err := tc.File()
+	if err != nil {
+		return nil, 0, false
+	}
+	fd := int(f.Fd())
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		f.Close()
+		return nil, 0, false
+	}
+	return f, fd, true
+}
+
+const pollerInterest = syscall.EPOLLIN | syscall.EPOLLRDHUP
+
+func (p *poller) ctl(op, fd int, events uint32) error {
+	ev := syscall.EpollEvent{Events: events, Fd: int32(fd)}
+	return syscall.EpollCtl(p.epfd, op, fd, &ev)
+}
+
+func (p *poller) add(c *econn) error {
+	p.mu.Lock()
+	p.fds[int32(c.fd)] = c
+	p.mu.Unlock()
+	if err := p.ctl(syscall.EPOLL_CTL_ADD, c.fd, pollerInterest); err != nil {
+		p.mu.Lock()
+		delete(p.fds, int32(c.fd))
+		p.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (p *poller) remove(c *econn) {
+	p.mu.Lock()
+	delete(p.fds, int32(c.fd))
+	p.mu.Unlock()
+	p.ctl(syscall.EPOLL_CTL_DEL, c.fd, 0)
+}
+
+// pause drops the connection from the interest set (backpressure); resume
+// restores it. The registration itself stays, so both are O(1) MODs.
+func (p *poller) pause(c *econn)  { p.ctl(syscall.EPOLL_CTL_MOD, c.fd, 0) }
+func (p *poller) resume(c *econn) { p.ctl(syscall.EPOLL_CTL_MOD, c.fd, pollerInterest) }
+
+func (p *poller) lookup(fd int32) *econn {
+	p.mu.Lock()
+	c := p.fds[fd]
+	p.mu.Unlock()
+	return c
+}
+
+func (p *poller) close() { syscall.Close(p.epfd) }
+
+// pollLoop is the shard's event loop. It exits when the epoll fd is closed
+// by shutdown. The wait timeout doubles as the idle-sweep tick when an
+// IdleTimeout is configured.
+func (sh *connShard) pollLoop() {
+	s := sh.fe.s
+	defer s.wg.Done()
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		timeoutMs := -1
+		if it := s.IdleTimeout; it > 0 {
+			timeoutMs = int(it / (4 * time.Millisecond))
+			if timeoutMs < 10 {
+				timeoutMs = 10
+			} else if timeoutMs > 1000 {
+				timeoutMs = 1000
+			}
+		}
+		n, err := syscall.EpollWait(sh.poller.epfd, events, timeoutMs)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return // epoll fd closed: server shutting down
+		}
+		now := time.Now().UnixNano()
+		for i := 0; i < n; i++ {
+			c := sh.poller.lookup(events[i].Fd)
+			if c == nil {
+				continue
+			}
+			if !sh.readReady(c, now) {
+				c.close()
+			}
+		}
+		if it := s.IdleTimeout; it > 0 {
+			sh.sweepIdle(now, it)
+		}
+	}
+}
+
+// readReady performs one read for a ready connection into the shard buffer
+// and advances its frame parser. EOF, fatal errors, and poisoned framing
+// all report false (close). A HUP/RDHUP event lands here too: the read
+// drains any final bytes and then returns 0 → close.
+func (sh *connShard) readReady(c *econn, now int64) bool {
+	n, err := syscall.Read(c.fd, sh.readBuf)
+	if err != nil {
+		return err == syscall.EAGAIN || err == syscall.EINTR
+	}
+	if n == 0 {
+		return false // EOF
+	}
+	c.lastActive.Store(now)
+	data := sh.readBuf[:n]
+	if len(c.partial) > 0 {
+		// A frame is straddling reads: make the run contiguous in the
+		// connection's own buffer (grows as needed up to maxFrame).
+		c.partial = append(c.partial, data...)
+		data = c.partial
+	}
+	return c.advance(data)
+}
+
+// sweepIdle closes connections that have neither delivered bytes nor had
+// work in flight for longer than the idle timeout — including a truncated
+// frame whose remainder never arrives.
+func (sh *connShard) sweepIdle(now int64, idle time.Duration) {
+	sh.mu.Lock()
+	var victims []*econn
+	for c := range sh.conns {
+		if now-c.lastActive.Load() < int64(idle) {
+			continue
+		}
+		c.mu.Lock()
+		busy := c.active || len(c.pending) > 0
+		c.mu.Unlock()
+		if !busy {
+			victims = append(victims, c)
+		}
+	}
+	sh.mu.Unlock()
+	for _, c := range victims {
+		c.close()
+	}
+}

@@ -1,0 +1,29 @@
+//go:build !linux
+
+package server
+
+import (
+	"net"
+	"os"
+)
+
+// Non-Linux fallback: no OS event loop. newPoller returns nil, so every
+// connection runs the portable read pump in frontend.go — one goroutine per
+// connection doing blocking reads, feeding the same zero-copy parse,
+// classification, admission, and shard worker-pool machinery as the epoll
+// path. The sharded execution model (and all its semantics) is identical;
+// only the read-readiness mechanism differs.
+
+type poller struct{}
+
+func newPoller() *poller { return nil }
+
+func dupForPoller(net.Conn) (*os.File, int, bool) { return nil, 0, false }
+
+func (p *poller) add(*econn) error { return nil }
+func (p *poller) remove(*econn)    {}
+func (p *poller) pause(*econn)     {}
+func (p *poller) resume(*econn)    {}
+func (p *poller) close()           {}
+
+func (sh *connShard) pollLoop() { sh.fe.s.wg.Done() }

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"preemptdb"
+)
+
+// startEdgeServer starts a server on a DB with the given front-end config,
+// returning the server and its address. configure (optional) runs before the
+// listener opens.
+func startEdgeServer(t *testing.T, cfg preemptdb.Config, configure func(*Server)) (*Server, string) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	db, err := preemptdb.Open("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	srv.Logf = t.Logf
+	if configure != nil {
+		configure(srv)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, addr.String()
+}
+
+func txnFrame(prio uint8, ops []ScriptOp) []byte { return encodeScript(nil, prio, ops) }
+
+// TestInFlightShedTypedFrameConnSurvives: a request over the per-class
+// in-flight limit gets a typed statusQueueFull frame and the connection
+// keeps working — request-level shedding never kills the connection.
+func TestInFlightShedTypedFrameConnSurvives(t *testing.T) {
+	srv, addr := startEdgeServer(t, preemptdb.Config{LoInFlightLimit: 1}, nil)
+	srv.db.CreateTable("kv")
+	conn := mustDialRaw(t, addr)
+
+	// Occupy the single low-class in-flight slot from the outside, so the
+	// wire request below is deterministically over the limit.
+	if !srv.fe.admitRequest(classLo) {
+		t.Fatal("could not occupy the in-flight slot")
+	}
+	frame := txnFrame(0, []ScriptOp{{Op: opInsert, Table: "kv", Key: []byte("a"), Value: []byte("1")}})
+	if status, msg := roundTripRaw(t, conn, frame); status != statusQueueFull {
+		t.Fatalf("over-limit request: status=%d msg=%q, want statusQueueFull", status, msg)
+	} else if msg == "" {
+		t.Fatal("shed response carries no message — shedding must never be silent")
+	}
+	if shed := srv.db.Stats().ConnsShed; shed == 0 {
+		t.Fatal("shed not counted in Stats.ConnsShed")
+	}
+
+	// Release the slot: the same connection must serve the retry.
+	srv.fe.releaseRequest(classLo)
+	if status, msg := roundTripRaw(t, conn, frame); status != statusOK {
+		t.Fatalf("retry after release: status=%d msg=%q", status, msg)
+	}
+	if status, msg := roundTripRaw(t, conn, []byte{reqPing}); status != statusOK || msg != "pong" {
+		t.Fatalf("connection unusable after shed: %d %q", status, msg)
+	}
+}
+
+// TestConnLimitShedsAtClassification: a connection that classifies into a
+// full priority class is refused with a typed frame and closed; connections
+// of the other class are unaffected.
+func TestConnLimitShedsAtClassification(t *testing.T) {
+	srv, addr := startEdgeServer(t, preemptdb.Config{HiConnLimit: 1}, nil)
+	srv.db.CreateTable("kv")
+	put := func(prio uint8, key string) []byte {
+		return txnFrame(prio, []ScriptOp{{Op: opPut, Table: "kv", Key: []byte(key), Value: []byte("v")}})
+	}
+
+	hi1 := mustDialRaw(t, addr)
+	if status, msg := roundTripRaw(t, hi1, put(1, "a")); status != statusOK {
+		t.Fatalf("first hi conn: status=%d msg=%q", status, msg)
+	}
+
+	hi2 := mustDialRaw(t, addr)
+	hi2.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := writeFrame(hi2, put(1, "b")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(hi2)
+	if err != nil {
+		t.Fatalf("over-limit conn got no typed frame before close: %v", err)
+	}
+	status, msg, _, err := decodeResults(resp)
+	if err != nil || status != statusQueueFull || msg == "" {
+		t.Fatalf("over-limit conn: status=%d msg=%q err=%v, want typed statusQueueFull", status, msg, err)
+	}
+	// The shed connection is then closed by the server.
+	if _, err := readFrame(hi2); err == nil {
+		t.Fatal("over-hi-conn-limit connection was not closed")
+	}
+
+	// The low class is not limited: a new low connection works.
+	lo := mustDialRaw(t, addr)
+	if status, msg := roundTripRaw(t, lo, put(0, "c")); status != statusOK {
+		t.Fatalf("lo conn after hi shed: status=%d msg=%q", status, msg)
+	}
+	if shed := srv.db.Stats().ConnsShed; shed == 0 {
+		t.Fatal("conn shed not counted in Stats.ConnsShed")
+	}
+}
+
+// TestMalformedFirstFrameCannotClaimHighClass: garbage, truncated, and
+// non-transactional first frames all classify Low — the protected high class
+// cannot be entered without a well-formed high-priority transaction frame.
+func TestMalformedFirstFrameCannotClaimHighClass(t *testing.T) {
+	firstFrames := map[string][]byte{
+		"empty":              {},
+		"unknown kind":       {0xEE, 1},
+		"truncated txn":      {reqTxn},               // no priority byte
+		"truncated deadline": {reqTxnDeadline, 0x80}, // unterminated uvarint
+		"ping":               {reqPing},
+	}
+	for name, first := range firstFrames {
+		t.Run(name, func(t *testing.T) {
+			// Low class full, high class open: a frame that bypassed
+			// classification into High would be admitted. It must be shed.
+			srv, addr := startEdgeServer(t, preemptdb.Config{LoConnLimit: 1, HiConnLimit: 8}, nil)
+			srv.db.CreateTable("kv")
+			occupant := mustDialRaw(t, addr)
+			ok := txnFrame(0, []ScriptOp{{Op: opPut, Table: "kv", Key: []byte("k"), Value: []byte("v")}})
+			if status, msg := roundTripRaw(t, occupant, ok); status != statusOK {
+				t.Fatalf("occupant: status=%d msg=%q", status, msg)
+			}
+
+			probe := mustDialRaw(t, addr)
+			probe.SetDeadline(time.Now().Add(10 * time.Second))
+			if err := writeFrame(probe, first); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := readFrame(probe)
+			if err != nil {
+				t.Fatalf("no typed frame for shed connection: %v", err)
+			}
+			status, _, _, err := decodeResults(resp)
+			if err != nil || status != statusQueueFull {
+				t.Fatalf("first frame %q classified past the full low class: status=%d err=%v", name, status, err)
+			}
+		})
+	}
+}
+
+// TestZeroCopyFrontendByteIdenticalWithLegacy runs the same pipelined
+// workload against the legacy goroutine-per-connection reader
+// (ConnShards: -1), the event-loop front-end, and the portable pump
+// front-end, and requires the concatenated response bytes to be identical:
+// the zero-copy decode and batched execution change no observable byte.
+func TestZeroCopyFrontendByteIdenticalWithLegacy(t *testing.T) {
+	workload := [][]byte{
+		{reqPing},
+		{reqCreateTable, 2, 'k', 'v'},
+	}
+	for i := 0; i < 16; i++ {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		workload = append(workload, txnFrame(uint8(i%2), []ScriptOp{
+			{Op: opInsert, Table: "kv", Key: key, Value: []byte(fmt.Sprintf("v%d", i))},
+		}))
+	}
+	for i := 0; i < 16; i++ {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		workload = append(workload, txnFrame(0, []ScriptOp{{Op: opGet, Table: "kv", Key: key}}))
+	}
+	workload = append(workload,
+		// Multi-op script: update + read + delete + re-read (typed not-found).
+		txnFrame(1, []ScriptOp{
+			{Op: opUpdate, Table: "kv", Key: []byte("k000"), Value: []byte("v0'")},
+			{Op: opGet, Table: "kv", Key: []byte("k000")},
+			{Op: opDelete, Table: "kv", Key: []byte("k001")},
+			{Op: opGet, Table: "kv", Key: []byte("k001")},
+		}),
+		// Scans, ascending and descending with a limit.
+		txnFrame(0, []ScriptOp{{Op: opScan, Table: "kv"}}),
+		txnFrame(0, []ScriptOp{{Op: opScanDesc, Table: "kv", Limit: 5}}),
+		// Duplicate-key error and unknown-table error: typed statuses.
+		txnFrame(0, []ScriptOp{{Op: opInsert, Table: "kv", Key: []byte("k002"), Value: []byte("x")}}),
+		txnFrame(0, []ScriptOp{{Op: opGet, Table: "nope", Key: []byte("k")}}),
+		// Malformed payload inside a well-delimited frame: typed error.
+		[]byte{reqTxn, 0, 1, opGet, 0xFF},
+		[]byte{reqPing},
+	)
+
+	run := func(connShards int, noPoller bool) []byte {
+		cfg := preemptdb.Config{Workers: 1, ConnShards: connShards}
+		_, addr := startEdgeServer(t, cfg, func(s *Server) { s.noPoller = noPoller })
+		conn := mustDialRaw(t, addr)
+		conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+		// Pipeline everything in one write, then read all responses back.
+		var batch bytes.Buffer
+		for _, f := range workload {
+			if err := writeFrame(&batch, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := conn.Write(batch.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		for i := range workload {
+			resp, err := readFrame(conn)
+			if err != nil {
+				t.Fatalf("response %d: %v", i, err)
+			}
+			binary.Write(&got, binary.BigEndian, uint32(len(resp)))
+			got.Write(resp)
+		}
+		return got.Bytes()
+	}
+
+	legacy := run(-1, false)
+	eventLoop := run(0, false)
+	pump := run(0, true)
+	if !bytes.Equal(legacy, eventLoop) {
+		t.Fatal("event-loop front-end responses differ from the legacy reader")
+	}
+	if !bytes.Equal(legacy, pump) {
+		t.Fatal("pump front-end responses differ from the legacy reader")
+	}
+}
+
+// TestFastPathCachedGetOverWire: with the hot-key cache enabled, a repeated
+// single-Get on an idle connection is served from the inline fast path with
+// a byte-identical response, and the hit registers in Stats.
+func TestFastPathCachedGetOverWire(t *testing.T) {
+	srv, addr := startEdgeServer(t, preemptdb.Config{CacheBytes: 1 << 20}, nil)
+	srv.db.CreateTable("kv")
+	conn := mustDialRaw(t, addr)
+	put := txnFrame(0, []ScriptOp{{Op: opPut, Table: "kv", Key: []byte("hot"), Value: []byte("val")}})
+	if status, msg := roundTripRaw(t, conn, put); status != statusOK {
+		t.Fatalf("put: status=%d msg=%q", status, msg)
+	}
+
+	get := txnFrame(0, []ScriptOp{{Op: opGet, Table: "kv", Key: []byte("hot")}})
+	readResp := func() []byte {
+		t.Helper()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		if err := writeFrame(conn, get); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := append([]byte(nil), readResp()...) // fills the cache via the engine
+	hitsBefore := srv.db.Stats().CacheHits
+	second := readResp() // served by the inline fast path
+	if !bytes.Equal(first, second) {
+		t.Fatalf("fast-path response differs:\n  engine: %x\n  cache:  %x", first, second)
+	}
+	status, _, results, err := decodeResults(second)
+	if err != nil || status != statusOK || len(results) != 1 || !bytes.Equal(results[0].Value, []byte("val")) {
+		t.Fatalf("cached get: status=%d results=%v err=%v", status, results, err)
+	}
+	if srv.db.Stats().CacheHits <= hitsBefore {
+		t.Fatal("repeated get did not hit the cache")
+	}
+
+	// Invalidation visibility over the wire: update, then read the new value.
+	put2 := txnFrame(0, []ScriptOp{{Op: opPut, Table: "kv", Key: []byte("hot"), Value: []byte("val2")}})
+	if status, msg := roundTripRaw(t, conn, put2); status != statusOK {
+		t.Fatalf("second put: status=%d msg=%q", status, msg)
+	}
+	if err := writeFrame(conn, get); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, results, err = decodeResults(resp); err != nil || !bytes.Equal(results[0].Value, []byte("val2")) {
+		t.Fatalf("post-update get = %v err=%v, want val2", results, err)
+	}
+}
+
+// TestPumpFrontendServesPipelinedBatches covers the portable reader end to
+// end (classification, batching, one-flush responses) since CI runs Linux
+// and would otherwise only exercise the epoll loop.
+func TestPumpFrontendServesPipelinedBatches(t *testing.T) {
+	_, addr := startEdgeServer(t, preemptdb.Config{}, func(s *Server) { s.noPoller = true })
+	conn := mustDialRaw(t, addr)
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var batch bytes.Buffer
+	writeFrame(&batch, []byte{reqCreateTable, 2, 'k', 'v'})
+	const K = 48
+	for i := 0; i < K; i++ {
+		writeFrame(&batch, txnFrame(1, []ScriptOp{
+			{Op: opPut, Table: "kv", Key: []byte(fmt.Sprintf("k%02d", i)), Value: []byte("v")},
+		}))
+	}
+	if _, err := conn.Write(batch.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= K; i++ {
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if status, msg, _, err := decodeResults(resp); err != nil || status != statusOK {
+			t.Fatalf("response %d: status=%d msg=%q err=%v", i, status, msg, err)
+		}
+	}
+	// EOF handling: closing our side must not wedge the server.
+	conn.Close()
+}
+
+// TestEventLoopIdleSweepSkipsBusyConns: a connection waiting on a slow
+// transaction is not a victim of the idle sweep even when no bytes arrive
+// for longer than the timeout.
+func TestEventLoopIdleSweepSkipsBusyConns(t *testing.T) {
+	srv, addr := startEdgeServer(t, preemptdb.Config{}, func(s *Server) {
+		s.IdleTimeout = 150 * time.Millisecond
+	})
+	srv.db.CreateTable("kv")
+	conn := mustDialRaw(t, addr)
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	// A batch big enough to keep the worker busy past the idle timeout.
+	var batch bytes.Buffer
+	const K = 64
+	var val [4096]byte
+	for i := 0; i < K; i++ {
+		writeFrame(&batch, txnFrame(0, []ScriptOp{
+			{Op: opPut, Table: "kv", Key: []byte(fmt.Sprintf("k%04d", i)), Value: val[:]},
+			{Op: opScan, Table: "kv", Limit: 64},
+		}))
+	}
+	if _, err := conn.Write(batch.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < K; i++ {
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("response %d: %v (idle sweep closed a busy conn?)", i, err)
+		}
+		if status, _, _, err := decodeResults(resp); err != nil || status != statusOK {
+			t.Fatalf("response %d: status=%d err=%v", i, status, err)
+		}
+		time.Sleep(2 * time.Millisecond) // stretch the quiet period while work is in flight
+	}
+	// Once genuinely idle, the sweep must reclaim the connection.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readFrame(conn); err == nil {
+		t.Fatal("idle connection survived the sweep")
+	} else if err != io.EOF {
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			t.Fatal("idle connection not closed by the sweep")
+		}
+	}
+}

@@ -202,6 +202,14 @@ func encodeScriptDeadline(b []byte, priority uint8, timeoutMicros uint64, ops []
 }
 
 func decodeScript(r *reader) (priority uint8, ops []ScriptOp, err error) {
+	return decodeScriptMode(r, true)
+}
+
+// decodeScriptMode decodes a script body. With copyData, keys and values are
+// copied out of the payload (safe regardless of buffer reuse); without it
+// they alias the payload — the front-end's zero-copy mode, valid because
+// batch frames are escape-copied exactly once at read time and never reused.
+func decodeScriptMode(r *reader, copyData bool) (priority uint8, ops []ScriptOp, err error) {
 	if priority, err = r.u8(); err != nil {
 		return 0, nil, err
 	}
@@ -231,8 +239,12 @@ func decodeScript(r *reader) (priority uint8, ops []ScriptOp, err error) {
 		if vb, err = r.bytes(); err != nil {
 			return 0, nil, err
 		}
-		op.Key = append([]byte(nil), kb...)
-		op.Value = append([]byte(nil), vb...)
+		if copyData {
+			op.Key = append([]byte(nil), kb...)
+			op.Value = append([]byte(nil), vb...)
+		} else {
+			op.Key, op.Value = kb, vb
+		}
 		lim, err := r.uvarint()
 		if err != nil {
 			return 0, nil, err

@@ -19,6 +19,14 @@ type Server struct {
 	db  *preemptdb.DB
 	lis net.Listener
 
+	// fe is the sharded connection front-end (event loops, per-class edge
+	// admission, zero-copy framing). Nil when Config.ConnShards < 0, which
+	// selects the legacy goroutine-per-connection handler.
+	fe *frontend
+	// noPoller forces the portable read-pump path even where an OS event
+	// loop is available; tests use it to cover both readiness mechanisms.
+	noPoller bool
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -40,13 +48,17 @@ type Server struct {
 // New wraps db in a network server; call Serve with a listener. Adjust
 // IdleTimeout/WriteTimeout before the first connection arrives.
 func New(db *preemptdb.DB) *Server {
-	return &Server{
+	s := &Server{
 		db:           db,
 		conns:        make(map[net.Conn]struct{}),
 		Logf:         log.Printf,
 		IdleTimeout:  2 * time.Minute,
 		WriteTimeout: 30 * time.Second,
 	}
+	if cfg := db.Config(); cfg.ConnShards >= 0 {
+		s.fe = newFrontend(s, cfg.ConnShards)
+	}
+	return s
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") in a background
@@ -57,6 +69,9 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.lis = lis
+	if s.fe != nil {
+		s.fe.start()
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -79,6 +94,10 @@ func (s *Server) serve(lis net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.fe != nil {
+			s.fe.adopt(conn)
+			continue
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -102,6 +121,9 @@ func (s *Server) Close() error {
 	var err error
 	if s.lis != nil {
 		err = s.lis.Close()
+	}
+	if s.fe != nil {
+		s.fe.shutdown()
 	}
 	s.wg.Wait()
 	return err
@@ -164,6 +186,14 @@ func (s *Server) handle(conn net.Conn) {
 // payload to b (the connection's reusable scratch). A returned error means
 // the frame was malformed.
 func (s *Server) dispatch(b, frame []byte) ([]byte, error) {
+	return s.dispatchMode(b, frame, false)
+}
+
+// dispatchMode is dispatch with an explicit decode mode. zeroCopy decodes
+// script keys/values as subslices of frame — valid only when frame is
+// immortal (the front-end's escape-copied batch frames), because the MVCC
+// layer retains write values. The response bytes are identical either way.
+func (s *Server) dispatchMode(b, frame []byte, zeroCopy bool) ([]byte, error) {
 	r := &reader{frame}
 	kind, err := r.u8()
 	if err != nil {
@@ -194,12 +224,13 @@ func (s *Server) dispatch(b, frame []byte) ([]byte, error) {
 
 	case reqStats:
 		st := s.db.Stats()
-		msg := fmt.Sprintf("commits=%d aborts=%d interrupts=%d passive=%d active=%d wal-failed=%t",
-			st.Commits, st.Aborts, st.InterruptsSent, st.PassiveSwitches, st.ActiveSwitches, st.WALFailed)
+		msg := fmt.Sprintf("commits=%d aborts=%d interrupts=%d passive=%d active=%d wal-failed=%t cache-hits=%d cache-misses=%d conns-shed=%d",
+			st.Commits, st.Aborts, st.InterruptsSent, st.PassiveSwitches, st.ActiveSwitches, st.WALFailed,
+			st.CacheHits, st.CacheMisses, st.ConnsShed)
 		return encodeResults(b, statusOK, msg, nil), nil
 
 	case reqTxn:
-		prio, ops, err := decodeScript(r)
+		prio, ops, err := decodeScriptMode(r, !zeroCopy)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +241,7 @@ func (s *Server) dispatch(b, frame []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		prio, ops, err := decodeScript(r)
+		prio, ops, err := decodeScriptMode(r, !zeroCopy)
 		if err != nil {
 			return nil, err
 		}
