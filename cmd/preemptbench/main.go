@@ -28,12 +28,14 @@ import (
 
 // flags shared by the experiment runners (parsed once in main).
 type flags struct {
-	duration      time.Duration
-	scanout       string
-	shardout      string
-	interleaveout string
-	frontendout   string
-	traceout      string
+	duration         time.Duration
+	scanout          string
+	shardout         string
+	interleaveout    string
+	frontendout      string
+	traceout         string
+	traceoverheadout string
+	tracetxnout      string
 }
 
 // experiment is one registry entry: the -experiment id, a one-line help
@@ -121,6 +123,36 @@ var experiments = []experiment{
 			}
 			return bench.WriteInterleaveJSON(fl.interleaveout, cmd, res, notes)
 		}},
+	{"traceoverhead", "commit-path cost of txn tracing off/sampled/always; writes -traceoverheadout", true,
+		func(opt bench.Options, fl flags) error {
+			res, err := bench.TraceOverhead(opt)
+			if err != nil {
+				return err
+			}
+			if fl.tracetxnout != "" {
+				trace, err := bench.CrossShardTraceExport()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(fl.tracetxnout, trace, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote merged cross-shard txn trace to %s (open in ui.perfetto.dev)\n", fl.tracetxnout)
+			}
+			if fl.traceoverheadout == "" {
+				return nil
+			}
+			cmd := fmt.Sprintf("preemptbench -experiment traceoverhead -duration %v", fl.duration)
+			notes := []string{
+				fmt.Sprintf("Host exposes %d CPU(s); absolute latencies track the host — the reproduction target is the sampled row's overhead_pct staying within the paper's ~5%% observability budget of the off row.", res.NumCPU),
+				"Modes: off = trace rings and span recording disabled (TraceCapacity/TraceSampling -1); sampled = shipping default (rings on, WAL-wait spans on the 1-in-32 commit probe); always = every span recorded (TraceSampling 1).",
+				"Each point is the BenchmarkCommitSI engine loop run on a live core with a trace ring attached; the three modes' windows interleave round-robin and each keeps its lowest-mean window, so host-load drift cancels instead of landing on one mode.",
+				"Run-to-run variance on this host is roughly +/-5%: the sampled row lands on either side of zero across runs, i.e. the default 1-in-32 probe is indistinguishable from tracing off at the noise floor, while always-on tracing measures a consistent double-digit penalty.",
+				"allocs_per_txn is a whole-process runtime.MemStats Mallocs delta over committed txns; ~0 confirms the pooled commit path stays allocation-free with tracing enabled (the engine's 0 allocs/op guarantee is enforced separately by TestCommitAllocsWithMetrics).",
+				"-tracetxn additionally exports one cross-shard 2PC transaction's merged Chrome trace (DB.TraceTxn) for cmd/validatetrace.",
+			}
+			return bench.WriteBenchJSON(fl.traceoverheadout, cmd, res, notes)
+		}},
 	{"frontend", "network front-end: hot-key cache A/B and edge-admission flood; writes -frontendout", true,
 		func(opt bench.Options, fl flags) error {
 			res, err := bench.Frontend(opt)
@@ -160,15 +192,17 @@ func usage(w *os.File) {
 
 func main() {
 	var (
-		experimentFlag = flag.String("experiment", "all", "which experiment to run ("+experimentIDs()+")")
-		duration       = flag.Duration("duration", 3*time.Second, "measurement window per data point")
-		workers        = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
-		arrival        = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
-		scanout        = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
-		shardout       = flag.String("shardout", "BENCH_shard.json", "output path for the shardbench experiment's JSON ('' disables)")
-		interleaveout  = flag.String("interleaveout", "BENCH_interleave.json", "output path for the interleave experiment's JSON ('' disables)")
-		frontendout    = flag.String("frontendout", "BENCH_frontend.json", "output path for the frontend experiment's JSON ('' disables)")
-		traceout       = flag.String("trace", "", "write the trace experiment's scheduling events as Chrome trace-event JSON (perfetto-loadable) to this path")
+		experimentFlag   = flag.String("experiment", "all", "which experiment to run ("+experimentIDs()+")")
+		duration         = flag.Duration("duration", 3*time.Second, "measurement window per data point")
+		workers          = flag.Int("workers", 0, "simulated worker cores (0 = one per spare physical CPU)")
+		arrival          = flag.Duration("arrival", time.Millisecond, "high-priority batch arrival interval")
+		scanout          = flag.String("scanout", "BENCH_scan.json", "output path for the parallelscan experiment's JSON ('' disables)")
+		shardout         = flag.String("shardout", "BENCH_shard.json", "output path for the shardbench experiment's JSON ('' disables)")
+		interleaveout    = flag.String("interleaveout", "BENCH_interleave.json", "output path for the interleave experiment's JSON ('' disables)")
+		frontendout      = flag.String("frontendout", "BENCH_frontend.json", "output path for the frontend experiment's JSON ('' disables)")
+		traceout         = flag.String("trace", "", "write the trace experiment's scheduling events as Chrome trace-event JSON (perfetto-loadable) to this path")
+		traceoverheadout = flag.String("traceoverheadout", "BENCH_trace.json", "output path for the traceoverhead experiment's JSON ('' disables)")
+		tracetxnout      = flag.String("tracetxn", "", "write one cross-shard txn's merged Chrome trace (traceoverhead experiment) to this path")
 	)
 	flag.Parse()
 
@@ -179,12 +213,14 @@ func main() {
 		Out:             os.Stdout,
 	}
 	fl := flags{
-		duration:      *duration,
-		scanout:       *scanout,
-		shardout:      *shardout,
-		interleaveout: *interleaveout,
-		frontendout:   *frontendout,
-		traceout:      *traceout,
+		duration:         *duration,
+		scanout:          *scanout,
+		shardout:         *shardout,
+		interleaveout:    *interleaveout,
+		frontendout:      *frontendout,
+		traceout:         *traceout,
+		traceoverheadout: *traceoverheadout,
+		tracetxnout:      *tracetxnout,
 	}
 
 	byID := make(map[string]experiment, len(experiments))

@@ -1,9 +1,10 @@
 // Command validatetrace checks that a file is a well-formed Chrome
-// trace-event JSON document as produced by preemptbench -trace or
-// DB.TraceSnapshot: parseable, non-empty, known event phases, non-negative
-// durations, monotonic timestamps. CI uses it to validate the trace
-// artifact; it is also a quick sanity check before loading a trace into
-// ui.perfetto.dev.
+// trace-event JSON document as produced by preemptbench -trace,
+// DB.TraceSnapshot, or DB.TraceTxn: parseable, non-empty, known event
+// phases, non-negative durations, monotonic timestamps, and coherent
+// cross-shard flow events (every flow started is finished, steps never
+// precede their start). CI uses it to validate the trace artifacts; it is
+// also a quick sanity check before loading a trace into ui.perfetto.dev.
 //
 // Usage: validatetrace trace.json
 package main

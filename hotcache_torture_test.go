@@ -208,13 +208,13 @@ func cacheTorture(t *testing.T, shards int) {
 		}(r)
 	}
 
-	// Snapshot-sum readers. On a single shard the account total must hold
-	// exactly in every snapshot. Across shards, commit points publish per
-	// shard with independent clocks, so a reader can catch a transfer
-	// between its two publications even without the cache (verified: the
-	// same sweep with CacheBytes=0 shows the same transient imbalance) —
-	// there the readers stress the in-doubt fill-blocking windows
-	// mid-flight, and exactness is asserted after quiesce below.
+	// Snapshot-sum readers: the account total must hold exactly in every
+	// snapshot, single- and multi-shard alike. Across shards that exactness
+	// rests on the cross-shard resolution gate — a 2PC transfer publishes all
+	// its participants inside one critical section of the gate, and a
+	// multi-shard reader whose lazily-established per-shard snapshots
+	// straddle a resolution fails with a retryable conflict instead of
+	// observing the transfer on one shard but not the other.
 	for r := 0; r < 2; r++ {
 		readers.Add(1)
 		go func() {
@@ -240,7 +240,7 @@ func cacheTorture(t *testing.T, shards int) {
 					t.Errorf("sum reader: %v", err)
 					return
 				}
-				if shards == 1 && total != naccts*initial {
+				if total != naccts*initial {
 					t.Errorf("snapshot sum = %d, want %d (torn or stale read)", total, naccts*initial)
 					return
 				}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"preemptdb"
+	"preemptdb/internal/clock"
+	"preemptdb/internal/dtx"
+	"preemptdb/internal/engine"
+	"preemptdb/internal/keys"
+	"preemptdb/internal/metrics"
+	"preemptdb/internal/mvcc"
+	"preemptdb/internal/pcontext"
+	"preemptdb/internal/rng"
+)
+
+// TraceOverheadPoint is one tracing-mode data point: the BenchmarkCommitSI
+// single-context commit loop (begin/update/commit against a preloaded key
+// pool) with transaction tracing off, sampled (the default 1-in-2^5 WAL
+// probe), or always-on.
+type TraceOverheadPoint struct {
+	Mode         string  `json:"mode"`
+	Txns         uint64  `json:"txns"`
+	TxnsPerSec   float64 `json:"txns_per_sec"`
+	MeanNs       float64 `json:"mean_ns"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	// OverheadPct is this mode's mean commit latency relative to the "off"
+	// row, in percent (0 for the off row itself). The mean, not p50: the
+	// histogram's p50 is bucket-quantized to ~3-4% at microsecond latencies,
+	// which would drown the thing being measured.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TraceOverheadResult is the full traceoverhead experiment output
+// (BENCH_trace.json).
+type TraceOverheadResult struct {
+	Reps   int                  `json:"reps"`
+	Keys   int                  `json:"keys"`
+	Points []TraceOverheadPoint `json:"points"`
+	NumCPU int                  `json:"num_cpu"`
+}
+
+// traceOverheadModes maps mode names to trace configuration. "off" disables
+// the rings and span recording entirely; "sampled" is the shipping default
+// (rings on, WAL spans on the 1-in-32 probe); "always" records every span.
+var traceOverheadModes = []struct {
+	name               string
+	capacity, sampling int
+}{
+	{"off", -1, -1},
+	{"sampled", 0, 0},
+	{"always", 0, 1},
+}
+
+// TraceOverhead measures what transaction tracing costs on the commit path:
+// the BenchmarkCommitSI loop (single context, begin/update/commit, pooled
+// allocations) under each tracing mode, reporting per-commit mean/p50/p99 and
+// whole-process allocations per transaction. Unlike the engine benchmark's
+// pcontext.Detached() context, each mode runs on a live core with a trace
+// ring attached, so span recording is actually exercised — the reproduction
+// target is the sampled (shipping-default) row staying within the paper's
+// ~5% observability budget of the off row.
+//
+// The three modes' measurement windows are interleaved round-robin (off,
+// sampled, always, off, ...) and each mode keeps its lowest-mean window:
+// host-load drift during the run then hits every mode equally instead of
+// whichever mode happened to be measuring, and GC pauses or scheduling
+// hiccups — which only ever inflate a window — are filtered by the best-of.
+func TraceOverhead(opt Options) (*TraceOverheadResult, error) {
+	opt = opt.withDefaults()
+	const reps, nkeys = 5, 1024
+	res := &TraceOverheadResult{
+		Reps: reps, Keys: nkeys,
+		NumCPU: runtime.NumCPU(),
+	}
+
+	window := opt.Duration / (reps * time.Duration(len(traceOverheadModes)))
+
+	type windowResult struct {
+		txns   uint64
+		lat    metrics.Histogram
+		allocs float64
+		err    error
+	}
+	type modeRun struct {
+		core *pcontext.Core
+		req  chan int64 // window length in ns; closed to stop
+		resp chan windowResult
+
+		best       metrics.Histogram
+		bestTxns   uint64
+		bestAllocs float64
+	}
+
+	runs := make([]*modeRun, len(traceOverheadModes))
+	for i, mode := range traceOverheadModes {
+		e := engine.New(engine.Config{TraceSampling: mode.sampling})
+		core := pcontext.NewCore(0, 1)
+		if mode.capacity >= 0 {
+			core.SetTracer(pcontext.NewTracer(1 << 12))
+		}
+		tab := e.CreateTable("bench")
+		pool := make([][]byte, nkeys)
+		for k := range pool {
+			pool[k] = keys.Uint32(nil, uint32(k))
+		}
+		val := make([]byte, 64)
+		mr := &modeRun{core: core, req: make(chan int64), resp: make(chan windowResult)}
+		runs[i] = mr
+		core.Start([]func(*pcontext.Context){func(ctx *pcontext.Context) {
+			commit := func(k []byte) error {
+				tx := e.BeginIso(ctx, mvcc.SnapshotIsolation)
+				if err := tx.Update(tab, k, val); err != nil {
+					return err
+				}
+				return tx.Commit()
+			}
+			gen := rng.New(0x7ace)
+			for _, k := range pool {
+				tx := e.BeginIso(ctx, mvcc.SnapshotIsolation)
+				err := tx.Insert(tab, k, val)
+				if err == nil {
+					err = tx.Commit()
+				}
+				if err != nil {
+					<-mr.req
+					mr.resp <- windowResult{err: err}
+					return
+				}
+			}
+			for w := range mr.req {
+				var r windowResult
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				deadline := clock.Nanos() + w
+				for clock.Nanos() < deadline {
+					k := pool[gen.Intn(nkeys)]
+					start := clock.Nanos()
+					if r.err = commit(k); r.err != nil {
+						break
+					}
+					r.txns++
+					r.lat.Record(clock.Nanos() - start)
+				}
+				runtime.ReadMemStats(&after)
+				if r.txns > 0 {
+					r.allocs = float64(after.Mallocs-before.Mallocs) / float64(r.txns)
+				}
+				mr.resp <- r
+			}
+		}})
+	}
+	shutdown := func() {
+		for _, mr := range runs {
+			close(mr.req)
+			mr.core.Shutdown()
+		}
+	}
+
+	// One discarded warmup window per mode (allocator/arena warmup would
+	// otherwise land on whichever mode runs first), then the interleaved
+	// measured rounds.
+	for round := 0; round < reps+1; round++ {
+		for _, mr := range runs {
+			w := int64(window)
+			if round == 0 {
+				w = int64(window / 2)
+			}
+			mr.req <- w
+			r := <-mr.resp
+			if r.err != nil {
+				shutdown()
+				return nil, r.err
+			}
+			if round == 0 || r.txns == 0 {
+				continue
+			}
+			if mr.bestTxns == 0 || r.lat.Summarize().Mean < mr.best.Summarize().Mean {
+				mr.best, mr.bestTxns, mr.bestAllocs = r.lat, r.txns, r.allocs
+			}
+		}
+	}
+	shutdown()
+
+	tbl := metrics.NewTable("mode", "txns", "txns/s", "mean", "p50", "p99", "allocs/txn", "overhead")
+	var offMean float64
+	for i, mode := range traceOverheadModes {
+		mr := runs[i]
+		sum := mr.best.Summarize()
+		pt := TraceOverheadPoint{
+			Mode: mode.name, Txns: mr.bestTxns,
+			TxnsPerSec:   float64(mr.bestTxns) / window.Seconds(),
+			MeanNs:       sum.Mean,
+			P50Ns:        sum.P50,
+			P99Ns:        sum.P99,
+			AllocsPerTxn: mr.bestAllocs,
+		}
+		if mode.name == "off" {
+			offMean = sum.Mean
+		} else if offMean > 0 {
+			pt.OverheadPct = 100 * (sum.Mean - offMean) / offMean
+		}
+		res.Points = append(res.Points, pt)
+		tbl.AddRow(mode.name, mr.bestTxns, fmt.Sprintf("%.0f", pt.TxnsPerSec),
+			fmtNs(int64(sum.Mean)), fmtNs(sum.P50), fmtNs(sum.P99),
+			fmt.Sprintf("%.1f", pt.AllocsPerTxn), fmt.Sprintf("%+.1f%%", pt.OverheadPct))
+	}
+	fmt.Fprintf(opt.Out, "Commit-path latency by tracing mode (single-context engine loop, best of %d interleaved windows, NumCPU=%d)\n", reps, res.NumCPU)
+	fmt.Fprint(opt.Out, tbl.String())
+	return res, nil
+}
+
+// CrossShardTraceExport runs one cross-shard read-modify-write transaction on
+// a 2-shard always-traced database and returns its merged Chrome trace-event
+// document (DB.TraceTxn) — the artifact CI validates with cmd/validatetrace:
+// admission, scheduling, WAL, and 2PC prepare/resolve spans from every
+// participant shard under one transaction-scoped trace id.
+func CrossShardTraceExport() ([]byte, error) {
+	db, err := preemptdb.Open("", preemptdb.Config{
+		Shards:        2,
+		Workers:       2,
+		Policy:        preemptdb.PolicyPreempt,
+		TraceSampling: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	db.CreateTable("kv")
+	ka := []byte("xs-a")
+	kb := ka
+	for i := 0; dtx.ShardOf(kb, 2) == dtx.ShardOf(ka, 2); i++ {
+		kb = []byte(fmt.Sprintf("xs-b%d", i))
+	}
+	var val [8]byte
+	pending, err := db.SubmitOpts(preemptdb.TxnOptions{Priority: preemptdb.High}, func(tx *preemptdb.Txn) error {
+		for _, k := range [][]byte{ka, kb} {
+			if err := tx.Put("kv", k, val[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := pending.Wait(); err != nil {
+		return nil, err
+	}
+	return db.TraceTxnWait(pending.TraceID(), time.Second)
+}

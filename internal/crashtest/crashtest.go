@@ -427,7 +427,7 @@ func Run2PC(tb testing.TB, p Plan) {
 	// commits (the latter also stress replay around prepare frames).
 	for op := 0; op < p.Ops; op++ {
 		in := beginCross(pickShards(2+rng.IntN(nShards-1)), nil)
-		if err := dtx.CommitCrossShard(nextGID(), in.parts); err != nil {
+		if err := dtx.CommitCrossShard(nextGID(), in.parts, nil); err != nil {
 			tb.Fatalf("seed %d: cross-shard commit: %v", p.Seed, err)
 		}
 		for _, k := range in.keys {

@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"sort"
 
+	"preemptdb/internal/clock"
 	"preemptdb/internal/engine"
+	"preemptdb/internal/pcontext"
 	"preemptdb/internal/wal"
 )
 
@@ -103,6 +105,17 @@ type Participant struct {
 	Eng *engine.Engine
 }
 
+// ResolutionGate serializes the resolution phase of cross-shard commits
+// against readers that need a moment of cross-shard atomicity (e.g. an
+// exact-sum snapshot scan). Lock is taken just before the first
+// ResolveCommit and released after the last; implementations are typically a
+// sync.Locker over an RWMutex whose read side brackets snapshot
+// establishment. A nil gate is a no-op.
+type ResolutionGate interface {
+	Lock()
+	Unlock()
+}
+
 // CommitCrossShard commits a multi-writer cross-shard transaction under gid.
 // parts must be the write-bearing participants (read-only legs are committed
 // by the caller beforehand — their serializable validation still gates the
@@ -111,7 +124,12 @@ type Participant struct {
 // and is returned (conflicts satisfy engine.IsConflict for retry); an error
 // after the decision was durably written means the transaction IS committed
 // but a resolution could not be fully recorded — recovery settles it.
-func CommitCrossShard(gid uint64, parts []Participant) error {
+//
+// gate, when non-nil, is held across the resolution loop only: prepares and
+// the decision write run outside it, so gate holders never wait on 2PC I/O
+// beyond in-flight resolutions, and resolution publishes all participants
+// inside one gate-critical section.
+func CommitCrossShard(gid uint64, parts []Participant, gate ResolutionGate) error {
 	if len(parts) < 2 {
 		return errors.New("dtx: cross-shard commit needs at least two participants")
 	}
@@ -130,12 +148,19 @@ func CommitCrossShard(gid uint64, parts []Participant) error {
 			return err
 		}
 	}
+	t0 := clock.Nanos()
 	if err := WriteDecision(parts[0].Eng, gid); err != nil {
 		// No decision durable → presumed abort: roll every hold back.
 		for _, p := range parts {
 			p.Txn.ResolveAbort()
 		}
 		return fmt.Errorf("dtx: decision write failed, transaction aborted: %w", err)
+	}
+	parts[0].Txn.Context().TraceEvent(pcontext.EvDecision,
+		pcontext.SpanAux(clock.Nanos()-t0, uint8(parts[0].Shard)))
+	if gate != nil {
+		gate.Lock()
+		defer gate.Unlock()
 	}
 	var firstErr error
 	for _, p := range parts {

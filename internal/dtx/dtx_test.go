@@ -81,7 +81,7 @@ func TestCommitCrossShardAndRecovery(t *testing.T) {
 		}
 		parts = append(parts, Participant{Shard: i, Txn: tx, Eng: engs[i]})
 	}
-	if err := CommitCrossShard(gidC, parts); err != nil {
+	if err := CommitCrossShard(gidC, parts, nil); err != nil {
 		t.Fatalf("cross-shard commit: %v", err)
 	}
 

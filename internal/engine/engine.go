@@ -78,6 +78,18 @@ type Config struct {
 	// commit-point store, EndWrites after). Serializable transactions bypass
 	// it — a cache hit would skip read-set registration.
 	Cache *hotcache.Cache
+	// ShardID identifies this engine within a sharded deployment; 2PC
+	// prepare/resolve trace spans carry it so a cross-shard transaction's
+	// merged trace attributes each leg to its participant shard.
+	ShardID int
+	// TraceSampling controls transaction-lifecycle trace events on the commit
+	// path (the scheduling-event ring itself is owned by the core and always
+	// on while attached). 0 (default): span events ride the existing 1-in-32
+	// WAL sampling, keeping the instrumented commit path at its measured
+	// overhead. >0: record on every commit (full-fidelity forensics; costs a
+	// few extra ring stores per commit). <0: suppress lifecycle span events
+	// entirely.
+	TraceSampling int
 }
 
 // Engine is the storage engine. Create with New; it is safe for concurrent
@@ -97,6 +109,12 @@ type Engine struct {
 	vacuumed atomic.Uint64
 	metrics  *metrics.Registry
 	cache    *hotcache.Cache
+
+	// Trace-event policy derived from Config (see Config.TraceSampling);
+	// shardID is pre-narrowed for span detail bytes.
+	shardID    uint8
+	traceAll   bool // record lifecycle spans on every commit
+	traceSpans bool // record lifecycle spans at all
 
 	// prepMu/prepLSN track in-flight 2PC prepares: gid → a conservative LSN
 	// lower bound captured BEFORE the prepare frame was staged. A disk
@@ -125,13 +143,16 @@ func New(cfg Config) *Engine {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	e := &Engine{
-		cfg:      cfg,
-		oracle:   mvcc.NewOracle(),
-		log:      wal.NewManager(sink, cfg.SyncEachCommit),
-		tables:   make(map[string]*Table),
-		tableIDs: make(map[uint32]*Table),
-		metrics:  cfg.Metrics,
-		cache:    cfg.Cache,
+		cfg:        cfg,
+		oracle:     mvcc.NewOracle(),
+		log:        wal.NewManager(sink, cfg.SyncEachCommit),
+		tables:     make(map[string]*Table),
+		tableIDs:   make(map[uint32]*Table),
+		metrics:    cfg.Metrics,
+		cache:      cfg.Cache,
+		shardID:    uint8(cfg.ShardID),
+		traceAll:   cfg.TraceSampling > 0,
+		traceSpans: cfg.TraceSampling >= 0,
 	}
 	e.log.SetBatchLimits(cfg.MaxBatchBytes, cfg.MaxBatchDelay)
 	if cfg.VacuumInterval > 0 {
@@ -649,4 +670,21 @@ func (e *Engine) OldestPrepareLSN() (uint64, bool) {
 		}
 	}
 	return min, found
+}
+
+// PreparedGIDs returns the global ids of transactions this engine has
+// prepared (2PC) but not yet resolved — the in-doubt set at the instant of
+// the call. Diagnostic surface (flight recorder, introspection); order is
+// unspecified.
+func (e *Engine) PreparedGIDs() []uint64 {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	if len(e.prepLSN) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(e.prepLSN))
+	for gid := range e.prepLSN {
+		out = append(out, gid)
+	}
+	return out
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"preemptdb/internal/clock"
+	"preemptdb/internal/metrics"
 	"preemptdb/internal/mvcc"
 	"preemptdb/internal/pcontext"
 )
@@ -21,6 +23,7 @@ import (
 // published) and the error returned — conflict errors satisfy IsConflict as
 // usual.
 func (t *Txn) PrepareCommit(gid uint64) error {
+	t0 := clock.Nanos()
 	if t.readonly {
 		return ErrTxnReadOnly
 	}
@@ -39,6 +42,12 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 	// checkpoint could truncate the in-doubt redo's only durable copy.
 	t.eng.registerPrepare(gid)
 	t.staged, t.leader = false, false
+	// Same 1-in-2^walSampleShift WAL-wait probe as Commit: the prepare frame
+	// rides the ordinary group-commit pipeline, so its batch wait belongs in
+	// the same PhaseWALWait distribution and trace span.
+	t.walTick++
+	sampled := t.walTick&walSampleMask == 0 || t.eng.traceAll
+	var walNs int64
 	var mvccErr, ioErr error
 	stage := func(cts uint64) error {
 		if t.logBuf.Len() == 0 {
@@ -65,12 +74,24 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 		}
 		_, mvccErr = t.inner.Prepare(stage)
 		if t.leader {
-			_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+			if sampled {
+				w0 := clock.Nanos()
+				_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+				walNs = clock.Nanos() - w0
+			} else {
+				_, ioErr = t.eng.log.LeaderFinish(t.logBuf)
+			}
 		}
 	})
 	if t.staged && !t.leader {
 		t.ctx.Poll()
-		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+		if sampled {
+			w0 := clock.Nanos()
+			_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+			walNs = clock.Nanos() - w0
+		} else {
+			_, ioErr = t.eng.log.FollowerWait(t.logBuf)
+		}
 	}
 	closeWindow := func() {
 		if t.cacheHeld {
@@ -103,7 +124,24 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 		t.eng.aborts.Add(1)
 		return ioErr
 	}
+	if sampled && t.staged {
+		class := metrics.ClassLo
+		if t.ctx != nil && t.ctx.CLS().HighPrio {
+			class = metrics.ClassHi
+		}
+		t.eng.metrics.Observe(class, metrics.PhaseWALWait, t.hint, walNs)
+		if t.eng.traceSpans {
+			var lead uint8
+			if t.leader {
+				lead = 1
+			}
+			t.ctx.TraceEvent(pcontext.EvWALWait, pcontext.SpanAux(walNs, lead))
+		}
+	}
 	t.prepGID = gid
+	if t.eng.traceSpans {
+		t.ctx.TraceEvent(pcontext.EvPrepare, pcontext.SpanAux(clock.Nanos()-t0, t.eng.shardID))
+	}
 	return nil
 }
 
@@ -115,6 +153,7 @@ func (t *Txn) PrepareCommit(gid uint64) error {
 // resolution record is not durable", which only matters if the WAL has
 // failed (the database degrades to read-only then anyway).
 func (t *Txn) ResolveCommit() error {
+	t0 := clock.Nanos()
 	if t.done {
 		return mvcc.ErrTxnDone
 	}
@@ -161,6 +200,9 @@ func (t *Txn) ResolveCommit() error {
 		_, ioErr = t.eng.log.FollowerWait(t.logBuf)
 	}
 	t.eng.unregisterPrepare(gid)
+	if t.eng.traceSpans && mvccErr == nil && ioErr == nil {
+		t.ctx.TraceEvent(pcontext.EvResolve, pcontext.SpanAux(clock.Nanos()-t0, t.eng.shardID))
+	}
 	t.logBuf.Reset()
 	t.inner.Release()
 	t.releaseGuest()

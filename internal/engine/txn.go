@@ -422,7 +422,7 @@ func (t *Txn) Commit() error {
 	t.done = true
 	t.staged, t.leader = false, false
 	t.walTick++
-	sampled := t.walTick&walSampleMask == 0
+	sampled := t.walTick&walSampleMask == 0 || t.eng.traceAll
 	var walNs int64
 	var mvccErr, ioErr error
 	// Hot-key cache write window: opened strictly before the MVCC
@@ -475,6 +475,17 @@ func (t *Txn) Commit() error {
 			class = metrics.ClassHi
 		}
 		t.eng.metrics.Observe(class, metrics.PhaseWALWait, t.hint, walNs)
+		if t.eng.traceSpans {
+			// Group-commit batch membership on the trace ring: the wait span
+			// plus whether this committer led its batch's I/O. Rides the same
+			// sampling gate as the metric (always-on under TraceSampling>0);
+			// recordAux is a handful of atomic stores, no allocation.
+			var lead uint8
+			if t.leader {
+				lead = 1
+			}
+			t.ctx.TraceEvent(pcontext.EvWALWait, pcontext.SpanAux(walNs, lead))
+		}
 	}
 	t.logBuf.Reset()
 	t.inner.Release()

@@ -75,6 +75,11 @@ func (p Phase) String() string {
 	return fmt.Sprintf("Phase(%d)", uint8(p))
 }
 
+// NumLevels bounds the leveled-scheduler (mlsched) per-level histograms; it
+// matches mlsched.MaxLevels without importing the package (metrics sits below
+// every scheduler in the dependency order).
+const NumLevels = 16
+
 // Registry is the always-on observability surface shared by the scheduler and
 // the engine: one ConcurrentHistogram per (class, phase) plus one for uintr
 // delivery latency (SendUIPI post → handler recognition). A nil *Registry is
@@ -82,6 +87,20 @@ func (p Phase) String() string {
 type Registry struct {
 	hists    [NumClasses][NumPhases]ConcurrentHistogram
 	delivery ConcurrentHistogram
+
+	// levels[l] is the scheduling latency (enqueue → first execution) of
+	// level-l requests in a leveled (mlsched) scheduler; empty unless an
+	// mlsched instance was wired to this registry.
+	levels [NumLevels]ConcurrentHistogram
+
+	// slo[c] is the per-class end-to-end latency SLO target in nanoseconds
+	// (0 = none); sloBreaches[c] counts PhaseTotal observations that exceeded
+	// it. breachFn, when installed, is invoked inline (on the recording
+	// goroutine) for every breach — it must be lock-free and non-blocking,
+	// e.g. a non-blocking channel send waking a flight recorder.
+	slo         [NumClasses]atomic.Int64
+	sloBreaches [NumClasses]atomic.Uint64
+	breachFn    atomic.Pointer[func(Class, int64)]
 
 	// Interleaving counters (K-way context multiplexing): stallYields counts
 	// rotations taken at a YieldStall boundary (a low-priority context parked
@@ -106,12 +125,80 @@ type Registry struct {
 func NewRegistry() *Registry { return &Registry{} }
 
 // Observe records one latency sample for (class, phase). hint spreads
-// concurrent writers across stripes (pass the worker/core id).
+// concurrent writers across stripes (pass the worker/core id). End-to-end
+// (PhaseTotal) samples additionally feed the SLO breach detector: an atomic
+// load against the class watermark, and on breach a counter bump plus the
+// installed hook — nothing on the non-breach path beyond the one load.
 func (r *Registry) Observe(c Class, p Phase, hint int, v int64) {
 	if r == nil {
 		return
 	}
 	r.hists[c][p].Record(hint, v)
+	if p == PhaseTotal {
+		if slo := r.slo[c].Load(); slo > 0 && v > slo {
+			r.sloBreaches[c].Add(1)
+			if fn := r.breachFn.Load(); fn != nil {
+				(*fn)(c, v)
+			}
+		}
+	}
+}
+
+// SetSLO installs the per-class end-to-end latency target (nanoseconds; 0
+// clears it). Safe at any time.
+func (r *Registry) SetSLO(c Class, nanos int64) {
+	if r == nil {
+		return
+	}
+	r.slo[c].Store(nanos)
+}
+
+// SLO returns the class's end-to-end latency target (0 = none).
+func (r *Registry) SLO(c Class) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.slo[c].Load()
+}
+
+// SetBreachHook installs fn to run inline on every SLO breach (nil clears).
+// fn must be lock-free and non-blocking: it runs on the worker goroutine that
+// recorded the sample.
+func (r *Registry) SetBreachHook(fn func(Class, int64)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.breachFn.Store(nil)
+		return
+	}
+	r.breachFn.Store(&fn)
+}
+
+// SLOBreaches returns the class's cumulative breach count.
+func (r *Registry) SLOBreaches(c Class) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.sloBreaches[c].Load()
+}
+
+// ObserveLevel records one leveled-scheduler scheduling-latency sample for
+// level l (out-of-range levels are dropped).
+func (r *Registry) ObserveLevel(l, hint int, v int64) {
+	if r == nil || l < 0 || l >= NumLevels {
+		return
+	}
+	r.levels[l].Record(hint, v)
+}
+
+// Level returns the histogram for leveled-scheduler level l (nil when out of
+// range).
+func (r *Registry) Level(l int) *ConcurrentHistogram {
+	if r == nil || l < 0 || l >= NumLevels {
+		return nil
+	}
+	return &r.levels[l]
 }
 
 // ObserveDelivery records one uintr delivery-latency sample.
@@ -290,6 +377,20 @@ type RegistrySnapshot struct {
 	CacheInvalidations uint64 `json:"cache_invalidations"`
 	ConnsShed          uint64 `json:"conns_shed"`
 	ConnsOpen          int64  `json:"conns_open"`
+	// SLOBreaches count end-to-end (PhaseTotal) samples that exceeded the
+	// per-class SLO watermark; zero when no SLO is configured.
+	SLOBreachesHi uint64 `json:"slo_breaches_hi"`
+	SLOBreachesLo uint64 `json:"slo_breaches_lo"`
+	// LevelSchedLatency is the leveled scheduler's (mlsched) per-level
+	// scheduling-latency decomposition; only levels that recorded samples
+	// appear, so the field is absent unless an mlsched is wired in.
+	LevelSchedLatency []LevelSummary `json:"level_sched_latency,omitempty"`
+}
+
+// LevelSummary is one mlsched level's scheduling-latency summary.
+type LevelSummary struct {
+	Level        int     `json:"level"`
+	SchedLatency Summary `json:"sched_latency"`
 }
 
 // Snapshot summarizes every (class, phase) histogram plus delivery latency.
@@ -315,6 +416,13 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	snap.CacheInvalidations = r.cacheInvalidations.Load()
 	snap.ConnsShed = r.connsShed.Load()
 	snap.ConnsOpen = r.connsOpen.Load()
+	snap.SLOBreachesHi = r.sloBreaches[ClassHi].Load()
+	snap.SLOBreachesLo = r.sloBreaches[ClassLo].Load()
+	for l := 0; l < NumLevels; l++ {
+		if sum := r.levels[l].Summarize(); sum.Count > 0 {
+			snap.LevelSchedLatency = append(snap.LevelSchedLatency, LevelSummary{Level: l, SchedLatency: sum})
+		}
+	}
 	return snap
 }
 
@@ -348,6 +456,12 @@ func MergedSnapshot(regs []*Registry) RegistrySnapshot {
 		}
 	}
 	snap.UintrDelivery = merge(func(r *Registry) *ConcurrentHistogram { return r.Delivery() })
+	for l := 0; l < NumLevels; l++ {
+		l := l
+		if sum := merge(func(r *Registry) *ConcurrentHistogram { return r.Level(l) }); sum.Count > 0 {
+			snap.LevelSchedLatency = append(snap.LevelSchedLatency, LevelSummary{Level: l, SchedLatency: sum})
+		}
+	}
 	for _, r := range regs {
 		snap.StallYields += r.StallYields()
 		snap.InterleaveSwitches += r.InterleaveSwitches()
@@ -356,6 +470,8 @@ func MergedSnapshot(regs []*Registry) RegistrySnapshot {
 		snap.CacheInvalidations += r.CacheInvalidations()
 		snap.ConnsShed += r.ConnsShed()
 		snap.ConnsOpen += r.ConnsOpen()
+		snap.SLOBreachesHi += r.SLOBreaches(ClassHi)
+		snap.SLOBreachesLo += r.SLOBreaches(ClassLo)
 	}
 	return snap
 }
@@ -400,6 +516,18 @@ func (s RegistrySnapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP preemptdb_conns_open Currently open server connections across connection shards.\n")
 	fmt.Fprintf(w, "# TYPE preemptdb_conns_open gauge\n")
 	fmt.Fprintf(w, "preemptdb_conns_open %d\n", s.ConnsOpen)
+	fmt.Fprintf(w, "# HELP preemptdb_slo_breaches_total End-to-end latency samples over the per-class SLO watermark.\n")
+	fmt.Fprintf(w, "# TYPE preemptdb_slo_breaches_total counter\n")
+	fmt.Fprintf(w, "preemptdb_slo_breaches_total{class=\"hi\"} %d\n", s.SLOBreachesHi)
+	fmt.Fprintf(w, "preemptdb_slo_breaches_total{class=\"lo\"} %d\n", s.SLOBreachesLo)
+	if len(s.LevelSchedLatency) > 0 {
+		fmt.Fprintf(w, "# HELP preemptdb_level_sched_latency_nanoseconds Leveled-scheduler scheduling latency by level.\n")
+		fmt.Fprintf(w, "# TYPE preemptdb_level_sched_latency_nanoseconds summary\n")
+		for _, ls := range s.LevelSchedLatency {
+			writePromSummary(w, "preemptdb_level_sched_latency_nanoseconds",
+				fmt.Sprintf(`level="%d"`, ls.Level), ls.SchedLatency)
+		}
+	}
 }
 
 func writePromSummary(w io.Writer, name, labels string, sum Summary) {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"preemptdb/internal/clock"
+	"preemptdb/internal/metrics"
 	"preemptdb/internal/pcontext"
 	"preemptdb/internal/queue"
 	"preemptdb/internal/uintr"
@@ -71,6 +72,11 @@ type Config struct {
 	// QueueSize is the per-worker per-level queue capacity (default 16;
 	// level 0 gets 4x as the baseload queue).
 	QueueSize int
+	// Metrics, when set, receives per-level scheduling-latency samples
+	// (Registry.ObserveLevel, one histogram per level) and uintr
+	// delivery-latency observations from every worker core. Nil disables
+	// recording.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +157,10 @@ func New(cfg Config) *Scheduler {
 			w.queues = append(w.queues, queue.NewMPMC[*Request](size))
 		}
 		w.core.SetUserData(w)
+		if reg := cfg.Metrics; reg != nil {
+			id := i
+			w.core.SetDeliveryObserver(func(ns int64) { reg.ObserveDelivery(id, ns) })
+		}
 		s.workers = append(s.workers, w)
 	}
 	return s
@@ -277,6 +287,9 @@ func (w *Worker) unwind(ctx *pcontext.Context) {
 func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 	prev := w.running[ctx.ID()].Swap(int32(req.Level))
 	req.StartedAt = clock.Nanos()
+	if reg := w.s.cfg.Metrics; reg != nil {
+		reg.ObserveLevel(req.Level, w.id, req.SchedulingLatency())
+	}
 	req.Err = req.Work(ctx)
 	req.FinishedAt = clock.Nanos()
 	w.running[ctx.ID()].Store(prev)

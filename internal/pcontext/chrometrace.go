@@ -20,7 +20,8 @@ type CoreEvents struct {
 }
 
 // chromeEvent is one trace-event record. Field names follow the format spec;
-// timestamps and durations are microseconds.
+// timestamps and durations are microseconds. Id/Cat/BP carry flow events
+// ("s"/"t"/"f"), which stitch causally-linked spans across processes.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
@@ -29,6 +30,9 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -122,6 +126,32 @@ func ChromeTrace(cores []CoreEvents) ([]byte, error) {
 					Name: name, Ph: "i", Ts: us(e.At), S: "t",
 					Pid: ce.Core, Tid: int(e.From), Args: args,
 				})
+			case EvTxnEnd:
+				thread(e.From)
+				args := map[string]any{"err": AuxDetail(e.Aux) != 0}
+				if e.Tag != 0 {
+					args["txn"] = e.Tag
+				}
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Ph: "i", Ts: us(e.At), S: "t",
+					Pid: ce.Core, Tid: int(e.From), Args: args,
+				})
+			default:
+				if !e.Kind.SpanEnd() {
+					break
+				}
+				// Lifecycle span: the event marks the end, Aux carries the
+				// duration.
+				thread(e.From)
+				d := float64(AuxDuration(e.Aux)) / 1e3
+				args := map[string]any{"detail": AuxDetail(e.Aux)}
+				if e.Tag != 0 {
+					args["txn"] = e.Tag
+				}
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Ph: "X", Ts: us(e.At) - d, Dur: &d,
+					Pid: ce.Core, Tid: int(e.From), Args: args,
+				})
 			}
 		}
 		// Close the trailing occupancy span at the last event time.
@@ -138,9 +168,183 @@ func ChromeTrace(cores []CoreEvents) ([]byte, error) {
 	return json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"}, "", " ")
 }
 
+// shardPidBase is the synthetic process id under which ChromeTraceTxn groups
+// per-participant-shard 2PC spans. The scheduler cores keep their own (small)
+// pids; shard N's 2PC track renders as process shardPidBase+N.
+const shardPidBase = 1000
+
+// ChromeTraceTxn k-way merges per-core tracer snapshots into one
+// causally-linked Chrome trace for a single transaction: the admission/queue
+// span, the scheduler occupancy span with pause/resume markers, the WAL
+// group-commit wait, and the 2PC prepare/decision/resolve legs re-bucketed
+// onto one synthetic track per participant shard, stitched together with
+// flow events ("s" at txn start → "t" on every 2PC leg → "f" at txn end).
+// Core ids must already be globally unique (the DB facade renumbers them).
+func ChromeTraceTxn(tag uint64, cores []CoreEvents) ([]byte, error) {
+	if tag == 0 {
+		return nil, errors.New("chrometrace: zero trace id")
+	}
+	type tev struct {
+		core int
+		e    Event
+	}
+	var evs []tev
+	base := int64(0)
+	haveBase := false
+	for _, ce := range cores {
+		for _, e := range ce.Events {
+			if e.Tag != tag {
+				continue
+			}
+			evs = append(evs, tev{ce.Core, e})
+			start := e.At
+			if e.Kind.SpanEnd() {
+				start -= AuxDuration(e.Aux)
+			}
+			if !haveBase || start < base {
+				base, haveBase = start, true
+			}
+		}
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("chrometrace: no events for txn %d (ring wrapped or tracing off)", tag)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].e.At < evs[j].e.At })
+	us := func(at int64) float64 { return float64(at-base) / 1e3 }
+
+	var out []chromeEvent
+	seenProc := map[int]bool{}
+	proc := func(pid int, name string) {
+		if seenProc[pid] {
+			return
+		}
+		seenProc[pid] = true
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	seenThread := map[[2]int]bool{}
+	thread := func(pid, tid int, name string) {
+		k := [2]int{pid, tid}
+		if seenThread[k] {
+			return
+		}
+		seenThread[k] = true
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	schedTrack := func(core int, ctx int8) (int, int) {
+		proc(core, fmt.Sprintf("core %d", core))
+		thread(core, int(ctx), fmt.Sprintf("ctx%d", ctx))
+		return core, int(ctx)
+	}
+	shardTrack := func(shard uint8) (int, int) {
+		pid := shardPidBase + int(shard)
+		proc(pid, fmt.Sprintf("shard %d (2PC)", shard))
+		thread(pid, 0, "prepare/resolve")
+		return pid, 0
+	}
+	flow := func(ph string, pid, tid int, ts float64) {
+		out = append(out, chromeEvent{
+			Name: "txn-flow", Ph: ph, Cat: "txn", ID: tag,
+			Ts: ts, Pid: pid, Tid: tid, BP: "e",
+		})
+	}
+	span := func(name string, pid, tid int, start, end float64, args map[string]any) {
+		d := end - start
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, chromeEvent{
+			Name: name, Ph: "X", Ts: start, Dur: &d, Pid: pid, Tid: tid, Args: args,
+		})
+	}
+
+	// The scheduler-side execution span: EvTxnStart → EvTxnEnd on the core
+	// that ran the transaction (retries stay on one request, hence one pair).
+	var startAt, endAt int64 = -1, -1
+	for _, te := range evs {
+		switch te.e.Kind {
+		case EvTxnStart:
+			if startAt < 0 {
+				startAt = te.e.At
+			}
+		case EvTxnEnd:
+			endAt = te.e.At
+		}
+	}
+
+	for _, te := range evs {
+		e := te.e
+		switch e.Kind {
+		case EvTxnStart:
+			pid, tid := schedTrack(te.core, e.From)
+			span("admission+queue", pid, tid, us(e.At-AuxDuration(e.Aux)), us(e.At),
+				map[string]any{"txn": tag, "class_hi": AuxDetail(e.Aux) != 0})
+			if endAt >= 0 {
+				span(fmt.Sprintf("txn %d", tag), pid, tid, us(e.At), us(endAt),
+					map[string]any{"txn": tag})
+			}
+			flow("s", pid, tid, us(e.At))
+		case EvTxnEnd:
+			pid, tid := schedTrack(te.core, e.From)
+			out = append(out, chromeEvent{
+				Name: "txn-end", Ph: "i", Ts: us(e.At), S: "t", Pid: pid, Tid: tid,
+				Args: map[string]any{"txn": tag, "err": AuxDetail(e.Aux) != 0},
+			})
+			flow("f", pid, tid, us(e.At))
+		case EvWALWait:
+			pid, tid := schedTrack(te.core, e.From)
+			span("wal group-commit wait", pid, tid, us(e.At-AuxDuration(e.Aux)), us(e.At),
+				map[string]any{"txn": tag, "leader": AuxDetail(e.Aux) != 0})
+		case EvPrepare, EvResolve, EvDecision:
+			pid, tid := shardTrack(AuxDetail(e.Aux))
+			span(e.Kind.String(), pid, tid, us(e.At-AuxDuration(e.Aux)), us(e.At),
+				map[string]any{"txn": tag, "shard": AuxDetail(e.Aux)})
+			flow("t", pid, tid, us(e.At-AuxDuration(e.Aux)))
+		case EvPassiveSwitch, EvActiveSwitch:
+			// The transaction's context is the From edge of a switch carrying
+			// its tag: it was paused (preempted or stall-parked) here.
+			pid, tid := schedTrack(te.core, e.From)
+			name := "paused (preempted)"
+			if e.Kind == EvActiveSwitch {
+				name = "paused (yield/stall)"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "i", Ts: us(e.At), S: "t", Pid: pid, Tid: tid,
+				Args: map[string]any{"txn": tag, "to_ctx": e.To},
+			})
+		case EvRecognized, EvSuppressed:
+			pid, tid := schedTrack(te.core, e.From)
+			name := "uintr recognized"
+			if e.Kind == EvSuppressed {
+				name = "uintr deferred (NPR)"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "i", Ts: us(e.At), S: "t", Pid: pid, Tid: tid,
+				Args: map[string]any{"txn": tag},
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi // metadata first
+		}
+		return out[i].Ts < out[j].Ts
+	})
+	return json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"}, "", " ")
+}
+
 // ValidateChromeTrace parses a Chrome trace-event JSON document and checks it
 // is well-formed: non-empty, every event carries a known phase, durations are
-// non-negative, and non-metadata timestamps are monotonically non-decreasing.
+// non-negative, non-metadata timestamps are monotonically non-decreasing, and
+// flow events are coherent — every flow id that starts ("s") also finishes
+// ("f"), with the start at or before every step and the finish.
 func ValidateChromeTrace(data []byte) error {
 	var tr chromeTrace
 	if err := json.Unmarshal(data, &tr); err != nil {
@@ -149,6 +353,19 @@ func ValidateChromeTrace(data []byte) error {
 	if len(tr.TraceEvents) == 0 {
 		return errors.New("chrometrace: no events")
 	}
+	type flowState struct {
+		starts, finishes int
+		startTs          float64
+	}
+	flows := map[uint64]*flowState{}
+	flowAt := func(id uint64) *flowState {
+		f := flows[id]
+		if f == nil {
+			f = &flowState{}
+			flows[id] = f
+		}
+		return f
+	}
 	prev := float64(0)
 	first := true
 	for i, e := range tr.TraceEvents {
@@ -156,6 +373,28 @@ func ValidateChromeTrace(data []byte) error {
 		case "M":
 			continue
 		case "X", "i":
+		case "s", "t", "f":
+			if e.ID == 0 {
+				return fmt.Errorf("chrometrace: event %d: flow event without id", i)
+			}
+			f := flowAt(e.ID)
+			switch e.Ph {
+			case "s":
+				f.starts++
+				f.startTs = e.Ts
+			case "t":
+				if f.starts == 0 {
+					return fmt.Errorf("chrometrace: event %d: flow step for id %d before its start", i, e.ID)
+				}
+			case "f":
+				if f.starts == 0 {
+					return fmt.Errorf("chrometrace: event %d: flow finish for id %d before its start", i, e.ID)
+				}
+				if e.Ts < f.startTs {
+					return fmt.Errorf("chrometrace: event %d: flow id %d finishes at %g before start %g", i, e.ID, e.Ts, f.startTs)
+				}
+				f.finishes++
+			}
 		default:
 			return fmt.Errorf("chrometrace: event %d: unknown phase %q", i, e.Ph)
 		}
@@ -166,6 +405,14 @@ func ValidateChromeTrace(data []byte) error {
 			return fmt.Errorf("chrometrace: event %d: ts %g < previous %g", i, e.Ts, prev)
 		}
 		prev, first = e.Ts, false
+	}
+	for id, f := range flows {
+		if f.starts == 0 {
+			return fmt.Errorf("chrometrace: flow id %d has steps but no start", id)
+		}
+		if f.finishes == 0 {
+			return fmt.Errorf("chrometrace: flow id %d starts but never finishes", id)
+		}
 	}
 	return nil
 }

@@ -94,6 +94,13 @@ type Request struct {
 	// before execution; a running one is canceled at its next poll.
 	Deadline int64
 
+	// TraceID is the transaction's trace identifier, stamped on the executing
+	// context so every scheduling and engine event the transaction generates
+	// carries it. Zero means "assign one": the worker draws from the
+	// scheduler's shared sequence at execution start and writes it back here.
+	// Submitters (the DB facade, or a client over the wire) may pre-assign.
+	TraceID uint64
+
 	// EnqueuedAt is stamped by the submitter (clock.Nanos); StartedAt and
 	// FinishedAt by the executing worker. Scheduling latency is
 	// StartedAt-EnqueuedAt; end-to-end latency FinishedAt-EnqueuedAt.
@@ -181,6 +188,12 @@ type Config struct {
 	// (events retained per core, rounded up to a power of two). Default 4096;
 	// negative disables tracing.
 	TraceCapacity int
+	// TraceIDs, when set, is the shared trace-id sequence requests without a
+	// pre-assigned TraceID draw from. A multi-shard deployment passes one
+	// counter to every shard's scheduler so trace ids stay globally unique and
+	// a cross-shard transaction's events merge by a single id. Default: a
+	// fresh per-scheduler counter.
+	TraceIDs *atomic.Uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -217,6 +230,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceCapacity == 0 {
 		c.TraceCapacity = 4096
 	}
+	if c.TraceIDs == nil {
+		c.TraceIDs = new(atomic.Uint64)
+	}
 	return c
 }
 
@@ -244,8 +260,9 @@ type Scheduler struct {
 	// metrics is the shared phase-latency registry (never nil after New).
 	metrics *metrics.Registry
 	// traceSeq issues the per-request trace tags stamped on the executing
-	// context so trace events can be attributed to a transaction.
-	traceSeq atomic.Uint64
+	// context so trace events can be attributed to a transaction. Shared
+	// across schedulers when Config.TraceIDs was supplied.
+	traceSeq *atomic.Uint64
 }
 
 // Worker is one simulated core with its K transaction contexts and queues.
@@ -270,6 +287,12 @@ type Worker struct {
 	// argument the two-context code made for its single shared pair).
 	slots []slotState
 
+	// pubs[i] is slot i's seqlock-published mirror for live introspection:
+	// the owning context writes it at state transitions (execute start/end,
+	// stall park/resume, preempt pause/resume); any goroutine may read it
+	// through SlotTable without touching the plain slotState fields.
+	pubs []slotPub
+
 	// resumeTo is the context the preemptive loop hands the core back to:
 	// the last low slot it interrupted (via handler or cooperative yield).
 	// Written by the interrupted context just before switching away, read by
@@ -284,8 +307,9 @@ type slotState struct {
 	resumeAt int64         // stamped by the preemptive loop just before handing the core back
 	curClass metrics.Class // class of the request the accumulators belong to
 
-	stallNs    int64 // stall-parked (interleaved-out) nanoseconds accumulated so far
-	stallStart int64 // non-zero while the slot is parked at a stall boundary
+	stallNs    int64  // stall-parked (interleaved-out) nanoseconds accumulated so far
+	stallStart int64  // non-zero while the slot is parked at a stall boundary
+	curTag     uint64 // trace id of the in-flight request (for pause/resume republish)
 
 	// stallParked marks a slot parked mid-transaction at a YieldStall
 	// boundary: it is runnable and waiting for a sibling to rotate the core
@@ -296,6 +320,148 @@ type slotState struct {
 	// loop) and must not be switched to.
 	stallParked bool
 	idle        bool
+}
+
+// Published slot states (SlotInfo.State).
+const (
+	SlotIdle        = "idle"         // parked with no request in flight
+	SlotRunning     = "running"      // executing a request (or holding the core)
+	SlotStallParked = "stall-parked" // parked mid-transaction at a stall boundary
+	SlotPreempted   = "preempted"    // paused mid-transaction by the preemptive context
+)
+
+// slotPub is one slot's introspection mirror, written only by the context
+// that owns the slot and read by SlotTable under the same seqlock discipline
+// as the trace ring: the writer bumps seq odd, stores the payload, bumps seq
+// even; a reader retries until it sees the same even seq before and after the
+// payload loads. All fields are atomics, so concurrent sampling is race-clean
+// as well as tear-free.
+type slotPub struct {
+	seq   atomic.Uint32
+	state atomic.Uint32 // 0 idle, 1 running, 2 stall-parked, 3 preempted
+	class atomic.Uint32 // metrics.Class of the in-flight request
+	tag   atomic.Uint64 // trace id of the in-flight request (0 when idle)
+}
+
+const (
+	pubIdle uint32 = iota
+	pubRunning
+	pubStallParked
+	pubPreempted
+)
+
+// publish writes slot id's mirror. Called only from the owning context.
+func (w *Worker) publish(id int, state uint32, class metrics.Class, tag uint64) {
+	p := &w.pubs[id]
+	p.seq.Add(1) // odd: write in progress
+	p.state.Store(state)
+	p.class.Store(uint32(class))
+	p.tag.Store(tag)
+	p.seq.Add(1) // even: stable
+}
+
+// SlotInfo is one context slot's sampled state.
+type SlotInfo struct {
+	Context    int     `json:"context"`
+	Preemptive bool    `json:"preemptive"`
+	State      string  `json:"state"`
+	Class      string  `json:"class,omitempty"` // "hi"/"lo" while occupied
+	TraceTag   uint64  `json:"trace_tag,omitempty"`
+	Starvation float64 `json:"starvation"`
+}
+
+// WorkerState is one worker core's sampled slot table and queue depths.
+type WorkerState struct {
+	Worker     int        `json:"worker"`
+	HiQueueLen int        `json:"hi_queue_len"`
+	HiQueueCap int        `json:"hi_queue_cap"`
+	LoQueueLen int        `json:"lo_queue_len"`
+	LoQueueCap int        `json:"lo_queue_cap"`
+	Slots      []SlotInfo `json:"slots"`
+}
+
+// SlotTable samples the worker's per-context slot table via the seqlock
+// mirrors. Safe from any goroutine while the scheduler runs; each slot's
+// fields are mutually consistent (never torn across a transition).
+func (w *Worker) SlotTable() []SlotInfo {
+	out := make([]SlotInfo, len(w.pubs))
+	for i := range w.pubs {
+		p := &w.pubs[i]
+		var state, class uint32
+		var tag uint64
+		for attempt := 0; ; attempt++ {
+			s1 := p.seq.Load()
+			if s1&1 == 0 {
+				state = p.state.Load()
+				class = p.class.Load()
+				tag = p.tag.Load()
+				if p.seq.Load() == s1 {
+					break
+				}
+			}
+			if attempt >= 4096 {
+				// A writer storm outlasting 4096 retries of a 4-store window
+				// cannot happen in practice; give up with the idle zero value
+				// rather than spin forever.
+				state, class, tag = pubIdle, 0, 0
+				break
+			}
+			if attempt%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+		info := SlotInfo{
+			Context:    i,
+			Preemptive: i == len(w.pubs)-1,
+			TraceTag:   tag,
+		}
+		switch state {
+		case pubRunning:
+			info.State = SlotRunning
+		case pubStallParked:
+			info.State = SlotStallParked
+		case pubPreempted:
+			info.State = SlotPreempted
+		default:
+			info.State = SlotIdle
+		}
+		if state != pubIdle {
+			if metrics.Class(class) == metrics.ClassHi {
+				info.Class = "hi"
+			} else {
+				info.Class = "lo"
+			}
+		}
+		if ctx := w.core.Context(i); ctx != nil {
+			info.Starvation = ctx.StarvationLevel()
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// State samples the worker's slot table plus queue depths.
+func (w *Worker) State() WorkerState {
+	return WorkerState{
+		Worker:     w.id,
+		HiQueueLen: w.hiQ.Len(),
+		HiQueueCap: w.hiQ.Cap(),
+		LoQueueLen: w.loQ.Len(),
+		LoQueueCap: w.loQ.Cap(),
+		Slots:      w.SlotTable(),
+	}
+}
+
+// State samples every worker's slot table and queue depths — the live
+// scheduler introspection surface behind /debug/sched. Safe concurrently
+// with execution; zero allocations on any hot path (sampling allocates, the
+// publishing side does not).
+func (s *Scheduler) State() []WorkerState {
+	out := make([]WorkerState, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.State()
+	}
+	return out
 }
 
 // ID returns the worker index.
@@ -314,9 +480,10 @@ func (w *Worker) ExecutedLow() uint64 { return w.executedLo.Load() }
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:     cfg,
-		morselQ: queue.NewMPMC[func(*pcontext.Context)](cfg.MorselQueueSize),
-		metrics: cfg.Metrics,
+		cfg:      cfg,
+		morselQ:  queue.NewMPMC[func(*pcontext.Context)](cfg.MorselQueueSize),
+		metrics:  cfg.Metrics,
+		traceSeq: cfg.TraceIDs,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
@@ -326,6 +493,7 @@ func New(cfg Config) *Scheduler {
 			hiQ:   queue.NewMPMC[*Request](cfg.HiQueueSize),
 			loQ:   queue.NewSPSC[*Request](cfg.LoQueueSize),
 			slots: make([]slotState, cfg.ContextsPerCore),
+			pubs:  make([]slotPub, cfg.ContextsPerCore),
 		}
 		for si := range w.slots {
 			w.slots[si].idle = true // every slot starts parked with no request
@@ -513,6 +681,8 @@ func (w *Worker) handlePreempt(cur *pcontext.Context) {
 		return // spurious or raced: nothing to do (fig8's overhead path)
 	}
 	w.resumeTo = cur
+	st := &w.slots[cur.ID()]
+	w.publish(cur.ID(), pubPreempted, st.curClass, st.curTag)
 	pauseStart := clock.Nanos()
 	cur.SwitchTo(hp)
 	w.notePauseEnd(cur, pauseStart)
@@ -523,6 +693,7 @@ func (w *Worker) handlePreempt(cur *pcontext.Context) {
 // total and records the per-pause and resume-latency phases.
 func (w *Worker) notePauseEnd(cur *pcontext.Context, pauseStart int64) {
 	st := &w.slots[cur.ID()]
+	w.publish(cur.ID(), pubRunning, st.curClass, st.curTag)
 	now := clock.Nanos()
 	pause := now - pauseStart
 	st.pauseNs += pause
@@ -546,6 +717,8 @@ func (w *Worker) yieldPoint(cur *pcontext.Context) {
 		return
 	}
 	w.resumeTo = cur
+	st := &w.slots[cur.ID()]
+	w.publish(cur.ID(), pubPreempted, st.curClass, st.curTag)
 	pauseStart := clock.Nanos()
 	cur.SwapContext(hp)
 	w.notePauseEnd(cur, pauseStart)
@@ -583,6 +756,7 @@ func (w *Worker) stallPoint(cur *pcontext.Context) {
 	st := &w.slots[id]
 	st.stallParked = true
 	st.stallStart = clock.Nanos()
+	w.publish(id, pubStallParked, st.curClass, st.curTag)
 	w.s.metrics.IncStallYield()
 	if w.slots[target.ID()].stallParked {
 		w.s.metrics.IncInterleaveSwitch()
@@ -592,6 +766,7 @@ func (w *Worker) stallPoint(cur *pcontext.Context) {
 	st.stallParked = false
 	st.stallNs += clock.Nanos() - st.stallStart
 	st.stallStart = 0
+	w.publish(id, pubRunning, st.curClass, st.curTag)
 }
 
 // rotationTarget picks the next runnable low slot after `from` in ring
@@ -764,12 +939,22 @@ func (w *Worker) runLow(ctx *pcontext.Context, req *Request) {
 func (w *Worker) runMorsel(ctx *pcontext.Context, fn func(*pcontext.Context)) {
 	w.s.morselsStolen.Add(1)
 	st := &w.slots[ctx.ID()]
-	savedPause, savedClass, savedStall := st.pauseNs, st.curClass, st.stallNs
-	st.pauseNs, st.curClass, st.stallNs = 0, metrics.ClassLo, 0
+	savedPause, savedClass, savedStall, savedTag := st.pauseNs, st.curClass, st.stallNs, st.curTag
+	st.pauseNs, st.curClass, st.stallNs, st.curTag = 0, metrics.ClassLo, 0, ctx.TraceTag()
+	w.publish(ctx.ID(), pubRunning, metrics.ClassLo, st.curTag)
 	ctx.BeginLowPrio()
 	fn(ctx)
 	ctx.EndLowPrio()
-	st.pauseNs, st.curClass, st.stallNs = savedPause, savedClass, savedStall
+	st.pauseNs, st.curClass, st.stallNs, st.curTag = savedPause, savedClass, savedStall, savedTag
+	w.publish(ctx.ID(), pubIdle, 0, 0)
+}
+
+// boolByte packs a bool into a span detail byte.
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // shed completes a request without running it — the dispatch-side drop for
@@ -821,7 +1006,14 @@ func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 	cls := ctx.CLS()
 	savedHi, savedTag := cls.HighPrio, ctx.TraceTag()
 	cls.HighPrio = req.HighPriority
-	ctx.SetTraceTag(w.s.traceSeq.Add(1))
+	tag := req.TraceID
+	if tag == 0 {
+		tag = w.s.traceSeq.Add(1)
+		req.TraceID = tag
+	}
+	ctx.SetTraceTag(tag)
+	st.curTag = tag
+	w.publish(ctx.ID(), pubRunning, class, tag)
 	gen := ctx.Arm(req.Deadline)
 	req.execGen.Store(gen)
 	req.execCtx.Store(ctx)
@@ -832,14 +1024,22 @@ func (w *Worker) execute(ctx *pcontext.Context, req *Request) {
 		ctx.CancelGen(gen)
 	}
 	req.StartedAt = clock.Nanos()
+	if req.EnqueuedAt != 0 {
+		ctx.TraceEvent(pcontext.EvTxnStart, pcontext.SpanAux(req.StartedAt-req.EnqueuedAt, boolByte(req.HighPriority)))
+	} else {
+		ctx.TraceEvent(pcontext.EvTxnStart, pcontext.SpanAux(0, boolByte(req.HighPriority)))
+	}
 	req.Err = req.Work(ctx)
 	req.FinishedAt = clock.Nanos()
+	ctx.TraceEvent(pcontext.EvTxnEnd, pcontext.SpanAux(req.FinishedAt-req.StartedAt, boolByte(req.Err != nil)))
 	req.execCtx.Store(nil)
 	ctx.Disarm()
 	ctx.SetTraceTag(savedTag)
 	cls.HighPrio = savedHi
 	pause, stall := st.pauseNs, st.stallNs
 	st.pauseNs, st.curClass, st.stallNs = savedPause, savedClass, savedStall
+	st.curTag = savedTag
+	w.publish(ctx.ID(), pubIdle, 0, 0)
 	m := w.s.metrics
 	m.Observe(class, metrics.PhaseExec, w.id, req.FinishedAt-req.StartedAt-pause-stall)
 	if pause > 0 {

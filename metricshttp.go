@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"preemptdb/internal/metrics"
@@ -52,16 +53,9 @@ func (db *DB) NumShards() int { return len(db.shards) }
 // shards' cores appear side by side, renumbered shard*Workers+core. Returns
 // an error only when tracing is disabled (Config.TraceCapacity < 0).
 func (db *DB) TraceSnapshot() ([]byte, error) {
-	var all []pcontext.CoreEvents
-	for si, sh := range db.shards {
-		cores := sh.sch.TraceSnapshot()
-		if cores == nil {
-			return nil, fmt.Errorf("preemptdb: tracing disabled (TraceCapacity < 0)")
-		}
-		for _, ce := range cores {
-			ce.Core += si * db.cfg.Workers
-			all = append(all, ce)
-		}
+	all, err := db.traceEvents()
+	if err != nil {
+		return nil, err
 	}
 	return pcontext.ChromeTrace(all)
 }
@@ -102,6 +96,41 @@ func (db *DB) startMetricsServer(addr string) error {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
+	})
+	// /trace/txn?id=N exports one transaction's cross-shard span tree.
+	mux.HandleFunc("/trace/txn", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "trace/txn: bad or missing id parameter", http.StatusBadRequest)
+			return
+		}
+		data, err := db.TraceTxn(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	// /debug/sched is the live scheduler view: per-core queue depths and
+	// seqlock-sampled slot tables (state, class, trace tag, starvation).
+	mux.HandleFunc("/debug/sched", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(db.SchedState())
+	})
+	// /debug/flight serves the most recent SLO-breach flight-recorder bundle.
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		rec := db.LastFlightRecord()
+		if rec == nil {
+			http.Error(w, "no flight record captured (no SLO breach, or SLOs not configured)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(rec)
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	db.mln, db.msrv = ln, srv

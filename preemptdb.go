@@ -206,6 +206,29 @@ type Config struct {
 	// TraceCapacity sizes the per-core scheduling-trace rings (default 4096
 	// events per core; negative disables tracing).
 	TraceCapacity int
+	// TraceSampling controls per-transaction span recording on the commit
+	// path (WAL group-commit wait, 2PC prepare/resolve spans). 0 samples
+	// 1-in-32 commits, riding the existing metrics sampling with zero extra
+	// cost on unsampled commits; > 0 records spans on every commit (for
+	// forensic runs and DB.TraceTxn completeness); < 0 suppresses commit-path
+	// spans entirely. Scheduler-level events (txn start/end, preemption
+	// pause/resume) always trace while TraceCapacity enables the rings.
+	TraceSampling int
+	// SLOHigh / SLOLow, when > 0, set per-class end-to-end latency SLO
+	// targets. A transaction whose total latency exceeds its class target
+	// trips the breach detector; subject to SLOCooldown, the flight recorder
+	// captures a diagnosis bundle (trace rings, scheduler slot tables, queue
+	// depths, in-flight 2PC, full metrics snapshot) retrievable via
+	// DB.LastFlightRecord, the /debug/flight endpoint, or as JSON files under
+	// FlightRecorderDir.
+	SLOHigh, SLOLow time.Duration
+	// SLOCooldown is the minimum spacing between flight-recorder captures
+	// (default 1s) so a latency storm yields one bundle, not thousands.
+	SLOCooldown time.Duration
+	// FlightRecorderDir, when non-empty, additionally writes each
+	// flight-recorder bundle as an indented JSON file
+	// (flight-<unix-nanos>.json) under this directory.
+	FlightRecorderDir string
 	// ConnShards is the number of connection shards the network server (see
 	// package server) multiplexes its connections across — each shard runs
 	// one event-loop goroutine plus a small worker pool, with connections
@@ -334,6 +357,27 @@ type DB struct {
 	// DB.Stats alongside the per-shard registries; the server package bumps it
 	// via FrontendRegistry.
 	frontReg *metrics.Registry
+	// traceIDs issues database-wide transaction trace ids: shared by submit
+	// (which stamps every request up front) and every shard's scheduler (which
+	// assigns to requests that bypass submit), so a trace id uniquely names one
+	// transaction across all shards and cores.
+	traceIDs *atomic.Uint64
+	// xsMu/xsGen fence cross-shard 2PC resolution against cross-shard snapshot
+	// establishment. The resolution loop of every cross-shard commit runs under
+	// the write lock (see dtx.ResolutionGate) and bumps xsGen on release; a
+	// multi-shard transaction begins each per-shard participant under the read
+	// lock and fails with a retryable conflict when xsGen moved between its
+	// first and a later begin — the transaction would otherwise observe a 2PC
+	// transaction's writes on one shard but not another.
+	xsMu  sync.RWMutex
+	xsGen atomic.Uint64
+	// Flight-recorder plumbing: breach notifications arrive on frCh (cap 1,
+	// non-blocking send from the recording hot path), the recorder goroutine
+	// exits on frStop, and lastFlight holds the most recent bundle.
+	frCh       chan sloBreach
+	frStop     chan struct{}
+	frWG       sync.WaitGroup
+	lastFlight atomic.Pointer[FlightRecord]
 }
 
 // Open creates a database and starts its workers.
@@ -470,6 +514,8 @@ func newShard(cfg Config, si int, dlog *store.Log) *shard {
 		VacuumInterval: cfg.VacuumInterval,
 		Metrics:        reg,
 		Cache:          cache,
+		ShardID:        si,
+		TraceSampling:  cfg.TraceSampling,
 	})
 	return &shard{eng: eng, reg: reg, dlog: dlog}
 }
@@ -478,7 +524,7 @@ func newShard(cfg Config, si int, dlog *store.Log) *shard {
 // pre-attached to the shard's own engine so it owns their CLS state: pooled
 // zero-allocation transactions for same-shard work, with other shards'
 // engines transparently beginning guest transactions on the same contexts.
-func (sh *shard) startShard(cfg Config) {
+func (sh *shard) startShard(cfg Config, traceIDs *atomic.Uint64) {
 	sh.sch = sched.New(sched.Config{
 		Policy:              cfg.Policy.toSched(),
 		Workers:             cfg.Workers,
@@ -489,6 +535,7 @@ func (sh *shard) startShard(cfg Config) {
 		StarvationThreshold: cfg.StarvationThreshold,
 		Metrics:             sh.reg,
 		TraceCapacity:       cfg.TraceCapacity,
+		TraceIDs:            traceIDs,
 	})
 	for _, w := range sh.sch.Workers() {
 		for i := 0; i < w.Core().NumContexts(); i++ {
@@ -501,15 +548,20 @@ func (sh *shard) startShard(cfg Config) {
 // assembleDB wires recovered (or fresh) shards into a DB and starts their
 // schedulers.
 func assembleDB(cfg Config, shs []*shard) (*DB, error) {
+	// One trace-id sequence for the whole database: submit stamps requests
+	// from it, and each shard's scheduler falls back to it for direct
+	// submissions, so ids never collide across shards.
+	traceIDs := new(atomic.Uint64)
 	for _, sh := range shs {
-		sh.startShard(cfg)
+		sh.startShard(cfg, traceIDs)
 	}
 	// The admission controller is always present: with the rate and
 	// in-flight knobs at zero it admits everything, but it still tracks the
 	// queue-delay estimate that lets AdmitDeadline shed doomed requests.
 	adm := admission.New(cfg.AdmissionRate, cfg.AdmissionBurst, cfg.MaxInFlight)
 	db := &DB{cfg: cfg, shards: shs, adm: adm, gidBase: rand.Uint64() &^ dtx.GIDBit,
-		frontReg: metrics.NewRegistry()}
+		frontReg: metrics.NewRegistry(), traceIDs: traceIDs}
+	db.startFlightRecorder()
 	if cfg.MetricsAddr != "" {
 		if err := db.startMetricsServer(cfg.MetricsAddr); err != nil {
 			db.Close()
@@ -542,6 +594,7 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.stopMetricsServer()
+	db.stopFlightRecorder()
 	var err error
 	for _, sh := range db.shards {
 		if sh.sch != nil {
@@ -659,6 +712,12 @@ type TxnOptions struct {
 	// scheduler with zero cross-shard coordination. Nil round-robins across
 	// shards. Ignored when Shards == 1.
 	RouteKey []byte
+	// TraceID, when non-zero, names this transaction in the scheduling-trace
+	// rings instead of a database-assigned id — clients propagating an
+	// end-to-end trace context supply theirs here, and DB.TraceTxn exports the
+	// transaction's cross-shard span tree under it. Zero draws a fresh unique
+	// id (readable from Pending.TraceID after SubmitOpts).
+	TraceID uint64
 }
 
 // deadlineNanos converts the options' deadline to the scheduler's absolute
@@ -703,6 +762,11 @@ func (p *Pending) Wait() error { return <-p.ch }
 // Done exposes the single-delivery outcome channel.
 func (p *Pending) Done() <-chan error { return p.ch }
 
+// TraceID returns the id naming this request in the scheduling-trace rings —
+// the handle for DB.TraceTxn after (or while) the transaction runs. It is
+// assigned at submission, so it is valid immediately.
+func (p *Pending) TraceID() uint64 { return p.req.TraceID }
+
 // classify buckets a finished request's error into the shard's per-reason
 // abort counters surfaced by Stats. Cross-shard transactions count once, on
 // their routing shard.
@@ -741,7 +805,7 @@ func (db *DB) routeShard(route []byte) *shard {
 // submit is the single scheduling entry point every public Submit/Exec
 // variant funnels through: admission, shard routing, lifecycle wiring,
 // dispatch, and per-reason accounting in one place.
-func (db *DB) submit(p Priority, deadline int64, route []byte, fn func(tx *Txn) error, onDone func(*sched.Request)) (*sched.Request, error) {
+func (db *DB) submit(p Priority, deadline int64, route []byte, traceID uint64, fn func(tx *Txn) error, onDone func(*sched.Request)) (*sched.Request, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
@@ -750,8 +814,12 @@ func (db *DB) submit(p Priority, deadline int64, route []byte, fn func(tx *Txn) 
 		sh.aborts.Inc(metrics.AbortQueueFull)
 		return nil, ErrQueueFull
 	}
+	if traceID == 0 {
+		traceID = db.traceIDs.Add(1)
+	}
 	req := &sched.Request{
 		Deadline: deadline,
+		TraceID:  traceID,
 		Work: func(ctx *pcontext.Context) error {
 			return db.runOn(ctx, fn)
 		},
@@ -790,7 +858,7 @@ func (db *DB) Submit(p Priority, fn func(tx *Txn) error, done func(error)) error
 	if done != nil {
 		onDone = func(r *sched.Request) { done(r.Err) }
 	}
-	_, err := db.submit(p, 0, nil, fn, onDone)
+	_, err := db.submit(p, 0, nil, 0, fn, onDone)
 	return err
 }
 
@@ -798,7 +866,7 @@ func (db *DB) Submit(p Priority, fn func(tx *Txn) error, done func(error)) error
 // Pending handle for waiting on — or canceling — the request.
 func (db *DB) SubmitOpts(opts TxnOptions, fn func(tx *Txn) error) (*Pending, error) {
 	ch := make(chan error, 1)
-	req, err := db.submit(opts.Priority, opts.deadlineNanos(), opts.RouteKey, fn, func(r *sched.Request) {
+	req, err := db.submit(opts.Priority, opts.deadlineNanos(), opts.RouteKey, opts.TraceID, fn, func(r *sched.Request) {
 		ch <- r.Err
 	})
 	if err != nil {
@@ -884,7 +952,7 @@ func (db *DB) SubmitTimed(p Priority, fn func(tx *Txn) error, done func(Timing, 
 			}, r.Err)
 		}
 	}
-	_, err := db.submit(p, 0, nil, fn, onDone)
+	_, err := db.submit(p, 0, nil, 0, fn, onDone)
 	return err
 }
 
@@ -1224,22 +1292,48 @@ type Txn struct {
 	inner *engine.Txn
 	// parts are the lazily-begun per-shard participants (multi-shard only).
 	parts []*engine.Txn
+	// snapGen, once a participant exists, holds db.xsGen+1 as observed at the
+	// first begin (the +1 keeps zero meaning "no participant yet"). Later
+	// begins compare against it: a moved generation means a cross-shard 2PC
+	// resolved between this transaction's per-shard snapshots, so the combined
+	// view could be half of another transaction — fail with a retryable
+	// conflict instead.
+	snapGen uint64
 }
+
+// errSnapshotRace marks a multi-shard transaction whose lazily-established
+// per-shard snapshots straddled a cross-shard 2PC resolution. It wraps the
+// engine's conflict condition so the facade's automatic retry loop (and
+// IsConflict) treats it like any other transient conflict.
+var errSnapshotRace = fmt.Errorf(
+	"preemptdb: cross-shard snapshot raced a two-phase commit resolution: %w", mvcc.ErrWriteConflict)
 
 // part returns the participant transaction for shard si, beginning it on
 // first touch. On a context owned by another shard's engine the participant
 // begins as a guest (own oracle slot, private log buffer) — see
-// engine.Engine.BeginIso.
-func (t *Txn) part(si int) *engine.Txn {
+// engine.Engine.BeginIso. Each begin runs under the cross-shard resolution
+// gate's read side, and a begin that would land on the far side of a 2PC
+// resolution from this transaction's earlier snapshots fails with
+// errSnapshotRace (retryable) — see DB.xsMu.
+func (t *Txn) part(si int) (*engine.Txn, error) {
 	if t.inner != nil {
-		return t.inner
+		return t.inner, nil
 	}
 	p := t.parts[si]
 	if p == nil {
+		t.db.xsMu.RLock()
+		gen := t.db.xsGen.Load() + 1
+		if t.snapGen == 0 {
+			t.snapGen = gen
+		} else if t.snapGen != gen {
+			t.db.xsMu.RUnlock()
+			return nil, errSnapshotRace
+		}
 		p = t.db.shards[si].eng.Begin(t.ctx)
 		t.parts[si] = p
+		t.db.xsMu.RUnlock()
 	}
-	return p
+	return p, nil
 }
 
 // at resolves a keyed access: the owning shard's participant and its handle
@@ -1253,7 +1347,11 @@ func (t *Txn) at(table string, key []byte) (*engine.Txn, *engine.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return t.part(si), tab, nil
+	p, err := t.part(si)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, tab, nil
 }
 
 // Get returns the visible row under key in table.
@@ -1405,7 +1503,11 @@ func (t *Txn) ParallelScan(table string, from, to []byte, morsels int, fn func(k
 		if err != nil {
 			return err
 		}
-		if err := scanShard(t.part(si), tab); err != nil {
+		p, err := t.part(si)
+		if err != nil {
+			return err
+		}
+		if err := scanShard(p, tab); err != nil {
 			return err
 		}
 	}

@@ -85,6 +85,49 @@ func (c *Client) Metrics() (metrics.RegistrySnapshot, error) {
 	return snap, nil
 }
 
+// SchedState fetches the server's live scheduler introspection snapshot as a
+// JSON document (the wire form of DB.SchedState / the /debug/sched endpoint):
+// per-core queue depths and seqlock-sampled slot tables — slot state, class,
+// trace tag, starvation level. Returned raw so callers without the
+// preemptdb types (dashboards, scripts) can consume it directly.
+func (c *Client) SchedState() ([]byte, error) {
+	status, msg, _, err := c.roundTrip([]byte{reqSchedState})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, msg); err != nil {
+		return nil, err
+	}
+	return []byte(msg), nil
+}
+
+// TxnTraced is Txn with end-to-end trace propagation: the script runs under
+// traceID (0 lets the server assign one) and the server ships back the
+// transaction's merged cross-shard Chrome trace-event document alongside the
+// results. traceWait bounds how long the server waits for the transaction's
+// events to settle into the trace rings (0 picks a 50ms default). A nil
+// trace with a nil error means the server has tracing disabled or the rings
+// wrapped before export.
+func (c *Client) TxnTraced(p preemptdb.Priority, traceID uint64, traceWait time.Duration, ops []ScriptOp) ([]OpResult, []byte, error) {
+	var prio uint8
+	if p == preemptdb.High {
+		prio = 1
+	}
+	micros := uint64(traceWait / time.Microsecond)
+	status, msg, results, err := c.roundTrip(encodeScriptTrace(nil, prio, traceID, micros, ops))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := statusErr(status, msg); err != nil {
+		return nil, nil, err
+	}
+	var trace []byte
+	if msg != "" {
+		trace = []byte(msg)
+	}
+	return results, trace, nil
+}
+
 // Stats returns the server's counter summary line.
 func (c *Client) Stats() (string, error) {
 	status, msg, _, err := c.roundTrip([]byte{reqStats})

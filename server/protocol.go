@@ -44,6 +44,17 @@ const (
 	// response carries the JSON document in the message string. The request
 	// body is empty — trailing bytes are malformed.
 	reqMetrics
+	// reqSchedState asks for the live scheduler introspection snapshot
+	// (DB.SchedState): per-core queue depths and seqlock-sampled slot tables
+	// — slot state, class, trace tag, starvation level. The response carries
+	// the JSON document in the message string; the request body is empty.
+	reqSchedState
+	// reqTxnTrace is reqTxn preceded by a uvarint trace id (0 = let the
+	// server assign one) and a uvarint trace-collection timeout in
+	// microseconds. The server runs the script under that trace id and ships
+	// the transaction's merged cross-shard Chrome trace (DB.TraceTxn) back in
+	// the response message — the wire form of end-to-end trace propagation.
+	reqTxnTrace
 )
 
 // Response status codes.
@@ -198,6 +209,15 @@ func encodeScript(b []byte, priority uint8, ops []ScriptOp) []byte {
 func encodeScriptDeadline(b []byte, priority uint8, timeoutMicros uint64, ops []ScriptOp) []byte {
 	b = append(b, reqTxnDeadline)
 	b = binary.AppendUvarint(b, timeoutMicros)
+	return appendScriptBody(b, priority, ops)
+}
+
+// encodeScriptTrace frames a reqTxnTrace request: trace id and
+// trace-collection timeout (microseconds) precede the ordinary script body.
+func encodeScriptTrace(b []byte, priority uint8, traceID, traceTimeoutMicros uint64, ops []ScriptOp) []byte {
+	b = append(b, reqTxnTrace)
+	b = binary.AppendUvarint(b, traceID)
+	b = binary.AppendUvarint(b, traceTimeoutMicros)
 	return appendScriptBody(b, priority, ops)
 }
 

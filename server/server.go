@@ -222,6 +222,17 @@ func (s *Server) dispatchMode(b, frame []byte, zeroCopy bool) ([]byte, error) {
 		}
 		return encodeResults(b, statusOK, string(js), nil), nil
 
+	case reqSchedState:
+		if !r.empty() {
+			return nil, fmt.Errorf("%w: trailing bytes after sched-state request", ErrMalformed)
+		}
+		dbg := s.db.SchedState()
+		js, err := json.Marshal(&dbg)
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding sched state: %w", err)
+		}
+		return encodeResults(b, statusOK, string(js), nil), nil
+
 	case reqStats:
 		st := s.db.Stats()
 		msg := fmt.Sprintf("commits=%d aborts=%d interrupts=%d passive=%d active=%d wal-failed=%t cache-hits=%d cache-misses=%d conns-shed=%d",
@@ -247,6 +258,21 @@ func (s *Server) dispatchMode(b, frame []byte, zeroCopy bool) ([]byte, error) {
 		}
 		return s.runScript(b, prio, ops, time.Duration(micros)*time.Microsecond), nil
 
+	case reqTxnTrace:
+		traceID, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		micros, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prio, ops, err := decodeScriptMode(r, !zeroCopy)
+		if err != nil {
+			return nil, err
+		}
+		return s.runTracedScript(b, prio, ops, traceID, time.Duration(micros)*time.Microsecond), nil
+
 	default:
 		return nil, fmt.Errorf("%w: unknown request %d", ErrMalformed, kind)
 	}
@@ -263,7 +289,44 @@ func (s *Server) runScript(b []byte, prio uint8, ops []ScriptOp, timeout time.Du
 		priority = preemptdb.High
 	}
 	results := make([]OpResult, len(ops))
-	err := s.db.ExecOpts(preemptdb.TxnOptions{Priority: priority, Timeout: timeout}, func(tx *preemptdb.Txn) error {
+	err := s.db.ExecOpts(preemptdb.TxnOptions{Priority: priority, Timeout: timeout}, scriptFn(ops, results))
+	return scriptResults(b, err, results)
+}
+
+// runTracedScript executes a script under an explicit trace id (0 = server
+// assigns one) and, on success, ships the transaction's merged cross-shard
+// Chrome trace export back in the response message. wait bounds how long the
+// exporter polls for the transaction's events to land in the trace rings; an
+// empty message on a statusOK response means tracing is disabled or the ring
+// wrapped past the transaction before export.
+func (s *Server) runTracedScript(b []byte, prio uint8, ops []ScriptOp, traceID uint64, wait time.Duration) []byte {
+	priority := preemptdb.Low
+	if prio > 0 {
+		priority = preemptdb.High
+	}
+	results := make([]OpResult, len(ops))
+	pending, err := s.db.SubmitOpts(preemptdb.TxnOptions{Priority: priority, TraceID: traceID},
+		scriptFn(ops, results))
+	if err == nil {
+		traceID = pending.TraceID()
+		err = pending.Wait()
+	}
+	if err != nil {
+		return scriptResults(b, err, results)
+	}
+	if wait <= 0 {
+		wait = 50 * time.Millisecond
+	}
+	trace, terr := s.db.TraceTxnWait(traceID, wait)
+	if terr != nil {
+		trace = nil
+	}
+	return encodeResults(b, statusOK, string(trace), results)
+}
+
+// scriptFn builds the transaction body executing ops into results.
+func scriptFn(ops []ScriptOp, results []OpResult) func(tx *preemptdb.Txn) error {
+	return func(tx *preemptdb.Txn) error {
 		for i := range ops {
 			op := &ops[i]
 			res := &results[i]
@@ -326,7 +389,11 @@ func (s *Server) runScript(b []byte, prio uint8, ops []ScriptOp, timeout time.Du
 			}
 		}
 		return nil
-	})
+	}
+}
+
+// scriptResults maps a script outcome to its typed response frame.
+func scriptResults(b []byte, err error, results []OpResult) []byte {
 	switch {
 	case err == nil:
 		return encodeResults(b, statusOK, "", results)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"preemptdb"
+	"preemptdb/internal/pcontext"
 )
 
 // startServer returns a running server + connected client.
@@ -388,5 +390,88 @@ func TestPipelinedRequests(t *testing.T) {
 	// pipelined session (frame sync was never lost).
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSchedStateOverWire: the reqSchedState frame ships the live scheduler
+// introspection snapshot as JSON.
+func TestSchedStateOverWire(t *testing.T) {
+	c, _ := startServer(t, preemptdb.Config{Workers: 2})
+	raw, err := c.SchedState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg preemptdb.SchedDebug
+	if err := json.Unmarshal(raw, &dbg); err != nil {
+		t.Fatalf("sched state is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(dbg.Shards) == 0 {
+		t.Fatal("sched state has no shards")
+	}
+	for _, ss := range dbg.Shards {
+		if len(ss.Workers) != 2 {
+			t.Fatalf("shard %d: %d workers in snapshot, want 2", ss.Shard, len(ss.Workers))
+		}
+		for _, ws := range ss.Workers {
+			if len(ws.Slots) == 0 {
+				t.Fatalf("worker %d: empty slot table", ws.Worker)
+			}
+		}
+	}
+}
+
+// TestTxnTracedOverWire: the reqTxnTrace frame runs the script under a trace
+// id and ships back the transaction's merged Chrome trace.
+func TestTxnTracedOverWire(t *testing.T) {
+	c, _ := startServer(t, preemptdb.Config{Workers: 1, TraceSampling: 1})
+	if err := c.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	results, trace, err := c.TxnTraced(preemptdb.High, 0, time.Second, []ScriptOp{
+		PutOp("kv", []byte("a"), []byte("1")),
+		GetOp("kv", []byte("a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || !bytes.Equal(results[1].Value, []byte("1")) {
+		t.Fatalf("bad results: %+v", results)
+	}
+	if trace == nil {
+		t.Fatal("no trace returned despite TraceSampling 1")
+	}
+	if err := pcontext.ValidateChromeTrace(trace); err != nil {
+		t.Fatalf("wire trace invalid: %v", err)
+	}
+	// Client-supplied trace ids name the span verbatim.
+	_, trace, err = c.TxnTraced(preemptdb.Low, 424242, time.Second, []ScriptOp{
+		GetOp("kv", []byte("a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(trace, []byte("txn 424242")) {
+		t.Fatal("client-supplied trace id missing from exported trace")
+	}
+}
+
+// TestTxnTracedTracingDisabled: with tracing off the traced frame still
+// commits and returns results — the trace is just absent.
+func TestTxnTracedTracingDisabled(t *testing.T) {
+	c, _ := startServer(t, preemptdb.Config{Workers: 1, TraceCapacity: -1})
+	if err := c.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	results, trace, err := c.TxnTraced(preemptdb.Low, 0, 10*time.Millisecond, []ScriptOp{
+		PutOp("kv", []byte("a"), []byte("1")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("bad results: %+v", results)
+	}
+	if trace != nil {
+		t.Fatalf("trace returned with tracing disabled: %s", trace)
 	}
 }

@@ -217,7 +217,23 @@ func (t *Txn) commitParts() error {
 		parts[i] = dtx.Participant{Shard: si, Txn: t.parts[si], Eng: t.db.shards[si].eng}
 		t.parts[si] = nil
 	}
-	return dtx.CommitCrossShard(t.db.nextGID(), parts)
+	// The resolution gate publishes all participants inside one critical
+	// section of db.xsMu, fencing concurrent multi-shard snapshot
+	// establishment (Txn.part) so no reader assembles a cross-shard view that
+	// includes this transaction on one shard but not another.
+	return dtx.CommitCrossShard(t.db.nextGID(), parts, resolutionGate{t.db})
+}
+
+// resolutionGate adapts DB.xsMu/xsGen to dtx.ResolutionGate: 2PC resolution
+// runs under the write lock and advances the snapshot generation on release,
+// invalidating multi-shard snapshot establishments in progress on either side
+// of it (see Txn.part).
+type resolutionGate struct{ db *DB }
+
+func (g resolutionGate) Lock() { g.db.xsMu.Lock() }
+func (g resolutionGate) Unlock() {
+	g.db.xsGen.Add(1)
+	g.db.xsMu.Unlock()
 }
 
 // mergeBatch is how many rows a merge cursor pulls from its shard per
@@ -306,7 +322,11 @@ func (t *Txn) mergeScan(table, index string, from, to []byte, desc bool, fn func
 		if err != nil {
 			return err
 		}
-		c := &scanCursor{txn: t.part(si), tab: tab, index: index, desc: desc}
+		ptxn, err := t.part(si)
+		if err != nil {
+			return err
+		}
+		c := &scanCursor{txn: ptxn, tab: tab, index: index, desc: desc}
 		if desc {
 			c.fixed, c.next = from, to
 		} else {
